@@ -1,0 +1,131 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+1. Vector normalization scheme: the L2 scheme (paper footnote 3) makes
+   sampling a local coin flip per node; max-magnitude needs subtree-norm
+   computations.
+2. Compute-table memoization: warm versus cold multiplication.
+3. Structural sharing: unique-table node counts versus the size of the
+   plain decomposition tree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage, NormalizationScheme
+from repro.dd import sampling
+from repro.qc import library
+from repro.qc.dd_builder import circuit_to_dd
+from repro.simulation import DDSimulator
+
+
+def _ghz_state(package, num_qubits):
+    simulator = DDSimulator(
+        library.ghz_state(num_qubits), package=package, seed=0
+    )
+    simulator.run_all()
+    return simulator.state
+
+
+@pytest.mark.parametrize("scheme", list(NormalizationScheme))
+def test_ablation_sampling_scheme(benchmark, scheme, report):
+    """Sampling 500 shots from a 16-qubit GHZ state under both schemes."""
+    package = DDPackage(vector_scheme=scheme)
+    state = _ghz_state(package, 16)
+    rng = np.random.default_rng(3)
+
+    counts = benchmark(sampling.sample_counts, package, state, 500, rng)
+    assert set(counts) == {"0" * 16, "1" * 16}
+    report(
+        f"ablation_sampling_{scheme.value}",
+        [f"scheme: {scheme.value}; 500 shots from GHZ(16): "
+         f"{dict(sorted(counts.items()))}"],
+    )
+
+
+def test_ablation_multiply_warm_cache(benchmark, report):
+    """Repeated multiplication with a warm compute table."""
+    package = DDPackage()
+    functionality = circuit_to_dd(package, library.qft(5))
+    state = package.zero_state(5)
+    package.multiply(functionality, state)  # warm the caches
+
+    benchmark(package.multiply, functionality, state)
+    stats = package.stats()["mult-mv"]
+    assert stats["hit_ratio"] > 0.5
+    report(
+        "ablation_multiply_warm",
+        [f"warm multiply hit ratio: {stats['hit_ratio']:.3f}"],
+    )
+
+
+def test_ablation_multiply_cold_cache(benchmark):
+    """The same multiplication with caches cleared before each call."""
+    package = DDPackage()
+    functionality = circuit_to_dd(package, library.qft(5))
+    state = package.zero_state(5)
+
+    def cold():
+        package.clear_caches()
+        return package.multiply(functionality, state)
+
+    result = benchmark(cold)
+    assert not result.is_zero
+
+
+def test_ablation_sharing(benchmark, report):
+    """Unique-table sharing versus the raw decomposition-tree size.
+
+    Without hash consing, the recursive sub-vector decomposition of
+    Sec. III-A would materialize a full binary tree of 2^n - 1 internal
+    nodes; sharing collapses repeated sub-vectors.
+    """
+
+    def build():
+        rows = []
+        for n in (4, 8, 12):
+            package = DDPackage()
+            state = _ghz_state(package, n)
+            shared = package.node_count(state)
+            tree = 2**n - 1
+            rows.append((n, shared, tree))
+        return rows
+
+    rows = benchmark(build)
+    for n, shared, tree in rows:
+        assert shared < tree
+    report(
+        "ablation_sharing",
+        ["  n   shared nodes   decomposition tree"]
+        + [f"{n:3d}  {shared:12d}  {tree:19d}" for n, shared, tree in rows],
+    )
+
+
+def test_ablation_tolerance_effect(benchmark, report):
+    """A too-small complex tolerance breaks node sharing after arithmetic.
+
+    With the default tolerance, applying H twice returns exactly the
+    canonical |0> node; with an extremely tight tolerance, rounding noise
+    can create near-duplicate weights (more complex-table entries).
+    """
+
+    def run():
+        results = []
+        for tolerance in (1e-10, 1e-15):
+            package = DDPackage(tolerance=tolerance)
+            simulator = DDSimulator(
+                library.random_circuit(4, 60, seed=5), package=package
+            )
+            simulator.run_all()
+            results.append((tolerance, len(package.complex_table)))
+        return results
+
+    results = benchmark(run)
+    (loose_tol, loose_entries), (tight_tol, tight_entries) = results
+    assert loose_entries <= tight_entries
+    report(
+        "ablation_tolerance",
+        [
+            f"tolerance {loose_tol:g}: {loose_entries} complex-table entries",
+            f"tolerance {tight_tol:g}: {tight_entries} complex-table entries",
+        ],
+    )

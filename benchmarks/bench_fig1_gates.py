@@ -1,0 +1,74 @@
+"""Fig. 1 — quantum operations and their unitary matrices.
+
+Regenerates the Hadamard matrix (Fig. 1(a)), the controlled-NOT matrix
+(Fig. 1(b)) and the system matrix of the two-gate circuit G (Fig. 1(c)),
+and benchmarks gate-DD construction against dense tensor-product embedding.
+"""
+
+import math
+
+import numpy as np
+
+from repro.dd import DDPackage
+from repro.qc import library
+from repro.qc.gates import gate_matrix
+from repro.qc.operations import GateOp
+from repro.simulation import build_unitary
+from repro.simulation.statevector import gate_unitary
+
+_H = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+_CNOT = np.array([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]])
+
+
+def _format(matrix: np.ndarray) -> str:
+    rows = []
+    for row in np.asarray(matrix):
+        rows.append(
+            "[" + " ".join(f"{value.real:+.3f}{value.imag:+.3f}j" for value in row) + "]"
+        )
+    return "\n".join(rows)
+
+
+def test_fig1_matrices(benchmark, report):
+    def build():
+        package = DDPackage()
+        return package.controlled_gate(
+            2, gate_matrix("x"), 0, controls=[1]
+        ), package
+
+    gate_dd, package = benchmark(build)
+    assert np.allclose(gate_matrix("h"), _H)
+    assert np.allclose(package.to_matrix(gate_dd, 2), _CNOT)
+    circuit_unitary = build_unitary(library.bell_pair())
+    assert np.allclose(circuit_unitary, _CNOT @ np.kron(_H, np.eye(2)))
+    report(
+        "fig1_gates",
+        [
+            "Fig. 1(a) Hadamard:",
+            _format(_H),
+            "Fig. 1(b) Controlled-NOT:",
+            _format(_CNOT),
+            "Fig. 1(c) circuit G = CNOT . (H x I2):",
+            _format(circuit_unitary),
+        ],
+    )
+
+
+def test_fig1_dense_embedding_baseline(benchmark):
+    """Dense baseline: full 2^n x 2^n tensor-product extension (Ex. 3)."""
+    operation = GateOp(gate="x", targets=(0,), controls=(1,))
+    dense = benchmark(gate_unitary, operation, 10)
+    assert dense.shape == (1024, 1024)
+
+
+def test_fig1_dd_embedding(benchmark):
+    """The same 10-qubit embedding on decision diagrams (linear size)."""
+
+    def build():
+        package = DDPackage()
+        return package, package.controlled_gate(
+            10, gate_matrix("x"), 0, controls=[9]
+        )
+
+    package, gate_dd = benchmark(build)
+    assert package.node_count(gate_dd) <= 2 * 10

@@ -1,0 +1,67 @@
+"""Fig. 3 / Ex. 8 — tensor products by terminal replacement.
+
+Regenerates H (x) I2 on decision diagrams and benchmarks the DD tensor
+product against numpy's dense ``kron`` for growing identity sizes: the DD
+version is linear in the number of qubits, the dense one exponential.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+from repro.vis import dd_to_text
+
+_H = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+
+
+def test_fig3_h_kron_identity(benchmark, report):
+    def build():
+        package = DDPackage()
+        h_dd = package.from_matrix(_H)
+        id_dd = package.identity(1)
+        return package, package.kron(h_dd, id_dd)
+
+    package, product = benchmark(build)
+    assert np.allclose(package.to_matrix(product, 2), np.kron(_H, np.eye(2)))
+    assert package.node_count(product) == 2  # H node stacked on the I node
+    report(
+        "fig3_kron",
+        [
+            f"H (x) I2 nodes: {package.node_count(product)} "
+            "(terminal of H replaced by the root of I2)",
+            "diagram:",
+            dd_to_text(package, product),
+        ],
+    )
+
+
+@pytest.mark.parametrize("num_qubits", [4, 8, 12])
+def test_fig3_dd_kron_scaling(benchmark, num_qubits, report):
+    def build():
+        package = DDPackage()
+        h_dd = package.from_matrix(_H)
+        id_dd = package.identity(num_qubits - 1)
+        return package, package.kron(h_dd, id_dd)
+
+    package, product = benchmark(build)
+    nodes = package.node_count(product)
+    assert nodes == num_qubits  # linear growth
+    report(
+        f"fig3_kron_scaling_n{num_qubits}",
+        [f"H (x) I_(2^{num_qubits - 1}): {nodes} nodes "
+         f"(dense matrix would be {4**num_qubits} entries)"],
+    )
+
+
+@pytest.mark.parametrize("num_qubits", [4, 8, 12])
+def test_fig3_dense_kron_baseline(benchmark, num_qubits):
+    def build():
+        result = _H
+        for _ in range(num_qubits - 1):
+            result = np.kron(result, np.eye(2))
+        return result
+
+    dense = benchmark(build)
+    assert dense.shape == (1 << num_qubits, 1 << num_qubits)

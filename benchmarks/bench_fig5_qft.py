@@ -1,0 +1,78 @@
+"""Fig. 5 / Ex. 10 — the QFT, its compiled version, and its functionality.
+
+Regenerates the 8x8 omega-matrix of Fig. 5(c) from both the abstract
+circuit (Fig. 5(a)) and the compiled circuit (Fig. 5(b)), prints the gate
+sequences, and benchmarks functionality construction.
+"""
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.dd import DDPackage
+from repro.qc import library
+from repro.qc.dd_builder import circuit_to_dd
+from repro.simulation import build_unitary
+from repro.vis import circuit_to_text
+
+
+def _omega_matrix() -> np.ndarray:
+    omega = cmath.exp(1j * math.pi / 4.0)
+    return np.array(
+        [[omega ** ((j * k) % 8) for k in range(8)] for j in range(8)]
+    ) / math.sqrt(8.0)
+
+
+def _omega_exponents(matrix: np.ndarray) -> str:
+    omega = cmath.exp(1j * math.pi / 4.0)
+    rows = []
+    for row in matrix * math.sqrt(8.0):
+        exponents = []
+        for value in row:
+            exponent = min(
+                range(8), key=lambda k: abs(value - omega**k)
+            )
+            exponents.append("1" if exponent == 0 else f"w{exponent}")
+        rows.append(" ".join(f"{e:>3}" for e in exponents))
+    return "\n".join(rows)
+
+
+def test_fig5_qft_functionality(benchmark, report):
+    def build():
+        package = DDPackage()
+        return package, circuit_to_dd(package, library.qft(3))
+
+    package, functionality = benchmark(build)
+    dense = package.to_matrix(functionality, 3)
+    assert np.allclose(dense, _omega_matrix())
+    assert np.allclose(build_unitary(library.qft_compiled(3)), _omega_matrix())
+    compiled = library.qft_compiled(3)
+    report(
+        "fig5_qft",
+        [
+            "Fig. 5(a) three-qubit QFT:",
+            circuit_to_text(library.qft(3)),
+            "",
+            f"Fig. 5(b) compiled circuit ({compiled.num_gates} gates, "
+            f"{sum(1 for op in compiled if type(op).__name__ == 'BarrierOp')} barriers):",
+            circuit_to_text(compiled),
+            "",
+            "Fig. 5(c) functionality (1/sqrt(8) . omega^jk, omega = e^(i pi/4)):",
+            _omega_exponents(dense),
+        ],
+    )
+
+
+def test_fig5_compiled_qft_functionality(benchmark):
+    def build():
+        package = DDPackage()
+        return package, circuit_to_dd(package, library.qft_compiled(3))
+
+    package, functionality = benchmark(build)
+    assert np.allclose(package.to_matrix(functionality, 3), _omega_matrix())
+
+
+def test_fig5_dense_baseline(benchmark):
+    unitary = benchmark(build_unitary, library.qft(3))
+    assert np.allclose(unitary, _omega_matrix())

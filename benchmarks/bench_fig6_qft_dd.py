@@ -1,0 +1,70 @@
+"""Fig. 6 — the decision diagram of the three-qubit QFT functionality.
+
+Regenerates the diagram (21 nodes: 1 + 4 + 16, every sub-matrix distinct),
+writes the colored SVG rendering used in the paper's figure, and benchmarks
+construction plus rendering for growing QFT sizes.
+"""
+
+import os
+
+import pytest
+
+from repro.dd import DDPackage
+from repro.qc import library
+from repro.qc.dd_builder import circuit_to_dd
+from repro.vis import DDStyle, dd_to_svg, dd_to_text
+
+
+def test_fig6_qft3_dd(benchmark, report, results_dir):
+    def build():
+        package = DDPackage()
+        return package, circuit_to_dd(package, library.qft(3))
+
+    package, functionality = benchmark(build)
+    nodes = package.node_count(functionality)
+    assert nodes == 21  # paper Ex. 12: "21 nodes for the entire matrix"
+    svg = dd_to_svg(
+        package, functionality, DDStyle.colored(),
+        title="QFT3 functionality (Fig. 6)",
+    )
+    path = os.path.join(results_dir, "fig6_qft3.svg")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    per_level = {}
+    stack, seen = [functionality.node], set()
+    while stack:
+        node = stack.pop()
+        if node.is_terminal or node in seen:
+            continue
+        seen.add(node)
+        per_level[node.var] = per_level.get(node.var, 0) + 1
+        stack.extend(edge.node for edge in node.edges)
+    report(
+        "fig6_qft3_dd",
+        [
+            f"nodes: {nodes}   [paper Ex. 12: 21]",
+            f"nodes per level: {dict(sorted(per_level.items(), reverse=True))}",
+            f"colored rendering written to {path}",
+            "diagram (text form):",
+            dd_to_text(package, functionality),
+        ],
+    )
+
+
+@pytest.mark.parametrize("num_qubits", [2, 3, 4, 5, 6])
+def test_fig6_qft_dd_growth(benchmark, num_qubits, report):
+    """The QFT matrix DD is worst-case dense: (4^n - 1)/3 nodes."""
+
+    def build():
+        package = DDPackage()
+        return package, circuit_to_dd(package, library.qft(num_qubits))
+
+    package, functionality = benchmark(build)
+    nodes = package.node_count(functionality)
+    expected = (4**num_qubits - 1) // 3
+    assert nodes == expected
+    report(
+        f"fig6_qft_growth_n{num_qubits}",
+        [f"QFT{num_qubits} functionality DD: {nodes} nodes "
+         f"(= (4^{num_qubits}-1)/3; the QFT is a DD worst case)"],
+    )

@@ -1,0 +1,86 @@
+"""Fig. 7 — visualization options for vector decision diagrams.
+
+Regenerates the three rendering styles (classic, HLS color wheel, colored
+weights) as SVG artifacts and benchmarks the renderer on a large diagram.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+from repro.qc import library
+from repro.qc.dd_builder import circuit_to_dd
+from repro.simulation import DDSimulator
+from repro.vis import DDStyle, dd_to_dot, dd_to_svg
+from repro.vis.svg import color_wheel_svg
+
+
+def _ghz_with_phases(package):
+    """A state with varied phases so the color coding is exercised."""
+    simulator = DDSimulator(library.qft(3), package=package)
+    simulator.run_all()
+    return simulator.state
+
+
+@pytest.mark.parametrize(
+    "style_name", ["classic", "colored", "modern"]
+)
+def test_fig7_styles(benchmark, style_name, report, results_dir):
+    package = DDPackage()
+    state = _ghz_with_phases(package)
+    style = {
+        "classic": DDStyle.classic(),
+        "colored": DDStyle.colored(),
+        "modern": DDStyle.modern(),
+    }[style_name]
+
+    svg = benchmark(dd_to_svg, package, state, style)
+    path = os.path.join(results_dir, f"fig7_{style_name}.svg")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    report(
+        f"fig7_style_{style_name}",
+        [
+            f"style: {style_name}",
+            f"edge labels: {style.edge_labels}, colored: {style.colored_edges}, "
+            f"thickness: {style.weighted_thickness}, dashed: {style.dashed_nonunit}",
+            f"SVG written to {path} ({len(svg)} bytes)",
+        ],
+    )
+
+
+def test_fig7b_color_wheel(benchmark, report, results_dir):
+    svg = benchmark(color_wheel_svg)
+    path = os.path.join(results_dir, "fig7b_color_wheel.svg")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    from repro.vis.color import phase_to_color
+
+    report(
+        "fig7b_color_wheel",
+        [
+            f"HLS wheel written to {path}",
+            f"phase 0    (weight  1): {phase_to_color(1 + 0j)}",
+            f"phase pi/2 (weight  i): {phase_to_color(1j)}",
+            f"phase pi   (weight -1): {phase_to_color(-1 + 0j)}",
+            f"phase 3pi/2(weight -i): {phase_to_color(-1j)}",
+        ],
+    )
+
+
+def test_fig7_dot_export(benchmark):
+    """DOT export of a large matrix DD (graphviz interchange format)."""
+    package = DDPackage()
+    functionality = circuit_to_dd(package, library.qft(5))
+    dot = benchmark(dd_to_dot, package, functionality, DDStyle.colored())
+    assert dot.startswith("digraph")
+    assert dot.count("->") > 300
+
+
+def test_fig7_large_svg_render(benchmark):
+    package = DDPackage()
+    functionality = circuit_to_dd(package, library.qft(5))
+    svg = benchmark(dd_to_svg, package, functionality, DDStyle.colored())
+    assert svg.startswith("<svg")

@@ -1,0 +1,91 @@
+"""Fig. 9 / Ex. 14-15 — visualizing the verification of the QFT circuits.
+
+Regenerates the verification walkthrough (three gates of G, six of G'
+applied, diagram close to the identity; finishing confirms equivalence) as
+an HTML session and benchmarks both verification flavours.
+"""
+
+import os
+
+from repro.qc import library
+from repro.tool import VerificationSession
+from repro.verification import (
+    ApplicationStrategy,
+    check_equivalence_alternating,
+    check_equivalence_construct,
+)
+
+
+def test_fig9_walkthrough(benchmark, report, results_dir):
+    def run():
+        session = VerificationSession(library.qft(3), library.qft_compiled(3))
+        session.run_compilation_flow()
+        return session
+
+    session = benchmark(run)
+    assert session.is_identity()
+    assert session.peak_node_count == 9
+    path = os.path.join(results_dir, "fig9_verification.html")
+    session.export_html(path, title="Fig. 9: verifying the QFT circuits")
+    chart_path = os.path.join(results_dir, "fig9_trace.svg")
+    with open(chart_path, "w", encoding="utf-8") as handle:
+        handle.write(session.trace_svg("QFT3: node count per application"))
+    trace_lines = [
+        f"{frame.title}  --  {frame.description}" for frame in session.frames
+    ]
+    report(
+        "fig9_verification",
+        [
+            f"final diagram is the identity: {session.is_identity()}",
+            f"peak nodes during verification: {session.peak_node_count} "
+            "[paper Ex. 12: 9]",
+            f"interactive step-through written to {path}",
+            "trace:",
+        ]
+        + trace_lines,
+    )
+
+
+def test_fig9_construct_checker(benchmark):
+    result = benchmark(
+        check_equivalence_construct, library.qft(3), library.qft_compiled(3)
+    )
+    assert result.equivalent
+    assert result.max_nodes == 21
+
+
+def test_fig9_alternating_checker(benchmark):
+    result = benchmark(
+        check_equivalence_alternating,
+        library.qft(3),
+        library.qft_compiled(3),
+        ApplicationStrategy.COMPILATION_FLOW,
+    )
+    assert result.equivalent
+    assert result.max_nodes == 9
+
+
+def test_fig9_larger_qft_verification(benchmark, report):
+    """The same comparison for the 6-qubit QFT pair."""
+
+    def run():
+        return check_equivalence_alternating(
+            library.qft(6),
+            library.qft_compiled(6),
+            ApplicationStrategy.COMPILATION_FLOW,
+        )
+
+    result = benchmark(run)
+    monolithic = check_equivalence_construct(
+        library.qft(6), library.qft_compiled(6)
+    )
+    assert result.equivalent and monolithic.equivalent
+    assert result.max_nodes < monolithic.max_nodes
+    report(
+        "fig9_qft6",
+        [
+            f"QFT6 alternating peak: {result.max_nodes} nodes",
+            f"QFT6 monolithic peak:  {monolithic.max_nodes} nodes",
+            f"reduction: {monolithic.max_nodes / result.max_nodes:.1f}x",
+        ],
+    )

@@ -1,0 +1,107 @@
+"""Variable-order ablation — canonicity is "with respect to a given
+variable order" (paper Sec. III-C).
+
+Builds a state of nearest-neighbour entangled pairs under two wire
+orders: *interleaved* (partners adjacent, DD linear in n) and *blocked*
+(partners n/2 apart, DD exponential in n).  The same physical state, a
+2^(n/2) size gap — the classic BDD ordering phenomenon carried over to
+quantum decision diagrams.
+"""
+
+import pytest
+
+from repro.dd import DDPackage
+from repro.qc import QuantumCircuit
+from repro.qc.transforms import permute_qubits
+from repro.simulation import DDSimulator
+
+
+def _pair_circuit(num_qubits: int, interleaved: bool) -> QuantumCircuit:
+    """Bell pairs between partner qubits.
+
+    interleaved: partners (2i+1, 2i) are adjacent.
+    blocked:     partners (i + n/2, i) are far apart.
+    """
+    circuit = QuantumCircuit(num_qubits)
+    half = num_qubits // 2
+    for index in range(half):
+        if interleaved:
+            top, bottom = 2 * index + 1, 2 * index
+        else:
+            top, bottom = index + half, index
+        circuit.h(top)
+        circuit.cx(top, bottom)
+    return circuit
+
+
+def _nodes(circuit: QuantumCircuit) -> int:
+    simulator = DDSimulator(circuit)
+    simulator.run_all()
+    return simulator.node_count()
+
+
+@pytest.mark.parametrize("num_qubits", [4, 8, 12])
+def test_interleaved_order_is_linear(benchmark, num_qubits):
+    nodes = benchmark(_nodes, _pair_circuit(num_qubits, interleaved=True))
+    assert nodes == 3 * num_qubits // 2  # 1 + 2 per pair below the top
+
+
+@pytest.mark.parametrize("num_qubits", [4, 8, 12])
+def test_blocked_order_is_exponential(benchmark, num_qubits):
+    nodes = benchmark(_nodes, _pair_circuit(num_qubits, interleaved=False))
+    half = num_qubits // 2
+    assert nodes >= (1 << half)  # exponential blow-up
+
+
+def test_variable_order_table(benchmark, report):
+    def build():
+        rows = []
+        for num_qubits in (4, 8, 12, 16):
+            good = _nodes(_pair_circuit(num_qubits, interleaved=True))
+            bad = _nodes(_pair_circuit(num_qubits, interleaved=False))
+            rows.append((num_qubits, good, bad))
+        return rows
+
+    rows = benchmark(build)
+    for num_qubits, good, bad in rows:
+        assert good < bad
+    report(
+        "variable_order",
+        ["same state, two wire orders (Bell pairs between partners):",
+         "  n   interleaved nodes   blocked nodes   ratio"]
+        + [
+            f"{n:3d}  {good:17d}  {bad:14d}  {bad / good:6.1f}x"
+            for n, good, bad in rows
+        ]
+        + ["", "Sec. III-C: decision diagrams are canonic (and compact)",
+           "only relative to a variable order; a bad order costs 2^(n/2)."],
+    )
+
+
+def test_reordering_recovers_compactness(benchmark, report):
+    """Permuting the wires of the blocked circuit back to interleaved
+    partners restores the linear-size diagram."""
+    num_qubits = 12
+    blocked = _pair_circuit(num_qubits, interleaved=False)
+    half = num_qubits // 2
+    # Map blocked partner (i, i+half) onto adjacent lines (2i, 2i+1).
+    mapping = [0] * num_qubits
+    for index in range(half):
+        mapping[index] = 2 * index
+        mapping[index + half] = 2 * index + 1
+
+    def run():
+        return _nodes(permute_qubits(blocked, mapping))
+
+    reordered_nodes = benchmark(run)
+    blocked_nodes = _nodes(blocked)
+    assert reordered_nodes < blocked_nodes
+    assert reordered_nodes == 3 * num_qubits // 2
+    report(
+        "variable_order_reordering",
+        [
+            f"blocked order: {blocked_nodes} nodes",
+            f"after wire reordering: {reordered_nodes} nodes",
+            "reordering the variables recovers the compact diagram",
+        ],
+    )

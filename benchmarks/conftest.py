@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_fig*.py`` module regenerates one figure/example of the paper:
+it asserts the paper's numbers (where the paper states any), prints the
+regenerated rows/series, and records them under ``benchmarks/results/`` so
+the run leaves auditable artifacts (referenced by EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Print a titled report block and persist it to results/<name>.txt."""
+
+    def _report(name: str, lines) -> None:
+        text = "\n".join(str(line) for line in lines)
+        banner = f"==== {name} ===="
+        print(f"\n{banner}\n{text}")
+        with open(os.path.join(results_dir, f"{name}.txt"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(banner + "\n" + text + "\n")
+
+    return _report

@@ -1,0 +1,94 @@
+"""Variational-style energy evaluation on decision diagrams.
+
+Evaluates the transverse-field Ising Hamiltonian
+
+    H = -J sum_i Z_i Z_{i+1}  -  h sum_i X_i
+
+on decision-diagram states, exactly (one matrix-vector product per Pauli
+string).  A one-parameter ansatz — RY(theta) on every qubit followed by a
+CNOT chain — is swept over theta, and the energy-minimizing angle is
+compared against exact diagonalization of the dense Hamiltonian.  The
+point: expectation values, the bread and butter of variational
+algorithms, come for free on top of the paper's DD machinery.
+
+Run:  python examples/ising_energy.py
+"""
+
+import numpy as np
+
+from repro import DDPackage, DDSimulator, QuantumCircuit
+from repro.dd.expectation import expectation_hamiltonian
+
+NUM_QUBITS = 6
+COUPLING = 1.0
+FIELD = 0.7
+
+
+def ising_terms(num_qubits: int) -> dict:
+    terms = {}
+    for qubit in range(num_qubits - 1):
+        string = ["I"] * num_qubits
+        string[num_qubits - 1 - qubit] = "Z"
+        string[num_qubits - 2 - qubit] = "Z"
+        terms["".join(string)] = -COUPLING
+    for qubit in range(num_qubits):
+        string = ["I"] * num_qubits
+        string[num_qubits - 1 - qubit] = "X"
+        terms["".join(string)] = -FIELD
+    return terms
+
+
+def ansatz(theta: float) -> QuantumCircuit:
+    circuit = QuantumCircuit(NUM_QUBITS, name=f"ansatz({theta:.3f})")
+    for qubit in range(NUM_QUBITS):
+        circuit.ry(theta, qubit)
+    for qubit in range(NUM_QUBITS - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def dense_hamiltonian(terms: dict) -> np.ndarray:
+    paulis = {
+        "I": np.eye(2), "X": np.array([[0, 1], [1, 0]]),
+        "Y": np.array([[0, -1j], [1j, 0]]), "Z": np.diag([1, -1]),
+    }
+    size = 1 << NUM_QUBITS
+    matrix = np.zeros((size, size), dtype=complex)
+    for string, coefficient in terms.items():
+        term = np.ones((1, 1))
+        for character in string:
+            term = np.kron(term, paulis[character])
+        matrix += coefficient * term
+    return matrix
+
+
+def main() -> None:
+    terms = ising_terms(NUM_QUBITS)
+    print(f"Transverse-field Ising on {NUM_QUBITS} qubits "
+          f"(J={COUPLING}, h={FIELD}); {len(terms)} Pauli terms\n")
+
+    package = DDPackage()
+    print("theta sweep of the RY+CNOT-chain ansatz:")
+    print("  theta     <H>        DD nodes")
+    best = (None, np.inf)
+    for theta in np.linspace(0.0, np.pi, 21):
+        simulator = DDSimulator(ansatz(float(theta)), package=package)
+        simulator.run_all()
+        energy = expectation_hamiltonian(package, simulator.state, terms)
+        nodes = simulator.node_count()
+        marker = ""
+        if energy < best[1]:
+            best = (float(theta), energy)
+            marker = "  <-- best so far"
+        print(f"  {theta:5.3f}  {energy:9.5f}  {nodes:8d}{marker}")
+
+    ground = float(np.linalg.eigvalsh(dense_hamiltonian(terms))[0])
+    print(f"\nbest ansatz energy:   {best[1]:9.5f} at theta = {best[0]:.3f}")
+    print(f"exact ground energy:  {ground:9.5f}")
+    print(f"ansatz gap:           {best[1] - ground:9.5f} "
+          "(a one-parameter ansatz cannot reach the true ground state)")
+    assert best[1] >= ground - 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Noisy quantum phase estimation — algorithms meeting device errors.
+
+Runs QPE (built on the paper's QFT, Ex. 10) for an exactly representable
+phase, first ideally (deterministic outcome) and then under increasing
+depolarizing noise, computing the *exact* success probability from
+density-matrix decision diagrams.  Finishes with Bloch-sphere views of the
+counting register as dephasing sets in.
+
+Run:  python examples/noisy_phase_estimation.py
+"""
+
+import numpy as np
+
+from repro import DensityMatrixSimulator, library
+from repro.noise import NoiseModel, NoisySimulator, depolarizing
+
+PHASE = 5 / 16  # exactly representable with 4 counting qubits
+COUNTING = 4
+TARGET = format(5, f"0{COUNTING}b")
+
+
+def ideal_run() -> None:
+    print(f"Estimating the phase {PHASE} of P(2*pi*{PHASE}) with "
+          f"{COUNTING} counting qubits (target outcome: {TARGET})\n")
+    simulator = DensityMatrixSimulator(library.phase_estimation(COUNTING, PHASE))
+    simulator.run()
+    distribution = simulator.classical_distribution()
+    print(f"ideal run: P({TARGET}) = {distribution.get(TARGET, 0.0):.6f} "
+          "(deterministic, as theory promises)")
+
+
+def noisy_sweep() -> None:
+    print("\nsuccess probability under depolarizing noise per gate:")
+    print("   p        P(correct)   purity")
+    circuit = library.phase_estimation(COUNTING, PHASE)
+    for probability in (0.0, 0.002, 0.005, 0.01, 0.02):
+        model = NoiseModel(
+            single_qubit=depolarizing(probability),
+            two_qubit=depolarizing(2.0 * probability),
+        )
+        simulator = NoisySimulator(circuit, model)
+        simulator.run()
+        success = simulator.classical_distribution().get(TARGET, 0.0)
+        print(f"  {probability:6.3f}   {success:10.6f}   {simulator.purity():.4f}")
+    print("(exact values from density-matrix DDs - no sampling noise)")
+
+
+def bloch_views() -> None:
+    from repro.dd import density
+    from repro.vis.bloch import all_bloch_vectors, bloch_svg
+
+    print("\nBloch vectors of the counting register right before the "
+          "inverse QFT:")
+    # Run the unitary prefix (up to the second barrier) without noise.
+    circuit = library.phase_estimation(COUNTING, PHASE)
+    simulator = DensityMatrixSimulator(circuit)
+    barriers_seen = 0
+    while barriers_seen < 2:
+        operation = circuit[simulator.position]
+        simulator.step()
+        if type(operation).__name__ == "BarrierOp":
+            barriers_seen += 1
+    package = simulator.package
+    vectors = all_bloch_vectors(package, simulator.state(), is_density=True)
+    for qubit, (x, y, z) in enumerate(vectors):
+        length = np.sqrt(x * x + y * y + z * z)
+        print(f"  q{qubit}: ({x:+.3f}, {y:+.3f}, {z:+.3f})  |r| = {length:.3f}")
+    print("(counting qubits lie on the equator, rotated by the phase "
+          "kickback; the eigenstate qubit points to -z)")
+    svg = bloch_svg(vectors, title="QPE counting register before QFT^-1")
+    with open("qpe_bloch.svg", "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    print("wrote qpe_bloch.svg")
+
+
+if __name__ == "__main__":
+    ideal_run()
+    noisy_sweep()
+    bloch_views()

@@ -1,0 +1,71 @@
+"""Quickstart: decision diagrams for quantum computing in five minutes.
+
+Builds the paper's running example (the Bell circuit of Fig. 1(c)), watches
+the decision diagram evolve during simulation, measures, samples, and checks
+two circuits for equivalence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DDPackage,
+    QuantumCircuit,
+    SimulationSession,
+    check_equivalence_construct,
+    dd_to_text,
+    library,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build a circuit (paper Fig. 1(c)): H on q1, then CNOT.
+    # ------------------------------------------------------------------
+    circuit = library.bell_pair()
+    print("The circuit (top wire = most-significant qubit q1):")
+    from repro.vis import circuit_to_text
+
+    print(circuit_to_text(circuit))
+
+    # ------------------------------------------------------------------
+    # 2. Step through the simulation and watch the diagram (Sec. IV-B).
+    # ------------------------------------------------------------------
+    session = SimulationSession(circuit, seed=7)
+    print("\nInitial state |00> as a decision diagram:")
+    print(session.current_text())
+    while not session.simulator.at_end:
+        record = session.forward()
+        print(f"\nAfter step {record.index + 1} "
+              f"({record.kind.value}, {record.node_count} nodes):")
+        print(session.current_text())
+
+    # ------------------------------------------------------------------
+    # 3. Measure: probabilities and (non-destructive) sampling (Ex. 2).
+    # ------------------------------------------------------------------
+    p0, p1 = session.simulator.probabilities(0)
+    print(f"\nMeasuring q0 would give |0> with {p0:.0%} and |1> with {p1:.0%}.")
+    print("1000 shots:", dict(sorted(session.sample_counts(1000, seed=1).items())))
+
+    # ------------------------------------------------------------------
+    # 4. Equivalence checking (Sec. III-C): same state, different circuit.
+    # ------------------------------------------------------------------
+    alternative = QuantumCircuit(2, name="bell-via-q0")
+    alternative.h(0).cx(0, 1).swap(0, 1)
+    result = check_equivalence_construct(circuit, alternative)
+    print(f"\n{circuit.name} == {alternative.name}? {result.equivalent} "
+          f"(peak {result.max_nodes} nodes)")
+
+    # ------------------------------------------------------------------
+    # 5. The DD package directly: states, gates, fidelity.
+    # ------------------------------------------------------------------
+    package = DDPackage()
+    ghz = package.from_state_vector(
+        [2 ** -0.5, 0, 0, 0, 0, 0, 0, 2 ** -0.5]
+    )
+    print(f"\nA 3-qubit GHZ state needs {package.node_count(ghz)} DD nodes "
+          f"(the dense vector has {2**3} amplitudes):")
+    print(dd_to_text(package, ghz))
+
+
+if __name__ == "__main__":
+    main()

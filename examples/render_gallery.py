@@ -1,0 +1,91 @@
+"""Rendering gallery — regenerates the paper's diagrams (Figs. 2-8).
+
+Writes, into ``gallery/``:
+
+* the Bell-state DD, Hadamard DD and CNOT DD of Fig. 2 (classic style);
+* the H (x) I2 tensor product of Fig. 3;
+* the QFT functionality DD of Fig. 6 (colored style);
+* the three style variants of Fig. 7, plus the HLS color wheel;
+* an interactive HTML step-through of the Fig. 8 simulation.
+
+Run:  python examples/render_gallery.py
+"""
+
+import math
+import os
+
+import numpy as np
+
+from repro import DDPackage, DDStyle, dd_to_dot, dd_to_svg, library
+from repro.qc.dd_builder import circuit_to_dd
+from repro.tool import SimulationSession
+from repro.vis.svg import color_wheel_svg
+
+OUT_DIR = "gallery"
+INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+def _write(name: str, content: str) -> None:
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    print(f"wrote {path}")
+
+
+def main() -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    package = DDPackage()
+
+    # Fig. 2: state and operation DDs, classic style.
+    bell = package.from_state_vector([INV_SQRT2, 0, 0, INV_SQRT2])
+    _write("fig2a_bell.svg", dd_to_svg(package, bell, title="Bell state"))
+    _write("fig2a_bell.dot", dd_to_dot(package, bell))
+    hadamard = package.from_matrix(np.array([[1, 1], [1, -1]]) / math.sqrt(2))
+    _write("fig2b_hadamard.svg",
+           dd_to_svg(package, hadamard, title="Hadamard gate"))
+    cnot = package.from_matrix(
+        np.array([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]])
+    )
+    _write("fig2c_cnot.svg", dd_to_svg(package, cnot, title="Controlled-NOT"))
+
+    # Fig. 3: the tensor product H (x) I2.
+    product = package.kron(hadamard, package.identity(1))
+    _write("fig3_h_kron_i.svg",
+           dd_to_svg(package, product, title="H \N{CIRCLED TIMES} I2"))
+
+    # Fig. 6: QFT functionality, colored.
+    qft_dd = circuit_to_dd(package, library.qft(3))
+    _write(
+        "fig6_qft3.svg",
+        dd_to_svg(package, qft_dd, DDStyle.colored(),
+                  title="Three-qubit QFT functionality"),
+    )
+
+    # Fig. 7: the three styles on one state, plus the color wheel.
+    from repro.simulation import DDSimulator
+
+    simulator = DDSimulator(library.qft(3), package=package)
+    simulator.run_all()
+    state = simulator.state
+    for name, style in (
+        ("classic", DDStyle.classic()),
+        ("colored", DDStyle.colored()),
+        ("modern", DDStyle.modern()),
+    ):
+        _write(f"fig7_{name}.svg", dd_to_svg(package, state, style))
+    _write("fig7b_color_wheel.svg", color_wheel_svg())
+
+    # Fig. 8: interactive simulation step-through.
+    circuit = library.bell_pair()
+    circuit.measure(0, 0)
+    session = SimulationSession(circuit)
+    session.forward()
+    session.forward()
+    session.forward(outcome=1)
+    session.export_html(os.path.join(OUT_DIR, "fig8_simulation.html"),
+                        title="Fig. 8: simulating the Bell circuit")
+    print(f"wrote {os.path.join(OUT_DIR, 'fig8_simulation.html')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; ``pip install -e . --no-build-isolation --no-use-pep517``
+uses this file instead.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["qdd-tool = repro.tool.cli:main"]},
+    python_requires=">=3.9",
+)

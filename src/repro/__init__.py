@@ -1,0 +1,78 @@
+"""repro — decision diagrams for quantum computing, with visualization.
+
+A from-scratch Python reproduction of R. Wille, L. Burgholzer, M. Artner,
+*Visualizing Decision Diagrams for Quantum Computing* (DATE 2021):
+
+* :mod:`repro.dd` — the decision-diagram package (canonical complex
+  weights, hash-consed vector/matrix nodes, normalization schemes,
+  add / multiply / tensor / adjoint, measurement, sampling, reset);
+* :mod:`repro.qc` — circuits, the standard gate library, OpenQASM 2.0 and
+  RevLib ``.real`` frontends, and well-known circuit generators;
+* :mod:`repro.simulation` — the step-through DD simulator and the dense
+  numpy baseline;
+* :mod:`repro.verification` — construction-based and alternating
+  ``G (G')^-1`` equivalence checking;
+* :mod:`repro.vis` — classic / colored / modern DD rendering (DOT, SVG,
+  ASCII, interactive HTML);
+* :mod:`repro.tool` — simulation and verification sessions mirroring the
+  paper's web tool, plus the ``qdd-tool`` CLI.
+
+Quickstart::
+
+    from repro import DDPackage, SimulationSession, library
+
+    session = SimulationSession(library.bell_pair(), seed=0)
+    session.to_end(stop_at_breakpoints=False)
+    print(session.current_text())
+"""
+
+from repro.dd import DDPackage, Edge, NormalizationScheme
+from repro.errors import ReproError
+from repro.qc import QuantumCircuit, library
+from repro.qc.qasm import circuit_to_qasm, parse_qasm, parse_qasm_file
+from repro.qc.real_format import parse_real, parse_real_file
+from repro.simulation import DDSimulator, DensityMatrixSimulator, StatevectorSimulator
+from repro.tool import SimulationSession, VerificationSession, load_circuit
+from repro.synthesis import prepare_state, synthesize_state_preparation
+from repro.verification import (
+    ApplicationStrategy,
+    check_equivalence_alternating,
+    check_equivalence_ancillary,
+    check_equivalence_construct,
+    check_equivalence_stimuli,
+)
+from repro.vis import DDStyle, dd_to_dot, dd_to_svg, dd_to_text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApplicationStrategy",
+    "DDPackage",
+    "DDSimulator",
+    "DDStyle",
+    "DensityMatrixSimulator",
+    "Edge",
+    "NormalizationScheme",
+    "QuantumCircuit",
+    "ReproError",
+    "SimulationSession",
+    "StatevectorSimulator",
+    "VerificationSession",
+    "__version__",
+    "check_equivalence_alternating",
+    "check_equivalence_ancillary",
+    "check_equivalence_construct",
+    "check_equivalence_stimuli",
+    "circuit_to_qasm",
+    "dd_to_dot",
+    "dd_to_svg",
+    "dd_to_text",
+    "library",
+    "load_circuit",
+    "parse_qasm",
+    "parse_qasm_file",
+    "parse_real",
+    "parse_real_file",
+    "prepare_state",
+    "synthesize_state_preparation",
+]

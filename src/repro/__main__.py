@@ -1,0 +1,8 @@
+"""``python -m repro`` runs the command-line tool."""
+
+import sys
+
+from repro.tool.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Canonical storage for complex edge weights.
+
+Decision diagrams are only canonical if identical weights are recognised as
+identical.  Under floating-point arithmetic, two computations of the same
+amplitude (e.g. ``1/sqrt(2)`` obtained via normalization versus via a Hadamard
+matrix entry) may differ in the last bits.  Following the complex-table design
+of the JKQ/MQT DD package (ICCAD 2019), all edge weights are looked up in a
+:class:`ComplexTable` which returns one canonical representative per
+tolerance-ball, so that exact ``==`` comparison (and hashing) of weights is
+sound everywhere else in the package.
+
+The table buckets values on a grid of width ``tolerance`` and searches the
+3x3 neighbourhood of a query's bucket, which guarantees that any stored value
+within ``tolerance`` (in Chebyshev distance) of the query is found.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, List, Tuple
+
+#: Default tolerance used to identify complex numbers.
+DEFAULT_TOLERANCE = 1e-10
+
+_NEIGHBOUR_OFFSETS = tuple(
+    (dr, di) for dr in (-1, 0, 1) for di in (-1, 0, 1)
+)
+
+
+class ComplexTable:
+    """Canonicalizes complex numbers up to a tolerance.
+
+    Values within ``tolerance`` of an already-stored value are mapped to that
+    stored representative; otherwise the value itself becomes a new canonical
+    representative.  ``0`` and ``1`` are pre-seeded and always returned
+    exactly, because the rest of the package tests edge weights against them.
+    """
+
+    #: Canonical zero and one, shared by every table.
+    ZERO = complex(0.0, 0.0)
+    ONE = complex(1.0, 0.0)
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE):
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.tolerance = tolerance
+        self._buckets: Dict[Tuple[int, int], List[complex]] = {}
+        self.hits = 0
+        self.misses = 0
+        # Seed the exact special values so they are canonical representatives.
+        for special in (self.ZERO, self.ONE, -self.ONE, 1j, -1j):
+            self._insert(special)
+        sqrt2_inv = 1.0 / math.sqrt(2.0)
+        for special in (complex(sqrt2_inv, 0.0), complex(-sqrt2_inv, 0.0),
+                        complex(0.0, sqrt2_inv), complex(0.0, -sqrt2_inv)):
+            self._insert(special)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def lookup(self, value: complex) -> complex:
+        """Return the canonical representative for ``value``.
+
+        If a stored value lies within the tolerance (component-wise), it is
+        returned; otherwise ``value`` is stored and returned as-is.
+        """
+        value = complex(value)
+        if not (math.isfinite(value.real) and math.isfinite(value.imag)):
+            raise ValueError(f"non-finite complex value: {value!r}")
+        # Snap sub-tolerance components to exactly zero.  Besides improving
+        # sharing, this keeps subnormals out of the table (cmath.phase
+        # raises "math range error" on them).
+        real, imag = value.real, value.imag
+        if real != 0.0 and abs(real) < self.tolerance:
+            real = 0.0
+        if imag != 0.0 and abs(imag) < self.tolerance:
+            imag = 0.0
+        value = complex(real, imag)
+        found = self._find(value)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        self._insert(value)
+        return value
+
+    def lookup_real(self, value: float) -> complex:
+        """Canonicalize a real number (convenience wrapper)."""
+        return self.lookup(complex(value, 0.0))
+
+    def is_zero(self, value: complex) -> bool:
+        """Whether ``value`` is (canonically) zero."""
+        return value == self.ZERO or (
+            abs(value.real) < self.tolerance and abs(value.imag) < self.tolerance
+        )
+
+    def is_one(self, value: complex) -> bool:
+        """Whether ``value`` is (canonically) one."""
+        return value == self.ONE or (
+            abs(value.real - 1.0) < self.tolerance
+            and abs(value.imag) < self.tolerance
+        )
+
+    def approx_equal(self, a: complex, b: complex) -> bool:
+        """Whether two complex numbers agree within the tolerance."""
+        return (
+            abs(a.real - b.real) < self.tolerance
+            and abs(a.imag - b.imag) < self.tolerance
+        )
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def clear(self) -> None:
+        """Drop all stored values (the special seeds are re-inserted)."""
+        self._buckets.clear()
+        self.hits = 0
+        self.misses = 0
+        for special in (self.ZERO, self.ONE, -self.ONE, 1j, -1j):
+            self._insert(special)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _key(self, value: complex) -> Tuple[int, int]:
+        return (
+            int(math.floor(value.real / self.tolerance)),
+            int(math.floor(value.imag / self.tolerance)),
+        )
+
+    def _find(self, value: complex) -> "complex | None":
+        key_r, key_i = self._key(value)
+        best = None
+        best_dist = math.inf
+        for off_r, off_i in _NEIGHBOUR_OFFSETS:
+            bucket = self._buckets.get((key_r + off_r, key_i + off_i))
+            if not bucket:
+                continue
+            for stored in bucket:
+                dist = max(
+                    abs(stored.real - value.real), abs(stored.imag - value.imag)
+                )
+                if dist < self.tolerance and dist < best_dist:
+                    best = stored
+                    best_dist = dist
+        return best
+
+    def _insert(self, value: complex) -> None:
+        self._buckets.setdefault(self._key(value), []).append(value)
+
+
+def phase_of(value: complex) -> float:
+    """Phase of ``value`` in the half-open interval ``[0, 2*pi)``.
+
+    Used by the visualization layer's HLS color wheel; exposed here because
+    normalization also needs a consistent phase convention.
+    """
+    angle = cmath.phase(value)
+    if angle < 0:
+        angle += 2.0 * math.pi
+    if angle >= 2.0 * math.pi:
+        angle = 0.0
+    return angle

@@ -1,0 +1,61 @@
+"""Memoization caches for decision-diagram operations.
+
+DD packages employ *compute tables* so that repeated sub-computations (which
+abound, thanks to sharing) are performed only once (paper footnote 4).  This
+module provides a bounded cache: when the table exceeds its capacity it is
+cleared wholesale, mirroring the fixed-size overwrite-on-collision tables of
+the C++ package while staying simple and allocation-friendly in Python.
+
+Keys may contain node objects (kept alive while cached — harmless because the
+cache is bounded) and canonical complex weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+
+class ComputeTable:
+    """A bounded memoization table with hit/miss statistics."""
+
+    def __init__(self, name: str, capacity: int = 1 << 16):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._table: Dict[Hashable, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Hashable):
+        """Return the cached result for ``key`` or ``None`` if absent."""
+        result = self._table.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def insert(self, key: Hashable, result: object) -> None:
+        """Cache ``result`` under ``key`` (clearing the table when full)."""
+        if len(self._table) >= self.capacity:
+            self._table.clear()
+        self._table[key] = result
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ComputeTable {self.name}: {len(self._table)} entries, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )

@@ -1,0 +1,75 @@
+"""Expectation values of Pauli observables on decision diagrams.
+
+Computes ``<psi| P |psi>`` for Pauli strings ``P`` (e.g. ``"XZIY"``,
+big-endian: first character acts on the most-significant qubit) and for
+weighted sums of them (a Hamiltonian).  The observable is built as a
+matrix DD via the same tensor-chain construction used for gates, so the
+cost is one matrix-vector product and one inner product per string.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dd.edge import Edge
+from repro.dd.package import DDPackage
+from repro.errors import DDError
+
+_PAULIS: Dict[str, np.ndarray] = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.diag([1.0, -1.0]).astype(complex),
+}
+
+
+def pauli_string_dd(package: DDPackage, pauli: str) -> Edge:
+    """Matrix DD of a Pauli string (big-endian, first char = top qubit)."""
+    pauli = pauli.upper()
+    if not pauli or any(c not in _PAULIS for c in pauli):
+        raise DDError(
+            f"invalid Pauli string {pauli!r}; use characters from I, X, Y, Z"
+        )
+    num_qubits = len(pauli)
+    factors = {
+        num_qubits - 1 - position: _PAULIS[character]
+        for position, character in enumerate(pauli)
+        if character != "I"
+    }
+    return package._chain(num_qubits, factors)
+
+
+def expectation_pauli(package: DDPackage, state: Edge, pauli: str) -> float:
+    """``<state| P |state>`` for one Pauli string (always real)."""
+    num_qubits = package.num_qubits(state)
+    if len(pauli) != num_qubits:
+        raise DDError(
+            f"Pauli string length {len(pauli)} does not match "
+            f"{num_qubits} qubits"
+        )
+    observable = pauli_string_dd(package, pauli)
+    image = package.multiply(observable, state)
+    return package.inner_product(state, image).real
+
+
+def expectation_hamiltonian(
+    package: DDPackage,
+    state: Edge,
+    terms: Union[Dict[str, float], Iterable[Tuple[str, float]]],
+) -> float:
+    """``<state| H |state>`` for ``H = sum_k c_k P_k``.
+
+    ``terms`` maps Pauli strings to real coefficients (dict or pairs).
+    """
+    if isinstance(terms, dict):
+        items: Sequence[Tuple[str, float]] = list(terms.items())
+    else:
+        items = list(terms)
+    if not items:
+        raise DDError("the Hamiltonian needs at least one term")
+    return sum(
+        float(coefficient) * expectation_pauli(package, state, pauli)
+        for pauli, coefficient in items
+    )

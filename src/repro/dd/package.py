@@ -1,0 +1,691 @@
+"""The decision-diagram package facade.
+
+:class:`DDPackage` owns the complex table, the unique tables and the compute
+tables, and exposes every operation the paper builds on:
+
+* construction of state DDs (``zero_state``, ``basis_state``,
+  ``from_state_vector``) and operation DDs (``identity``, ``from_matrix``,
+  ``single_qubit_gate``, ``controlled_gate``, ``two_qubit_gate``);
+* arithmetic — element-wise addition, matrix-vector and matrix-matrix
+  multiplication (paper Fig. 4), tensor products by terminal replacement
+  (paper Fig. 3) and conjugate transposition;
+* queries — node counts (terminal excluded, as in the paper), amplitudes,
+  dense reconstruction, inner products and norms.
+
+All edge weights flowing through the package are canonicalized through the
+complex table, so edges compare with plain ``==`` and two structurally equal
+diagrams share the very same root node (canonicity; paper Sec. III-C).
+
+Qubit/level convention follows the paper's big-endian notation: level ``n-1``
+(the root) is the most-significant qubit ``q_{n-1}``, level ``0`` is ``q_0``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dd.complex_table import ComplexTable, DEFAULT_TOLERANCE
+from repro.dd.compute_table import ComputeTable
+from repro.dd.edge import Edge, ONE_EDGE, ZERO_EDGE
+from repro.dd.node import MatrixNode, Node, TERMINAL, VectorNode
+from repro.dd.normalization import NormalizationScheme, normalize
+from repro.dd.unique_table import UniqueTable
+from repro.errors import DDError, DimensionMismatchError, InvalidStateError
+
+_ID2 = np.eye(2, dtype=complex)
+
+#: Elementary matrices |i><j| used to decompose two-qubit gates.
+_ELEMENTARY = {
+    (i, j): np.array(
+        [[1.0 if (r, c) == (i, j) else 0.0 for c in (0, 1)] for r in (0, 1)],
+        dtype=complex,
+    )
+    for i in (0, 1)
+    for j in (0, 1)
+}
+
+BitString = Union[str, int, Sequence[int]]
+
+
+def _bits_from(value: BitString, num_qubits: int) -> Tuple[int, ...]:
+    """Normalize a basis-state designator to a big-endian bit tuple."""
+    if isinstance(value, str):
+        if len(value) != num_qubits or any(c not in "01" for c in value):
+            raise DDError(f"invalid basis string {value!r} for {num_qubits} qubits")
+        return tuple(int(c) for c in value)
+    if isinstance(value, int):
+        if not 0 <= value < (1 << num_qubits):
+            raise DDError(f"basis index {value} out of range for {num_qubits} qubits")
+        return tuple((value >> (num_qubits - 1 - k)) & 1 for k in range(num_qubits))
+    bits = tuple(int(b) for b in value)
+    if len(bits) != num_qubits or any(b not in (0, 1) for b in bits):
+        raise DDError(f"invalid bit sequence {value!r} for {num_qubits} qubits")
+    return bits
+
+
+class DDPackage:
+    """A self-contained decision-diagram package instance.
+
+    Diagrams created by different packages must not be mixed: canonicity
+    only holds within one package's unique tables.
+
+    Parameters
+    ----------
+    tolerance:
+        Complex-number identification tolerance.
+    vector_scheme:
+        Normalization scheme for vector nodes.  The default ``L2`` scheme
+        (paper footnote 3) makes subtree norms 1, enabling single-path
+        sampling; ``MAX_MAGNITUDE`` is provided for ablation.
+    """
+
+    def __init__(
+        self,
+        tolerance: float = DEFAULT_TOLERANCE,
+        vector_scheme: NormalizationScheme = NormalizationScheme.L2,
+        cache_capacity: int = 1 << 16,
+    ):
+        self.complex_table = ComplexTable(tolerance)
+        self.vector_scheme = vector_scheme
+        self._vector_unique = UniqueTable(VectorNode)
+        self._matrix_unique = UniqueTable(MatrixNode)
+        self._add_cache = ComputeTable("add", cache_capacity)
+        self._mult_mv_cache = ComputeTable("mult-mv", cache_capacity)
+        self._mult_mm_cache = ComputeTable("mult-mm", cache_capacity)
+        self._kron_cache = ComputeTable("kron", cache_capacity)
+        self._adjoint_cache = ComputeTable("adjoint", cache_capacity)
+        self._inner_cache = ComputeTable("inner", cache_capacity)
+
+    # ------------------------------------------------------------------
+    # node creation (normalizing constructors)
+    # ------------------------------------------------------------------
+    def make_vector_node(self, var: int, edges: Sequence[Edge]) -> Edge:
+        """Create (or reuse) a normalized vector node; returns its edge.
+
+        The returned edge's weight is the common factor extracted by the
+        normalization scheme.  If all successors are zero, the zero stub is
+        returned instead of a node.
+        """
+        if var < 0:
+            raise DDError("vector nodes require a non-negative level")
+        factor, normalized = normalize(edges, self.complex_table, self.vector_scheme)
+        if factor == ComplexTable.ZERO:
+            return ZERO_EDGE
+        node = self._vector_unique.get_or_create(var, normalized)
+        return Edge(node, factor)
+
+    def make_matrix_node(self, var: int, edges: Sequence[Edge]) -> Edge:
+        """Create (or reuse) a normalized matrix node; returns its edge."""
+        if var < 0:
+            raise DDError("matrix nodes require a non-negative level")
+        factor, normalized = normalize(
+            edges, self.complex_table, NormalizationScheme.MAX_MAGNITUDE
+        )
+        if factor == ComplexTable.ZERO:
+            return ZERO_EDGE
+        node = self._matrix_unique.get_or_create(var, normalized)
+        return Edge(node, self.complex_table.lookup(factor))
+
+    # ------------------------------------------------------------------
+    # state construction
+    # ------------------------------------------------------------------
+    def zero_state(self, num_qubits: int) -> Edge:
+        """The all-zero state |0...0> as a vector DD (paper Ex. 3)."""
+        return self.basis_state(num_qubits, 0)
+
+    def basis_state(self, num_qubits: int, bits: BitString) -> Edge:
+        """The computational basis state |bits> as a vector DD."""
+        if num_qubits <= 0:
+            raise DDError("states require at least one qubit")
+        bit_tuple = _bits_from(bits, num_qubits)
+        edge = ONE_EDGE
+        for var in range(num_qubits):
+            bit = bit_tuple[num_qubits - 1 - var]
+            children = [ZERO_EDGE, ZERO_EDGE]
+            children[bit] = edge
+            edge = self.make_vector_node(var, children)
+        return edge
+
+    def from_state_vector(self, vector: Iterable[complex]) -> Edge:
+        """Build a vector DD from a dense state vector of length ``2**n``.
+
+        The recursive sub-vector decomposition of paper Sec. III-A; sharing
+        happens automatically through the unique table.
+        """
+        array = np.asarray(list(vector), dtype=complex).reshape(-1)
+        size = array.shape[0]
+        num_qubits = int(size).bit_length() - 1
+        if size < 2 or (1 << num_qubits) != size:
+            raise InvalidStateError(f"state vector length {size} is not a power of two >= 2")
+        return self._vector_from_array(array, num_qubits - 1)
+
+    def _vector_from_array(self, array: np.ndarray, var: int) -> Edge:
+        if var < 0:
+            value = complex(array[0])
+            if self.complex_table.is_zero(value):
+                return ZERO_EDGE
+            return Edge(TERMINAL, self.complex_table.lookup(value))
+        half = array.shape[0] // 2
+        low = self._vector_from_array(array[:half], var - 1)
+        high = self._vector_from_array(array[half:], var - 1)
+        return self.make_vector_node(var, (low, high))
+
+    # ------------------------------------------------------------------
+    # matrix construction
+    # ------------------------------------------------------------------
+    def identity(self, num_qubits: int) -> Edge:
+        """The identity operation on ``num_qubits`` qubits as a matrix DD."""
+        if num_qubits <= 0:
+            raise DDError("operations require at least one qubit")
+        edge = ONE_EDGE
+        for var in range(num_qubits):
+            edge = self.make_matrix_node(var, (edge, ZERO_EDGE, ZERO_EDGE, edge))
+        return edge
+
+    def from_matrix(self, matrix: "np.ndarray | Sequence[Sequence[complex]]") -> Edge:
+        """Build a matrix DD from a dense ``2**n x 2**n`` matrix.
+
+        Splits into the four sub-matrices ``U_ij`` recursively (paper Ex. 7).
+        """
+        array = np.asarray(matrix, dtype=complex)
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise DDError(f"expected a square matrix, got shape {array.shape}")
+        size = array.shape[0]
+        num_qubits = int(size).bit_length() - 1
+        if size < 2 or (1 << num_qubits) != size:
+            raise DDError(f"matrix dimension {size} is not a power of two >= 2")
+        return self._matrix_from_array(array, num_qubits - 1)
+
+    def _matrix_from_array(self, array: np.ndarray, var: int) -> Edge:
+        if var < 0:
+            value = complex(array[0, 0])
+            if self.complex_table.is_zero(value):
+                return ZERO_EDGE
+            return Edge(TERMINAL, self.complex_table.lookup(value))
+        half = array.shape[0] // 2
+        blocks = (
+            array[:half, :half],
+            array[:half, half:],
+            array[half:, :half],
+            array[half:, half:],
+        )
+        children = tuple(self._matrix_from_array(block, var - 1) for block in blocks)
+        return self.make_matrix_node(var, children)
+
+    def _chain(self, num_qubits: int, factors: Dict[int, np.ndarray]) -> Edge:
+        """Matrix DD for a tensor-product chain with 2x2 ``factors`` at the
+        given levels and identities everywhere else."""
+        edge = ONE_EDGE
+        for var in range(num_qubits):
+            matrix = factors.get(var, _ID2)
+            children: List[Edge] = []
+            for i in (0, 1):
+                for j in (0, 1):
+                    value = complex(matrix[i, j])
+                    if self.complex_table.is_zero(value) or edge.is_zero:
+                        children.append(ZERO_EDGE)
+                    else:
+                        weight = self.complex_table.lookup(value * edge.weight)
+                        children.append(Edge(edge.node, weight))
+            edge = self.make_matrix_node(var, children)
+        return edge
+
+    def single_qubit_gate(
+        self, num_qubits: int, matrix: np.ndarray, target: int
+    ) -> Edge:
+        """Matrix DD of a single-qubit gate embedded into ``num_qubits``
+        qubits (identity on all other lines; paper Ex. 3 / Fig. 3)."""
+        self._check_line(num_qubits, target)
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (2, 2):
+            raise DDError(f"expected a 2x2 matrix, got shape {matrix.shape}")
+        return self._chain(num_qubits, {target: matrix})
+
+    def controlled_gate(
+        self,
+        num_qubits: int,
+        matrix: np.ndarray,
+        target: int,
+        controls: Sequence[int] = (),
+        negative_controls: Sequence[int] = (),
+    ) -> Edge:
+        """Matrix DD of a (multi-)controlled single-qubit gate.
+
+        Uses the identity ``CU = I + P_c ⊗ (U - I)`` where ``P_c`` projects
+        the control lines onto their active values: the gate acts only where
+        all positive controls are |1> and all negative controls |0>.
+        """
+        self._check_line(num_qubits, target)
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (2, 2):
+            raise DDError(f"expected a 2x2 matrix, got shape {matrix.shape}")
+        lines = {target, *controls, *negative_controls}
+        if len(lines) != 1 + len(controls) + len(negative_controls):
+            raise DDError("target and control lines must be distinct")
+        for line in lines:
+            self._check_line(num_qubits, line)
+        if not controls and not negative_controls:
+            return self._chain(num_qubits, {target: matrix})
+        factors: Dict[int, np.ndarray] = {target: matrix - _ID2}
+        for control in controls:
+            factors[control] = _ELEMENTARY[(1, 1)]
+        for control in negative_controls:
+            factors[control] = _ELEMENTARY[(0, 0)]
+        return self.add(self.identity(num_qubits), self._chain(num_qubits, factors))
+
+    def two_qubit_gate(
+        self, num_qubits: int, matrix: np.ndarray, qubit_high: int, qubit_low: int
+    ) -> Edge:
+        """Matrix DD of an arbitrary two-qubit gate on any pair of lines.
+
+        ``matrix`` is the 4x4 unitary in big-endian order with ``qubit_high``
+        as the more significant of the two lines.  Decomposes into
+        ``sum_ij |i><j|_high ⊗ B_ij_low`` (four tensor-product chains).
+        """
+        self._check_line(num_qubits, qubit_high)
+        self._check_line(num_qubits, qubit_low)
+        if qubit_high == qubit_low:
+            raise DDError("two-qubit gates need two distinct lines")
+        if qubit_high < qubit_low:
+            raise DDError("qubit_high must be the more significant line")
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (4, 4):
+            raise DDError(f"expected a 4x4 matrix, got shape {matrix.shape}")
+        result = ZERO_EDGE
+        for i in (0, 1):
+            for j in (0, 1):
+                block = matrix[2 * i : 2 * i + 2, 2 * j : 2 * j + 2]
+                if np.allclose(block, 0.0, atol=self.complex_table.tolerance):
+                    continue
+                term = self._chain(
+                    num_qubits,
+                    {qubit_high: _ELEMENTARY[(i, j)], qubit_low: block},
+                )
+                result = self.add(result, term)
+        return result
+
+    @staticmethod
+    def _check_line(num_qubits: int, line: int) -> None:
+        if not 0 <= line < num_qubits:
+            raise DDError(f"qubit line {line} out of range for {num_qubits} qubits")
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def add(self, left: Edge, right: Edge) -> Edge:
+        """Element-wise sum of two vector or two matrix DDs (paper Fig. 4)."""
+        if left.is_zero:
+            return right
+        if right.is_zero:
+            return left
+        if left.node.is_terminal and right.node.is_terminal:
+            total = left.weight + right.weight
+            if self.complex_table.is_zero(total):
+                return ZERO_EDGE
+            return Edge(TERMINAL, self.complex_table.lookup(total))
+        if left.node.var != right.node.var:
+            raise DimensionMismatchError(
+                f"cannot add DDs at levels {left.node.var} and {right.node.var}"
+            )
+        if type(left.node) is not type(right.node):
+            raise DDError("cannot add a vector DD and a matrix DD")
+        # Addition is commutative: order operands for better cache reuse.
+        if right.node.uid < left.node.uid:
+            left, right = right, left
+        # Factor the left weight out: l + r = w_l * (l/w_l + r/w_l).
+        ratio = self.complex_table.lookup(right.weight / left.weight)
+        key = (left.node, right.node, ratio)
+        cached = self._add_cache.lookup(key)
+        if cached is None:
+            children = tuple(
+                self.add(
+                    left.node.edges[index],
+                    right.node.edges[index].scaled(ratio, self.complex_table),
+                )
+                for index in range(len(left.node.edges))
+            )
+            if isinstance(left.node, MatrixNode):
+                cached = self.make_matrix_node(left.node.var, children)
+            else:
+                cached = self.make_vector_node(left.node.var, children)
+            self._add_cache.insert(key, cached)
+        return cached.scaled(left.weight, self.complex_table)
+
+    def multiply(self, operation: Edge, operand: Edge) -> Edge:
+        """Matrix-vector or matrix-matrix product (paper Fig. 4).
+
+        ``operation`` must be a matrix DD; ``operand`` may be a vector DD
+        (simulation step) or a matrix DD (functionality construction).
+        """
+        if operation.is_zero or operand.is_zero:
+            return ZERO_EDGE
+        if not isinstance(operation.node, MatrixNode):
+            raise DDError("the first multiply operand must be a matrix DD")
+        if isinstance(operand.node, MatrixNode):
+            return self._multiply_mm(operation, operand)
+        return self._multiply_mv(operation, operand)
+
+    def _multiply_mv(self, m_edge: Edge, v_edge: Edge) -> Edge:
+        if m_edge.is_zero or v_edge.is_zero:
+            return ZERO_EDGE
+        factor = self.complex_table.lookup(m_edge.weight * v_edge.weight)
+        if m_edge.node.is_terminal and v_edge.node.is_terminal:
+            return Edge(TERMINAL, factor)
+        if m_edge.node.var != v_edge.node.var:
+            raise DimensionMismatchError(
+                f"matrix level {m_edge.node.var} does not match vector level "
+                f"{v_edge.node.var}"
+            )
+        key = (m_edge.node, v_edge.node)
+        cached = self._mult_mv_cache.lookup(key)
+        if cached is None:
+            children = []
+            for i in (0, 1):
+                partial = self.add(
+                    self._multiply_mv(m_edge.node.edges[2 * i], v_edge.node.edges[0]),
+                    self._multiply_mv(m_edge.node.edges[2 * i + 1], v_edge.node.edges[1]),
+                )
+                children.append(partial)
+            cached = self.make_vector_node(m_edge.node.var, children)
+            self._mult_mv_cache.insert(key, cached)
+        return cached.scaled(factor, self.complex_table)
+
+    def _multiply_mm(self, a_edge: Edge, b_edge: Edge) -> Edge:
+        if a_edge.is_zero or b_edge.is_zero:
+            return ZERO_EDGE
+        factor = self.complex_table.lookup(a_edge.weight * b_edge.weight)
+        if a_edge.node.is_terminal and b_edge.node.is_terminal:
+            return Edge(TERMINAL, factor)
+        if a_edge.node.var != b_edge.node.var:
+            raise DimensionMismatchError(
+                f"cannot multiply matrix DDs at levels {a_edge.node.var} and "
+                f"{b_edge.node.var}"
+            )
+        key = (a_edge.node, b_edge.node)
+        cached = self._mult_mm_cache.lookup(key)
+        if cached is None:
+            children = []
+            for i in (0, 1):
+                for j in (0, 1):
+                    entry = self.add(
+                        self._multiply_mm(
+                            a_edge.node.edges[2 * i], b_edge.node.edges[j]
+                        ),
+                        self._multiply_mm(
+                            a_edge.node.edges[2 * i + 1], b_edge.node.edges[2 + j]
+                        ),
+                    )
+                    children.append(entry)
+            cached = self.make_matrix_node(a_edge.node.var, children)
+            self._mult_mm_cache.insert(key, cached)
+        return cached.scaled(factor, self.complex_table)
+
+    def kron(self, top: Edge, bottom: Edge) -> Edge:
+        """Tensor product ``top ⊗ bottom`` by terminal replacement.
+
+        The terminal of ``top`` is replaced by the root of ``bottom`` and the
+        ``top`` levels are shifted above ``bottom``'s (paper Fig. 3).  Works
+        for two vector DDs or two matrix DDs.
+        """
+        if top.is_zero or bottom.is_zero:
+            return ZERO_EDGE
+        if (
+            not top.node.is_terminal
+            and not bottom.node.is_terminal
+            and type(top.node) is not type(bottom.node)
+        ):
+            raise DDError("cannot tensor a vector DD with a matrix DD")
+        factor = self.complex_table.lookup(top.weight * bottom.weight)
+        result = self._kron_nodes(top.node, bottom.node)
+        return result.scaled(factor, self.complex_table)
+
+    def _kron_nodes(self, top: Node, bottom: Node) -> Edge:
+        if top.is_terminal:
+            return Edge(bottom, ComplexTable.ONE)
+        key = (top, bottom)
+        cached = self._kron_cache.lookup(key)
+        if cached is None:
+            shift = bottom.var + 1
+            children = []
+            for edge in top.edges:
+                if edge.is_zero:
+                    children.append(ZERO_EDGE)
+                else:
+                    sub = self._kron_nodes(edge.node, bottom)
+                    children.append(sub.scaled(edge.weight, self.complex_table))
+            if isinstance(top, MatrixNode):
+                cached = self.make_matrix_node(top.var + shift, children)
+            else:
+                cached = self.make_vector_node(top.var + shift, children)
+            self._kron_cache.insert(key, cached)
+        return cached
+
+    def adjoint(self, operation: Edge) -> Edge:
+        """Conjugate transpose of a matrix DD."""
+        if operation.is_zero:
+            return ZERO_EDGE
+        weight = self.complex_table.lookup(operation.weight.conjugate())
+        result = self._adjoint_node(operation.node)
+        return result.scaled(weight, self.complex_table)
+
+    def _adjoint_node(self, node: Node) -> Edge:
+        if node.is_terminal:
+            return ONE_EDGE
+        if not isinstance(node, MatrixNode):
+            raise DDError("adjoint is only defined for matrix DDs")
+        cached = self._adjoint_cache.lookup(node)
+        if cached is None:
+            transposed = (
+                node.edges[0], node.edges[2], node.edges[1], node.edges[3]
+            )
+            children = tuple(self.adjoint(edge) for edge in transposed)
+            cached = self.make_matrix_node(node.var, children)
+            self._adjoint_cache.insert(node, cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def num_qubits(edge: Edge) -> int:
+        """Number of qubits of a (non-zero) DD rooted at ``edge``."""
+        return edge.node.var + 1
+
+    @staticmethod
+    def node_count(edge: Edge) -> int:
+        """Number of non-terminal nodes reachable from ``edge``.
+
+        The terminal is not counted, following the paper's convention
+        (Ex. 6: the Bell-state DD "consists of 3 nodes").
+        """
+        seen = set()
+        stack = [edge.node]
+        while stack:
+            node = stack.pop()
+            if node.is_terminal or node in seen:
+                continue
+            seen.add(node)
+            for child in node.edges:
+                stack.append(child.node)
+        return len(seen)
+
+    def amplitude(self, state: Edge, basis: BitString, num_qubits: Optional[int] = None) -> complex:
+        """Amplitude of ``|basis>`` in ``state`` (product of path weights)."""
+        if num_qubits is None:
+            num_qubits = self.num_qubits(state)
+        bits = _bits_from(basis, num_qubits)
+        value = complex(1.0, 0.0)
+        edge = state
+        for bit in bits:
+            if edge.is_zero:
+                return ComplexTable.ZERO
+            value *= edge.weight
+            edge = edge.node.edges[bit]
+        if edge.is_zero:
+            return ComplexTable.ZERO
+        return self.complex_table.lookup(value * edge.weight)
+
+    def matrix_entry(
+        self,
+        operation: Edge,
+        row: BitString,
+        column: BitString,
+        num_qubits: Optional[int] = None,
+    ) -> complex:
+        """Entry ``U[row, column]`` of a matrix DD."""
+        if num_qubits is None:
+            num_qubits = self.num_qubits(operation)
+        row_bits = _bits_from(row, num_qubits)
+        col_bits = _bits_from(column, num_qubits)
+        value = complex(1.0, 0.0)
+        edge = operation
+        for i, j in zip(row_bits, col_bits):
+            if edge.is_zero:
+                return ComplexTable.ZERO
+            value *= edge.weight
+            edge = edge.node.edges[2 * i + j]
+        if edge.is_zero:
+            return ComplexTable.ZERO
+        return self.complex_table.lookup(value * edge.weight)
+
+    def to_vector(self, state: Edge, num_qubits: Optional[int] = None) -> np.ndarray:
+        """Dense state vector represented by ``state`` (for small systems)."""
+        if num_qubits is None:
+            num_qubits = self.num_qubits(state)
+        out = np.zeros(1 << num_qubits, dtype=complex)
+        self._fill_vector(state, 0, complex(1.0, 0.0), out)
+        return out
+
+    def _fill_vector(
+        self, edge: Edge, offset: int, weight: complex, out: np.ndarray
+    ) -> None:
+        if edge.is_zero:
+            return
+        weight = weight * edge.weight
+        if edge.node.is_terminal:
+            out[offset] = weight
+            return
+        stride = 1 << edge.node.var
+        self._fill_vector(edge.node.edges[0], offset, weight, out)
+        self._fill_vector(edge.node.edges[1], offset + stride, weight, out)
+
+    def to_matrix(self, operation: Edge, num_qubits: Optional[int] = None) -> np.ndarray:
+        """Dense matrix represented by ``operation`` (for small systems)."""
+        if num_qubits is None:
+            num_qubits = self.num_qubits(operation)
+        size = 1 << num_qubits
+        out = np.zeros((size, size), dtype=complex)
+        self._fill_matrix(operation, 0, 0, complex(1.0, 0.0), out)
+        return out
+
+    def _fill_matrix(
+        self, edge: Edge, row: int, column: int, weight: complex, out: np.ndarray
+    ) -> None:
+        if edge.is_zero:
+            return
+        weight = weight * edge.weight
+        if edge.node.is_terminal:
+            out[row, column] = weight
+            return
+        stride = 1 << edge.node.var
+        for i in (0, 1):
+            for j in (0, 1):
+                self._fill_matrix(
+                    edge.node.edges[2 * i + j],
+                    row + i * stride,
+                    column + j * stride,
+                    weight,
+                    out,
+                )
+
+    def inner_product(self, left: Edge, right: Edge) -> complex:
+        """The inner product ``<left|right>`` of two vector DDs."""
+        if left.is_zero or right.is_zero:
+            return ComplexTable.ZERO
+        if isinstance(left.node, MatrixNode) or isinstance(right.node, MatrixNode):
+            raise DDError("the inner product is defined on vector DDs")
+        factor = left.weight.conjugate() * right.weight
+        return self.complex_table.lookup(
+            factor * self._inner_nodes(left.node, right.node)
+        )
+
+    def _inner_nodes(self, left: Node, right: Node) -> complex:
+        if left.is_terminal and right.is_terminal:
+            return complex(1.0, 0.0)
+        if left.var != right.var:
+            raise DimensionMismatchError(
+                f"inner product of DDs at levels {left.var} and {right.var}"
+            )
+        key = (left, right)
+        cached = self._inner_cache.lookup(key)
+        if cached is None:
+            total = complex(0.0, 0.0)
+            for index in (0, 1):
+                l_edge = left.edges[index]
+                r_edge = right.edges[index]
+                if l_edge.is_zero or r_edge.is_zero:
+                    continue
+                total += (
+                    l_edge.weight.conjugate()
+                    * r_edge.weight
+                    * self._inner_nodes(l_edge.node, r_edge.node)
+                )
+            cached = total
+            self._inner_cache.insert(key, cached)
+        return cached
+
+    def norm_squared(self, state: Edge) -> float:
+        """Squared L2 norm of a vector DD."""
+        return self.inner_product(state, state).real
+
+    def fidelity(self, left: Edge, right: Edge) -> float:
+        """``|<left|right>|**2`` of two (normalized) states."""
+        return abs(self.inner_product(left, right)) ** 2
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop all memoized operation results (unique tables are kept)."""
+        for table in self._compute_tables():
+            table.clear()
+
+    def _compute_tables(self) -> Tuple[ComputeTable, ...]:
+        return (
+            self._add_cache,
+            self._mult_mv_cache,
+            self._mult_mm_cache,
+            self._kron_cache,
+            self._adjoint_cache,
+            self._inner_cache,
+        )
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Table statistics (sizes and hit ratios) for diagnostics."""
+        result: Dict[str, Dict[str, float]] = {
+            "complex_table": {
+                "entries": len(self.complex_table),
+                "hits": self.complex_table.hits,
+                "misses": self.complex_table.misses,
+            },
+            "unique_vector": {
+                "entries": len(self._vector_unique),
+                "hits": self._vector_unique.hits,
+                "misses": self._vector_unique.misses,
+            },
+            "unique_matrix": {
+                "entries": len(self._matrix_unique),
+                "hits": self._matrix_unique.hits,
+                "misses": self._matrix_unique.misses,
+            },
+        }
+        for table in self._compute_tables():
+            result[table.name] = {
+                "entries": len(table),
+                "hits": table.hits,
+                "misses": table.misses,
+                "hit_ratio": table.hit_ratio,
+            }
+        return result

@@ -1,0 +1,59 @@
+"""Hash consing of decision-diagram nodes.
+
+Equivalent sub-vectors (and sub-matrices) must be represented by the *same*
+node for the sharing — and the canonicity used by the verification scheme —
+to work (paper Sec. III-A and III-C).  The unique table maps a node's
+structural signature ``(var, successor edges)`` to one canonical node object.
+
+Nodes are held through weak references so that diagrams dropped by the user
+are reclaimed by Python's garbage collector; the table never keeps a diagram
+alive on its own.  (The C++ package of [14] achieves the same with explicit
+reference counting; weak values are the Pythonic equivalent.)
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Tuple
+
+from repro.dd.edge import Edge
+from repro.dd.node import Node
+
+
+def _signature(var: int, edges: Tuple[Edge, ...]) -> tuple:
+    # Node identity (uid) is sufficient because successors are themselves
+    # hash-consed; weights are canonical complex values, so exact equality
+    # and hashing are sound.
+    return (var,) + tuple((edge.node.uid, edge.weight) for edge in edges)
+
+
+class UniqueTable:
+    """One hash-consing table for a node kind (vector or matrix)."""
+
+    def __init__(self, factory: Callable[[int, Tuple[Edge, ...]], Node]):
+        self._factory = factory
+        self._table: "weakref.WeakValueDictionary[tuple, Node]" = (
+            weakref.WeakValueDictionary()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_create(self, var: int, edges: Tuple[Edge, ...]) -> Node:
+        """Return the canonical node with the given level and successors."""
+        key = _signature(var, edges)
+        node = self._table.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        self.misses += 1
+        node = self._factory(var, edges)
+        self._table[key] = node
+        return node
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0

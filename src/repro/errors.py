@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so downstream users can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DDError(ReproError):
+    """Error in the decision-diagram package (invalid structure or operand)."""
+
+
+class DimensionMismatchError(DDError):
+    """Two decision diagrams of incompatible qubit counts were combined."""
+
+
+class InvalidStateError(DDError):
+    """A vector that is not a valid quantum state was supplied or produced."""
+
+
+class CircuitError(ReproError):
+    """Error while building or manipulating a quantum circuit."""
+
+
+class GateError(CircuitError):
+    """An unknown gate was requested or a gate received bad arguments."""
+
+
+class ParseError(ReproError):
+    """Error while parsing an input file (OpenQASM or RevLib ``.real``)."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """Error during circuit simulation (e.g. stepping past the end)."""
+
+
+class VerificationError(ReproError):
+    """Error during equivalence checking (e.g. mismatched qubit counts)."""
+
+
+class VisualizationError(ReproError):
+    """Error while rendering a decision diagram."""

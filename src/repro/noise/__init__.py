@@ -1,0 +1,31 @@
+"""Noise channels on decision diagrams.
+
+Real devices are noisy; the DD toolchain the paper introduces was later
+extended to noise-aware simulation.  This subpackage provides that
+capability on top of :mod:`repro.dd.density`: single-qubit Kraus channels
+(bit/phase flip, depolarizing, amplitude/phase damping), per-gate noise
+models, and a noisy ensemble simulator.
+"""
+
+from repro.noise.channels import (
+    KrausChannel,
+    amplitude_damping,
+    apply_channel,
+    bit_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+)
+from repro.noise.model import NoiseModel, NoisySimulator
+
+__all__ = [
+    "KrausChannel",
+    "NoiseModel",
+    "NoisySimulator",
+    "amplitude_damping",
+    "apply_channel",
+    "bit_flip",
+    "depolarizing",
+    "phase_damping",
+    "phase_flip",
+]

@@ -1,0 +1,150 @@
+"""Single-qubit Kraus channels applied to density-matrix DDs.
+
+A channel is a set of Kraus operators ``{K_i}`` with
+``sum_i K_i^t K_i = I``; its action is ``rho -> sum_i K_i rho K_i^t``.
+Each operator is embedded into the full system as a (generally
+non-unitary) matrix DD, so one channel application costs ``2 |K|``
+DD multiplications and ``|K| - 1`` additions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dd.edge import Edge, ZERO_EDGE
+from repro.dd.package import DDPackage
+from repro.errors import DDError
+
+
+@dataclass(frozen=True)
+class KrausChannel:
+    """A single-qubit channel given by its Kraus operators."""
+
+    name: str
+    operators: Tuple[np.ndarray, ...]
+
+    def __post_init__(self):
+        total = np.zeros((2, 2), dtype=complex)
+        kept = []
+        for operator in self.operators:
+            matrix = np.asarray(operator, dtype=complex)
+            if matrix.shape != (2, 2):
+                raise DDError(
+                    f"channel {self.name!r}: Kraus operators must be 2x2"
+                )
+            total += matrix.conj().T @ matrix
+            if not np.allclose(matrix, 0.0, atol=1e-15):
+                kept.append(matrix)
+        if not np.allclose(total, np.eye(2), atol=1e-9):
+            raise DDError(
+                f"channel {self.name!r} is not trace preserving: "
+                f"sum K^t K = {total.round(6)}"
+            )
+        # Drop all-zero operators (they contribute nothing), e.g. the
+        # p = 0 limit of the standard channels.
+        object.__setattr__(self, "operators", tuple(kept))
+
+    @property
+    def is_identity(self) -> bool:
+        return len(self.operators) == 1 and np.allclose(
+            self.operators[0], np.eye(2)
+        )
+
+
+def _probability(name: str, p: float, upper: float = 1.0) -> float:
+    if not 0.0 <= p <= upper:
+        raise DDError(f"{name} probability {p} outside [0, {upper}]")
+    return float(p)
+
+
+def bit_flip(p: float) -> KrausChannel:
+    """Apply X with probability ``p``."""
+    p = _probability("bit-flip", p)
+    return KrausChannel(
+        f"bit-flip({p})",
+        (
+            math.sqrt(1.0 - p) * np.eye(2, dtype=complex),
+            math.sqrt(p) * np.array([[0, 1], [1, 0]], dtype=complex),
+        ),
+    )
+
+
+def phase_flip(p: float) -> KrausChannel:
+    """Apply Z with probability ``p``."""
+    p = _probability("phase-flip", p)
+    return KrausChannel(
+        f"phase-flip({p})",
+        (
+            math.sqrt(1.0 - p) * np.eye(2, dtype=complex),
+            math.sqrt(p) * np.diag([1.0, -1.0]).astype(complex),
+        ),
+    )
+
+
+def depolarizing(p: float) -> KrausChannel:
+    """Replace the qubit by the maximally mixed state with probability
+    ``p`` (Pauli twirl form: X/Y/Z each with probability p/4... precisely,
+    ``rho -> (1 - p) rho + p/2 I`` via the four-operator Kraus form)."""
+    p = _probability("depolarizing", p)
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+    z = np.diag([1.0, -1.0]).astype(complex)
+    return KrausChannel(
+        f"depolarizing({p})",
+        (
+            math.sqrt(1.0 - 3.0 * p / 4.0) * np.eye(2, dtype=complex),
+            math.sqrt(p / 4.0) * x,
+            math.sqrt(p / 4.0) * y,
+            math.sqrt(p / 4.0) * z,
+        ),
+    )
+
+
+def amplitude_damping(gamma: float) -> KrausChannel:
+    """Energy relaxation towards |0> with decay probability ``gamma``."""
+    gamma = _probability("amplitude-damping", gamma)
+    return KrausChannel(
+        f"amplitude-damping({gamma})",
+        (
+            np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex),
+            np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=complex),
+        ),
+    )
+
+
+def phase_damping(lam: float) -> KrausChannel:
+    """Pure dephasing with probability ``lam``."""
+    lam = _probability("phase-damping", lam)
+    return KrausChannel(
+        f"phase-damping({lam})",
+        (
+            np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - lam)]], dtype=complex),
+            np.array([[0.0, 0.0], [0.0, math.sqrt(lam)]], dtype=complex),
+        ),
+    )
+
+
+def apply_channel(
+    package: DDPackage,
+    rho: Edge,
+    channel: KrausChannel,
+    qubit: int,
+) -> Edge:
+    """Apply a single-qubit channel to ``qubit`` of density DD ``rho``."""
+    if rho.is_zero:
+        return ZERO_EDGE
+    if channel.is_identity:
+        return rho
+    num_qubits = package.num_qubits(rho)
+    result = ZERO_EDGE
+    for operator in channel.operators:
+        kraus_dd = package.single_qubit_gate(num_qubits, operator, qubit)
+        term = package.multiply(
+            package.multiply(kraus_dd, rho), package.adjoint(kraus_dd)
+        )
+        result = package.add(result, term)
+    return result

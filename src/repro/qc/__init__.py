@@ -1,0 +1,30 @@
+"""Quantum-circuit substrate: gates, circuit IR, file formats, generators.
+
+The circuit model mirrors the paper's Sec. II: a circuit is a sequence of
+operations on ``n`` qubits (big-endian, ``q_{n-1}`` most significant) and
+``m`` classical bits; gates carry an optional set of (positive/negative)
+controls, and the *special operations* of Sec. IV-B — measurement, reset,
+barrier, and classically-controlled gates — are first-class citizens.
+"""
+
+from repro.qc.circuit import QuantumCircuit
+from repro.qc.gates import gate_matrix, inverse_gate, is_known_gate
+from repro.qc.operations import (
+    BarrierOp,
+    GateOp,
+    MeasureOp,
+    Operation,
+    ResetOp,
+)
+
+__all__ = [
+    "BarrierOp",
+    "GateOp",
+    "MeasureOp",
+    "Operation",
+    "QuantumCircuit",
+    "ResetOp",
+    "gate_matrix",
+    "inverse_gate",
+    "is_known_gate",
+]

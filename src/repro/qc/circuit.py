@@ -1,0 +1,353 @@
+"""The quantum-circuit IR.
+
+A :class:`QuantumCircuit` is a named sequence of operations over ``n``
+qubits and ``m`` classical bits (paper Sec. II: "quantum computations are
+just sequences of quantum operations").  Builder methods cover the complete
+standard gate library, including the gates of the paper's examples
+(Hadamard, controlled-NOT, controlled phase, SWAP, Toffoli).
+
+Qubit indices follow the paper's big-endian convention: ``q_{n-1}`` is the
+most-significant qubit (drawn as the *top* wire in the paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CircuitError
+from repro.qc.operations import BarrierOp, GateOp, MeasureOp, Operation, ResetOp
+
+
+class QuantumCircuit:
+    """A sequence of quantum operations on qubits and classical bits."""
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0, name: str = "circuit"):
+        if num_qubits <= 0:
+            raise CircuitError("a circuit needs at least one qubit")
+        if num_clbits < 0:
+            raise CircuitError("the number of classical bits cannot be negative")
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.name = name
+        self._operations: List[Operation] = []
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        return tuple(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._operations)
+
+    def __getitem__(self, index):
+        return self._operations[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QuantumCircuit {self.name!r}: {self.num_qubits} qubits, "
+            f"{len(self._operations)} operations>"
+        )
+
+    # ------------------------------------------------------------------
+    # generic append
+    # ------------------------------------------------------------------
+    def append(self, operation: Operation) -> "QuantumCircuit":
+        """Append an operation after validating its lines."""
+        for qubit in operation.qubits:
+            self._check_qubit(qubit)
+        if isinstance(operation, MeasureOp):
+            self._check_clbit(operation.clbit)
+        if isinstance(operation, GateOp) and operation.condition is not None:
+            clbits, value = operation.condition
+            for clbit in clbits:
+                self._check_clbit(clbit)
+            if value < 0 or value >= (1 << len(clbits)):
+                raise CircuitError(
+                    f"condition value {value} out of range for {len(clbits)} bits"
+                )
+        self._operations.append(operation)
+        return self
+
+    def gate(
+        self,
+        name: str,
+        targets: Sequence[int],
+        params: Sequence[float] = (),
+        controls: Sequence[int] = (),
+        negative_controls: Sequence[int] = (),
+        condition: Optional[Tuple[Sequence[int], int]] = None,
+    ) -> "QuantumCircuit":
+        """Append an arbitrary library gate."""
+        packed = None
+        if condition is not None:
+            clbits, value = condition
+            packed = (tuple(int(b) for b in clbits), int(value))
+        return self.append(
+            GateOp(
+                gate=name,
+                params=tuple(params),
+                targets=tuple(targets),
+                controls=tuple(controls),
+                negative_controls=tuple(negative_controls),
+                condition=packed,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # single-qubit gates
+    # ------------------------------------------------------------------
+    def i(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("id", [qubit])
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("x", [qubit])
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("y", [qubit])
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("z", [qubit])
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("h", [qubit])
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("s", [qubit])
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("sdg", [qubit])
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("t", [qubit])
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("tdg", [qubit])
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("sx", [qubit])
+
+    def sxdg(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("sxdg", [qubit])
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("rx", [qubit], params=[theta])
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("ry", [qubit], params=[theta])
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("rz", [qubit], params=[theta])
+
+    def p(self, lam: float, qubit: int) -> "QuantumCircuit":
+        """Phase gate ``P(lambda)`` (paper Ex. 10)."""
+        return self.gate("p", [qubit], params=[lam])
+
+    def u2(self, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("u2", [qubit], params=[phi, lam])
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("u3", [qubit], params=[theta, phi, lam])
+
+    # ------------------------------------------------------------------
+    # controlled and two-qubit gates
+    # ------------------------------------------------------------------
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-NOT (paper Fig. 1(b))."""
+        return self.gate("x", [target], controls=[control])
+
+    def cy(self, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("y", [target], controls=[control])
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("z", [target], controls=[control])
+
+    def ch(self, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("h", [target], controls=[control])
+
+    def cs(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-S, i.e. controlled ``P(pi/2)`` (paper Fig. 5(a))."""
+        return self.gate("s", [target], controls=[control])
+
+    def ct(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-T, i.e. controlled ``P(pi/4)`` (paper Fig. 5(a))."""
+        return self.gate("t", [target], controls=[control])
+
+    def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled phase rotation (paper Ex. 10)."""
+        return self.gate("p", [target], params=[lam], controls=[control])
+
+    def crx(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("rx", [target], params=[theta], controls=[control])
+
+    def cry(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("ry", [target], params=[theta], controls=[control])
+
+    def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("rz", [target], params=[theta], controls=[control])
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """SWAP gate (paper Ex. 10); targets stored more-significant first."""
+        high, low = (qubit_a, qubit_b) if qubit_a > qubit_b else (qubit_b, qubit_a)
+        return self.gate("swap", [high, low])
+
+    def iswap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        high, low = (qubit_a, qubit_b) if qubit_a > qubit_b else (qubit_b, qubit_a)
+        return self.gate("iswap", [high, low])
+
+    def ccx(self, control_a: int, control_b: int, target: int) -> "QuantumCircuit":
+        """Toffoli gate."""
+        return self.gate("x", [target], controls=[control_a, control_b])
+
+    def mcx(self, controls: Sequence[int], target: int) -> "QuantumCircuit":
+        """Multi-controlled NOT."""
+        return self.gate("x", [target], controls=list(controls))
+
+    def cswap(self, control: int, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """Fredkin gate."""
+        high, low = (qubit_a, qubit_b) if qubit_a > qubit_b else (qubit_b, qubit_a)
+        return self.gate("swap", [high, low], controls=[control])
+
+    # ------------------------------------------------------------------
+    # special operations (paper Sec. IV-B)
+    # ------------------------------------------------------------------
+    def measure(self, qubit: int, clbit: int) -> "QuantumCircuit":
+        return self.append(MeasureOp(qubit=qubit, clbit=clbit))
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure every qubit into the classical bit of the same index."""
+        if self.num_clbits < self.num_qubits:
+            raise CircuitError("measure_all needs one classical bit per qubit")
+        for qubit in range(self.num_qubits):
+            self.measure(qubit, qubit)
+        return self
+
+    def reset(self, qubit: int) -> "QuantumCircuit":
+        return self.append(ResetOp(qubit=qubit))
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        lines = tuple(qubits) if qubits else tuple(range(self.num_qubits))
+        return self.append(BarrierOp(lines=lines))
+
+    # ------------------------------------------------------------------
+    # whole-circuit transformations
+    # ------------------------------------------------------------------
+    def inverse(self) -> "QuantumCircuit":
+        """The inverse circuit ``G^-1`` (gates inverted, order reversed).
+
+        Only defined for purely unitary circuits; barriers are preserved in
+        place (reversed), non-unitary operations raise.  Used by the
+        alternating verification scheme (paper Sec. III-C).
+        """
+        result = QuantumCircuit(self.num_qubits, self.num_clbits, f"{self.name}^-1")
+        for operation in reversed(self._operations):
+            if isinstance(operation, BarrierOp):
+                result.append(operation)
+            elif isinstance(operation, GateOp):
+                result.append(operation.inverse())
+            else:
+                raise CircuitError(
+                    "cannot invert a circuit containing measurements or resets"
+                )
+        return result
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """A new circuit applying ``self`` first, then ``other``."""
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError("composed circuits must have equal qubit counts")
+        result = QuantumCircuit(
+            self.num_qubits,
+            max(self.num_clbits, other.num_clbits),
+            f"{self.name}+{other.name}",
+        )
+        for operation in self._operations:
+            result.append(operation)
+        for operation in other._operations:
+            result.append(operation)
+        return result
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        result = QuantumCircuit(self.num_qubits, self.num_clbits, name or self.name)
+        result._operations = list(self._operations)
+        return result
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        """Number of gate operations (barriers/measures/resets excluded)."""
+        return sum(1 for op in self._operations if isinstance(op, GateOp))
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of operations by kind/gate name."""
+        counts: Dict[str, int] = {}
+        for operation in self._operations:
+            if isinstance(operation, GateOp):
+                key = operation.gate
+                if operation.num_controls:
+                    key = "c" * operation.num_controls + key
+            elif isinstance(operation, MeasureOp):
+                key = "measure"
+            elif isinstance(operation, ResetOp):
+                key = "reset"
+            else:
+                key = "barrier"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth over gate/measure/reset operations.
+
+        Barriers force a new layer on the lines they cover (that is their
+        scheduling role) but do not count as a layer themselves.
+        """
+        levels = [0] * self.num_qubits
+        depth = 0
+        for operation in self._operations:
+            lines = operation.qubits
+            if not lines:
+                continue
+            if isinstance(operation, BarrierOp):
+                barrier_level = max(levels[q] for q in lines)
+                for qubit in lines:
+                    levels[qubit] = barrier_level
+                continue
+            level = max(levels[qubit] for qubit in lines) + 1
+            for qubit in lines:
+                levels[qubit] = level
+            depth = max(depth, level)
+        return depth
+
+    @property
+    def has_nonunitary_operations(self) -> bool:
+        """Whether the circuit contains measure/reset/conditioned gates."""
+        return any(
+            not op.is_unitary and not isinstance(op, BarrierOp)
+            for op in self._operations
+        )
+
+    def to_qasm(self) -> str:
+        """Serialize to OpenQASM 2.0 (see :mod:`repro.qc.qasm.exporter`)."""
+        from repro.qc.qasm.exporter import circuit_to_qasm
+
+        return circuit_to_qasm(self)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self.num_qubits:
+            raise CircuitError(
+                f"qubit {qubit} out of range for {self.num_qubits} qubits"
+            )
+
+    def _check_clbit(self, clbit: int) -> None:
+        if not 0 <= clbit < self.num_clbits:
+            raise CircuitError(
+                f"classical bit {clbit} out of range for {self.num_clbits} bits"
+            )

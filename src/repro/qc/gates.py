@@ -1,0 +1,205 @@
+"""The standard gate library.
+
+Provides the matrices of all gates used by the paper and by OpenQASM 2.0's
+``qelib1.inc``: the Paulis, Hadamard, the phase family ``S``/``T``/``P``
+(paper Ex. 10: ``S = P(pi/2)``, ``T = P(pi/4)``), rotations, the IBM
+``U1``/``U2``/``U3`` family, and the two-qubit primitives SWAP and iSWAP.
+Controlled versions are not separate gates here — the circuit IR attaches
+control lines to a base gate (paper Ex. 4: "a negation ... applied to a
+target qubit if and only if certain control qubits are in state |1>").
+
+All matrices follow the big-endian qubit order of the paper (footnote 1).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GateError
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+def _mat(rows) -> np.ndarray:
+    return np.array(rows, dtype=complex)
+
+
+def _rx(theta: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return _mat([[cos, -1j * sin], [-1j * sin, cos]])
+
+
+def _ry(theta: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return _mat([[cos, -sin], [sin, cos]])
+
+
+def _rz(theta: float) -> np.ndarray:
+    return _mat([[cmath.exp(-0.5j * theta), 0.0], [0.0, cmath.exp(0.5j * theta)]])
+
+
+def _phase(lam: float) -> np.ndarray:
+    return _mat([[1.0, 0.0], [0.0, cmath.exp(1j * lam)]])
+
+
+def _u2(phi: float, lam: float) -> np.ndarray:
+    return _SQRT2_INV * _mat(
+        [
+            [1.0, -cmath.exp(1j * lam)],
+            [cmath.exp(1j * phi), cmath.exp(1j * (phi + lam))],
+        ]
+    )
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return _mat(
+        [
+            [cos, -cmath.exp(1j * lam) * sin],
+            [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+        ]
+    )
+
+
+#: name -> (number of parameters, number of target qubits)
+_SIGNATURES: Dict[str, Tuple[int, int]] = {
+    "id": (0, 1),
+    "x": (0, 1),
+    "y": (0, 1),
+    "z": (0, 1),
+    "h": (0, 1),
+    "s": (0, 1),
+    "sdg": (0, 1),
+    "t": (0, 1),
+    "tdg": (0, 1),
+    "sx": (0, 1),
+    "sxdg": (0, 1),
+    "rx": (1, 1),
+    "ry": (1, 1),
+    "rz": (1, 1),
+    "p": (1, 1),
+    "u1": (1, 1),
+    "u2": (2, 1),
+    "u3": (3, 1),
+    "u": (3, 1),
+    "swap": (0, 2),
+    "iswap": (0, 2),
+    "iswapdg": (0, 2),
+}
+
+_FIXED_MATRICES: Dict[str, np.ndarray] = {
+    "id": _mat([[1, 0], [0, 1]]),
+    "x": _mat([[0, 1], [1, 0]]),
+    "y": _mat([[0, -1j], [1j, 0]]),
+    "z": _mat([[1, 0], [0, -1]]),
+    "h": _SQRT2_INV * _mat([[1, 1], [1, -1]]),
+    "s": _mat([[1, 0], [0, 1j]]),
+    "sdg": _mat([[1, 0], [0, -1j]]),
+    "t": _mat([[1, 0], [0, cmath.exp(0.25j * math.pi)]]),
+    "tdg": _mat([[1, 0], [0, cmath.exp(-0.25j * math.pi)]]),
+    "sx": 0.5 * _mat([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]),
+    "sxdg": 0.5 * _mat([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]]),
+    "swap": _mat([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]]),
+    "iswap": _mat([[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]]),
+    "iswapdg": _mat([[1, 0, 0, 0], [0, 0, -1j, 0], [0, -1j, 0, 0], [0, 0, 0, 1]]),
+}
+
+#: Gates that are their own inverse.
+_SELF_INVERSE = frozenset({"id", "x", "y", "z", "h", "swap"})
+
+#: Fixed gates whose inverse is another fixed gate.
+_INVERSE_PAIRS = {
+    "s": "sdg",
+    "sdg": "s",
+    "t": "tdg",
+    "tdg": "t",
+    "sx": "sxdg",
+    "sxdg": "sx",
+    "iswap": "iswapdg",
+    "iswapdg": "iswap",
+}
+
+#: Parametrized gates inverted by negating every parameter.
+_NEGATE_PARAMS = frozenset({"rx", "ry", "rz", "p", "u1"})
+
+
+def is_known_gate(name: str) -> bool:
+    """Whether ``name`` is a gate of the standard library."""
+    return name in _SIGNATURES
+
+
+def gate_signature(name: str) -> Tuple[int, int]:
+    """Return ``(num_params, num_targets)`` for gate ``name``."""
+    signature = _SIGNATURES.get(name)
+    if signature is None:
+        raise GateError(f"unknown gate {name!r}")
+    return signature
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """The unitary matrix of a base gate (2x2 or 4x4)."""
+    num_params, _ = gate_signature(name)
+    params = tuple(float(value) for value in params)
+    if len(params) != num_params:
+        raise GateError(
+            f"gate {name!r} takes {num_params} parameter(s), got {len(params)}"
+        )
+    fixed = _FIXED_MATRICES.get(name)
+    if fixed is not None:
+        return fixed.copy()
+    if name == "rx":
+        return _rx(params[0])
+    if name == "ry":
+        return _ry(params[0])
+    if name == "rz":
+        return _rz(params[0])
+    if name in ("p", "u1"):
+        return _phase(params[0])
+    if name == "u2":
+        return _u2(params[0], params[1])
+    if name in ("u3", "u"):
+        return _u3(params[0], params[1], params[2])
+    raise GateError(f"unknown gate {name!r}")  # pragma: no cover - guarded above
+
+
+def inverse_gate(name: str, params: Sequence[float] = ()) -> Tuple[str, Tuple[float, ...]]:
+    """Name and parameters of the inverse of a base gate.
+
+    Used by :meth:`QuantumCircuit.inverse` — and hence by the ``G (G')^-1``
+    verification scheme (paper Sec. III-C).
+    """
+    params = tuple(float(value) for value in params)
+    gate_signature(name)  # validates the name
+    if name in _SELF_INVERSE:
+        return name, params
+    paired = _INVERSE_PAIRS.get(name)
+    if paired is not None:
+        return paired, params
+    if name in _NEGATE_PARAMS:
+        return name, tuple(-value for value in params)
+    if name == "u2":
+        phi, lam = params
+        return "u3", (-math.pi / 2.0, -lam, -phi)
+    if name in ("u3", "u"):
+        theta, phi, lam = params
+        return name, (-theta, -lam, -phi)
+    raise GateError(f"gate {name!r} has no symbolic inverse")
+
+
+def is_unitary(matrix: np.ndarray, tolerance: float = 1e-9) -> bool:
+    """Whether ``matrix`` is unitary (paper footnote 2)."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(
+        np.allclose(matrix @ matrix.conj().T, identity, atol=tolerance)
+        and np.allclose(matrix.conj().T @ matrix, identity, atol=tolerance)
+    )

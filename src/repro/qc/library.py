@@ -1,0 +1,309 @@
+"""Generators for well-known circuits.
+
+Includes every circuit the paper uses — the Bell-pair circuit of Fig. 1(c),
+the ``n``-qubit QFT of Fig. 5(a) and its *compiled* version in the spirit of
+Fig. 5(b) (controlled phases and SWAPs decomposed into primitive gates, with
+barriers after each original gate, which the alternating verification
+strategy of Ex. 12 exploits) — plus the usual suspects for benchmarking
+decision-diagram compactness: GHZ, W, Grover, Bernstein-Vazirani and random
+circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.qc.circuit import QuantumCircuit
+from repro.qc.operations import BarrierOp, GateOp
+
+
+def bell_pair() -> QuantumCircuit:
+    """The two-qubit circuit of paper Fig. 1(c): H on q1, then CNOT."""
+    circuit = QuantumCircuit(2, 2, name="bell")
+    circuit.h(1)
+    circuit.cx(1, 0)
+    return circuit
+
+
+def ghz_state(num_qubits: int) -> QuantumCircuit:
+    """GHZ preparation: H on the top qubit, then a CNOT cascade."""
+    if num_qubits < 2:
+        raise CircuitError("GHZ needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(num_qubits - 1)
+    for qubit in range(num_qubits - 1, 0, -1):
+        circuit.cx(qubit, qubit - 1)
+    return circuit
+
+
+def w_state(num_qubits: int) -> QuantumCircuit:
+    """W-state preparation via an excitation-splitting CRY/CX chain.
+
+    Starting from ``|0...01>``, step ``i`` keeps probability ``1/(n-i)`` of
+    the remaining mass on qubit ``i`` and passes the rest upward, yielding
+    equal amplitudes on all one-hot basis states.
+    """
+    if num_qubits < 2:
+        raise CircuitError("the W state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"w_{num_qubits}")
+    circuit.x(0)
+    for qubit in range(num_qubits - 1):
+        remaining = num_qubits - qubit
+        theta = 2.0 * math.acos(math.sqrt(1.0 / remaining))
+        circuit.cry(theta, qubit, qubit + 1)
+        circuit.cx(qubit + 1, qubit)
+    return circuit
+
+
+def qft(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """The Quantum Fourier Transform of paper Fig. 5(a).
+
+    For each qubit from the most significant down: a Hadamard followed by
+    controlled phase rotations ``P(pi/2^d)`` from each less-significant
+    qubit at distance ``d`` (``S = P(pi/2)``, ``T = P(pi/4)``; paper Ex. 10),
+    finished by the qubit-reversal SWAPs.
+    """
+    if num_qubits < 1:
+        raise CircuitError("the QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits - 1, -1, -1):
+        circuit.h(target)
+        for control in range(target - 1, -1, -1):
+            distance = target - control
+            circuit.cp(math.pi / (2**distance), control, target)
+    if include_swaps:
+        for low in range(num_qubits // 2):
+            circuit.swap(low, num_qubits - 1 - low)
+    return circuit
+
+
+def qft_compiled(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """A compiled QFT in the spirit of paper Fig. 5(b).
+
+    Controlled phases and SWAPs are not native to current devices (paper
+    Ex. 10), so each is decomposed into phase gates and CNOTs:
+
+    * ``cp(lam) c,t  ->  p(lam/2) c; cx c,t; p(-lam/2) t; cx c,t; p(lam/2) t``
+    * ``swap a,b     ->  cx a,b; cx b,a; cx a,b``
+
+    A barrier is placed after the expansion of each abstract gate — exactly
+    the breakpoints the alternating verification of Ex. 12 steps to.
+    """
+    abstract = qft(num_qubits, include_swaps=include_swaps)
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}_compiled")
+    for operation in abstract:
+        if isinstance(operation, GateOp) and operation.gate == "p" and operation.controls:
+            (lam,) = operation.params
+            control = operation.controls[0]
+            target = operation.targets[0]
+            circuit.p(lam / 2.0, control)
+            circuit.cx(control, target)
+            circuit.p(-lam / 2.0, target)
+            circuit.cx(control, target)
+            circuit.p(lam / 2.0, target)
+        elif isinstance(operation, GateOp) and operation.gate == "swap":
+            high, low = operation.targets
+            circuit.cx(high, low)
+            circuit.cx(low, high)
+            circuit.cx(high, low)
+        elif isinstance(operation, BarrierOp):
+            continue
+        else:
+            circuit.append(operation)
+        circuit.barrier()
+    return circuit
+
+
+def grover(num_qubits: int, marked: int, iterations: Optional[int] = None) -> QuantumCircuit:
+    """Grover search marking basis state ``marked`` on ``num_qubits`` qubits.
+
+    Uses phase oracles (multi-controlled Z with negative controls selecting
+    the marked bit pattern) and the standard diffusion operator.
+    """
+    if num_qubits < 2:
+        raise CircuitError("Grover search needs at least two qubits")
+    if not 0 <= marked < (1 << num_qubits):
+        raise CircuitError(f"marked state {marked} out of range")
+    if iterations is None:
+        iterations = max(1, int(math.floor(math.pi / 4.0 * math.sqrt(2**num_qubits))))
+    circuit = QuantumCircuit(num_qubits, name=f"grover_{num_qubits}_{marked}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    bits = [(marked >> qubit) & 1 for qubit in range(num_qubits)]
+    positive = [q for q in range(1, num_qubits) if bits[q] == 1]
+    negative = [q for q in range(1, num_qubits) if bits[q] == 0]
+    for _ in range(iterations):
+        # Oracle: flip the phase of |marked>.
+        if bits[0] == 0:
+            circuit.x(0)
+        circuit.gate("z", [0], controls=positive, negative_controls=negative)
+        if bits[0] == 0:
+            circuit.x(0)
+        circuit.barrier()
+        # Diffusion: reflect about the uniform superposition.  Up to a global
+        # phase this is a phase flip of |0...0>, conjugated by Hadamards.
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+        circuit.x(0)
+        circuit.gate("z", [0], negative_controls=list(range(1, num_qubits)))
+        circuit.x(0)
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+        circuit.barrier()
+    return circuit
+
+
+def bernstein_vazirani(secret: str) -> QuantumCircuit:
+    """Bernstein-Vazirani for the given secret bit string.
+
+    Data qubits are ``q_n .. q_1`` (big-endian, matching ``secret``); the
+    ancilla is ``q_0``, prepared in |->.  After the final Hadamards the data
+    qubits hold the secret deterministically; the classical register read
+    big-endian (``c_{m-1} ... c_0``) spells the secret.
+    """
+    if not secret or any(c not in "01" for c in secret):
+        raise CircuitError(f"invalid secret {secret!r}")
+    num_data = len(secret)
+    circuit = QuantumCircuit(num_data + 1, num_data, name=f"bv_{secret}")
+    circuit.x(0)
+    for qubit in range(num_data + 1):
+        circuit.h(qubit)
+    circuit.barrier()
+    for position, bit in enumerate(secret):
+        if bit == "1":
+            circuit.cx(num_data - position, 0)
+    circuit.barrier()
+    for qubit in range(1, num_data + 1):
+        circuit.h(qubit)
+    for position in range(num_data):
+        circuit.measure(num_data - position, num_data - 1 - position)
+    return circuit
+
+
+def qft_inverse(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """The inverse QFT (gates of :func:`qft` inverted and reversed)."""
+    circuit = qft(num_qubits, include_swaps=include_swaps).inverse()
+    circuit.name = f"qft_{num_qubits}_inverse"
+    return circuit
+
+
+def phase_estimation(num_counting: int, phase: float) -> QuantumCircuit:
+    """Quantum phase estimation of ``U = P(2 pi phase)`` on its |1>
+    eigenstate.
+
+    Layout: counting register ``q_{m} .. q_1`` (big-endian), eigenstate on
+    ``q_0``.  For ``phase = j / 2^m`` the measured counting register equals
+    ``j`` deterministically; otherwise it concentrates on the nearest
+    ``m``-bit approximation.  Exercises the QFT as the subroutine the paper
+    calls "a popular building block in many quantum algorithms" (Ex. 10).
+    """
+    if num_counting < 1:
+        raise CircuitError("phase estimation needs at least one counting qubit")
+    num_qubits = num_counting + 1
+    circuit = QuantumCircuit(
+        num_qubits, num_counting, name=f"qpe_{num_counting}"
+    )
+    circuit.x(0)  # the |1> eigenstate of P
+    for counting in range(1, num_qubits):
+        circuit.h(counting)
+    circuit.barrier()
+    for counting in range(1, num_qubits):
+        # q_counting has weight 2^(counting - 1) in the counting register.
+        angle = 2.0 * math.pi * phase * (2 ** (counting - 1))
+        circuit.cp(angle, counting, 0)
+    circuit.barrier()
+    # Inverse QFT on the counting register (lines shifted up by one).
+    for operation in qft_inverse(num_counting):
+        if isinstance(operation, GateOp):
+            circuit.gate(
+                operation.gate,
+                [q + 1 for q in operation.targets],
+                params=operation.params,
+                controls=[q + 1 for q in operation.controls],
+            )
+    circuit.barrier()
+    for counting in range(1, num_qubits):
+        # Big-endian classical register: c_{m-1} ... c_0 reads the estimate.
+        circuit.measure(counting, counting - 1)
+    return circuit
+
+
+def deutsch_jozsa(num_qubits: int, balanced_mask: Optional[int] = None) -> QuantumCircuit:
+    """Deutsch-Jozsa on ``num_qubits`` data qubits.
+
+    ``balanced_mask=None`` uses a constant oracle (f = 0); a non-zero mask
+    ``s`` uses the balanced oracle ``f(x) = s . x``.  Measuring all data
+    qubits as 0 certifies a constant function.  Data qubits are
+    ``q_n .. q_1``, the phase ancilla is ``q_0``.
+    """
+    if num_qubits < 1:
+        raise CircuitError("Deutsch-Jozsa needs at least one data qubit")
+    if balanced_mask is not None and not 0 < balanced_mask < (1 << num_qubits):
+        raise CircuitError(
+            f"balanced mask {balanced_mask} out of range (must be non-zero)"
+        )
+    circuit = QuantumCircuit(
+        num_qubits + 1,
+        num_qubits,
+        name=f"dj_{num_qubits}_{'const' if balanced_mask is None else balanced_mask}",
+    )
+    circuit.x(0)
+    for qubit in range(num_qubits + 1):
+        circuit.h(qubit)
+    circuit.barrier()
+    if balanced_mask is not None:
+        for bit in range(num_qubits):
+            if balanced_mask & (1 << bit):
+                circuit.cx(bit + 1, 0)
+    circuit.barrier()
+    for qubit in range(1, num_qubits + 1):
+        circuit.h(qubit)
+    for qubit in range(1, num_qubits + 1):
+        circuit.measure(qubit, qubit - 1)
+    return circuit
+
+
+_RANDOM_SINGLE = ("h", "x", "y", "z", "s", "t", "sdg", "tdg", "sx")
+_RANDOM_PARAM = ("rx", "ry", "rz", "p")
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: Optional[int] = None,
+    two_qubit_probability: float = 0.3,
+) -> QuantumCircuit:
+    """A random circuit of ``depth`` layers (for scaling benchmarks)."""
+    if num_qubits < 1:
+        raise CircuitError("random circuits need at least one qubit")
+    if not 0.0 <= two_qubit_probability <= 1.0:
+        raise CircuitError("two_qubit_probability must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{depth}")
+    for _ in range(depth):
+        qubit = int(rng.integers(num_qubits))
+        if num_qubits >= 2 and rng.random() < two_qubit_probability:
+            other = int(rng.integers(num_qubits - 1))
+            if other >= qubit:
+                other += 1
+            circuit.cx(qubit, other)
+        elif rng.random() < 0.5:
+            name = _RANDOM_SINGLE[int(rng.integers(len(_RANDOM_SINGLE)))]
+            circuit.gate(name, [qubit])
+        else:
+            name = _RANDOM_PARAM[int(rng.integers(len(_RANDOM_PARAM)))]
+            angle = float(rng.uniform(0.0, 2.0 * math.pi))
+            circuit.gate(name, [qubit], params=[angle])
+    return circuit
+
+
+def qft_matrix(num_qubits: int) -> np.ndarray:
+    """The dense QFT matrix ``(1/sqrt(N)) omega^(jk)`` (paper Fig. 5(c))."""
+    size = 1 << num_qubits
+    omega = np.exp(2j * np.pi / size)
+    indices = np.arange(size)
+    return np.power(omega, np.outer(indices, indices)) / math.sqrt(size)

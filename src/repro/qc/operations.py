@@ -1,0 +1,161 @@
+"""Circuit operations.
+
+Gates (:class:`GateOp`) apply a unitary; the *special operations* of paper
+Sec. IV-B do not directly correspond to a unitary matrix:
+
+* :class:`BarrierOp` — a breakpoint for the step controls;
+* :class:`MeasureOp` — collapses one qubit into a classical bit;
+* :class:`ResetOp` — probabilistic reset of a qubit to |0>.
+
+Gates may carry a *classical condition* ``(clbits, value)`` implementing
+OpenQASM's ``if (c == value)`` construct: the gate is applied only if the
+named classical bits (LSB first) currently hold ``value``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import CircuitError
+from repro.qc import gates as gate_library
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class for everything that can appear in a circuit."""
+
+    @property
+    def is_unitary(self) -> bool:
+        return False
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        """All qubit lines this operation touches."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GateOp(Operation):
+    """A (possibly controlled, possibly classically conditioned) gate.
+
+    ``gate`` names a base gate of :mod:`repro.qc.gates`; ``targets`` are its
+    target lines in big-endian order (most significant first for two-qubit
+    gates); ``controls`` / ``negative_controls`` are additional lines on
+    which the gate is conditioned (|1> resp. |0>).
+    """
+
+    gate: str
+    params: Tuple[float, ...] = ()
+    targets: Tuple[int, ...] = ()
+    controls: Tuple[int, ...] = ()
+    negative_controls: Tuple[int, ...] = ()
+    condition: Optional[Tuple[Tuple[int, ...], int]] = None
+
+    def __post_init__(self):
+        num_params, num_targets = gate_library.gate_signature(self.gate)
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        object.__setattr__(self, "targets", tuple(int(q) for q in self.targets))
+        object.__setattr__(self, "controls", tuple(int(q) for q in self.controls))
+        object.__setattr__(
+            self, "negative_controls", tuple(int(q) for q in self.negative_controls)
+        )
+        if len(self.params) != num_params:
+            raise CircuitError(
+                f"gate {self.gate!r} takes {num_params} parameter(s), "
+                f"got {len(self.params)}"
+            )
+        if len(self.targets) != num_targets:
+            raise CircuitError(
+                f"gate {self.gate!r} takes {num_targets} target(s), "
+                f"got {len(self.targets)}"
+            )
+        lines = self.qubits
+        if len(set(lines)) != len(lines):
+            raise CircuitError(f"operation uses a qubit line twice: {lines}")
+
+    @property
+    def is_unitary(self) -> bool:
+        # A conditioned gate is not a unitary of the quantum system alone.
+        return self.condition is None
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return self.targets + self.controls + self.negative_controls
+
+    @property
+    def num_controls(self) -> int:
+        return len(self.controls) + len(self.negative_controls)
+
+    def matrix(self):
+        """The base gate's (local) unitary matrix, controls excluded."""
+        return gate_library.gate_matrix(self.gate, self.params)
+
+    def inverse(self) -> "GateOp":
+        """The inverse gate (same lines, inverted base gate)."""
+        if self.condition is not None:
+            raise CircuitError("classically-controlled gates cannot be inverted")
+        name, params = gate_library.inverse_gate(self.gate, self.params)
+        return GateOp(
+            gate=name,
+            params=params,
+            targets=self.targets,
+            controls=self.controls,
+            negative_controls=self.negative_controls,
+        )
+
+    def label(self) -> str:
+        """Short human-readable label (used by the visualization layer)."""
+        name = self.gate.upper()
+        if self.params:
+            rendered = ", ".join(_format_angle(p) for p in self.params)
+            name = f"{name}({rendered})"
+        return name
+
+
+@dataclass(frozen=True)
+class MeasureOp(Operation):
+    """Measure ``qubit`` into classical bit ``clbit`` (paper Sec. IV-B)."""
+
+    qubit: int
+    clbit: int
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return (self.qubit,)
+
+
+@dataclass(frozen=True)
+class ResetOp(Operation):
+    """Discard ``qubit`` and re-initialize it to |0> (paper Sec. IV-B)."""
+
+    qubit: int
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return (self.qubit,)
+
+
+@dataclass(frozen=True)
+class BarrierOp(Operation):
+    """A breakpoint marker (paper Sec. IV-B); no effect on the state."""
+
+    lines: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return self.lines
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle compactly as a fraction of pi where possible."""
+    import math
+
+    if value == 0.0:
+        return "0"
+    for denominator in (1, 2, 3, 4, 6, 8, 16, 32):
+        for sign in (1.0, -1.0):
+            if abs(value - sign * math.pi / denominator) < 1e-12:
+                prefix = "-" if sign < 0 else ""
+                return f"{prefix}pi" if denominator == 1 else f"{prefix}pi/{denominator}"
+    return f"{value:.4g}"

@@ -1,0 +1,20 @@
+"""OpenQASM 2.0 frontend.
+
+The paper's tool loads circuits "in either .qasm or .real format"
+(Sec. IV-B).  This subpackage provides a recursive-descent OpenQASM 2.0
+parser (lexer in :mod:`tokens`, parser in :mod:`parser`) supporting:
+
+* ``qreg``/``creg`` declarations (multiple registers are concatenated),
+* the ``U``/``CX`` primitives and the full ``qelib1.inc`` gate set,
+* user ``gate`` definitions with parameter expressions (recursively
+  expanded), ``opaque`` declarations (rejected when applied),
+* register broadcasting (``h q;`` applies H to every qubit of ``q``),
+* ``measure``, ``reset``, ``barrier`` and ``if (c == v)`` conditions,
+
+plus an exporter back to OpenQASM text.
+"""
+
+from repro.qc.qasm.parser import parse_qasm, parse_qasm_file
+from repro.qc.qasm.exporter import circuit_to_qasm
+
+__all__ = ["circuit_to_qasm", "parse_qasm", "parse_qasm_file"]

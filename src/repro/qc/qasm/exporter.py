@@ -1,0 +1,127 @@
+"""Serialization of circuits back to OpenQASM 2.0 text.
+
+Emits a single quantum register ``q`` and classical register ``c``.
+Negative controls (not expressible in OpenQASM 2.0) are exported by
+conjugating the control line with ``x`` gates; multi-controlled gates
+beyond the standard library raise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CircuitError
+from repro.qc.circuit import QuantumCircuit
+from repro.qc.operations import BarrierOp, GateOp, MeasureOp, ResetOp
+
+#: (base gate, number of positive controls) -> qasm name
+_EXPORT_NAMES = {
+    ("id", 0): "id",
+    ("x", 0): "x",
+    ("x", 1): "cx",
+    ("x", 2): "ccx",
+    ("y", 0): "y",
+    ("y", 1): "cy",
+    ("z", 0): "z",
+    ("z", 1): "cz",
+    ("h", 0): "h",
+    ("h", 1): "ch",
+    ("s", 0): "s",
+    ("sdg", 0): "sdg",
+    ("t", 0): "t",
+    ("tdg", 0): "tdg",
+    ("sx", 0): "sx",
+    ("sx", 1): "csx",
+    ("sxdg", 0): "sxdg",
+    ("rx", 0): "rx",
+    ("rx", 1): "crx",
+    ("ry", 0): "ry",
+    ("ry", 1): "cry",
+    ("rz", 0): "rz",
+    ("rz", 1): "crz",
+    ("p", 0): "p",
+    ("p", 1): "cp",
+    ("u1", 0): "u1",
+    ("u1", 1): "cu1",
+    ("u2", 0): "u2",
+    ("u3", 0): "u3",
+    ("u3", 1): "cu3",
+    ("u", 0): "u3",
+    ("u", 1): "cu3",
+    ("swap", 0): "swap",
+    ("swap", 1): "cswap",
+    ("iswap", 0): "iswap",
+}
+
+
+def _format_params(params) -> str:
+    if not params:
+        return ""
+    return "(" + ",".join(repr(float(value)) for value in params) + ")"
+
+
+def _gate_line(operation: GateOp) -> str:
+    key = (operation.gate, len(operation.controls))
+    name = _EXPORT_NAMES.get(key)
+    if name is None:
+        raise CircuitError(
+            f"gate {operation.gate!r} with {len(operation.controls)} control(s) "
+            "has no OpenQASM 2.0 representation"
+        )
+    # qasm argument order: controls first, then targets; for multi-target
+    # gates the IR stores (high, low) which maps directly.
+    lines = list(operation.controls) + list(operation.targets)
+    arguments = ",".join(f"q[{line}]" for line in lines)
+    return f"{name}{_format_params(operation.params)} {arguments};"
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Render ``circuit`` as OpenQASM 2.0 source text."""
+    out: List[str] = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    if circuit.num_clbits:
+        out.append(f"creg c[{circuit.num_clbits}];")
+    for operation in circuit:
+        if isinstance(operation, BarrierOp):
+            if set(operation.lines) == set(range(circuit.num_qubits)):
+                out.append("barrier q;")
+            else:
+                arguments = ",".join(f"q[{line}]" for line in operation.lines)
+                out.append(f"barrier {arguments};")
+            continue
+        if isinstance(operation, MeasureOp):
+            out.append(f"measure q[{operation.qubit}] -> c[{operation.clbit}];")
+            continue
+        if isinstance(operation, ResetOp):
+            out.append(f"reset q[{operation.qubit}];")
+            continue
+        if isinstance(operation, GateOp):
+            prefix = ""
+            if operation.condition is not None:
+                clbits, value = operation.condition
+                if tuple(clbits) != tuple(range(circuit.num_clbits)):
+                    raise CircuitError(
+                        "only conditions on the full classical register can "
+                        "be exported to OpenQASM 2.0"
+                    )
+                prefix = f"if(c=={value}) "
+            flips = [f"x q[{line}];" for line in operation.negative_controls]
+            if flips and operation.condition is not None:
+                raise CircuitError(
+                    "cannot export a conditioned gate with negative controls"
+                )
+            out.extend(flips)
+            positive = GateOp(
+                gate=operation.gate,
+                params=operation.params,
+                targets=operation.targets,
+                controls=operation.controls + operation.negative_controls,
+            )
+            out.append(prefix + _gate_line(positive))
+            out.extend(flips)
+            continue
+        raise CircuitError(f"cannot export operation {operation!r}")
+    return "\n".join(out) + "\n"

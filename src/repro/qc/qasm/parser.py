@@ -1,0 +1,753 @@
+"""Recursive-descent parser for OpenQASM 2.0.
+
+Produces a :class:`repro.qc.circuit.QuantumCircuit`.  The complete
+``qelib1.inc`` gate set is built in (the include statement is accepted and
+is a no-op), user ``gate`` definitions are expanded recursively, and the
+special operations of paper Sec. IV-B (measure, reset, barrier,
+classically-controlled gates) map to the corresponding IR operations.
+
+Qubit mapping: quantum registers are concatenated in declaration order;
+``q[0]`` of the first register is line 0 (the least-significant qubit
+``q_0`` in the paper's big-endian convention).  Classical registers are
+concatenated likewise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ParseError
+from repro.qc.circuit import QuantumCircuit
+from repro.qc.operations import BarrierOp, GateOp, MeasureOp, Operation, ResetOp
+from repro.qc.qasm.tokens import Token, TokenType, tokenize
+
+# ----------------------------------------------------------------------
+# expression AST
+# ----------------------------------------------------------------------
+_FUNCTIONS: Dict[str, Callable[[float], float]] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+    "acos": math.acos,
+    "asin": math.asin,
+    "atan": math.atan,
+}
+
+
+class Expr:
+    """Base class of parameter-expression AST nodes."""
+
+    def evaluate(self, env: Dict[str, float]) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: float
+
+    def evaluate(self, env):
+        return self.value
+
+
+@dataclass(frozen=True)
+class Pi(Expr):
+    def evaluate(self, env):
+        return math.pi
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    name: str
+    line: int
+
+    def evaluate(self, env):
+        if self.name not in env:
+            raise ParseError(f"unknown parameter {self.name!r}", self.line)
+        return env[self.name]
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def evaluate(self, env):
+        value = self.operand.evaluate(env)
+        return -value if self.op == "-" else value
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env):
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            return left - right
+        if self.op == "*":
+            return left * right
+        if self.op == "/":
+            return left / right
+        return left**right  # "^"
+
+
+@dataclass(frozen=True)
+class Func(Expr):
+    name: str
+    argument: Expr
+
+    def evaluate(self, env):
+        return _FUNCTIONS[self.name](self.argument.evaluate(env))
+
+
+# ----------------------------------------------------------------------
+# gate definitions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _GateCall:
+    name: str
+    params: Tuple[Expr, ...]
+    qargs: Tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class _GateBarrier:
+    qargs: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _GateDef:
+    name: str
+    params: Tuple[str, ...]
+    qargs: Tuple[str, ...]
+    body: Tuple[Union[_GateCall, _GateBarrier], ...]
+
+
+#: Argument reference: (register name, index or None for the whole register).
+_Argument = Tuple[str, Optional[int]]
+
+_MAX_EXPANSION_DEPTH = 64
+
+
+class _QasmParser:
+    def __init__(self, source: str, name: str = "qasm"):
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.name = name
+        self.qregs: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: Dict[str, Tuple[int, int]] = {}
+        self.num_qubits = 0
+        self.num_clbits = 0
+        self.gate_defs: Dict[str, _GateDef] = {}
+        self.opaque_gates: set = set()
+        self.operations: List[Operation] = []
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def _next(self) -> Token:
+        token = self.tokens[self.position]
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(message, token.line, token.column)
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._next()
+        if token.type is not TokenType.SYMBOL or token.text != symbol:
+            raise self._error(f"expected {symbol!r}, found {token.text!r}", token)
+        return token
+
+    def _expect_id(self, keyword: Optional[str] = None) -> Token:
+        token = self._next()
+        if token.type is not TokenType.ID:
+            raise self._error(f"expected identifier, found {token.text!r}", token)
+        if keyword is not None and token.text != keyword:
+            raise self._error(f"expected {keyword!r}, found {token.text!r}", token)
+        return token
+
+    def _expect_int(self) -> int:
+        token = self._next()
+        if token.type is not TokenType.INT:
+            raise self._error(f"expected integer, found {token.text!r}", token)
+        return int(token.text)
+
+    def _at_symbol(self, symbol: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.SYMBOL and token.text == symbol
+
+    def _at_id(self, keyword: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.ID and token.text == keyword
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def parse(self) -> QuantumCircuit:
+        self._expect_id("OPENQASM")
+        version = self._next()
+        if version.text not in ("2.0", "2"):
+            raise self._error(f"unsupported OpenQASM version {version.text!r}", version)
+        self._expect_symbol(";")
+        while self._peek().type is not TokenType.EOF:
+            self._statement()
+        if self.num_qubits == 0:
+            raise ParseError("the program declares no quantum register")
+        circuit = QuantumCircuit(self.num_qubits, self.num_clbits, name=self.name)
+        for operation in self.operations:
+            circuit.append(operation)
+        return circuit
+
+    def _statement(self) -> None:
+        token = self._peek()
+        if token.type is not TokenType.ID:
+            raise self._error(f"unexpected token {token.text!r}")
+        keyword = token.text
+        if keyword == "include":
+            self._include()
+        elif keyword == "qreg":
+            self._register(quantum=True)
+        elif keyword == "creg":
+            self._register(quantum=False)
+        elif keyword == "gate":
+            self._gate_definition()
+        elif keyword == "opaque":
+            self._opaque()
+        elif keyword == "barrier":
+            self._barrier()
+        elif keyword == "measure":
+            self._measure()
+        elif keyword == "reset":
+            self._reset()
+        elif keyword == "if":
+            self._if_statement()
+        else:
+            self._gate_application(condition=None)
+
+    def _include(self) -> None:
+        self._expect_id("include")
+        filename = self._next()
+        if filename.type is not TokenType.STRING:
+            raise self._error("expected a string after include", filename)
+        if filename.text != "qelib1.inc":
+            raise self._error(
+                f"cannot include {filename.text!r}; only qelib1.inc is built in",
+                filename,
+            )
+        self._expect_symbol(";")
+
+    def _register(self, quantum: bool) -> None:
+        self._next()  # qreg / creg
+        name_token = self._expect_id()
+        name = name_token.text
+        if name in self.qregs or name in self.cregs:
+            raise self._error(f"register {name!r} already declared", name_token)
+        self._expect_symbol("[")
+        size = self._expect_int()
+        self._expect_symbol("]")
+        self._expect_symbol(";")
+        if size <= 0:
+            raise self._error(f"register {name!r} must have positive size", name_token)
+        if quantum:
+            self.qregs[name] = (self.num_qubits, size)
+            self.num_qubits += size
+        else:
+            self.cregs[name] = (self.num_clbits, size)
+            self.num_clbits += size
+
+    # ------------------------------------------------------------------
+    # gate definitions
+    # ------------------------------------------------------------------
+    def _gate_definition(self) -> None:
+        self._expect_id("gate")
+        name = self._expect_id().text
+        params: Tuple[str, ...] = ()
+        if self._at_symbol("("):
+            self._next()
+            params = tuple(self._id_list()) if not self._at_symbol(")") else ()
+            self._expect_symbol(")")
+        qargs = tuple(self._id_list())
+        self._expect_symbol("{")
+        body: List[Union[_GateCall, _GateBarrier]] = []
+        while not self._at_symbol("}"):
+            token = self._peek()
+            if token.type is not TokenType.ID:
+                raise self._error(f"unexpected token {token.text!r} in gate body")
+            if token.text == "barrier":
+                self._next()
+                body.append(_GateBarrier(tuple(self._id_list())))
+                self._expect_symbol(";")
+                continue
+            call_name = self._next().text
+            call_params: Tuple[Expr, ...] = ()
+            if self._at_symbol("("):
+                self._next()
+                if not self._at_symbol(")"):
+                    call_params = tuple(self._expression_list())
+                self._expect_symbol(")")
+            call_qargs = tuple(self._id_list())
+            self._expect_symbol(";")
+            body.append(_GateCall(call_name, call_params, call_qargs, token.line))
+        self._expect_symbol("}")
+        self.gate_defs[name] = _GateDef(name, params, qargs, tuple(body))
+
+    def _opaque(self) -> None:
+        self._expect_id("opaque")
+        name = self._expect_id().text
+        if self._at_symbol("("):
+            self._next()
+            if not self._at_symbol(")"):
+                self._id_list()
+            self._expect_symbol(")")
+        self._id_list()
+        self._expect_symbol(";")
+        self.opaque_gates.add(name)
+
+    def _id_list(self) -> List[str]:
+        names = [self._expect_id().text]
+        while self._at_symbol(","):
+            self._next()
+            names.append(self._expect_id().text)
+        return names
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _barrier(self) -> None:
+        self._expect_id("barrier")
+        arguments = self._argument_list()
+        self._expect_symbol(";")
+        lines: List[int] = []
+        for argument in arguments:
+            lines.extend(self._qubit_lines(argument))
+        self.operations.append(BarrierOp(lines=tuple(lines)))
+
+    def _measure(self) -> None:
+        self._expect_id("measure")
+        source = self._argument()
+        self._expect_symbol("->")
+        destination = self._argument()
+        self._expect_symbol(";")
+        qubits = self._qubit_lines(source)
+        clbits = self._clbit_lines(destination)
+        if len(qubits) != len(clbits):
+            raise ParseError(
+                f"measure size mismatch: {len(qubits)} qubits vs {len(clbits)} bits"
+            )
+        for qubit, clbit in zip(qubits, clbits):
+            self.operations.append(MeasureOp(qubit=qubit, clbit=clbit))
+
+    def _reset(self) -> None:
+        self._expect_id("reset")
+        argument = self._argument()
+        self._expect_symbol(";")
+        for qubit in self._qubit_lines(argument):
+            self.operations.append(ResetOp(qubit=qubit))
+
+    def _if_statement(self) -> None:
+        self._expect_id("if")
+        self._expect_symbol("(")
+        creg_token = self._expect_id()
+        creg = creg_token.text
+        if creg not in self.cregs:
+            raise self._error(f"unknown classical register {creg!r}", creg_token)
+        self._expect_symbol("==")
+        value = self._expect_int()
+        self._expect_symbol(")")
+        offset, size = self.cregs[creg]
+        condition = (tuple(range(offset, offset + size)), value)
+        token = self._peek()
+        if token.type is TokenType.ID and token.text in ("measure", "reset"):
+            raise self._error("conditioned measure/reset is not supported", token)
+        self._gate_application(condition=condition)
+
+    def _argument(self) -> _Argument:
+        name = self._expect_id().text
+        index: Optional[int] = None
+        if self._at_symbol("["):
+            self._next()
+            index = self._expect_int()
+            self._expect_symbol("]")
+        return name, index
+
+    def _argument_list(self) -> List[_Argument]:
+        arguments = [self._argument()]
+        while self._at_symbol(","):
+            self._next()
+            arguments.append(self._argument())
+        return arguments
+
+    def _qubit_lines(self, argument: _Argument) -> List[int]:
+        name, index = argument
+        if name not in self.qregs:
+            raise ParseError(f"unknown quantum register {name!r}")
+        offset, size = self.qregs[name]
+        if index is None:
+            return list(range(offset, offset + size))
+        if not 0 <= index < size:
+            raise ParseError(f"index {index} out of range for register {name!r}")
+        return [offset + index]
+
+    def _clbit_lines(self, argument: _Argument) -> List[int]:
+        name, index = argument
+        if name not in self.cregs:
+            raise ParseError(f"unknown classical register {name!r}")
+        offset, size = self.cregs[name]
+        if index is None:
+            return list(range(offset, offset + size))
+        if not 0 <= index < size:
+            raise ParseError(f"index {index} out of range for register {name!r}")
+        return [offset + index]
+
+    # ------------------------------------------------------------------
+    # gate applications
+    # ------------------------------------------------------------------
+    def _gate_application(self, condition) -> None:
+        name_token = self._expect_id()
+        name = name_token.text
+        params: List[float] = []
+        if self._at_symbol("("):
+            self._next()
+            if not self._at_symbol(")"):
+                for expression in self._expression_list():
+                    params.append(expression.evaluate({}))
+            self._expect_symbol(")")
+        arguments = self._argument_list()
+        self._expect_symbol(";")
+        for lines in self._broadcast(arguments, name_token):
+            self._emit(name, params, lines, condition, name_token, depth=0)
+
+    def _broadcast(
+        self, arguments: Sequence[_Argument], token: Token
+    ) -> List[List[int]]:
+        """Expand whole-register arguments into per-qubit applications."""
+        expanded = [self._qubit_lines(argument) for argument in arguments]
+        sizes = {len(lines) for lines in expanded if len(lines) > 1}
+        # Single-qubit arguments always broadcast; full registers must agree.
+        register_sizes = {
+            len(self._qubit_lines(argument))
+            for argument in arguments
+            if argument[1] is None
+        }
+        register_sizes.discard(1)
+        if len(register_sizes) > 1:
+            raise self._error("mismatched register sizes in broadcast", token)
+        repeat = register_sizes.pop() if register_sizes else 1
+        if repeat == 1 and sizes:
+            raise self._error("indexed and register arguments mismatch", token)
+        applications = []
+        for step in range(repeat):
+            lines = []
+            for argument, qubits in zip(arguments, expanded):
+                if argument[1] is None and len(qubits) > 1:
+                    lines.append(qubits[step])
+                else:
+                    lines.append(qubits[0])
+            applications.append(lines)
+        return applications
+
+    def _emit(
+        self,
+        name: str,
+        params: Sequence[float],
+        lines: Sequence[int],
+        condition,
+        token: Token,
+        depth: int,
+    ) -> None:
+        if depth > _MAX_EXPANSION_DEPTH:
+            raise self._error(
+                f"gate expansion too deep (cycle involving {name!r}?)", token
+            )
+        definition = self.gate_defs.get(name)
+        if definition is not None:
+            self._expand(definition, params, lines, condition, token, depth)
+            return
+        builder = _NATIVE_GATES.get(name)
+        if builder is not None:
+            expected_params, expected_qubits = builder.arity
+            if len(params) != expected_params:
+                raise self._error(
+                    f"gate {name!r} takes {expected_params} parameter(s), "
+                    f"got {len(params)}",
+                    token,
+                )
+            if len(lines) != expected_qubits:
+                raise self._error(
+                    f"gate {name!r} takes {expected_qubits} qubit(s), "
+                    f"got {len(lines)}",
+                    token,
+                )
+            self.operations.extend(builder.build(tuple(params), tuple(lines), condition))
+            return
+        if name in self.opaque_gates:
+            raise self._error(f"cannot apply opaque gate {name!r}", token)
+        raise self._error(f"unknown gate {name!r}", token)
+
+    def _expand(
+        self,
+        definition: _GateDef,
+        params: Sequence[float],
+        lines: Sequence[int],
+        condition,
+        token: Token,
+        depth: int,
+    ) -> None:
+        if len(params) != len(definition.params):
+            raise self._error(
+                f"gate {definition.name!r} takes {len(definition.params)} "
+                f"parameter(s), got {len(params)}",
+                token,
+            )
+        if len(lines) != len(definition.qargs):
+            raise self._error(
+                f"gate {definition.name!r} takes {len(definition.qargs)} "
+                f"qubit(s), got {len(lines)}",
+                token,
+            )
+        env = dict(zip(definition.params, params))
+        binding = dict(zip(definition.qargs, lines))
+        for item in definition.body:
+            if isinstance(item, _GateBarrier):
+                self.operations.append(
+                    BarrierOp(lines=tuple(binding[name] for name in item.qargs))
+                )
+                continue
+            values = [expression.evaluate(env) for expression in item.params]
+            try:
+                mapped = [binding[name] for name in item.qargs]
+            except KeyError as missing:
+                raise ParseError(
+                    f"unknown qubit argument {missing.args[0]!r} in gate "
+                    f"{definition.name!r}",
+                    item.line,
+                ) from None
+            self._emit(item.name, values, mapped, condition, token, depth + 1)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _expression_list(self) -> List[Expr]:
+        expressions = [self._expression()]
+        while self._at_symbol(","):
+            self._next()
+            expressions.append(self._expression())
+        return expressions
+
+    def _expression(self) -> Expr:
+        left = self._term()
+        while self._at_symbol("+") or self._at_symbol("-"):
+            op = self._next().text
+            left = BinOp(op, left, self._term())
+        return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while self._at_symbol("*") or self._at_symbol("/"):
+            op = self._next().text
+            left = BinOp(op, left, self._factor())
+        return left
+
+    def _factor(self) -> Expr:
+        base = self._base()
+        if self._at_symbol("^"):
+            self._next()
+            return BinOp("^", base, self._factor())  # right-associative
+        return base
+
+    def _base(self) -> Expr:
+        token = self._next()
+        if token.type in (TokenType.REAL, TokenType.INT):
+            return Num(float(token.text))
+        if token.type is TokenType.SYMBOL and token.text == "-":
+            return UnOp("-", self._base())
+        if token.type is TokenType.SYMBOL and token.text == "+":
+            return UnOp("+", self._base())
+        if token.type is TokenType.SYMBOL and token.text == "(":
+            inner = self._expression()
+            self._expect_symbol(")")
+            return inner
+        if token.type is TokenType.ID:
+            if token.text == "pi":
+                return Pi()
+            if token.text in _FUNCTIONS:
+                self._expect_symbol("(")
+                argument = self._expression()
+                self._expect_symbol(")")
+                return Func(token.text, argument)
+            return Param(token.text, token.line)
+        raise self._error(f"unexpected token {token.text!r} in expression", token)
+
+
+# ----------------------------------------------------------------------
+# native gate builders (qelib1.inc and the U/CX primitives)
+# ----------------------------------------------------------------------
+class _Native:
+    """A built-in gate: arity plus an operation builder."""
+
+    def __init__(self, num_params: int, num_qubits: int, build):
+        self.arity = (num_params, num_qubits)
+        self._build = build
+
+    def build(self, params, lines, condition) -> List[GateOp]:
+        return self._build(params, lines, condition)
+
+
+def _simple(gate: str, with_params: bool = False):
+    def build(params, lines, condition):
+        return [
+            GateOp(
+                gate=gate,
+                params=params if with_params else (),
+                targets=(lines[-1],),
+                controls=tuple(lines[:-1]),
+                condition=condition,
+            )
+        ]
+
+    return build
+
+
+def _swap_like(gate: str):
+    def build(params, lines, condition):
+        *controls, a, b = lines
+        high, low = (a, b) if a > b else (b, a)
+        return [
+            GateOp(
+                gate=gate,
+                targets=(high, low),
+                controls=tuple(controls),
+                condition=condition,
+            )
+        ]
+
+    return build
+
+
+def _identity_like(params, lines, condition):
+    return [GateOp(gate="id", targets=(lines[0],), condition=condition)]
+
+
+def _rzz(params, lines, condition):
+    (theta,) = params
+    a, b = lines
+    return [
+        GateOp(gate="x", targets=(b,), controls=(a,), condition=condition),
+        GateOp(gate="u1", params=(theta,), targets=(b,), condition=condition),
+        GateOp(gate="x", targets=(b,), controls=(a,), condition=condition),
+    ]
+
+
+_NATIVE_GATES: Dict[str, _Native] = {
+    # primitives
+    "U": _Native(3, 1, _simple("u3", with_params=True)),
+    "CX": _Native(0, 2, _simple("x")),
+    # single-qubit, no parameters
+    "id": _Native(0, 1, _simple("id")),
+    "x": _Native(0, 1, _simple("x")),
+    "y": _Native(0, 1, _simple("y")),
+    "z": _Native(0, 1, _simple("z")),
+    "h": _Native(0, 1, _simple("h")),
+    "s": _Native(0, 1, _simple("s")),
+    "sdg": _Native(0, 1, _simple("sdg")),
+    "t": _Native(0, 1, _simple("t")),
+    "tdg": _Native(0, 1, _simple("tdg")),
+    "sx": _Native(0, 1, _simple("sx")),
+    "sxdg": _Native(0, 1, _simple("sxdg")),
+    # single-qubit, parametrized
+    "rx": _Native(1, 1, _simple("rx", with_params=True)),
+    "ry": _Native(1, 1, _simple("ry", with_params=True)),
+    "rz": _Native(1, 1, _simple("rz", with_params=True)),
+    "p": _Native(1, 1, _simple("p", with_params=True)),
+    "u1": _Native(1, 1, _simple("u1", with_params=True)),
+    "u2": _Native(2, 1, _simple("u2", with_params=True)),
+    "u3": _Native(3, 1, _simple("u3", with_params=True)),
+    "u": _Native(3, 1, _simple("u3", with_params=True)),
+    "u0": _Native(1, 1, _identity_like),
+    # controlled
+    "cx": _Native(0, 2, _simple("x")),
+    "cy": _Native(0, 2, _simple("y")),
+    "cz": _Native(0, 2, _simple("z")),
+    "ch": _Native(0, 2, _simple("h")),
+    "csx": _Native(0, 2, _simple("sx")),
+    "crx": _Native(1, 2, _simple("rx", with_params=True)),
+    "cry": _Native(1, 2, _simple("ry", with_params=True)),
+    "crz": _Native(1, 2, _simple("rz", with_params=True)),
+    "cp": _Native(1, 2, _simple("p", with_params=True)),
+    "cu1": _Native(1, 2, _simple("p", with_params=True)),
+    "cu3": _Native(3, 2, _simple("u3", with_params=True)),
+    "ccx": _Native(0, 3, _simple("x")),
+    # two-qubit
+    "swap": _Native(0, 2, _swap_like("swap")),
+    "iswap": _Native(0, 2, _swap_like("iswap")),
+    "cswap": _Native(0, 3, _swap_like("swap")),
+    "rzz": _Native(1, 2, _rzz),
+}
+
+
+def parse_qasm(source: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source text into a circuit."""
+    return _QasmParser(source, name=name).parse()
+
+
+_MAX_INCLUDE_DEPTH = 8
+_INCLUDE_PATTERN = __import__("re").compile(
+    r'^\s*include\s+"([^"]+)"\s*;\s*$', __import__("re").MULTILINE
+)
+
+
+def _resolve_includes(source: str, directory: str, depth: int = 0) -> str:
+    """Textually splice ``include "file";`` directives found next to the
+    including file.  ``qelib1.inc`` stays untouched (built in); missing
+    files are also left for the parser to report."""
+    import os
+
+    if depth > _MAX_INCLUDE_DEPTH:
+        raise ParseError("include nesting too deep (cycle?)")
+
+    def replace(match):
+        filename = match.group(1)
+        if filename == "qelib1.inc":
+            return match.group(0)
+        candidate = os.path.join(directory, filename)
+        if not os.path.exists(candidate):
+            return match.group(0)  # parser will raise a clear error
+        with open(candidate, "r", encoding="utf-8") as handle:
+            included = handle.read()
+        return _resolve_includes(
+            included, os.path.dirname(candidate), depth + 1
+        )
+
+    return _INCLUDE_PATTERN.sub(replace, source)
+
+
+def parse_qasm_file(path: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 file into a circuit (named after the file).
+
+    ``include`` directives naming files next to ``path`` are spliced in
+    (``qelib1.inc`` is built in and needs no file).
+    """
+    import os
+
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    source = _resolve_includes(source, os.path.dirname(os.path.abspath(path)))
+    name = os.path.splitext(os.path.basename(path))[0]
+    return parse_qasm(source, name=name)

@@ -1,0 +1,124 @@
+"""Lexer for OpenQASM 2.0."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    ID = "identifier"
+    REAL = "real"
+    INT = "integer"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "end of input"
+
+
+#: Multi-character symbols must be listed before their prefixes.
+_SYMBOLS = ("->", "==", "(", ")", "[", "]", "{", "}", ";", ",", "+", "-",
+            "*", "/", "^")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.type.name} {self.text!r} @{self.line}:{self.column}>"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn OpenQASM source text into a token list (ending with EOF)."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    position = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal position, line, column
+        for _ in range(count):
+            if position < length and source[position] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            position += 1
+
+    while position < length:
+        char = source[position]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            advance((end - position) if end != -1 else (length - position))
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position)
+            if end == -1:
+                raise ParseError("unterminated block comment", line, column)
+            advance(end + 2 - position)
+            continue
+        if char == '"':
+            end = source.find('"', position + 1)
+            if end == -1:
+                raise ParseError("unterminated string literal", line, column)
+            text = source[position + 1 : end]
+            yield Token(TokenType.STRING, text, line, column)
+            advance(end + 1 - position)
+            continue
+        if char.isdigit() or (
+            char == "." and position + 1 < length and source[position + 1].isdigit()
+        ):
+            start = position
+            start_line, start_column = line, column
+            seen_dot = False
+            seen_exp = False
+            scan = position
+            while scan < length:
+                current = source[scan]
+                if current.isdigit():
+                    scan += 1
+                elif current == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    scan += 1
+                elif current in "eE" and not seen_exp and scan > start:
+                    seen_exp = True
+                    scan += 1
+                    if scan < length and source[scan] in "+-":
+                        scan += 1
+                else:
+                    break
+            text = source[start:scan]
+            kind = TokenType.REAL if (seen_dot or seen_exp) else TokenType.INT
+            yield Token(kind, text, start_line, start_column)
+            advance(scan - position)
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            start_line, start_column = line, column
+            scan = position
+            while scan < length and (source[scan].isalnum() or source[scan] == "_"):
+                scan += 1
+            yield Token(TokenType.ID, source[start:scan], start_line, start_column)
+            advance(scan - position)
+            continue
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, position):
+                yield Token(TokenType.SYMBOL, symbol, line, column)
+                advance(len(symbol))
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", line, column)
+    yield Token(TokenType.EOF, "", line, column)

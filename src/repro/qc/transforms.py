@@ -1,0 +1,297 @@
+"""Circuit transformations.
+
+Utilities for rewriting circuits while preserving (or permuting) their
+functionality:
+
+* :func:`permute_qubits` / :func:`reverse_qubits` — relabel the qubit
+  lines.  Decision diagrams are canonic only "with respect to a given
+  variable order" (paper Sec. III-C); permuting lines changes that order
+  and can change DD sizes dramatically (see ``bench_variable_order``).
+* :func:`remove_barriers` — strip scheduling barriers.
+* :func:`decompose_to_primitives` — rewrite controlled phases, SWAPs,
+  Toffolis and arbitrary multi-controlled X/Z/P gates into {H, P, CX} +
+  single-qubit gates, the compilation step of paper Ex. 10 as a reusable
+  pass (``library.qft_compiled`` is this pass applied to the QFT).
+* :func:`emit_mcp` / :func:`emit_mcx` — ancilla-free recursive
+  decomposition of multi-controlled phase/NOT gates (exact, no global
+  phase slack), usable standalone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import CircuitError
+from repro.qc.circuit import QuantumCircuit
+from repro.qc.operations import BarrierOp, GateOp, MeasureOp, Operation, ResetOp
+
+
+def permute_qubits(
+    circuit: QuantumCircuit, permutation: Sequence[int]
+) -> QuantumCircuit:
+    """Relabel qubit lines: old line ``q`` becomes ``permutation[q]``.
+
+    ``permutation`` must be a permutation of ``range(num_qubits)``.  The
+    result computes the conjugated functionality ``P U P^-1`` where ``P``
+    is the corresponding wire permutation.
+    """
+    mapping = [int(line) for line in permutation]
+    if sorted(mapping) != list(range(circuit.num_qubits)):
+        raise CircuitError(
+            f"not a permutation of {circuit.num_qubits} lines: {permutation}"
+        )
+    result = QuantumCircuit(
+        circuit.num_qubits, circuit.num_clbits, f"{circuit.name}_permuted"
+    )
+    for operation in circuit:
+        result.append(_remap(operation, mapping))
+    return result
+
+
+def reverse_qubits(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Flip the qubit order (line ``q`` becomes ``n-1-q``)."""
+    n = circuit.num_qubits
+    return permute_qubits(circuit, [n - 1 - q for q in range(n)])
+
+
+def _remap(operation: Operation, mapping: Sequence[int]) -> Operation:
+    if isinstance(operation, BarrierOp):
+        return BarrierOp(lines=tuple(sorted(mapping[q] for q in operation.lines)))
+    if isinstance(operation, MeasureOp):
+        return MeasureOp(qubit=mapping[operation.qubit], clbit=operation.clbit)
+    if isinstance(operation, ResetOp):
+        return ResetOp(qubit=mapping[operation.qubit])
+    if isinstance(operation, GateOp):
+        targets = tuple(mapping[q] for q in operation.targets)
+        if operation.gate in ("swap", "iswap", "iswapdg") and len(targets) == 2:
+            # Keep the high-line-first convention for symmetric two-qubit
+            # gates; iswap is symmetric as well.
+            targets = tuple(sorted(targets, reverse=True))
+        return GateOp(
+            gate=operation.gate,
+            params=operation.params,
+            targets=targets,
+            controls=tuple(mapping[q] for q in operation.controls),
+            negative_controls=tuple(
+                mapping[q] for q in operation.negative_controls
+            ),
+            condition=operation.condition,
+        )
+    raise CircuitError(f"cannot remap operation {operation!r}")  # pragma: no cover
+
+
+def remove_barriers(circuit: QuantumCircuit) -> QuantumCircuit:
+    """A copy of ``circuit`` without barrier statements."""
+    result = QuantumCircuit(
+        circuit.num_qubits, circuit.num_clbits, circuit.name
+    )
+    for operation in circuit:
+        if not isinstance(operation, BarrierOp):
+            result.append(operation)
+    return result
+
+
+def decompose_to_primitives(
+    circuit: QuantumCircuit, barrier_per_gate: bool = False
+) -> QuantumCircuit:
+    """Rewrite into primitive gates (paper Ex. 10's compilation step).
+
+    * controlled phase  ``cp(l) c,t -> p(l/2) c; cx; p(-l/2) t; cx; p(l/2) t``
+    * SWAP              ``swap a,b  -> cx a,b; cx b,a; cx a,b``
+    * Toffoli           standard 6-CNOT + T/Tdg decomposition
+    * everything else with at most one control passes through.
+
+    With ``barrier_per_gate`` a barrier follows each original gate — the
+    breakpoints the compilation-flow verification strategy steps to.
+    """
+    result = QuantumCircuit(
+        circuit.num_qubits, circuit.num_clbits, f"{circuit.name}_compiled"
+    )
+    for operation in circuit:
+        if isinstance(operation, BarrierOp):
+            continue
+        emitted = _decompose_one(result, operation)
+        if barrier_per_gate and emitted:
+            result.barrier()
+    return result
+
+
+def emit_mcp(
+    circuit: QuantumCircuit,
+    lam: float,
+    controls: Sequence[int],
+    target: int,
+) -> None:
+    """Emit an exact multi-controlled phase ``P(lam)`` using {P, CP, CX}.
+
+    The phase gate is symmetric in all its lines, which admits the
+    ancilla-free recursion ``C^n P(l) = CP(l/2)(c_n, t) . C^{n-1}X(.., c_n)
+    . CP(-l/2)(c_n, t) . C^{n-1}X(.., c_n) . C^{n-1}P(l/2)(.., t)``.
+    Gate count is O(2^n) — exponential, but exact and ancilla-free.
+    """
+    controls = list(controls)
+    if not controls:
+        circuit.p(lam, target)
+        return
+    if len(controls) == 1:
+        circuit.cp(lam, controls[0], target)
+        return
+    last = controls[-1]
+    rest = controls[:-1]
+    circuit.cp(lam / 2.0, last, target)
+    emit_mcx(circuit, rest, last)
+    circuit.cp(-lam / 2.0, last, target)
+    emit_mcx(circuit, rest, last)
+    emit_mcp(circuit, lam / 2.0, rest, target)
+
+
+def emit_mcx(
+    circuit: QuantumCircuit, controls: Sequence[int], target: int
+) -> None:
+    """Emit an exact multi-controlled X using {H, P, CP, CX}.
+
+    Uses ``X = H Z H`` exactly, so ``C^n X = H(t) . C^n P(pi) . H(t)``.
+    """
+    controls = list(controls)
+    if not controls:
+        circuit.x(target)
+        return
+    if len(controls) == 1:
+        circuit.cx(controls[0], target)
+        return
+    circuit.h(target)
+    emit_mcp(circuit, math.pi, controls, target)
+    circuit.h(target)
+
+
+def emit_mcx_with_ancillas(
+    circuit: QuantumCircuit,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+) -> None:
+    """Emit a multi-controlled X using clean |0> ancillas (Toffoli chain).
+
+    With ``k`` controls and at least ``k - 2`` clean ancillas, the standard
+    AND-accumulation chain needs only ``2(k - 2) + 1`` Toffolis — *linear*
+    in the control count, versus the exponential ancilla-free recursion of
+    :func:`emit_mcx`.  The ancillas are returned to |0> (uncomputed).
+
+    Contract: the emitted gates equal ``C^k X (x) I`` only on inputs whose
+    ancillas are |0>; on other ancilla inputs the unitaries differ (this is
+    inherent to clean-ancilla constructions).  Use
+    :func:`check_equivalence_ancillary` to verify such circuits.
+    """
+    controls = list(controls)
+    ancillas = list(ancillas)
+    if len(set(controls + [target] + ancillas)) != (
+        len(controls) + 1 + len(ancillas)
+    ):
+        raise CircuitError("controls, target and ancillas must be distinct")
+    if len(controls) <= 2:
+        circuit.gate("x", [target], controls=controls)
+        return
+    needed = len(controls) - 2
+    if len(ancillas) < needed:
+        raise CircuitError(
+            f"{len(controls)} controls need {needed} clean ancillas, "
+            f"got {len(ancillas)}"
+        )
+    used = ancillas[:needed]
+    # Accumulate: a0 = c0 AND c1; a_i = a_{i-1} AND c_{i+1}.
+    circuit.ccx(controls[0], controls[1], used[0])
+    for index in range(needed - 1):
+        circuit.ccx(used[index], controls[index + 2], used[index + 1])
+    circuit.ccx(used[-1], controls[-1], target)
+    # Uncompute.
+    for index in range(needed - 2, -1, -1):
+        circuit.ccx(used[index], controls[index + 2], used[index + 1])
+    circuit.ccx(controls[0], controls[1], used[0])
+
+
+def _decompose_one(result: QuantumCircuit, operation: Operation) -> bool:
+    if not isinstance(operation, GateOp):
+        result.append(operation)
+        return True
+    if operation.negative_controls:
+        # Conjugate each negative control with X, then treat it positively.
+        for line in operation.negative_controls:
+            result.x(line)
+        positive = GateOp(
+            gate=operation.gate,
+            params=operation.params,
+            targets=operation.targets,
+            controls=operation.controls + operation.negative_controls,
+            condition=operation.condition,
+        )
+        _decompose_one(result, positive)
+        for line in operation.negative_controls:
+            result.x(line)
+        return True
+    controls = operation.controls
+    if operation.gate in ("p", "u1") and len(controls) == 1:
+        (lam,) = operation.params
+        control = controls[0]
+        target = operation.targets[0]
+        result.p(lam / 2.0, control)
+        result.cx(control, target)
+        result.p(-lam / 2.0, target)
+        result.cx(control, target)
+        result.p(lam / 2.0, target)
+        return True
+    if operation.gate == "swap" and not controls:
+        high, low = operation.targets
+        result.cx(high, low)
+        result.cx(low, high)
+        result.cx(high, low)
+        return True
+    if operation.gate == "x" and len(controls) == 2:
+        a, b = controls
+        target = operation.targets[0]
+        result.h(target)
+        result.cx(b, target)
+        result.tdg(target)
+        result.cx(a, target)
+        result.t(target)
+        result.cx(b, target)
+        result.tdg(target)
+        result.cx(a, target)
+        result.t(b)
+        result.t(target)
+        result.h(target)
+        result.cx(a, b)
+        result.t(a)
+        result.tdg(b)
+        result.cx(a, b)
+        return True
+    if operation.gate == "x" and len(controls) > 2:
+        emit_mcx(result, controls, operation.targets[0])
+        return True
+    if operation.gate == "z" and len(controls) > 1:
+        emit_mcp(result, math.pi, controls, operation.targets[0])
+        return True
+    if operation.gate in ("p", "u1") and len(controls) > 1:
+        emit_mcp(result, operation.params[0], controls, operation.targets[0])
+        return True
+    if operation.gate == "swap" and controls:
+        # cswap via the standard Fredkin pattern, extra controls on the
+        # middle multi-controlled X (cf. dd_builder._controlled_swap_dd).
+        line_b, line_c = operation.targets
+        result.cx(line_c, line_b)
+        _decompose_one(
+            result,
+            GateOp(gate="x", targets=(line_c,),
+                   controls=tuple(controls) + (line_b,)),
+        )
+        result.cx(line_c, line_b)
+        return True
+    if operation.num_controls > 1 or (
+        operation.num_controls == 1 and len(operation.targets) > 1
+    ):
+        raise CircuitError(
+            f"no primitive decomposition for {operation.gate!r} with "
+            f"{operation.num_controls} control(s)"
+        )
+    result.append(operation)
+    return True

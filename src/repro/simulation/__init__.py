@@ -1,0 +1,25 @@
+"""Circuit simulation.
+
+:class:`~repro.simulation.simulator.DDSimulator` performs the consecutive
+matrix-vector products of paper Sec. III-B on decision diagrams and offers
+the step-through controls the visualization tool exposes (forward, backward,
+run to the next breakpoint, measurement dialogs for measure/reset).
+
+:class:`~repro.simulation.statevector.StatevectorSimulator` is the dense
+numpy baseline — the "techniques purely based on matrices" the paper
+contrasts decision diagrams with — used for cross-checking and benchmarks.
+"""
+
+from repro.simulation.density_simulator import Branch, DensityMatrixSimulator
+from repro.simulation.simulator import DDSimulator, StepKind, StepRecord
+from repro.simulation.statevector import StatevectorSimulator, build_unitary
+
+__all__ = [
+    "Branch",
+    "DDSimulator",
+    "DensityMatrixSimulator",
+    "StatevectorSimulator",
+    "StepKind",
+    "StepRecord",
+    "build_unitary",
+]

@@ -1,0 +1,17 @@
+"""Synthesis — the third design task of the paper's introduction.
+
+Besides simulation and verification, the paper lists *synthesis* among the
+design tasks decision diagrams serve ([17]-[19]).  This subpackage
+implements DD-driven **state preparation**: given a state's decision
+diagram, emit a circuit that prepares it from |0...0>, reading the
+rotation angles directly off the diagram's edge weights (possible because
+the L2 normalization scheme stores, at every node, exactly the local
+branching amplitudes).
+"""
+
+from repro.synthesis.state_preparation import (
+    prepare_state,
+    synthesize_state_preparation,
+)
+
+__all__ = ["prepare_state", "synthesize_state_preparation"]

@@ -1,0 +1,16 @@
+"""The tool layer — the offline equivalent of the paper's web tool.
+
+:class:`~repro.tool.session.SimulationSession` and
+:class:`~repro.tool.session.VerificationSession` reproduce the two tabs of
+the tool (paper Sec. IV-B/IV-C) with the same navigation semantics; both
+render every visited state as SVG and export an interactive HTML document.
+:mod:`repro.tool.cli` exposes them on the command line (``qdd-tool``).
+"""
+
+from repro.tool.session import (
+    SimulationSession,
+    VerificationSession,
+    load_circuit,
+)
+
+__all__ = ["SimulationSession", "VerificationSession", "load_circuit"]

@@ -1,0 +1,367 @@
+"""Command-line interface — ``qdd-tool`` / ``python -m repro``.
+
+Sub-commands mirror the tool's features (paper Sec. IV):
+
+* ``sim`` — step-through simulation of a ``.qasm``/``.real`` circuit with
+  optional HTML/SVG export and sampling;
+* ``verify`` — equivalence checking of two circuits (construction-based or
+  any alternating strategy) with optional HTML export;
+* ``render`` — render a circuit's state or functionality DD to SVG/DOT;
+* ``wheel`` — emit the HLS color-wheel legend of Fig. 7(b).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.tool.session import SimulationSession, VerificationSession, load_circuit
+from repro.verification import (
+    ApplicationStrategy,
+    check_equivalence_alternating,
+    check_equivalence_construct,
+)
+from repro.vis.style import DDStyle
+
+
+def _style_from_name(name: str) -> DDStyle:
+    styles = {
+        "classic": DDStyle.classic,
+        "colored": DDStyle.colored,
+        "modern": DDStyle.modern,
+    }
+    return styles[name]()
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qdd-tool",
+        description=(
+            "Visualize decision diagrams for quantum computing: simulate "
+            "and verify circuits while watching the diagrams evolve."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sim = commands.add_parser("sim", help="simulate a circuit step by step")
+    sim.add_argument("circuit", help="path to a .qasm or .real file")
+    sim.add_argument("--seed", type=int, default=None, help="measurement RNG seed")
+    sim.add_argument("--shots", type=int, default=0,
+                     help="sample this many shots from the final state")
+    sim.add_argument("--style", choices=("classic", "colored", "modern"),
+                     default="classic")
+    sim.add_argument("--export", metavar="HTML",
+                     help="write an interactive HTML step-through")
+    sim.add_argument("--svg", metavar="FILE", help="write the final state DD as SVG")
+    sim.add_argument("--steps", action="store_true",
+                     help="print a log line per executed step")
+
+    verify = commands.add_parser("verify", help="check two circuits for equivalence")
+    verify.add_argument("left", help="first circuit (.qasm/.real)")
+    verify.add_argument("right", help="second circuit (.qasm/.real)")
+    verify.add_argument(
+        "--strategy",
+        choices=["construct"] + [s.value for s in ApplicationStrategy],
+        default="proportional",
+    )
+    verify.add_argument("--export", metavar="HTML",
+                        help="write an interactive HTML step-through "
+                             "(compilation-flow order)")
+
+    render = commands.add_parser("render", help="render a decision diagram")
+    render.add_argument("circuit", help="path to a .qasm or .real file")
+    render.add_argument("--functionality", action="store_true",
+                        help="render the circuit's matrix DD instead of the "
+                             "state reached from |0...0>")
+    render.add_argument("--style", choices=("classic", "colored", "modern"),
+                        default="classic")
+    render.add_argument("--format", choices=("svg", "dot", "text"), default="svg")
+    render.add_argument("-o", "--output", help="output file (default: stdout)")
+
+    wheel = commands.add_parser("wheel", help="emit the HLS color wheel legend")
+    wheel.add_argument("-o", "--output", help="output file (default: stdout)")
+
+    synth = commands.add_parser(
+        "synth", help="synthesize a state-preparation circuit from amplitudes"
+    )
+    synth.add_argument(
+        "amplitudes",
+        help="comma-separated amplitudes (python complex literals, e.g. "
+             "'1,0,0,1'), or @FILE with one amplitude per line; "
+             "automatically normalized",
+    )
+    synth.add_argument("-o", "--output",
+                       help="write OpenQASM to this file (default: stdout)")
+    synth.add_argument("--no-optimize", action="store_true",
+                       help="disable the uniform-level control elision")
+
+    convert = commands.add_parser(
+        "convert", help="convert a circuit file (.real/.qasm) to OpenQASM"
+    )
+    convert.add_argument("circuit", help="input .qasm or .real file")
+    convert.add_argument("-o", "--output",
+                         help="output .qasm file (default: stdout)")
+
+    stats = commands.add_parser(
+        "stats", help="simulate a circuit and print DD package statistics"
+    )
+    stats.add_argument("circuit", help="path to a .qasm or .real file")
+    stats.add_argument("--seed", type=int, default=0)
+
+    bloch = commands.add_parser(
+        "bloch", help="render per-qubit Bloch spheres of the final state"
+    )
+    bloch.add_argument("circuit", help="path to a .qasm or .real file")
+    bloch.add_argument("--seed", type=int, default=0)
+    bloch.add_argument("-o", "--output",
+                       help="output SVG file (default: stdout)")
+
+    repl = commands.add_parser(
+        "repl", help="interactive terminal session (the web tool as a REPL)"
+    )
+    repl.add_argument("circuit", nargs="?",
+                      help="optionally load this circuit on startup")
+    repl.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _cmd_sim(args) -> int:
+    session = SimulationSession(
+        args.circuit, style=_style_from_name(args.style), seed=args.seed
+    )
+    while not session.simulator.at_end:
+        record = session.forward()
+        if args.steps:
+            print(
+                f"step {record.index + 1:3d}: {record.kind.value:12s} "
+                f"nodes={record.node_count}"
+            )
+    print(f"final state DD ({session.simulator.node_count()} nodes):")
+    print(session.current_text())
+    if session.circuit.num_clbits:
+        print(f"classical bits: {list(session.simulator.classical_bits)}")
+    if args.shots:
+        counts = session.sample_counts(args.shots, seed=args.seed)
+        print(f"{args.shots} shots:")
+        for outcome in sorted(counts):
+            print(f"  |{outcome}>: {counts[outcome]}")
+    if args.svg:
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(session.current_svg())
+        print(f"wrote {args.svg}")
+    if args.export:
+        session.export_html(args.export)
+        print(f"wrote {args.export}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    left = load_circuit(args.left)
+    right = load_circuit(args.right)
+    if args.strategy == "construct":
+        result = check_equivalence_construct(left, right)
+    else:
+        result = check_equivalence_alternating(
+            left, right, strategy=ApplicationStrategy(args.strategy)
+        )
+    verdict = (
+        "equivalent"
+        if result.equivalent
+        else (
+            "equivalent up to global phase"
+            if result.equivalent_up_to_global_phase
+            else "NOT equivalent"
+        )
+    )
+    print(f"{left.name} vs {right.name}: {verdict}")
+    print(f"method: {result.method}, peak nodes: {result.max_nodes}")
+    if args.export:
+        session = VerificationSession(left, right)
+        session.run_compilation_flow()
+        session.export_html(args.export)
+        print(f"wrote {args.export}")
+    return 0 if result.equivalent_up_to_global_phase else 1
+
+
+def _cmd_render(args) -> int:
+    from repro.dd.package import DDPackage
+    from repro.qc.dd_builder import circuit_to_dd
+    from repro.simulation.simulator import DDSimulator
+    from repro.vis.ascii_art import dd_to_text
+    from repro.vis.dot import dd_to_dot
+    from repro.vis.svg import dd_to_svg
+
+    circuit = load_circuit(args.circuit)
+    package = DDPackage()
+    if args.functionality:
+        root = circuit_to_dd(package, circuit)
+    else:
+        simulator = DDSimulator(circuit, package=package, seed=0)
+        simulator.run_all()
+        root = simulator.state
+    style = _style_from_name(args.style)
+    if args.format == "svg":
+        rendered = dd_to_svg(package, root, style)
+    elif args.format == "dot":
+        rendered = dd_to_dot(package, root, style)
+    else:
+        rendered = dd_to_text(package, root)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.output} ({package.node_count(root)} nodes)")
+    else:
+        print(rendered)
+    return 0
+
+
+def _parse_amplitudes(text: str):
+    if text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as handle:
+            entries = [line.strip() for line in handle if line.strip()]
+    else:
+        entries = [entry.strip() for entry in text.split(",") if entry.strip()]
+    return [complex(entry.replace("i", "j")) for entry in entries]
+
+
+def _cmd_synth(args) -> int:
+    import numpy as np
+
+    from repro.simulation.simulator import DDSimulator
+    from repro.synthesis import prepare_state
+
+    amplitudes = np.asarray(_parse_amplitudes(args.amplitudes), dtype=complex)
+    norm = np.linalg.norm(amplitudes)
+    if norm == 0.0:
+        print("error: the zero vector cannot be prepared", file=sys.stderr)
+        return 2
+    amplitudes = amplitudes / norm
+    circuit = prepare_state(amplitudes, optimize=not args.no_optimize)
+    simulator = DDSimulator(circuit)
+    simulator.run_all()
+    fidelity = abs(np.vdot(simulator.statevector(), amplitudes)) ** 2
+    qasm = circuit.to_qasm()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(qasm)
+        print(f"wrote {args.output}: {circuit.num_gates} gates, "
+              f"fidelity {fidelity:.12f}")
+    else:
+        print(qasm, end="")
+        print(f"// {circuit.num_gates} gates, fidelity {fidelity:.12f}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    circuit = load_circuit(args.circuit)
+    qasm = circuit.to_qasm()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(qasm)
+        print(f"wrote {args.output} ({len(circuit)} operations)")
+    else:
+        print(qasm, end="")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.dd.package import DDPackage
+    from repro.simulation.simulator import DDSimulator
+
+    circuit = load_circuit(args.circuit)
+    package = DDPackage()
+    simulator = DDSimulator(circuit, package=package, seed=args.seed)
+    simulator.run_all()
+    print(f"{circuit.name}: {circuit.num_qubits} qubits, "
+          f"{len(circuit)} operations, final DD {simulator.node_count()} nodes")
+    print(f"{'table':16s} {'entries':>9s} {'hits':>10s} {'misses':>10s} "
+          f"{'hit ratio':>10s}")
+    for name, values in package.stats().items():
+        ratio = values.get("hit_ratio")
+        rendered = f"{ratio:10.3f}" if ratio is not None else " " * 10
+        print(f"{name:16s} {values['entries']:9.0f} {values['hits']:10.0f} "
+              f"{values['misses']:10.0f} {rendered}")
+    return 0
+
+
+def _cmd_bloch(args) -> int:
+    from repro.dd.package import DDPackage
+    from repro.simulation.simulator import DDSimulator
+    from repro.vis.bloch import all_bloch_vectors, bloch_svg
+
+    circuit = load_circuit(args.circuit)
+    package = DDPackage()
+    simulator = DDSimulator(circuit, package=package, seed=args.seed)
+    simulator.run_all()
+    vectors = all_bloch_vectors(package, simulator.state)
+    rendered = bloch_svg(vectors, title=f"Final state of {circuit.name}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.output}")
+        for qubit, (x, y, z) in enumerate(vectors):
+            print(f"  q{qubit}: ({x:+.3f}, {y:+.3f}, {z:+.3f})")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_wheel(args) -> int:
+    from repro.vis.svg import color_wheel_svg
+
+    rendered = color_wheel_svg()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_repl(args) -> int:
+    from repro.tool.repl import InteractiveTool, run_repl
+
+    if args.circuit:
+        tool = InteractiveTool(seed=args.seed)
+        print(tool.execute(f"load {args.circuit}"))
+        print("type 'help' for commands")
+        while not tool.finished:
+            try:
+                line = input("qdd> ")
+            except EOFError:
+                break
+            result = tool.execute(line)
+            if result:
+                print(result)
+        return 0
+    run_repl(sys.stdin, sys.stdout, seed=args.seed)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "sim": _cmd_sim,
+        "verify": _cmd_verify,
+        "render": _cmd_render,
+        "wheel": _cmd_wheel,
+        "synth": _cmd_synth,
+        "convert": _cmd_convert,
+        "stats": _cmd_stats,
+        "bloch": _cmd_bloch,
+        "repl": _cmd_repl,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

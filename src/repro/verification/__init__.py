@@ -1,0 +1,44 @@
+"""Equivalence checking of quantum circuits (paper Sec. III-C / IV-C).
+
+Two approaches are provided:
+
+* :func:`~repro.verification.checker.check_equivalence_construct` builds the
+  functionality ``U`` of both circuits and compares the canonical root
+  pointers (paper Ex. 11);
+* :func:`~repro.verification.alternating.check_equivalence_alternating`
+  exploits reversibility: if ``G`` and ``G'`` are equivalent, ``G (G')^-1``
+  is the identity, and interleaving the gate applications keeps the diagram
+  close to the identity throughout (paper Ex. 12 — max 9 nodes instead of
+  21 for the three-qubit QFT).
+
+:mod:`~repro.verification.stimuli` adds simulation-based checking with
+random stimuli as a fast falsification pass.
+"""
+
+from repro.verification.alternating import (
+    AlternatingResult,
+    ApplicationStrategy,
+    check_equivalence_alternating,
+)
+from repro.verification.checker import (
+    EquivalenceResult,
+    build_functionality,
+    check_equivalence_construct,
+)
+from repro.verification.ancillary import (
+    AncillaryResult,
+    check_equivalence_ancillary,
+)
+from repro.verification.stimuli import check_equivalence_stimuli
+
+__all__ = [
+    "AlternatingResult",
+    "AncillaryResult",
+    "ApplicationStrategy",
+    "EquivalenceResult",
+    "build_functionality",
+    "check_equivalence_alternating",
+    "check_equivalence_ancillary",
+    "check_equivalence_construct",
+    "check_equivalence_stimuli",
+]

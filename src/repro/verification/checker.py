@@ -1,0 +1,104 @@
+"""Construction-based equivalence checking.
+
+The functionality of a circuit ``G = g_0 ... g_{m-1}`` is the unitary
+``U = U_{m-1} ... U_0`` (paper Sec. II).  Decision diagrams are canonic with
+respect to a variable order and normalization scheme, so "the equivalence of
+two decision diagrams can be concluded by comparing their root pointers (and
+the corresponding edge weight)" — paper Sec. III-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dd.edge import Edge
+from repro.dd.package import DDPackage
+from repro.errors import VerificationError
+from repro.qc.circuit import QuantumCircuit
+from repro.qc.dd_builder import circuit_to_dd
+from repro.qc.operations import BarrierOp
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an equivalence check.
+
+    ``equivalent`` means strict equality of the functionalities;
+    ``equivalent_up_to_global_phase`` tolerates a scalar phase factor
+    (physically indistinguishable).  ``max_nodes`` is the peak size of any
+    intermediate decision diagram (terminal excluded), the cost measure of
+    paper Ex. 12.
+    """
+
+    equivalent: bool
+    equivalent_up_to_global_phase: bool
+    method: str
+    max_nodes: int
+    global_phase: Optional[complex] = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent_up_to_global_phase
+
+
+def build_functionality(
+    package: DDPackage, circuit: QuantumCircuit, track_peak: bool = False
+):
+    """Build the functionality DD; optionally return the peak node count.
+
+    With ``track_peak`` the return value is ``(edge, max_nodes)`` where the
+    peak is taken over every intermediate product (as relevant for the
+    comparison in paper Ex. 12).
+    """
+    if not track_peak:
+        return circuit_to_dd(package, circuit)
+    from repro.qc.dd_builder import gate_to_dd
+
+    result = package.identity(circuit.num_qubits)
+    peak = package.node_count(result)
+    for operation in circuit:
+        if isinstance(operation, BarrierOp):
+            continue
+        gate_dd = gate_to_dd(package, operation, circuit.num_qubits)
+        result = package.multiply(gate_dd, result)
+        peak = max(peak, package.node_count(result))
+    return result, peak
+
+
+def _compare_roots(
+    package: DDPackage, left: Edge, right: Edge, method: str, max_nodes: int
+) -> EquivalenceResult:
+    if left.node is not right.node:
+        return EquivalenceResult(False, False, method, max_nodes)
+    if left.weight == right.weight or package.complex_table.approx_equal(
+        left.weight, right.weight
+    ):
+        return EquivalenceResult(True, True, method, max_nodes, complex(1.0))
+    # Same canonical node: the functionalities differ by the weight ratio.
+    phase = right.weight / left.weight
+    up_to_phase = abs(abs(phase) - 1.0) < package.complex_table.tolerance
+    return EquivalenceResult(
+        False, up_to_phase, method, max_nodes, phase if up_to_phase else None
+    )
+
+
+def check_equivalence_construct(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    package: Optional[DDPackage] = None,
+) -> EquivalenceResult:
+    """Build both functionalities and compare root pointers (paper Ex. 11).
+
+    Both circuits must be purely unitary and act on the same number of
+    qubits with the same variable order (the tool's restriction, Sec. IV-C).
+    """
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        raise VerificationError(
+            "circuits act on different numbers of qubits "
+            f"({circuit_a.num_qubits} vs {circuit_b.num_qubits})"
+        )
+    if package is None:
+        package = DDPackage()
+    left, peak_a = build_functionality(package, circuit_a, track_peak=True)
+    right, peak_b = build_functionality(package, circuit_b, track_peak=True)
+    return _compare_roots(package, left, right, "construct", max(peak_a, peak_b))

@@ -1,0 +1,48 @@
+"""Visualization of quantum decision diagrams (paper Sec. IV).
+
+Renders vector and matrix DDs in the styles of the paper's tool:
+
+* **classic** mode (Fig. 7(a)) — the research-paper look: circular nodes
+  labeled with their qubit, explicit edge-weight annotations, dashed edges
+  for weights != 1, and 0-stubs retracted into the nodes;
+* **colored** mode (Fig. 7(c) / Fig. 6) — edge-weight labels dropped; the
+  magnitude of a weight maps to line thickness and its complex phase to a
+  color from the HLS color wheel (Fig. 7(b));
+* **modern** mode (Figs. 8/9) — rectangular nodes whose slots make the
+  connection to the underlying state vector / matrix explicit.
+
+Output formats: Graphviz DOT text, self-contained SVG (pure-Python layered
+layout, no external tools), terminal ASCII art, and an interactive HTML
+export used by the tool layer.
+"""
+
+from repro.vis.array_view import matrix_svg, statevector_svg
+from repro.vis.color import hls_wheel_color, phase_to_color, weight_to_width
+from repro.vis.dot import dd_to_dot
+from repro.vis.style import DDStyle, RenderMode
+from repro.vis.svg import color_wheel_svg, dd_to_svg
+from repro.vis.trace_plot import alternating_trace_svg, trace_svg
+from repro.vis.bloch import all_bloch_vectors, bloch_svg, qubit_bloch_vector
+from repro.vis.ascii_art import circuit_to_text, dd_to_text
+from repro.vis.circuit_svg import circuit_to_svg
+
+__all__ = [
+    "DDStyle",
+    "all_bloch_vectors",
+    "alternating_trace_svg",
+    "bloch_svg",
+    "qubit_bloch_vector",
+    "trace_svg",
+    "RenderMode",
+    "circuit_to_svg",
+    "circuit_to_text",
+    "color_wheel_svg",
+    "dd_to_dot",
+    "dd_to_svg",
+    "dd_to_text",
+    "hls_wheel_color",
+    "matrix_svg",
+    "phase_to_color",
+    "statevector_svg",
+    "weight_to_width",
+]

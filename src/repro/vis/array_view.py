@@ -1,0 +1,144 @@
+"""Dense-array views: the state vector / matrix behind a decision diagram.
+
+The tool's "modern" mode expresses "the connection to the underlying state
+vector in a more straight-forward fashion" (paper Sec. IV-A).  This module
+renders that underlying array directly:
+
+* :func:`statevector_svg` — one cell per amplitude, bar height encoding the
+  magnitude and fill color the phase (HLS wheel of Fig. 7(b)), labelled
+  with the big-endian basis states;
+* :func:`matrix_svg` — a heatmap of a unitary/density matrix, cell opacity
+  encoding the magnitude and hue the phase (the visual analogue of the
+  omega-matrix in paper Fig. 5(c)).
+
+Both are self-contained SVG strings, sized for side-by-side display with
+the DD renderings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import VisualizationError
+from repro.vis.color import phase_to_color, pretty_complex
+
+_CELL = 34.0
+_BAR_HEIGHT = 90.0
+_LABEL_SPACE = 26.0
+
+
+def _escape(text: str) -> str:
+    import html
+
+    return html.escape(text, quote=True)
+
+
+def statevector_svg(
+    amplitudes: Sequence[complex],
+    title: Optional[str] = None,
+    max_entries: int = 64,
+) -> str:
+    """Render a state vector as phase-colored amplitude bars."""
+    values = np.asarray(list(amplitudes), dtype=complex).reshape(-1)
+    size = values.shape[0]
+    if size == 0:
+        raise VisualizationError("cannot render an empty state vector")
+    if size > max_entries:
+        raise VisualizationError(
+            f"state vector with {size} entries exceeds max_entries="
+            f"{max_entries}; render the decision diagram instead"
+        )
+    num_qubits = max(1, int(size - 1).bit_length())
+    width = size * _CELL + 20.0
+    height = _BAR_HEIGHT + _LABEL_SPACE + (30.0 if title else 10.0) + 20.0
+    top = 30.0 if title else 10.0
+    parts = []
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="18" font-size="13" '
+            f'text-anchor="middle" font-family="Helvetica, sans-serif">'
+            f"{_escape(title)}</text>"
+        )
+    baseline = top + _BAR_HEIGHT
+    parts.append(
+        f'<line x1="10" y1="{baseline:.1f}" x2="{width - 10:.1f}" '
+        f'y2="{baseline:.1f}" stroke="#888888" stroke-width="1" />'
+    )
+    for index, value in enumerate(values):
+        x = 10.0 + index * _CELL
+        magnitude = min(abs(value), 1.0)
+        if magnitude > 1e-12:
+            bar = magnitude * _BAR_HEIGHT
+            parts.append(
+                f'<rect x="{x + 4:.1f}" y="{baseline - bar:.1f}" '
+                f'width="{_CELL - 8:.1f}" height="{bar:.1f}" '
+                f'fill="{phase_to_color(value)}" stroke="#333333" '
+                f'stroke-width="0.8"><title>'
+                f"{_escape(pretty_complex(complex(value)))}</title></rect>"
+            )
+        label = format(index, f"0{num_qubits}b")
+        parts.append(
+            f'<text x="{x + _CELL / 2:.1f}" y="{baseline + 14:.1f}" '
+            f'font-size="9" text-anchor="middle" '
+            f'font-family="monospace">{label}</text>'
+        )
+    body = "\n  ".join(parts)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">'
+        f"\n  {body}\n</svg>"
+    )
+
+
+def matrix_svg(
+    matrix,
+    title: Optional[str] = None,
+    max_dim: int = 32,
+) -> str:
+    """Render a complex matrix as a phase/magnitude heatmap."""
+    values = np.asarray(matrix, dtype=complex)
+    if values.ndim != 2:
+        raise VisualizationError("expected a two-dimensional matrix")
+    rows, columns = values.shape
+    if rows > max_dim or columns > max_dim:
+        raise VisualizationError(
+            f"matrix of shape {values.shape} exceeds max_dim={max_dim}; "
+            "render the decision diagram instead"
+        )
+    cell = 22.0
+    top = 30.0 if title else 10.0
+    width = columns * cell + 20.0
+    height = rows * cell + top + 10.0
+    peak = float(np.max(np.abs(values))) or 1.0
+    parts = []
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="18" font-size="13" '
+            f'text-anchor="middle" font-family="Helvetica, sans-serif">'
+            f"{_escape(title)}</text>"
+        )
+    for row in range(rows):
+        for column in range(columns):
+            value = values[row, column]
+            x = 10.0 + column * cell
+            y = top + row * cell
+            magnitude = abs(value) / peak
+            if magnitude <= 1e-12:
+                fill, opacity = "#f5f5f5", 1.0
+            else:
+                fill, opacity = phase_to_color(value), 0.25 + 0.75 * magnitude
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell - 2:.1f}" '
+                f'height="{cell - 2:.1f}" fill="{fill}" '
+                f'fill-opacity="{opacity:.3f}" stroke="#cccccc" '
+                f'stroke-width="0.5"><title>'
+                f"{_escape(pretty_complex(complex(value)))}</title></rect>"
+            )
+    body = "\n  ".join(parts)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">'
+        f"\n  {body}\n</svg>"
+    )

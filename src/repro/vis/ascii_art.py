@@ -1,0 +1,119 @@
+"""Terminal rendering: decision diagrams as text trees, circuits as wire art.
+
+``dd_to_text`` prints a DD as an indented tree with explicit sharing
+markers (shared nodes are expanded once and referenced afterwards), which is
+handy in tests and REPL sessions.  ``circuit_to_text`` draws the wire
+diagrams the paper uses (Fig. 1(c), Fig. 5): one horizontal line per qubit,
+most-significant on top, boxes for gates, ``*`` for controls, ``o`` for
+negative controls, ``X`` for SWAP ends and ``:`` columns for barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dd.edge import Edge
+from repro.dd.node import Node
+from repro.dd.package import DDPackage
+from repro.qc.circuit import QuantumCircuit
+from repro.qc.operations import BarrierOp, GateOp, MeasureOp, ResetOp
+from repro.vis.color import pretty_complex
+
+
+def dd_to_text(package: DDPackage, root: Edge, indent: str = "  ") -> str:
+    """Render a DD as an indented text tree with sharing markers."""
+    if root.is_zero:
+        return "0"
+    names: Dict[Node, str] = {}
+    lines: List[str] = []
+
+    def name_for(node: Node) -> str:
+        if node not in names:
+            names[node] = f"#{len(names) + 1}"
+        return names[node]
+
+    def visit(edge: Edge, depth: int, slot: Optional[str]) -> None:
+        prefix = indent * depth
+        slot_text = f"[{slot}] " if slot is not None else ""
+        if edge.is_zero:
+            lines.append(f"{prefix}{slot_text}0")
+            return
+        weight = pretty_complex(edge.weight)
+        if edge.node.is_terminal:
+            lines.append(f"{prefix}{slot_text}{weight}")
+            return
+        expanded = edge.node not in names
+        name = name_for(edge.node)
+        label = f"q{edge.node.var}{name}"
+        if not expanded:
+            lines.append(f"{prefix}{slot_text}({weight}) -> {label} (shared)")
+            return
+        lines.append(f"{prefix}{slot_text}({weight}) -> {label}")
+        arity = len(edge.node.edges)
+        for index, child in enumerate(edge.node.edges):
+            if arity == 2:
+                slot_name = str(index)
+            else:
+                slot_name = f"{index >> 1}{index & 1}"
+            visit(child, depth + 1, slot_name)
+
+    visit(root, 0, None)
+    return "\n".join(lines)
+
+
+def circuit_to_text(circuit: QuantumCircuit) -> str:
+    """ASCII wire diagram of a circuit (top wire = most-significant qubit)."""
+    num_qubits = circuit.num_qubits
+    rows: List[List[str]] = [[] for _ in range(num_qubits)]
+
+    def pad_columns() -> None:
+        width = max((len(row) for row in rows), default=0)
+        for row in rows:
+            while len(row) < width:
+                row.append("---")
+
+    def add_column(cells: Dict[int, str]) -> None:
+        pad_columns()
+        width = max(len(text) for text in cells.values())
+        for qubit in range(num_qubits):
+            text = cells.get(qubit, "-" * width)
+            rows[qubit].append(text.center(width, "-"))
+
+    for operation in circuit:
+        if isinstance(operation, BarrierOp):
+            add_column({qubit: ":" for qubit in operation.qubits})
+            continue
+        if isinstance(operation, MeasureOp):
+            add_column({operation.qubit: f"M>c{operation.clbit}"})
+            continue
+        if isinstance(operation, ResetOp):
+            add_column({operation.qubit: "|0>"})
+            continue
+        if isinstance(operation, GateOp):
+            cells: Dict[int, str] = {}
+            if operation.gate == "swap" and not operation.condition:
+                for target in operation.targets:
+                    cells[target] = "X"
+            else:
+                label = operation.label()
+                if operation.gate == "x" and operation.num_controls:
+                    label = "(+)"
+                for target in operation.targets:
+                    cells[target] = f"[{label}]" if not label.startswith("(") else label
+            for control in operation.controls:
+                cells[control] = "*"
+            for control in operation.negative_controls:
+                cells[control] = "o"
+            # Vertical connector for multi-line gates.
+            lines_used = sorted(cells)
+            if len(lines_used) > 1:
+                for qubit in range(lines_used[0] + 1, lines_used[-1]):
+                    if qubit not in cells:
+                        cells[qubit] = "|"
+            add_column(cells)
+    pad_columns()
+    out_lines = []
+    for qubit in range(num_qubits - 1, -1, -1):
+        wire = "---".join(rows[qubit]) if rows[qubit] else ""
+        out_lines.append(f"q{qubit}: ---{wire}---")
+    return "\n".join(out_lines)

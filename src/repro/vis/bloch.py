@@ -1,0 +1,140 @@
+"""Per-qubit Bloch-sphere views.
+
+Complements the decision-diagram renderings with the physicist's picture:
+each qubit's reduced state (obtained via the partial trace, so it works
+for mixed and entangled states alike) is drawn as a vector in the Bloch
+ball.  Entangled or noisy qubits show up as vectors of length < 1 —
+another way to *see* what paper Ex. 1 states ("the state of the
+individual qubits cannot" be described in isolation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dd import density
+from repro.dd.edge import Edge
+from repro.dd.package import DDPackage
+from repro.errors import VisualizationError
+
+#: Bloch vector (x, y, z).
+BlochVector = Tuple[float, float, float]
+
+_RADIUS = 60.0
+_BOX = 170.0
+
+
+def bloch_vector_of_matrix(rho: np.ndarray) -> BlochVector:
+    """Bloch coordinates of a single-qubit density matrix."""
+    rho = np.asarray(rho, dtype=complex)
+    if rho.shape != (2, 2):
+        raise VisualizationError("expected a 2x2 density matrix")
+    x = 2.0 * rho[0, 1].real
+    y = 2.0 * rho[1, 0].imag
+    z = (rho[0, 0] - rho[1, 1]).real
+    return (x, y, z)
+
+
+def qubit_bloch_vector(
+    package: DDPackage, state: Edge, qubit: int, is_density: bool = False
+) -> BlochVector:
+    """Bloch vector of one qubit of a state (vector DD) or density DD."""
+    rho = state if is_density else density.density_from_state(package, state)
+    num_qubits = package.num_qubits(rho)
+    traced = [q for q in range(num_qubits) if q != qubit]
+    reduced = density.partial_trace(package, rho, traced)
+    return bloch_vector_of_matrix(package.to_matrix(reduced, 1))
+
+
+def all_bloch_vectors(
+    package: DDPackage, state: Edge, is_density: bool = False
+) -> List[BlochVector]:
+    """Bloch vectors of every qubit, index 0 first."""
+    num_qubits = package.num_qubits(state)
+    return [
+        qubit_bloch_vector(package, state, qubit, is_density=is_density)
+        for qubit in range(num_qubits)
+    ]
+
+
+def _project(x: float, y: float, z: float) -> Tuple[float, float]:
+    """Simple oblique projection: x to the right, z up, y into the page."""
+    screen_x = x * 1.0 + y * 0.45
+    screen_y = -z * 1.0 + y * 0.30
+    return screen_x, screen_y
+
+
+def bloch_svg(
+    vectors: Sequence[BlochVector],
+    labels: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render one Bloch ball per vector, side by side (q0 leftmost)."""
+    if not vectors:
+        raise VisualizationError("at least one Bloch vector is required")
+    if labels is None:
+        labels = [f"q{index}" for index in range(len(vectors))]
+    top = 28.0 if title else 8.0
+    width = len(vectors) * _BOX + 10.0
+    height = _BOX + top + 8.0
+    parts: List[str] = []
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="18" font-size="13" '
+            f'text-anchor="middle" font-family="Helvetica, sans-serif">'
+            f"{title}</text>"
+        )
+    for index, (vector, label) in enumerate(zip(vectors, labels)):
+        cx = 10.0 + index * _BOX + _BOX / 2.0
+        cy = top + _BOX / 2.0
+        parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{_RADIUS:.1f}" '
+            f'fill="none" stroke="#999999" stroke-width="1" />'
+        )
+        # Equator ellipse for depth.
+        parts.append(
+            f'<ellipse cx="{cx:.1f}" cy="{cy:.1f}" rx="{_RADIUS:.1f}" '
+            f'ry="{_RADIUS * 0.3:.1f}" fill="none" stroke="#cccccc" '
+            f'stroke-width="0.8" />'
+        )
+        # Axes.
+        for axis, (ax, ay, az) in (("x", (1, 0, 0)), ("y", (0, 1, 0)),
+                                   ("z", (0, 0, 1))):
+            dx, dy = _project(ax, ay, az)
+            parts.append(
+                f'<line x1="{cx:.1f}" y1="{cy:.1f}" '
+                f'x2="{cx + dx * _RADIUS:.1f}" y2="{cy + dy * _RADIUS:.1f}" '
+                f'stroke="#dddddd" stroke-width="0.8" />'
+            )
+            parts.append(
+                f'<text x="{cx + dx * (_RADIUS + 10):.1f}" '
+                f'y="{cy + dy * (_RADIUS + 10) + 3:.1f}" font-size="9" '
+                f'text-anchor="middle" fill="#888888">{axis}</text>'
+            )
+        # The state vector itself.
+        x, y, z = vector
+        length = math.sqrt(x * x + y * y + z * z)
+        dx, dy = _project(x, y, z)
+        parts.append(
+            f'<line x1="{cx:.1f}" y1="{cy:.1f}" '
+            f'x2="{cx + dx * _RADIUS:.1f}" y2="{cy + dy * _RADIUS:.1f}" '
+            f'stroke="#c02020" stroke-width="2.2" />'
+        )
+        parts.append(
+            f'<circle cx="{cx + dx * _RADIUS:.1f}" '
+            f'cy="{cy + dy * _RADIUS:.1f}" r="3.2" fill="#c02020" />'
+        )
+        parts.append(
+            f'<text x="{cx:.1f}" y="{top + _BOX - 2:.1f}" font-size="11" '
+            f'text-anchor="middle" font-family="Helvetica, sans-serif">'
+            f"{label}  |r| = {length:.2f}</text>"
+        )
+    body = "\n  ".join(parts)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">'
+        f"\n  {body}\n</svg>"
+    )

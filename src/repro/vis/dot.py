@@ -1,0 +1,116 @@
+"""Graphviz DOT export of decision diagrams.
+
+Produces DOT text in the styles of the paper's tool; users with graphviz
+installed can render it directly (``dot -Tsvg``), while the pure-Python SVG
+renderer in :mod:`repro.vis.svg` needs no external tools.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dd.complex_table import ComplexTable
+from repro.dd.edge import Edge
+from repro.dd.node import MatrixNode, Node
+from repro.dd.package import DDPackage
+from repro.errors import VisualizationError
+from repro.vis.color import phase_to_color, pretty_complex, weight_to_width
+from repro.vis.style import DDStyle, RenderMode
+
+
+def _collect_nodes(root: Edge) -> List[Node]:
+    """All non-terminal nodes in deterministic (DFS pre-order) order."""
+    ordered: List[Node] = []
+    seen = set()
+
+    def visit(node: Node) -> None:
+        if node.is_terminal or node in seen:
+            return
+        seen.add(node)
+        ordered.append(node)
+        for child in node.edges:
+            if not child.is_zero:
+                visit(child.node)
+
+    if not root.is_zero:
+        visit(root.node)
+    return ordered
+
+
+def _edge_attributes(edge: Edge, style: DDStyle) -> List[str]:
+    attributes = []
+    weight = edge.weight
+    is_unit = weight == ComplexTable.ONE
+    if style.edge_labels and not is_unit:
+        attributes.append(f'label="{pretty_complex(weight)}"')
+    if style.dashed_nonunit and not is_unit:
+        attributes.append("style=dashed")
+    if style.colored_edges:
+        attributes.append(f'color="{phase_to_color(weight)}"')
+    if style.weighted_thickness:
+        attributes.append(f"penwidth={weight_to_width(weight):.2f}")
+    return attributes
+
+
+def dd_to_dot(
+    package: DDPackage,
+    root: Edge,
+    style: Optional[DDStyle] = None,
+    name: str = "dd",
+    qubit_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a vector or matrix DD as Graphviz DOT text.
+
+    ``qubit_labels`` overrides the default ``q0, q1, ...`` node labels
+    (index = level).
+    """
+    if style is None:
+        style = DDStyle.classic()
+    if root.is_zero:
+        raise VisualizationError("cannot render the zero decision diagram")
+    nodes = _collect_nodes(root)
+    ids: Dict[Node, str] = {node: f"n{index}" for index, node in enumerate(nodes)}
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  ordering=out;"]
+    shape = "circle" if style.mode is RenderMode.CLASSIC else "Mrecord"
+    lines.append(f"  node [shape={shape}];")
+    lines.append('  root [shape=point, style=invis];')
+    stub_counter = 0
+
+    def label_for(node: Node) -> str:
+        if qubit_labels is not None and node.var < len(qubit_labels):
+            return qubit_labels[node.var]
+        return f"q{node.var}"
+
+    for node in nodes:
+        if style.mode is RenderMode.MODERN:
+            ports = "|".join(f"<p{i}>" for i in range(len(node.edges)))
+            lines.append(
+                f'  {ids[node]} [label="{{{label_for(node)}|{{{ports}}}}}"];'
+            )
+        else:
+            lines.append(f'  {ids[node]} [label="{label_for(node)}"];')
+    lines.append('  terminal [shape=box, label="1"];')
+    root_attributes = _edge_attributes(root, style)
+    rendered = f" [{', '.join(root_attributes)}]" if root_attributes else ""
+    lines.append(f"  root -> {ids[root.node]}{rendered};")
+    for node in nodes:
+        for index, child in enumerate(node.edges):
+            source = ids[node]
+            if style.mode is RenderMode.MODERN:
+                source = f"{source}:p{index}"
+            if child.is_zero:
+                if style.retract_zero_stubs:
+                    continue
+                stub = f"stub{stub_counter}"
+                stub_counter += 1
+                lines.append(
+                    f'  {stub} [shape=point, width=0.05, label=""];'
+                )
+                lines.append(f"  {source} -> {stub};")
+                continue
+            target = "terminal" if child.node.is_terminal else ids[child.node]
+            attributes = _edge_attributes(child, style)
+            rendered = f" [{', '.join(attributes)}]" if attributes else ""
+            lines.append(f"  {source} -> {target}{rendered};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Self-contained HTML export — the offline stand-in for the web tool.
+
+The paper's tool is "installation-free" (Sec. I); this module reproduces
+that experience offline: a session (a sequence of titled SVG frames plus
+descriptions) becomes a single HTML file with previous/next/play controls
+and no external dependencies, mirroring the navigation buttons of the
+tool's simulation and verification tabs (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One step of a session: a rendered diagram plus commentary."""
+
+    svg: str
+    title: str = ""
+    description: str = ""
+
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font-family: Helvetica, Arial, sans-serif; margin: 2em; color: #222; }}
+  h1 {{ font-size: 1.3em; }}
+  #controls button {{ font-size: 1.1em; margin-right: 0.4em; padding: 0.2em 0.8em; }}
+  #frame-title {{ font-weight: bold; margin: 0.8em 0 0.3em; }}
+  #frame-description {{ color: #555; min-height: 2em; }}
+  #diagram {{ border: 1px solid #ddd; padding: 1em; display: inline-block;
+             min-width: 300px; min-height: 200px; }}
+  #position {{ color: #888; margin-left: 1em; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<div id="controls">
+  <button id="to-start" title="back to the beginning">&#9198;</button>
+  <button id="back" title="one step backward">&#8592;</button>
+  <button id="forward" title="one step forward">&#8594;</button>
+  <button id="to-end" title="straight to the end">&#9197;</button>
+  <button id="play" title="slide show">&#9654;/&#10074;&#10074;</button>
+  <span id="position"></span>
+</div>
+<div id="frame-title"></div>
+<div id="frame-description"></div>
+<div id="diagram"></div>
+<script>
+const frames = {frames_json};
+let index = 0;
+let timer = null;
+function show() {{
+  const frame = frames[index];
+  document.getElementById('diagram').innerHTML = frame.svg;
+  document.getElementById('frame-title').textContent = frame.title;
+  document.getElementById('frame-description').textContent = frame.description;
+  document.getElementById('position').textContent =
+    (index + 1) + ' / ' + frames.length;
+}}
+function stop() {{ if (timer) {{ clearInterval(timer); timer = null; }} }}
+document.getElementById('forward').onclick = () => {{
+  stop(); if (index < frames.length - 1) {{ index++; show(); }} }};
+document.getElementById('back').onclick = () => {{
+  stop(); if (index > 0) {{ index--; show(); }} }};
+document.getElementById('to-start').onclick = () => {{ stop(); index = 0; show(); }};
+document.getElementById('to-end').onclick = () => {{
+  stop(); index = frames.length - 1; show(); }};
+document.getElementById('play').onclick = () => {{
+  if (timer) {{ stop(); return; }}
+  timer = setInterval(() => {{
+    if (index < frames.length - 1) {{ index++; show(); }} else {{ stop(); }}
+  }}, 1200);
+}};
+show();
+</script>
+</body>
+</html>
+"""
+
+
+def frames_to_html(frames: Sequence[Frame], title: str = "Decision Diagram Session") -> str:
+    """Bundle frames into a standalone interactive HTML document."""
+    if not frames:
+        raise ValueError("at least one frame is required")
+    payload = [
+        {"svg": frame.svg, "title": frame.title, "description": frame.description}
+        for frame in frames
+    ]
+    return _TEMPLATE.format(
+        title=html.escape(title),
+        frames_json=json.dumps(payload),
+    )
+
+
+def write_html(
+    frames: Sequence[Frame],
+    path: str,
+    title: str = "Decision Diagram Session",
+) -> None:
+    """Write the HTML document for ``frames`` to ``path``."""
+    document = frames_to_html(frames, title)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)

@@ -1,0 +1,100 @@
+"""Layered layout for decision diagrams.
+
+DDs are naturally layered — every non-terminal node sits at the level of
+its qubit, the terminal below level 0 — so a Sugiyama-style layout reduces
+to ordering the nodes within each layer.  Nodes start in DFS pre-order and
+are refined by a few barycenter passes (ordering each layer by the mean
+position of the parents) to reduce edge crossings.
+
+The module is geometry-only; :mod:`repro.vis.svg` does the drawing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dd.edge import Edge
+from repro.dd.node import Node
+from repro.errors import VisualizationError
+
+#: Horizontal distance between node centers.
+H_SPACING = 90.0
+#: Vertical distance between levels.
+V_SPACING = 80.0
+#: Margin around the drawing.
+MARGIN = 40.0
+
+
+@dataclass
+class Layout:
+    """Positions (center coordinates) for every element of a DD drawing."""
+
+    positions: Dict[Node, Tuple[float, float]] = field(default_factory=dict)
+    terminal: Tuple[float, float] = (0.0, 0.0)
+    root_anchor: Tuple[float, float] = (0.0, 0.0)
+    width: float = 0.0
+    height: float = 0.0
+    #: nodes per level, top level first, in final left-to-right order
+    layers: List[List[Node]] = field(default_factory=list)
+
+
+def compute_layout(root: Edge, barycenter_passes: int = 3) -> Layout:
+    """Compute a layered layout for the DD rooted at ``root``."""
+    if root.is_zero:
+        raise VisualizationError("cannot lay out the zero decision diagram")
+    top_level = root.node.var
+    layers: Dict[int, List[Node]] = {level: [] for level in range(top_level, -1, -1)}
+    seen = set()
+
+    def visit(node: Node) -> None:
+        if node.is_terminal or node in seen:
+            return
+        seen.add(node)
+        layers[node.var].append(node)
+        for child in node.edges:
+            if not child.is_zero:
+                visit(child.node)
+
+    visit(root.node)
+    ordered_layers = [layers[level] for level in range(top_level, -1, -1)]
+    parents: Dict[Node, List[Node]] = {}
+    for layer in ordered_layers:
+        for node in layer:
+            for child in node.edges:
+                if not child.is_zero and not child.node.is_terminal:
+                    parents.setdefault(child.node, []).append(node)
+
+    for _ in range(barycenter_passes):
+        index_of: Dict[Node, int] = {}
+        for layer in ordered_layers:
+            for position, node in enumerate(layer):
+                index_of[node] = position
+        for depth in range(1, len(ordered_layers)):
+            layer = ordered_layers[depth]
+            layer.sort(
+                key=lambda node: (
+                    sum(index_of[p] for p in parents.get(node, []))
+                    / max(len(parents.get(node, [])), 1)
+                )
+            )
+            for position, node in enumerate(layer):
+                index_of[node] = position
+
+    layout = Layout(layers=ordered_layers)
+    widest = max(len(layer) for layer in ordered_layers)
+    total_width = 2 * MARGIN + max(widest - 1, 0) * H_SPACING
+    layout.width = total_width
+    layout.height = 2 * MARGIN + (len(ordered_layers) + 1) * V_SPACING
+    for depth, layer in enumerate(ordered_layers):
+        y = MARGIN + (depth + 1) * V_SPACING
+        offset = (total_width - (len(layer) - 1) * H_SPACING) / 2.0
+        for position, node in enumerate(layer):
+            layout.positions[node] = (offset + position * H_SPACING, y)
+    root_x = layout.positions[root.node][0]
+    layout.root_anchor = (root_x, MARGIN + V_SPACING * 0.35)
+    layout.terminal = (
+        total_width / 2.0,
+        MARGIN + (len(ordered_layers) + 1) * V_SPACING,
+    )
+    return layout

@@ -1,0 +1,83 @@
+"""Rendering styles for decision diagrams (paper Sec. IV-A).
+
+A :class:`DDStyle` bundles the visualization options the tool's settings
+panel exposes: the node look (classic circles versus modern slot boxes),
+whether edge weights are written out or encoded via color and thickness,
+and how zero stubs are drawn.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RenderMode(enum.Enum):
+    """Node look."""
+
+    #: Circular nodes labeled q_i - "most similar to what is found in
+    #: research papers" (paper Fig. 7(a)).
+    CLASSIC = "classic"
+    #: Rectangular nodes with one slot per successor, making the connection
+    #: to the underlying vector/matrix explicit (paper Figs. 8/9).
+    MODERN = "modern"
+
+
+@dataclass(frozen=True)
+class DDStyle:
+    """Visualization options.
+
+    Attributes
+    ----------
+    mode:
+        Classic or modern node rendering.
+    edge_labels:
+        Annotate every non-trivial edge weight explicitly.  "The explicit
+        annotation of edge weights quickly requires lots of space", so the
+        tool offers to drop them (paper Sec. IV-A).
+    colored_edges:
+        Encode the complex phase of each weight via the HLS color wheel
+        (paper Fig. 7(b)/(c)).
+    weighted_thickness:
+        Encode the magnitude of each weight as the line thickness.
+    dashed_nonunit:
+        Draw edges with weight != 1 using dashed lines (classic mode).
+    retract_zero_stubs:
+        Draw 0-stubs as small marks inside the node rather than as explicit
+        terminal edges (classic mode).
+    """
+
+    mode: RenderMode = RenderMode.CLASSIC
+    edge_labels: bool = True
+    colored_edges: bool = False
+    weighted_thickness: bool = False
+    dashed_nonunit: bool = True
+    retract_zero_stubs: bool = True
+
+    @staticmethod
+    def classic() -> "DDStyle":
+        """The research-paper look of Fig. 7(a)."""
+        return DDStyle()
+
+    @staticmethod
+    def colored() -> "DDStyle":
+        """Label-free color/thickness encoding of Fig. 7(c) and Fig. 6."""
+        return DDStyle(
+            mode=RenderMode.CLASSIC,
+            edge_labels=False,
+            colored_edges=True,
+            weighted_thickness=True,
+            dashed_nonunit=False,
+        )
+
+    @staticmethod
+    def modern() -> "DDStyle":
+        """The slot-box look of Figs. 8/9."""
+        return DDStyle(
+            mode=RenderMode.MODERN,
+            edge_labels=False,
+            colored_edges=True,
+            weighted_thickness=True,
+            dashed_nonunit=False,
+            retract_zero_stubs=False,
+        )

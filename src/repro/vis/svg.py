@@ -1,0 +1,234 @@
+"""Pure-Python SVG rendering of decision diagrams.
+
+Implements the three looks of the paper's tool (classic / colored / modern,
+Sec. IV-A) on top of the layered layout of :mod:`repro.vis.layout`, plus the
+HLS color wheel legend of Fig. 7(b).  The output is a self-contained SVG
+string; no graphviz or matplotlib required.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dd.complex_table import ComplexTable
+from repro.dd.edge import Edge
+from repro.dd.node import Node
+from repro.dd.package import DDPackage
+from repro.errors import VisualizationError
+from repro.vis.color import hls_wheel_color, phase_to_color, pretty_complex, weight_to_width
+from repro.vis.layout import compute_layout
+from repro.vis.style import DDStyle, RenderMode
+
+_NODE_RADIUS = 18.0
+_MODERN_SLOT = 22.0
+_TERMINAL_SIZE = 26.0
+_STUB_LENGTH = 22.0
+
+
+def _escape(text: str) -> str:
+    return html.escape(text, quote=True)
+
+
+class _SvgWriter:
+    """Tiny helper accumulating SVG elements."""
+
+    def __init__(self):
+        self.elements: List[str] = []
+
+    def line(self, x1, y1, x2, y2, color="#333333", width=1.5, dashed=False):
+        dash = ' stroke-dasharray="6,4"' if dashed else ""
+        self.elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width:.2f}"{dash} />'
+        )
+
+    def circle(self, x, y, radius, fill="#ffffff", stroke="#333333"):
+        self.elements.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius:.1f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="1.5" />'
+        )
+
+    def rect(self, x, y, width, height, fill="#ffffff", stroke="#333333", rx=0.0):
+        self.elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{width:.1f}" '
+            f'height="{height:.1f}" rx="{rx:.1f}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="1.5" />'
+        )
+
+    def text(self, x, y, content, size=13, anchor="middle", color="#000000"):
+        self.elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}" '
+            f'font-family="Helvetica, sans-serif">{_escape(content)}</text>'
+        )
+
+    def polygon(self, points: Sequence[Tuple[float, float]], fill="#333333"):
+        rendered = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.elements.append(f'<polygon points="{rendered}" fill="{fill}" />')
+
+    def path(self, definition: str, fill: str):
+        self.elements.append(f'<path d="{definition}" fill="{fill}" />')
+
+
+def _edge_visuals(edge: Edge, style: DDStyle) -> Tuple[str, float, bool]:
+    """(color, width, dashed) for an edge under the given style."""
+    color = phase_to_color(edge.weight) if style.colored_edges else "#333333"
+    width = weight_to_width(edge.weight) if style.weighted_thickness else 1.5
+    dashed = style.dashed_nonunit and edge.weight != ComplexTable.ONE
+    return color, width, dashed
+
+
+def _edge_start(node: Node, index: int, position: Tuple[float, float],
+                style: DDStyle) -> Tuple[float, float]:
+    x, y = position
+    count = len(node.edges)
+    if style.mode is RenderMode.MODERN:
+        box_width = count * _MODERN_SLOT
+        slot_x = x - box_width / 2.0 + (index + 0.5) * _MODERN_SLOT
+        return slot_x, y + _MODERN_SLOT / 2.0 + 12.0
+    spread = _NODE_RADIUS * 0.9
+    if count == 2:
+        offsets = (-spread * 0.6, spread * 0.6)
+    else:
+        offsets = (-spread, -spread / 3.0, spread / 3.0, spread)
+    return x + offsets[index], y + _NODE_RADIUS * 0.85
+
+
+def dd_to_svg(
+    package: DDPackage,
+    root: Edge,
+    style: Optional[DDStyle] = None,
+    qubit_labels: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a vector or matrix DD as a standalone SVG document."""
+    if style is None:
+        style = DDStyle.classic()
+    if root.is_zero:
+        raise VisualizationError("cannot render the zero decision diagram")
+    layout = compute_layout(root)
+    writer = _SvgWriter()
+
+    def label_for(node: Node) -> str:
+        if qubit_labels is not None and node.var < len(qubit_labels):
+            return qubit_labels[node.var]
+        return f"q{node.var}"
+
+    def target_point(child: Edge) -> Tuple[float, float]:
+        if child.node.is_terminal:
+            x, y = layout.terminal
+            return x, y - _TERMINAL_SIZE / 2.0
+        x, y = layout.positions[child.node]
+        if style.mode is RenderMode.MODERN:
+            return x, y - _MODERN_SLOT / 2.0 - 12.0
+        return x, y - _NODE_RADIUS
+
+    # Root edge (drawn first so nodes overlay the line ends).
+    root_color, root_width, root_dashed = _edge_visuals(root, style)
+    anchor_x, anchor_y = layout.root_anchor
+    top_x, top_y = target_point(Edge(root.node, root.weight))
+    writer.line(anchor_x, anchor_y, top_x, top_y, root_color, root_width, root_dashed)
+    writer.polygon(
+        [(top_x - 4, top_y - 7), (top_x + 4, top_y - 7), (top_x, top_y)],
+        fill=root_color,
+    )
+    if style.edge_labels and root.weight != ComplexTable.ONE:
+        writer.text(anchor_x + 8, (anchor_y + top_y) / 2, pretty_complex(root.weight),
+                    size=11, anchor="start")
+
+    uses_terminal = False
+    for layer in layout.layers:
+        for node in layer:
+            position = layout.positions[node]
+            for index, child in enumerate(node.edges):
+                start_x, start_y = _edge_start(node, index, position, style)
+                if child.is_zero:
+                    if style.retract_zero_stubs:
+                        # Classic: a short stub re-entering the node.
+                        writer.line(start_x, start_y, start_x, start_y + 6, "#888888", 1.0)
+                        writer.circle(start_x, start_y + 8, 2.0, fill="#888888",
+                                      stroke="#888888")
+                    else:
+                        writer.line(start_x, start_y, start_x, start_y + _STUB_LENGTH,
+                                    "#888888", 1.0)
+                        writer.text(start_x, start_y + _STUB_LENGTH + 11, "0", size=10)
+                    continue
+                end_x, end_y = target_point(child)
+                if child.node.is_terminal:
+                    uses_terminal = True
+                color, width, dashed = _edge_visuals(child, style)
+                writer.line(start_x, start_y, end_x, end_y, color, width, dashed)
+                if style.edge_labels and child.weight != ComplexTable.ONE:
+                    mid_x = (start_x + end_x) / 2.0
+                    mid_y = (start_y + end_y) / 2.0
+                    writer.text(mid_x + 6, mid_y, pretty_complex(child.weight),
+                                size=11, anchor="start")
+
+    # Nodes.
+    for layer in layout.layers:
+        for node in layer:
+            x, y = layout.positions[node]
+            if style.mode is RenderMode.MODERN:
+                count = len(node.edges)
+                box_width = count * _MODERN_SLOT
+                box_height = _MODERN_SLOT + 24.0
+                writer.rect(x - box_width / 2.0, y - box_height / 2.0, box_width,
+                            box_height, rx=6.0)
+                writer.text(x, y - box_height / 2.0 + 16.0, label_for(node), size=12)
+                for index, child in enumerate(node.edges):
+                    slot_x = x - box_width / 2.0 + index * _MODERN_SLOT
+                    slot_y = y + box_height / 2.0 - _MODERN_SLOT
+                    fill = "#f0f0f0" if child.is_zero else phase_to_color(child.weight)
+                    writer.rect(slot_x + 2, slot_y + 2, _MODERN_SLOT - 4,
+                                _MODERN_SLOT - 4, fill=fill, stroke="#666666")
+            else:
+                writer.circle(x, y, _NODE_RADIUS)
+                writer.text(x, y + 4.5, label_for(node), size=13)
+
+    if uses_terminal:
+        term_x, term_y = layout.terminal
+        writer.rect(term_x - _TERMINAL_SIZE / 2.0, term_y - _TERMINAL_SIZE / 2.0,
+                    _TERMINAL_SIZE, _TERMINAL_SIZE)
+        writer.text(term_x, term_y + 4.5, "1", size=13)
+
+    if title:
+        writer.text(layout.width / 2.0, 20.0, title, size=14)
+    body = "\n  ".join(writer.elements)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{layout.width:.0f}" '
+        f'height="{layout.height:.0f}" viewBox="0 0 {layout.width:.0f} '
+        f'{layout.height:.0f}">\n  {body}\n</svg>'
+    )
+
+
+def color_wheel_svg(size: float = 200.0, segments: int = 72) -> str:
+    """The HLS color wheel legend of paper Fig. 7(b)."""
+    center = size / 2.0
+    outer = size * 0.42
+    inner = size * 0.18
+    writer = _SvgWriter()
+    for segment in range(segments):
+        start = 2.0 * math.pi * segment / segments
+        end = 2.0 * math.pi * (segment + 1) / segments
+        color = hls_wheel_color((start + end) / 2.0)
+        # SVG y grows downward; negate the angle so the wheel runs
+        # counter-clockwise like the mathematical phase convention.
+        points = [
+            (center + inner * math.cos(-start), center + inner * math.sin(-start)),
+            (center + outer * math.cos(-start), center + outer * math.sin(-start)),
+            (center + outer * math.cos(-end), center + outer * math.sin(-end)),
+            (center + inner * math.cos(-end), center + inner * math.sin(-end)),
+        ]
+        writer.polygon(points, fill=color)
+    for label, angle in (("1", 0.0), ("i", 0.5 * math.pi), ("-1", math.pi),
+                         ("-i", 1.5 * math.pi)):
+        x = center + (outer + 14.0) * math.cos(-angle)
+        y = center + (outer + 14.0) * math.sin(-angle) + 4.0
+        writer.text(x, y, label, size=13)
+    body = "\n  ".join(writer.elements)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size:.0f}" '
+        f'height="{size:.0f}" viewBox="0 0 {size:.0f} {size:.0f}">\n  {body}\n</svg>'
+    )

@@ -1,0 +1,159 @@
+"""Node-count trace charts — the quantitative view behind paper Fig. 9.
+
+The alternating verification scheme is interesting *because* the diagram
+stays small throughout (paper Ex. 12/15).  This module plots that: an SVG
+line chart of diagram size versus application step, optionally with a
+reference line (e.g. the monolithic 21-node peak), colour-coding which
+side (``G`` or ``G'``) each application came from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import VisualizationError
+
+_WIDTH = 520.0
+_HEIGHT = 240.0
+_MARGIN_LEFT = 46.0
+_MARGIN_BOTTOM = 34.0
+_MARGIN_TOP = 30.0
+_MARGIN_RIGHT = 16.0
+
+_SIDE_COLORS = {"G": "#1f77b4", "G'": "#d62728", None: "#444444"}
+
+
+def trace_svg(
+    node_counts: Sequence[int],
+    sides: Optional[Sequence[str]] = None,
+    reference: Optional[Tuple[str, int]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a node-count trace as an SVG line chart.
+
+    ``node_counts[k]`` is the diagram size after application ``k``;
+    ``sides`` optionally labels each application ``"G"`` or ``"G'"``
+    (coloring the markers); ``reference`` draws a horizontal dashed line
+    with a label (e.g. ``("monolithic peak", 21)``).
+    """
+    if not node_counts:
+        raise VisualizationError("at least one data point is required")
+    if sides is not None and len(sides) != len(node_counts):
+        raise VisualizationError("sides must match node_counts in length")
+    peak = max(node_counts)
+    if reference is not None:
+        peak = max(peak, reference[1])
+    peak = max(peak, 1)
+    plot_width = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+    steps = max(len(node_counts) - 1, 1)
+
+    def x_of(step: int) -> float:
+        return _MARGIN_LEFT + plot_width * step / steps
+
+    def y_of(count: float) -> float:
+        return _MARGIN_TOP + plot_height * (1.0 - count / peak)
+
+    parts = []
+    if title:
+        parts.append(
+            f'<text x="{_WIDTH / 2:.1f}" y="18" font-size="13" '
+            f'text-anchor="middle" font-family="Helvetica, sans-serif">'
+            f"{title}</text>"
+        )
+    # Axes.
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" x2="{_MARGIN_LEFT}" '
+        f'y2="{_MARGIN_TOP + plot_height}" stroke="#333" stroke-width="1" />'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP + plot_height}" '
+        f'x2="{_MARGIN_LEFT + plot_width}" y2="{_MARGIN_TOP + plot_height}" '
+        f'stroke="#333" stroke-width="1" />'
+    )
+    # y ticks: 0, peak/2, peak.
+    for value in (0, peak // 2, peak):
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 6:.1f}" y="{y_of(value) + 4:.1f}" '
+            f'font-size="10" text-anchor="end">{value}</text>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT - 3}" y1="{y_of(value):.1f}" '
+            f'x2="{_MARGIN_LEFT}" y2="{y_of(value):.1f}" stroke="#333" />'
+        )
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + plot_width / 2:.1f}" '
+        f'y="{_HEIGHT - 8:.1f}" font-size="11" text-anchor="middle">'
+        "applications</text>"
+    )
+    parts.append(
+        f'<text x="12" y="{_MARGIN_TOP + plot_height / 2:.1f}" '
+        f'font-size="11" text-anchor="middle" transform="rotate(-90 12 '
+        f'{_MARGIN_TOP + plot_height / 2:.1f})">nodes</text>'
+    )
+    # Reference line.
+    if reference is not None:
+        label, value = reference
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y_of(value):.1f}" '
+            f'x2="{_MARGIN_LEFT + plot_width:.1f}" y2="{y_of(value):.1f}" '
+            f'stroke="#888" stroke-width="1" stroke-dasharray="6,4" />'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT + plot_width:.1f}" '
+            f'y="{y_of(value) - 5:.1f}" font-size="10" text-anchor="end" '
+            f'fill="#666">{label} ({value})</text>'
+        )
+    # Poly-line through the data.
+    points = " ".join(
+        f"{x_of(step):.1f},{y_of(count):.1f}"
+        for step, count in enumerate(node_counts)
+    )
+    parts.append(
+        f'<polyline points="{points}" fill="none" stroke="#444444" '
+        f'stroke-width="1.5" />'
+    )
+    # Markers, colored by side.
+    for step, count in enumerate(node_counts):
+        side = sides[step] if sides is not None else None
+        color = _SIDE_COLORS.get(side, "#444444")
+        parts.append(
+            f'<circle cx="{x_of(step):.1f}" cy="{y_of(count):.1f}" r="3" '
+            f'fill="{color}"><title>step {step}: {count} nodes'
+            f"{f' ({side})' if side else ''}</title></circle>"
+        )
+    # Legend when sides are given.
+    if sides is not None:
+        for offset, side in ((0, "G"), (90, "G'")):
+            parts.append(
+                f'<circle cx="{_MARGIN_LEFT + 12 + offset}" '
+                f'cy="{_MARGIN_TOP - 8:.1f}" r="4" '
+                f'fill="{_SIDE_COLORS[side]}" />'
+            )
+            parts.append(
+                f'<text x="{_MARGIN_LEFT + 22 + offset}" '
+                f'y="{_MARGIN_TOP - 4:.1f}" font-size="11">from {side}</text>'
+            )
+    body = "\n  ".join(parts)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH:.0f}" '
+        f'height="{_HEIGHT:.0f}" viewBox="0 0 {_WIDTH:.0f} {_HEIGHT:.0f}">'
+        f"\n  {body}\n</svg>"
+    )
+
+
+def alternating_trace_svg(result, title: Optional[str] = None) -> str:
+    """Chart an :class:`~repro.verification.alternating.AlternatingResult`.
+
+    Prepends the initial identity size (inferred from the first entries)
+    is omitted — the chart starts at the first application.
+    """
+    counts = [entry.node_count for entry in result.trace]
+    sides = [entry.side for entry in result.trace]
+    if not counts:
+        raise VisualizationError("the result carries no trace")
+    return trace_svg(
+        counts,
+        sides=sides,
+        title=title or f"alternating verification ({result.method})",
+    )

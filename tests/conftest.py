@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage, NormalizationScheme
+
+
+@pytest.fixture
+def package() -> DDPackage:
+    """A fresh decision-diagram package (L2 vector normalization)."""
+    return DDPackage()
+
+
+@pytest.fixture
+def max_package() -> DDPackage:
+    """A package using max-magnitude normalization for vectors."""
+    return DDPackage(vector_scheme=NormalizationScheme.MAX_MAGNITUDE)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_state(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    """A Haar-ish random normalized state vector."""
+    size = 1 << num_qubits
+    vector = rng.normal(size=size) + 1j * rng.normal(size=size)
+    return vector / np.linalg.norm(vector)
+
+
+def random_unitary(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    """A Haar-random unitary via QR decomposition."""
+    size = 1 << num_qubits
+    matrix = rng.normal(size=(size, size)) + 1j * rng.normal(size=(size, size))
+    q, r = np.linalg.qr(matrix)
+    return q * (np.diagonal(r) / np.abs(np.diagonal(r)))

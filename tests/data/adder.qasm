@@ -1,0 +1,21 @@
+// One-bit full adder: (cin, a, b) -> sum on b, carry-out on cout.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg cin[1];
+qreg a[1];
+qreg b[1];
+qreg cout[1];
+creg result[2];
+// set inputs a=1, b=1, cin=1
+x a[0];
+x b[0];
+x cin[0];
+barrier cin, a, b, cout;
+// MAJ / UMA style adder
+ccx a[0], b[0], cout[0];
+cx a[0], b[0];
+ccx cin[0], b[0], cout[0];
+cx cin[0], b[0];
+barrier cin, a, b, cout;
+measure b[0] -> result[0];
+measure cout[0] -> result[1];

@@ -1,0 +1,23 @@
+// Inverse QFT on 4 qubits built from a user-defined controlled phase.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+gate cphase(theta) c, t {
+  p(theta/2) c;
+  cx c, t;
+  p(-theta/2) t;
+  cx c, t;
+  p(theta/2) t;
+}
+swap q[0], q[3];
+swap q[1], q[2];
+h q[0];
+cphase(-pi/2) q[0], q[1];
+h q[1];
+cphase(-pi/4) q[0], q[2];
+cphase(-pi/2) q[1], q[2];
+h q[2];
+cphase(-pi/8) q[0], q[3];
+cphase(-pi/4) q[1], q[3];
+cphase(-pi/2) q[2], q[3];
+h q[3];

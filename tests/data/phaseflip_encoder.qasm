@@ -1,0 +1,8 @@
+// Three-qubit phase-flip code encoder: |psi>|00> -> alpha|+++> + beta|--->
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+ry(0.7) q[2];
+cx q[2], q[1];
+cx q[2], q[0];
+h q;

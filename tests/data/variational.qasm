@@ -1,0 +1,15 @@
+// Hardware-efficient two-layer variational ansatz on 4 qubits.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+gate layer(t1, t2) a, b {
+  ry(t1) a;
+  ry(t2) b;
+  cx a, b;
+  rz(t1/2) b;
+}
+layer(pi/3, pi/5) q[0], q[1];
+layer(pi/7, -pi/4) q[2], q[3];
+barrier q;
+layer(0.25, 0.5) q[1], q[2];
+layer(sin(1.0), cos(1.0)) q[3], q[0];

@@ -1,0 +1,137 @@
+"""Unit tests for ancillary/garbage-aware equivalence checking."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.qc import QuantumCircuit, library
+from repro.verification import check_equivalence_ancillary
+
+
+def _toffoli_direct():
+    circuit = QuantumCircuit(3)
+    circuit.ccx(0, 1, 2)
+    return circuit
+
+
+def _toffoli_with_clean_ancilla():
+    circuit = QuantumCircuit(4)
+    circuit.ccx(0, 1, 3)  # compute AND on the ancilla
+    circuit.cx(3, 2)      # copy to the target
+    circuit.ccx(0, 1, 3)  # uncompute
+    return circuit
+
+
+def _toffoli_with_dirty_ancilla():
+    circuit = QuantumCircuit(4)
+    circuit.ccx(0, 1, 3)
+    circuit.cx(3, 2)
+    return circuit  # ancilla left holding AND(q0, q1)
+
+
+class TestAncillaries:
+    def test_same_size_circuits(self):
+        result = check_equivalence_ancillary(
+            library.qft(2), library.qft(2), seed=0
+        )
+        assert result.equivalent
+
+    def test_extra_untouched_line(self):
+        small = library.qft(2)
+        big = QuantumCircuit(3)
+        for operation in small:
+            big.append(operation)
+        assert check_equivalence_ancillary(small, big, seed=0)
+
+    def test_uncomputed_ancilla_is_equivalent(self):
+        result = check_equivalence_ancillary(
+            _toffoli_direct(), _toffoli_with_clean_ancilla(), seed=0
+        )
+        assert result.equivalent
+        assert result.max_deviation < 1e-9
+
+    def test_dirty_ancilla_is_caught(self):
+        result = check_equivalence_ancillary(
+            _toffoli_direct(), _toffoli_with_dirty_ancilla(), seed=0
+        )
+        assert not result.equivalent
+        assert result.first_failure is not None
+
+    def test_order_of_arguments_irrelevant(self):
+        assert check_equivalence_ancillary(
+            _toffoli_with_clean_ancilla(), _toffoli_direct(), seed=0
+        )
+
+
+class TestGarbage:
+    def test_dirty_ancilla_as_classical_garbage(self):
+        """On basis stimuli only, a garbage-marked dirty ancilla is fine
+        (the reversible-logic garbage convention)."""
+        result = check_equivalence_ancillary(
+            _toffoli_direct(),
+            _toffoli_with_dirty_ancilla(),
+            garbage_qubits=[3],
+            num_random_stimuli=0,
+            seed=0,
+        )
+        assert result.equivalent
+
+    def test_entangled_garbage_differs_on_superpositions(self):
+        """With superposition stimuli the entangled garbage line makes the
+        reduced outputs differ (mixed vs pure) — reported honestly."""
+        result = check_equivalence_ancillary(
+            _toffoli_direct(),
+            _toffoli_with_dirty_ancilla(),
+            garbage_qubits=[3],
+            num_random_stimuli=8,
+            seed=0,
+        )
+        assert not result.equivalent
+
+    def test_garbage_on_data_line(self):
+        """Garbage can also mask a data qubit difference."""
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.h(0).x(1)
+        assert not check_equivalence_ancillary(a, b, seed=0)
+        assert check_equivalence_ancillary(
+            a, b, garbage_qubits=[1], num_random_stimuli=0, seed=0
+        )
+
+    def test_garbage_out_of_range(self):
+        with pytest.raises(VerificationError):
+            check_equivalence_ancillary(
+                _toffoli_direct(), _toffoli_direct(), garbage_qubits=[5]
+            )
+
+
+class TestStimuli:
+    def test_basis_cap_subsamples(self):
+        result = check_equivalence_ancillary(
+            library.qft(3), library.qft(3),
+            max_basis_stimuli=4, num_random_stimuli=2, seed=1,
+        )
+        assert result.equivalent
+        assert result.stimuli_run == 6
+
+    def test_random_stimuli_catch_phase_differences(self):
+        """A CZ difference is invisible on basis states but caught by
+        superposition stimuli."""
+        a = QuantumCircuit(2)
+        a.i(0)
+        b = QuantumCircuit(2)
+        b.cz(0, 1)
+        basis_only = check_equivalence_ancillary(
+            a, b, num_random_stimuli=0, seed=0
+        )
+        assert basis_only.equivalent  # basis states cannot see CZ
+        with_random = check_equivalence_ancillary(
+            a, b, num_random_stimuli=8, seed=0
+        )
+        assert not with_random.equivalent
+
+    def test_nonunitary_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(VerificationError):
+            check_equivalence_ancillary(circuit, QuantumCircuit(1))

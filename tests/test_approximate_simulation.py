@@ -1,0 +1,80 @@
+"""Tests for approximate (per-step pruned) simulation."""
+
+import numpy as np
+import pytest
+
+from repro.qc import QuantumCircuit, library
+from repro.simulation import DDSimulator
+
+
+class TestApproximateSimulation:
+    def test_exact_by_default(self):
+        simulator = DDSimulator(library.qft(4))
+        simulator.run_all()
+        assert simulator.approximation_fidelity == 1.0
+
+    def test_structured_circuit_unaffected(self):
+        simulator = DDSimulator(
+            library.ghz_state(8), approximation_threshold=1e-4
+        )
+        simulator.run_all()
+        assert simulator.approximation_fidelity == pytest.approx(1.0)
+        assert simulator.node_count() == 15
+
+    def test_fidelity_estimate_tracks_truth(self):
+        circuit = library.random_circuit(7, 60, seed=11)
+        exact = DDSimulator(circuit)
+        exact.run_all()
+        approx = DDSimulator(circuit, approximation_threshold=1e-4)
+        approx.run_all()
+        true_fidelity = (
+            abs(np.vdot(exact.statevector(), approx.statevector())) ** 2
+        )
+        assert approx.approximation_fidelity < 1.0 or true_fidelity > 1 - 1e-9
+        # The running product is a good estimate of the true fidelity.
+        assert approx.approximation_fidelity == pytest.approx(
+            true_fidelity, abs=0.02
+        )
+
+    def test_state_stays_normalized(self):
+        circuit = library.random_circuit(6, 40, seed=2)
+        approx = DDSimulator(circuit, approximation_threshold=1e-3)
+        approx.run_all()
+        assert abs(
+            approx.package.norm_squared(approx.state) - 1.0
+        ) < 1e-9
+
+    def test_fidelity_rolls_back_with_history(self):
+        circuit = library.random_circuit(6, 40, seed=2)
+        approx = DDSimulator(circuit, approximation_threshold=1e-3)
+        approx.run_all()
+        final = approx.approximation_fidelity
+        approx.step_backward()
+        approx.step_backward()
+        rolled = approx.approximation_fidelity
+        assert rolled >= final
+        # Stepping forward again restores the same value.
+        approx.step_forward()
+        approx.step_forward()
+        assert approx.approximation_fidelity == pytest.approx(final)
+
+    def test_aggressive_threshold_shrinks_diagram(self):
+        circuit = library.random_circuit(8, 60, seed=4)
+        exact = DDSimulator(circuit)
+        exact.run_all()
+        approx = DDSimulator(circuit, approximation_threshold=5e-3)
+        approx.run_all()
+        assert approx.node_count() <= exact.node_count()
+        assert approx.approximation_fidelity < 1.0
+
+    def test_measurements_work_on_pruned_state(self):
+        circuit = QuantumCircuit(5, 5)
+        for qubit in range(5):
+            circuit.h(qubit)
+        circuit.rz(0.3, 0).cx(0, 1).ry(0.2, 2)
+        circuit.measure_all()
+        approx = DDSimulator(
+            circuit, seed=0, approximation_threshold=1e-6
+        )
+        approx.run_all()
+        assert all(bit in (0, 1) for bit in approx.classical_bits)

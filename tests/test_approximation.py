@@ -1,0 +1,124 @@
+"""Unit tests for DD approximation by branch pruning."""
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+from repro.dd.approximation import prune_small_branches, prune_to_size
+from repro.dd.edge import ZERO_EDGE
+from repro.errors import DDError, InvalidStateError
+from repro.qc import library
+from repro.simulation import DDSimulator
+from tests.conftest import random_state
+
+
+def _spiky_state(package, num_qubits=8, noise=0.01, seed=0):
+    """One dominant amplitude plus lots of small noise."""
+    rng = np.random.default_rng(seed)
+    size = 1 << num_qubits
+    vector = np.zeros(size, dtype=complex)
+    vector[0] = 1.0
+    vector[1:] = noise * (rng.normal(size=size - 1) + 1j * rng.normal(size=size - 1))
+    vector /= np.linalg.norm(vector)
+    return package.from_state_vector(vector), vector
+
+
+class TestPruneSmallBranches:
+    def test_zero_threshold_is_identity(self, package):
+        state, __ = _spiky_state(package)
+        result = prune_small_branches(package, state, 0.0)
+        assert result.state == state
+        assert result.fidelity == 1.0
+        assert result.compression == 1.0
+
+    def test_result_is_normalized(self, package):
+        state, __ = _spiky_state(package)
+        result = prune_small_branches(package, state, 1e-3)
+        assert abs(package.norm_squared(result.state) - 1.0) < 1e-9
+
+    def test_fidelity_matches_direct_computation(self, package):
+        state, vector = _spiky_state(package)
+        result = prune_small_branches(package, state, 1e-3)
+        approx = package.to_vector(result.state, 8)
+        assert result.fidelity == pytest.approx(
+            abs(np.vdot(vector, approx)) ** 2, abs=1e-9
+        )
+
+    def test_compression_grows_with_threshold(self, package):
+        state, __ = _spiky_state(package)
+        nodes = [
+            prune_small_branches(package, state, threshold).nodes_after
+            for threshold in (1e-6, 1e-4, 1e-3)
+        ]
+        assert nodes[0] >= nodes[1] >= nodes[2]
+        assert nodes[2] < nodes[0]
+
+    def test_fidelity_degrades_gracefully(self, package):
+        state, __ = _spiky_state(package)
+        result = prune_small_branches(package, state, 1e-3)
+        assert result.fidelity > 0.9
+        assert result.pruned_mass < 0.1
+
+    def test_structured_states_unaffected(self, package):
+        """GHZ branches carry mass 1/2 each: mild pruning is a no-op."""
+        simulator = DDSimulator(library.ghz_state(10), package=package)
+        simulator.run_all()
+        result = prune_small_branches(package, simulator.state, 1e-3)
+        assert result.nodes_after == result.nodes_before
+        assert result.fidelity == pytest.approx(1.0)
+
+    def test_basis_probabilities_preserved_for_survivors(self, package):
+        state, vector = _spiky_state(package)
+        result = prune_small_branches(package, state, 1e-4)
+        # The dominant amplitude keeps (renormalized) its probability.
+        amp = package.amplitude(result.state, 0, 8)
+        assert abs(amp) ** 2 >= abs(vector[0]) ** 2 - 1e-9
+
+    def test_requires_l2(self, max_package):
+        state = max_package.from_state_vector([1.0, 0.0])
+        with pytest.raises(DDError):
+            prune_small_branches(max_package, state, 1e-3)
+
+    def test_threshold_validation(self, package):
+        state = package.zero_state(2)
+        with pytest.raises(DDError):
+            prune_small_branches(package, state, -0.1)
+        with pytest.raises(DDError):
+            prune_small_branches(package, state, 1.0)
+
+    def test_zero_state_input_rejected(self, package):
+        with pytest.raises(InvalidStateError):
+            prune_small_branches(package, ZERO_EDGE, 1e-3)
+
+    def test_overpruning_rejected(self, package):
+        plus = package.from_state_vector([0.5, 0.5, 0.5, 0.5])
+        with pytest.raises(InvalidStateError):
+            prune_small_branches(package, plus, 0.9)
+
+
+class TestPruneToSize:
+    def test_meets_budget(self, package):
+        state, __ = _spiky_state(package)
+        result = prune_to_size(package, state, 16)
+        assert result.nodes_after <= 16
+        assert result.fidelity > 0.9
+
+    def test_no_op_when_already_small(self, package):
+        simulator = DDSimulator(library.ghz_state(8), package=package)
+        simulator.run_all()
+        result = prune_to_size(package, simulator.state, 100)
+        assert result.nodes_after == 15
+        assert result.fidelity == pytest.approx(1.0)
+
+    def test_impossible_budget_raises(self, package):
+        state, __ = _spiky_state(package)
+        with pytest.raises((InvalidStateError, DDError)):
+            prune_to_size(package, state, 0)
+
+    def test_random_state_needs_high_price(self, package, rng):
+        """Maximally random states compress only at real fidelity cost."""
+        vector = random_state(6, rng)
+        state = package.from_state_vector(vector)
+        result = prune_to_size(package, state, 20)
+        assert result.nodes_after <= 20
+        assert result.fidelity < 1.0  # there is no free lunch here

@@ -1,0 +1,115 @@
+"""Unit tests for the dense-array views (state-vector bars, matrix heatmap)."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.errors import VisualizationError
+from repro.vis import matrix_svg, statevector_svg
+
+
+class TestStatevectorSvg:
+    def test_valid_xml(self):
+        svg = statevector_svg([1.0, 0.0])
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_per_nonzero_amplitude(self):
+        inv = 1.0 / math.sqrt(2.0)
+        svg = statevector_svg([inv, 0.0, 0.0, inv])
+        assert svg.count("<rect") == 2
+
+    def test_basis_labels_big_endian(self):
+        svg = statevector_svg([1.0, 0.0, 0.0, 0.0])
+        for label in ("00", "01", "10", "11"):
+            assert f">{label}</text>" in svg
+
+    def test_phase_coloring(self):
+        svg = statevector_svg([0.0, -1.0])
+        assert 'fill="#00ffff"' in svg  # phase pi -> cyan
+
+    def test_title(self):
+        svg = statevector_svg([1.0, 0.0], title="psi & friends")
+        assert "psi &amp; friends" in svg
+
+    def test_tooltip_shows_pretty_value(self):
+        inv = 1.0 / math.sqrt(2.0)
+        svg = statevector_svg([inv, inv])
+        assert "1/√2" in svg
+
+    def test_size_cap(self):
+        with pytest.raises(VisualizationError):
+            statevector_svg(np.ones(128), max_entries=64)
+
+    def test_empty_rejected(self):
+        with pytest.raises(VisualizationError):
+            statevector_svg([])
+
+
+class TestMatrixSvg:
+    def test_valid_xml(self):
+        svg = matrix_svg(np.eye(4))
+        ET.fromstring(svg)
+
+    def test_cell_count(self):
+        svg = matrix_svg(np.eye(4))
+        assert svg.count("<rect") == 16
+
+    def test_zero_cells_neutral(self):
+        svg = matrix_svg(np.eye(2))
+        assert '#f5f5f5' in svg
+
+    def test_phase_hue(self):
+        svg = matrix_svg(np.array([[1j, 0], [0, 1]]))
+        # i has phase pi/2 -> chartreuse-ish green (#80ff00).
+        assert 'fill="#80ff00"' in svg
+
+    def test_dimension_cap(self):
+        with pytest.raises(VisualizationError):
+            matrix_svg(np.eye(64), max_dim=32)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(VisualizationError):
+            matrix_svg(np.ones(4))
+
+    def test_qft_heatmap(self):
+        from repro.qc.library import qft_matrix
+
+        svg = matrix_svg(qft_matrix(3), title="QFT")
+        ET.fromstring(svg)
+        assert svg.count("<rect") == 64
+
+
+class TestSessionIntegration:
+    def test_session_with_statevector_view(self):
+        from repro.qc import library
+        from repro.tool import SimulationSession
+
+        session = SimulationSession(
+            library.bell_pair(), include_statevector=True
+        )
+        session.to_end(stop_at_breakpoints=False)
+        frame = session.frames[-1]
+        # circuit diagram + DD + state vector
+        assert frame.svg.count("<svg") == 3
+
+    def test_statevector_view_disabled_for_large_systems(self):
+        from repro.qc import library
+        from repro.tool import SimulationSession
+
+        session = SimulationSession(
+            library.ghz_state(8), include_statevector=True
+        )
+        assert not session.include_statevector
+        # circuit diagram + DD only
+        assert session.frames[0].svg.count("<svg") == 2
+
+    def test_circuit_diagram_disabled_for_very_large_systems(self):
+        from repro.qc import library
+        from repro.tool import SimulationSession
+
+        session = SimulationSession(library.ghz_state(16))
+        assert not session.include_circuit_diagram
+        assert session.frames[0].svg.count("<svg") == 1

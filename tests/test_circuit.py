@@ -1,0 +1,177 @@
+"""Unit tests for the circuit IR and operations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.qc import QuantumCircuit
+from repro.qc.operations import BarrierOp, GateOp, MeasureOp, ResetOp
+from repro.simulation import build_unitary
+
+
+class TestOperations:
+    def test_gateop_validates_arity(self):
+        with pytest.raises(CircuitError):
+            GateOp(gate="h", targets=(0, 1))
+        with pytest.raises(CircuitError):
+            GateOp(gate="rx", targets=(0,))  # missing parameter
+
+    def test_gateop_rejects_duplicate_lines(self):
+        with pytest.raises(CircuitError):
+            GateOp(gate="x", targets=(0,), controls=(0,))
+
+    def test_gateop_qubits(self):
+        op = GateOp(gate="x", targets=(0,), controls=(2,), negative_controls=(1,))
+        assert set(op.qubits) == {0, 1, 2}
+        assert op.num_controls == 2
+
+    def test_gateop_unitary_flag(self):
+        plain = GateOp(gate="x", targets=(0,))
+        conditioned = GateOp(gate="x", targets=(0,), condition=((0,), 1))
+        assert plain.is_unitary
+        assert not conditioned.is_unitary
+
+    def test_gateop_inverse_keeps_lines(self):
+        op = GateOp(gate="s", targets=(0,), controls=(1,))
+        inverse = op.inverse()
+        assert inverse.gate == "sdg"
+        assert inverse.controls == (1,)
+
+    def test_conditioned_inverse_rejected(self):
+        op = GateOp(gate="x", targets=(0,), condition=((0,), 1))
+        with pytest.raises(CircuitError):
+            op.inverse()
+
+    def test_label_renders_pi_fractions(self):
+        op = GateOp(gate="p", params=(math.pi / 2,), targets=(0,))
+        assert op.label() == "P(pi/2)"
+        op = GateOp(gate="p", params=(-math.pi / 4,), targets=(0,))
+        assert op.label() == "P(-pi/4)"
+
+    def test_measure_reset_barrier_qubits(self):
+        assert MeasureOp(qubit=1, clbit=0).qubits == (1,)
+        assert ResetOp(qubit=2).qubits == (2,)
+        assert BarrierOp(lines=(0, 1)).qubits == (0, 1)
+
+
+class TestCircuitBuilding:
+    def test_requires_positive_qubits(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2, -1)
+
+    def test_builder_methods_chain(self):
+        circuit = QuantumCircuit(3, 3)
+        circuit.h(0).cx(0, 1).ccx(0, 1, 2).barrier().measure(0, 0)
+        assert len(circuit) == 5
+
+    def test_out_of_range_qubit(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.h(2)
+
+    def test_out_of_range_clbit(self):
+        circuit = QuantumCircuit(2, 1)
+        with pytest.raises(CircuitError):
+            circuit.measure(0, 1)
+
+    def test_condition_value_range(self):
+        circuit = QuantumCircuit(1, 2)
+        with pytest.raises(CircuitError):
+            circuit.gate("x", [0], condition=([0, 1], 4))
+
+    def test_swap_orders_targets_high_low(self):
+        circuit = QuantumCircuit(3)
+        circuit.swap(0, 2)
+        assert circuit[0].targets == (2, 0)
+        circuit.swap(2, 0)
+        assert circuit[1].targets == (2, 0)
+
+    def test_barrier_defaults_to_all_lines(self):
+        circuit = QuantumCircuit(3)
+        circuit.barrier()
+        assert circuit[0].lines == (0, 1, 2)
+
+    def test_measure_all(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.measure_all()
+        assert circuit.count_ops() == {"measure": 2}
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2, 1).measure_all()
+
+    def test_iteration_and_indexing(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0).z(0)
+        assert [op.gate for op in circuit] == ["x", "z"]
+        assert circuit[1].gate == "z"
+
+
+class TestCircuitQueries:
+    def test_count_ops_with_controls(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).ccx(0, 1, 2)
+        assert circuit.count_ops() == {"h": 1, "cx": 1, "ccx": 1}
+
+    def test_num_gates_excludes_specials(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0).barrier().measure(0, 0).reset(1)
+        assert circuit.num_gates == 1
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1)
+        assert circuit.depth() == 1
+
+    def test_depth_serial_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).h(1)
+        assert circuit.depth() == 3
+
+    def test_depth_barrier_forces_layer(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().h(1)
+        assert circuit.depth() == 2
+
+    def test_has_nonunitary_operations(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).barrier()
+        assert not circuit.has_nonunitary_operations
+        circuit.measure(0, 0)
+        assert circuit.has_nonunitary_operations
+
+
+class TestInverseCompose:
+    def test_inverse_gives_identity(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(1).cx(1, 0).t(0).rz(0.3, 1).swap(0, 1)
+        combined = circuit.compose(circuit.inverse())
+        assert np.allclose(build_unitary(combined), np.eye(4))
+
+    def test_inverse_preserves_barriers(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0).barrier().s(0)
+        inverse = circuit.inverse()
+        kinds = [type(op).__name__ for op in inverse]
+        assert kinds == ["GateOp", "BarrierOp", "GateOp"]
+        assert inverse[0].gate == "sdg"
+
+    def test_inverse_rejects_measurement(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(CircuitError):
+            circuit.inverse()
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        clone = circuit.copy()
+        clone.z(0)
+        assert len(circuit) == 1
+        assert len(clone) == 2

@@ -1,0 +1,177 @@
+"""Unit tests for the circuit generators (paper circuits included)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+from repro.errors import CircuitError
+from repro.qc import library
+from repro.qc.dd_builder import circuit_to_dd
+from repro.simulation import DDSimulator, build_unitary
+
+INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+class TestBell:
+    def test_structure_matches_fig1c(self):
+        """Paper Fig. 1(c): two qubits, H on q1 then CNOT(q1 -> q0)."""
+        circuit = library.bell_pair()
+        assert circuit.num_qubits == 2
+        assert circuit[0].gate == "h" and circuit[0].targets == (1,)
+        assert circuit[1].gate == "x" and circuit[1].controls == (1,)
+
+    def test_produces_bell_state(self):
+        simulator = DDSimulator(library.bell_pair())
+        simulator.run_all()
+        assert np.allclose(
+            simulator.statevector(), [INV_SQRT2, 0.0, 0.0, INV_SQRT2]
+        )
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_state(self, n):
+        simulator = DDSimulator(library.ghz_state(n))
+        simulator.run_all()
+        vector = simulator.statevector()
+        assert abs(vector[0] - INV_SQRT2) < 1e-12
+        assert abs(vector[-1] - INV_SQRT2) < 1e-12
+        assert np.sum(np.abs(vector) > 1e-12) == 2
+
+    def test_ghz_dd_is_linear_size(self):
+        simulator = DDSimulator(library.ghz_state(10))
+        simulator.run_all()
+        # GHZ needs 2 nodes per inner level: 2n - 1 in total.
+        assert simulator.node_count() == 2 * 10 - 1
+
+    def test_requires_two_qubits(self):
+        with pytest.raises(CircuitError):
+            library.ghz_state(1)
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_equal_one_hot_amplitudes(self, n):
+        simulator = DDSimulator(library.w_state(n))
+        simulator.run_all()
+        vector = simulator.statevector()
+        expected = 1.0 / math.sqrt(n)
+        for index in range(1 << n):
+            amplitude = vector[index]
+            if bin(index).count("1") == 1:
+                assert abs(amplitude - expected) < 1e-9
+            else:
+                assert abs(amplitude) < 1e-9
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_matches_omega_matrix(self, n):
+        """Paper Fig. 5(c): QFT = (1/sqrt(N)) omega^(jk)."""
+        assert np.allclose(
+            build_unitary(library.qft(n)), library.qft_matrix(n)
+        )
+
+    def test_three_qubit_gate_sequence(self):
+        """Paper Fig. 5(a): H, CS, CT, H, CS, H, SWAP."""
+        circuit = library.qft(3)
+        labels = [
+            (op.gate, op.params, op.targets, op.controls) for op in circuit
+        ]
+        assert labels[0] == ("h", (), (2,), ())
+        assert labels[1] == ("p", (math.pi / 2,), (2,), (1,))
+        assert labels[2] == ("p", (math.pi / 4,), (2,), (0,))
+        assert labels[3] == ("h", (), (1,), ())
+        assert labels[4] == ("p", (math.pi / 2,), (1,), (0,))
+        assert labels[5] == ("h", (), (0,), ())
+        assert labels[6][0] == "swap"
+
+    def test_without_swaps(self):
+        circuit = library.qft(3, include_swaps=False)
+        assert all(op.gate != "swap" for op in circuit)
+
+    def test_compiled_equivalent_to_abstract(self):
+        for n in (2, 3, 4):
+            assert np.allclose(
+                build_unitary(library.qft_compiled(n)),
+                build_unitary(library.qft(n)),
+            )
+
+    def test_compiled_uses_only_primitive_gates(self):
+        """Paper Ex. 10: controlled phases and SWAPs are not native."""
+        from repro.qc.operations import BarrierOp, GateOp
+
+        for operation in library.qft_compiled(3):
+            if isinstance(operation, BarrierOp):
+                continue
+            assert isinstance(operation, GateOp)
+            assert operation.gate in ("h", "p", "x")
+            assert operation.num_controls <= 1
+            if operation.gate == "p":
+                assert not operation.controls
+
+    def test_compiled_has_barrier_per_abstract_gate(self):
+        from repro.qc.operations import BarrierOp
+
+        abstract = library.qft(3)
+        compiled = library.qft_compiled(3)
+        barriers = sum(1 for op in compiled if isinstance(op, BarrierOp))
+        assert barriers == len(abstract)
+
+    def test_qft_functionality_dd_node_count(self, package):
+        """Paper Ex. 12: the full 3-qubit QFT matrix DD has 21 nodes."""
+        functionality = circuit_to_dd(package, library.qft(3))
+        assert package.node_count(functionality) == 21
+
+
+class TestGrover:
+    @pytest.mark.parametrize("marked", [0, 3, 5, 7])
+    def test_amplifies_marked_state(self, marked):
+        simulator = DDSimulator(library.grover(3, marked), seed=0)
+        simulator.run_all()
+        probabilities = np.abs(simulator.statevector()) ** 2
+        assert int(np.argmax(probabilities)) == marked
+        assert probabilities[marked] > 0.8
+
+    def test_invalid_marked(self):
+        with pytest.raises(CircuitError):
+            library.grover(2, 4)
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", ["1", "101", "1101", "0000"])
+    def test_recovers_secret(self, secret):
+        simulator = DDSimulator(library.bernstein_vazirani(secret), seed=0)
+        simulator.run_all()
+        # Big-endian register convention: c_{m-1} ... c_0 spells the secret.
+        measured = "".join(str(bit) for bit in reversed(simulator.classical_bits))
+        assert measured == secret
+
+    def test_invalid_secret(self):
+        with pytest.raises(CircuitError):
+            library.bernstein_vazirani("10a")
+        with pytest.raises(CircuitError):
+            library.bernstein_vazirani("")
+
+
+class TestRandomCircuit:
+    def test_reproducible_with_seed(self):
+        a = library.random_circuit(4, 30, seed=5)
+        b = library.random_circuit(4, 30, seed=5)
+        assert a.operations == b.operations
+
+    def test_depth_parameter(self):
+        circuit = library.random_circuit(3, 25, seed=1)
+        assert len(circuit) == 25
+
+    def test_invalid_probability(self):
+        with pytest.raises(CircuitError):
+            library.random_circuit(2, 5, two_qubit_probability=1.5)
+
+    def test_is_simulatable(self):
+        circuit = library.random_circuit(3, 20, seed=9)
+        simulator = DDSimulator(circuit)
+        simulator.run_all()
+        assert abs(np.linalg.norm(simulator.statevector()) - 1.0) < 1e-9

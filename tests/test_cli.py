@@ -1,0 +1,133 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.qc import library
+from repro.tool.cli import main
+
+
+@pytest.fixture
+def bell_qasm(tmp_path):
+    path = tmp_path / "bell.qasm"
+    path.write_text(library.bell_pair().to_qasm())
+    return str(path)
+
+
+@pytest.fixture
+def qft_qasm(tmp_path):
+    path = tmp_path / "qft.qasm"
+    path.write_text(library.qft(3).to_qasm())
+    return str(path)
+
+
+@pytest.fixture
+def qft_compiled_qasm(tmp_path):
+    path = tmp_path / "qftc.qasm"
+    path.write_text(library.qft_compiled(3).to_qasm())
+    return str(path)
+
+
+class TestSim:
+    def test_basic_run(self, bell_qasm, capsys):
+        assert main(["sim", bell_qasm, "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "final state DD (3 nodes)" in out
+        assert "1/√2" in out
+
+    def test_steps_and_shots(self, bell_qasm, capsys):
+        assert main(["sim", bell_qasm, "--steps", "--shots", "50", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "step   1" in out
+        assert "50 shots:" in out
+
+    def test_exports(self, bell_qasm, tmp_path, capsys):
+        html = tmp_path / "out.html"
+        svg = tmp_path / "out.svg"
+        assert main([
+            "sim", bell_qasm, "--seed", "0",
+            "--export", str(html), "--svg", str(svg),
+        ]) == 0
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        assert svg.read_text().startswith("<svg")
+
+    def test_style_option(self, bell_qasm, capsys):
+        assert main(["sim", bell_qasm, "--style", "modern", "--seed", "0"]) == 0
+
+
+class TestVerify:
+    def test_equivalent_exit_zero(self, qft_qasm, qft_compiled_qasm, capsys):
+        code = main(["verify", qft_qasm, qft_compiled_qasm])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "equivalent" in out
+        assert "peak nodes" in out
+
+    def test_construct_strategy(self, qft_qasm, qft_compiled_qasm, capsys):
+        assert main([
+            "verify", qft_qasm, qft_compiled_qasm, "--strategy", "construct"
+        ]) == 0
+        assert "construct" in capsys.readouterr().out
+
+    def test_compilation_flow_reports_9_nodes(
+        self, qft_qasm, qft_compiled_qasm, capsys
+    ):
+        assert main([
+            "verify", qft_qasm, qft_compiled_qasm,
+            "--strategy", "compilation-flow",
+        ]) == 0
+        assert "peak nodes: 9" in capsys.readouterr().out
+
+    def test_inequivalent_exit_one(self, qft_qasm, tmp_path, capsys):
+        wrong = library.qft(3)
+        wrong.x(0)
+        other = tmp_path / "wrong.qasm"
+        other.write_text(wrong.to_qasm())
+        code = main(["verify", qft_qasm, str(other)])
+        assert code == 1
+        assert "NOT equivalent" in capsys.readouterr().out
+
+    def test_export(self, bell_qasm, tmp_path, capsys):
+        html = tmp_path / "v.html"
+        assert main(["verify", bell_qasm, bell_qasm, "--export", str(html)]) == 0
+        assert html.exists()
+
+
+class TestRender:
+    def test_svg_to_stdout(self, bell_qasm, capsys):
+        assert main(["render", bell_qasm]) == 0
+        assert capsys.readouterr().out.startswith("<svg")
+
+    def test_dot_format(self, bell_qasm, capsys):
+        assert main(["render", bell_qasm, "--format", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_text_format(self, bell_qasm, capsys):
+        assert main(["render", bell_qasm, "--format", "text"]) == 0
+        assert "q1" in capsys.readouterr().out
+
+    def test_functionality_flag(self, bell_qasm, tmp_path, capsys):
+        out = tmp_path / "f.svg"
+        assert main([
+            "render", bell_qasm, "--functionality", "-o", str(out)
+        ]) == 0
+        assert "nodes" in capsys.readouterr().out
+        assert out.exists()
+
+
+class TestWheel:
+    def test_wheel_stdout(self, capsys):
+        assert main(["wheel"]) == 0
+        assert capsys.readouterr().out.startswith("<svg")
+
+    def test_wheel_file(self, tmp_path, capsys):
+        out = tmp_path / "wheel.svg"
+        assert main(["wheel", "-o", str(out)]) == 0
+        assert out.exists()
+
+
+class TestErrors:
+    def test_parse_error_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.qasm"
+        bad.write_text("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];")
+        assert main(["sim", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,97 @@
+"""Unit tests for the synth / convert / stats CLI commands."""
+
+import numpy as np
+import pytest
+
+from repro.qc import library
+from repro.qc.qasm import parse_qasm
+from repro.simulation import DDSimulator
+from repro.tool.cli import main
+
+
+class TestSynth:
+    def test_bell_preparation_to_stdout(self, capsys):
+        assert main(["synth", "1,0,0,1"]) == 0
+        out = capsys.readouterr().out
+        circuit = parse_qasm(out)
+        simulator = DDSimulator(circuit)
+        simulator.run_all()
+        target = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert abs(np.vdot(simulator.statevector(), target)) ** 2 > 1 - 1e-9
+
+    def test_complex_amplitudes(self, capsys):
+        assert main(["synth", "1, 1i, -1, -1i"]) == 0
+        circuit = parse_qasm(capsys.readouterr().out)
+        simulator = DDSimulator(circuit)
+        simulator.run_all()
+        target = np.array([1, 1j, -1, -1j]) / 2.0
+        assert abs(np.vdot(simulator.statevector(), target)) ** 2 > 1 - 1e-9
+
+    def test_amplitudes_from_file(self, tmp_path, capsys):
+        vector_file = tmp_path / "state.txt"
+        vector_file.write_text("1\n0\n0\n1\n")
+        out_file = tmp_path / "prep.qasm"
+        assert main(["synth", f"@{vector_file}", "-o", str(out_file)]) == 0
+        assert "fidelity 1.0" in capsys.readouterr().out
+        parse_qasm(out_file.read_text())
+
+    def test_zero_vector_rejected(self, capsys):
+        assert main(["synth", "0,0"]) == 2
+
+    def test_no_optimize_flag(self, capsys):
+        assert main(["synth", "1,1,1,1", "--no-optimize"]) == 0
+        circuit = parse_qasm(capsys.readouterr().out)
+        # 2^2 - 1 rotations without the optimization (the negative-control
+        # export adds X conjugation gates around the controlled ones).
+        rotations = sum(1 for op in circuit if op.gate == "ry")
+        assert rotations == 3
+
+
+class TestConvert:
+    def test_real_to_qasm(self, tmp_path, capsys):
+        source = tmp_path / "c.real"
+        source.write_text(
+            ".numvars 3\n.variables a b c\n.begin\nt3 a b c\n.end\n"
+        )
+        assert main(["convert", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "ccx" in out
+        parse_qasm(out)
+
+    def test_qasm_passthrough(self, tmp_path, capsys):
+        source = tmp_path / "c.qasm"
+        source.write_text(library.bell_pair().to_qasm())
+        target = tmp_path / "out.qasm"
+        assert main(["convert", str(source), "-o", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        parse_qasm(target.read_text())
+
+
+class TestStats:
+    def test_stats_output(self, tmp_path, capsys):
+        source = tmp_path / "ghz.qasm"
+        source.write_text(library.ghz_state(4).to_qasm())
+        assert main(["stats", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "final DD 7 nodes" in out
+        assert "unique_vector" in out
+        assert "mult-mv" in out
+
+
+class TestBloch:
+    def test_bloch_to_stdout(self, tmp_path, capsys):
+        source = tmp_path / "plus.qasm"
+        source.write_text("OPENQASM 2.0;\nqreg q[1];\nh q[0];\n")
+        assert main(["bloch", str(source)]) == 0
+        assert capsys.readouterr().out.startswith("<svg")
+
+    def test_bloch_to_file_prints_vectors(self, tmp_path, capsys):
+        source = tmp_path / "bell.qasm"
+        source.write_text(library.bell_pair().to_qasm())
+        target = tmp_path / "bloch.svg"
+        assert main(["bloch", str(source), "-o", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        # Entangled qubits: zero Bloch vectors.
+        assert "(+0.000, +0.000, +0.000)" in out
+        assert target.read_text().startswith("<svg")

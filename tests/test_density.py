@@ -1,0 +1,184 @@
+"""Unit tests for the density-matrix layer (exact mixed-state handling)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage, density
+from repro.errors import DDError, InvalidStateError
+from tests.conftest import random_state, random_unitary
+
+INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+def _bell_rho(package):
+    state = package.from_state_vector([INV_SQRT2, 0, 0, INV_SQRT2])
+    return density.density_from_state(package, state)
+
+
+class TestConstruction:
+    def test_outer_product_matches_numpy(self, package, rng):
+        ket = random_state(3, rng)
+        bra = random_state(3, rng)
+        result = density.outer_product(
+            package,
+            package.from_state_vector(ket),
+            package.from_state_vector(bra),
+        )
+        assert np.allclose(package.to_matrix(result, 3), np.outer(ket, bra.conj()))
+
+    def test_density_from_state(self, package, rng):
+        vector = random_state(2, rng)
+        rho = density.density_from_statevector(package, vector)
+        assert np.allclose(
+            package.to_matrix(rho, 2), np.outer(vector, vector.conj())
+        )
+
+    def test_density_is_hermitian(self, package, rng):
+        rho = density.density_from_statevector(package, random_state(3, rng))
+        dense = package.to_matrix(rho, 3)
+        assert np.allclose(dense, dense.conj().T)
+
+    def test_size_mismatch_rejected(self, package):
+        with pytest.raises(DDError):
+            density.outer_product(
+                package, package.zero_state(2), package.zero_state(3)
+            )
+
+    def test_maximally_mixed(self, package):
+        rho = density.maximally_mixed(package, 2)
+        assert np.allclose(package.to_matrix(rho, 2), np.eye(4) / 4)
+
+
+class TestTraces:
+    def test_trace_of_pure_state_is_one(self, package, rng):
+        rho = density.density_from_statevector(package, random_state(3, rng))
+        assert abs(density.trace(package, rho) - 1.0) < 1e-9
+
+    def test_trace_matches_numpy(self, package, rng):
+        matrix = random_unitary(2, rng)
+        operation = package.from_matrix(matrix)
+        assert abs(density.trace(package, operation) - np.trace(matrix)) < 1e-9
+
+    def test_partial_trace_bell_gives_maximally_mixed(self, package):
+        """Entanglement: the reduced single-qubit state of the Bell pair
+        is I/2 (cf. paper Ex. 1: the parts cannot be described alone)."""
+        rho = _bell_rho(package)
+        for traced in ([0], [1]):
+            reduced = package.to_matrix(
+                density.partial_trace(package, rho, traced), 1
+            )
+            assert np.allclose(reduced, np.eye(2) / 2)
+
+    def test_partial_trace_product_state(self, package, rng):
+        a = random_state(1, rng)
+        b = random_state(1, rng)
+        state = package.from_state_vector(np.kron(a, b))
+        rho = density.density_from_state(package, state)
+        reduced_top = package.to_matrix(
+            density.partial_trace(package, rho, [0]), 1
+        )
+        assert np.allclose(reduced_top, np.outer(a, a.conj()), atol=1e-9)
+        reduced_bottom = package.to_matrix(
+            density.partial_trace(package, rho, [1]), 1
+        )
+        assert np.allclose(reduced_bottom, np.outer(b, b.conj()), atol=1e-9)
+
+    def test_partial_trace_matches_numpy(self, package, rng):
+        vector = random_state(3, rng)
+        rho = density.density_from_statevector(package, vector)
+        # Trace out the middle qubit (q1 = axes 1 and 4 in big-endian).
+        expected = np.trace(
+            np.outer(vector, vector.conj()).reshape(2, 2, 2, 2, 2, 2),
+            axis1=1, axis2=4,
+        ).reshape(4, 4)
+        reduced = package.to_matrix(density.partial_trace(package, rho, [1]), 2)
+        assert np.allclose(reduced, expected, atol=1e-9)
+
+    def test_trace_out_everything_gives_trace(self, package, rng):
+        rho = density.density_from_statevector(package, random_state(2, rng))
+        scalar = density.partial_trace(package, rho, [0, 1])
+        assert scalar.node.is_terminal
+        assert abs(scalar.weight - 1.0) < 1e-9
+
+    def test_partial_trace_out_of_range(self, package):
+        rho = _bell_rho(package)
+        with pytest.raises(DDError):
+            density.partial_trace(package, rho, [5])
+
+    def test_purity(self, package, rng):
+        pure = density.density_from_statevector(package, random_state(2, rng))
+        assert abs(density.purity(package, pure) - 1.0) < 1e-9
+        mixed = density.maximally_mixed(package, 2)
+        assert abs(density.purity(package, mixed) - 0.25) < 1e-9
+
+
+class TestEvolutionAndMeasurement:
+    def test_apply_unitary_matches_numpy(self, package, rng):
+        vector = random_state(2, rng)
+        matrix = random_unitary(2, rng)
+        rho = density.density_from_statevector(package, vector)
+        evolved = density.apply_unitary(package, rho, package.from_matrix(matrix))
+        expected = matrix @ np.outer(vector, vector.conj()) @ matrix.conj().T
+        assert np.allclose(package.to_matrix(evolved, 2), expected)
+
+    def test_measure_probabilities_match_vector_dd(self, package, rng):
+        from repro.dd import sampling
+
+        vector = random_state(3, rng)
+        state = package.from_state_vector(vector)
+        rho = density.density_from_state(package, state)
+        for qubit in range(3):
+            expected = sampling.qubit_probabilities(package, state, qubit)
+            measured = density.measure_probabilities(package, rho, qubit)
+            assert abs(measured[0] - expected[0]) < 1e-9
+
+    def test_collapse(self, package):
+        rho = _bell_rho(package)
+        probability, collapsed = density.collapse(package, rho, 0, 1)
+        assert abs(probability - 0.5) < 1e-12
+        expected = np.zeros((4, 4))
+        expected[3, 3] = 1.0
+        assert np.allclose(package.to_matrix(collapsed, 2), expected)
+
+    def test_collapse_impossible_outcome(self, package):
+        rho = density.density_from_state(package, package.zero_state(2))
+        with pytest.raises(InvalidStateError):
+            density.collapse(package, rho, 0, 1)
+
+    def test_collapse_invalid_outcome(self, package):
+        with pytest.raises(DDError):
+            density.collapse(package, _bell_rho(package), 0, 2)
+
+    def test_exact_reset_produces_mixed_state(self, package):
+        """Paper Sec. IV-B: reset maps pure states to mixed states."""
+        rho = _bell_rho(package)
+        after = density.reset(package, rho, 0)
+        expected = np.zeros((4, 4))
+        expected[0, 0] = 0.5  # |00><00|
+        expected[2, 2] = 0.5  # |10><10|
+        assert np.allclose(package.to_matrix(after, 2), expected)
+        assert abs(density.purity(package, after) - 0.5) < 1e-9
+
+    def test_reset_preserves_trace(self, package, rng):
+        rho = density.density_from_statevector(package, random_state(3, rng))
+        after = density.reset(package, rho, 1)
+        assert abs(density.trace(package, after) - 1.0) < 1e-9
+
+    def test_reset_of_unentangled_zero_qubit_is_noop(self, package):
+        state = package.zero_state(2)
+        rho = density.density_from_state(package, state)
+        after = density.reset(package, rho, 0)
+        assert after.node is rho.node
+
+    def test_fidelity_with_state(self, package, rng):
+        vector = random_state(2, rng)
+        state = package.from_state_vector(vector)
+        rho = density.density_from_state(package, state)
+        assert abs(density.fidelity_with_state(package, rho, state) - 1.0) < 1e-9
+        other = package.basis_state(2, 0)
+        expected = abs(vector[0]) ** 2
+        assert abs(
+            density.fidelity_with_state(package, rho, other) - expected
+        ) < 1e-9

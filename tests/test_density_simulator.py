@@ -1,0 +1,174 @@
+"""Unit tests for the exact (branching) density-matrix simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.qc import QuantumCircuit, library
+from repro.simulation import DDSimulator, DensityMatrixSimulator
+
+INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+class TestBasics:
+    def test_unitary_circuit_matches_vector_simulation(self):
+        circuit = library.qft(3)
+        exact = DensityMatrixSimulator(circuit)
+        exact.run()
+        vector_sim = DDSimulator(circuit)
+        vector_sim.run_all()
+        vector = vector_sim.statevector()
+        assert np.allclose(
+            exact.density_matrix(), np.outer(vector, vector.conj())
+        )
+        assert abs(exact.purity() - 1.0) < 1e-9
+
+    def test_step_past_end(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.step()
+
+    def test_barrier_is_noop(self):
+        circuit = QuantumCircuit(1)
+        circuit.barrier()
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        assert np.allclose(simulator.density_matrix(), [[1, 0], [0, 0]])
+
+
+class TestMeasurementBranching:
+    def test_hadamard_measure_splits_branches(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        assert len(simulator.branches) == 2
+        distribution = simulator.classical_distribution()
+        assert abs(distribution["0"] - 0.5) < 1e-9
+        assert abs(distribution["1"] - 0.5) < 1e-9
+
+    def test_ensemble_state_is_mixed_after_measurement(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        assert np.allclose(simulator.density_matrix(), np.eye(2) / 2)
+        assert abs(simulator.purity() - 0.5) < 1e-9
+
+    def test_deterministic_measurement_single_branch(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0).measure(0, 0)
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        assert len(simulator.branches) == 1
+        assert simulator.classical_distribution() == {"1": 1.0}
+
+    def test_bell_measurement_correlations(self):
+        """Exact version of paper Ex. 2: the joint distribution puts all
+        mass on 00 and 11."""
+        circuit = library.bell_pair()
+        circuit.measure(0, 0).measure(1, 1)
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        distribution = simulator.classical_distribution()
+        assert set(distribution) == {"00", "11"}
+        assert abs(distribution["00"] - 0.5) < 1e-9
+
+    def test_bv_distribution_is_deterministic(self):
+        simulator = DensityMatrixSimulator(library.bernstein_vazirani("1101"))
+        simulator.run()
+        assert simulator.classical_distribution() == {"1101": 1.0}
+
+    def test_classical_control_per_branch(self):
+        """Deferred correction: each branch gets its own conditioned gate,
+        so the ensemble collapses back to a pure |0>."""
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        circuit.gate("x", [0], condition=([0], 1))
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        assert np.allclose(simulator.density_matrix(), [[1, 0], [0, 0]])
+        # Classical bits still differ across branches.
+        assert set(simulator.classical_distribution()) == {"0", "1"}
+
+    def test_monte_carlo_agreement(self):
+        """The trajectory simulator's empirical distribution converges to
+        the exact branch distribution."""
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(1).cx(1, 0).ry(0.7, 0).measure(0, 0).measure(1, 1)
+        exact = DensityMatrixSimulator(circuit)
+        exact.run()
+        expected = exact.classical_distribution()
+        counts: dict = {}
+        runs = 4000
+        for seed in range(runs):
+            trajectory = DDSimulator(circuit, seed=seed)
+            trajectory.run_all()
+            key = "".join(str(b) for b in reversed(trajectory.classical_bits))
+            counts[key] = counts.get(key, 0) + 1
+        for key, probability in expected.items():
+            assert abs(counts.get(key, 0) / runs - probability) < 0.05
+
+
+class TestReset:
+    def test_exact_reset_of_entangled_qubit(self):
+        """Resetting one Bell qubit leaves the partner maximally mixed —
+        exactly, in one run (no dialog, paper Sec. IV-B contrast)."""
+        circuit = library.bell_pair()
+        circuit.reset(0)
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        assert len(simulator.branches) == 1  # no branching for resets
+        expected = np.zeros((4, 4))
+        expected[0, 0] = 0.5
+        expected[2, 2] = 0.5
+        assert np.allclose(simulator.density_matrix(), expected)
+        reduced = simulator.reduced_density_matrix([1])
+        assert np.allclose(reduced, np.eye(2) / 2)
+
+    def test_reset_then_reuse(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).reset(0).x(0)
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        assert np.allclose(simulator.density_matrix(), [[0, 0], [0, 1]])
+
+
+class TestQueries:
+    def test_probabilities(self):
+        circuit = library.bell_pair()
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        p0, p1 = simulator.probabilities(0)
+        assert abs(p0 - 0.5) < 1e-9
+
+    def test_reduced_density_matrix_of_ghz(self):
+        simulator = DensityMatrixSimulator(library.ghz_state(3))
+        simulator.run()
+        reduced = simulator.reduced_density_matrix([0])
+        assert np.allclose(reduced, np.eye(2) / 2)
+        reduced_two = simulator.reduced_density_matrix([0, 1])
+        expected = np.zeros((4, 4))
+        expected[0, 0] = 0.5
+        expected[3, 3] = 0.5
+        assert np.allclose(reduced_two, expected)
+
+    def test_branch_merging(self):
+        """Measuring an unentangled |+> twice yields two classical values
+        but identical quantum states, which merge."""
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0).measure(0, 0)
+        circuit.gate("x", [0], condition=([0], 1))  # restore |0>
+        circuit.measure(0, 1)
+        simulator = DensityMatrixSimulator(circuit)
+        simulator.run()
+        # After the correction, q0 is |0> in both branches; the second
+        # measurement cannot split further.
+        assert len(simulator.branches) == 2
+        for branch in simulator.branches:
+            assert branch.classical_bits[1] == 0

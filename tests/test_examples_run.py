@@ -1,0 +1,49 @@
+"""Every example script must run cleanly end to end (deliverable check).
+
+Each example is executed as a subprocess in a temporary working directory
+(they write their artifacts into the cwd), with a generous timeout.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples"
+)
+ALL_EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs(name, tmp_path):
+    script = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    completed = subprocess.run(
+        [sys.executable, script],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{name} failed:\n{completed.stdout[-2000:]}\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{name} produced no output"
+
+
+def test_expected_example_set():
+    """The README promises these examples; keep the list in sync."""
+    expected = {
+        "quickstart.py",
+        "teleportation.py",
+        "verify_compilation.py",
+        "render_gallery.py",
+        "grover_search.py",
+        "mixed_states.py",
+        "noisy_phase_estimation.py",
+        "ising_energy.py",
+    }
+    assert expected <= set(ALL_EXAMPLES)

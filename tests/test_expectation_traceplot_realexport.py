@@ -1,0 +1,212 @@
+"""Unit tests for Pauli expectations, trace charts and the .real writer."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+from repro.dd.expectation import (
+    expectation_hamiltonian,
+    expectation_pauli,
+    pauli_string_dd,
+)
+from repro.errors import CircuitError, DDError, VisualizationError
+from repro.qc import QuantumCircuit, library
+from repro.qc.real_exporter import circuit_to_real
+from repro.qc.real_format import parse_real
+from repro.simulation import build_unitary, DDSimulator
+from repro.vis.trace_plot import alternating_trace_svg, trace_svg
+from tests.conftest import random_state
+
+INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+class TestPauliStringDD:
+    def test_matrices(self, package):
+        x = np.array([[0, 1], [1, 0]])
+        z = np.diag([1, -1])
+        dd = pauli_string_dd(package, "XZ")
+        assert np.allclose(package.to_matrix(dd, 2), np.kron(x, z))
+
+    def test_identity_string(self, package):
+        dd = pauli_string_dd(package, "III")
+        assert dd.node is package.identity(3).node
+
+    def test_invalid_string(self, package):
+        with pytest.raises(DDError):
+            pauli_string_dd(package, "XQ")
+        with pytest.raises(DDError):
+            pauli_string_dd(package, "")
+
+    def test_lowercase_accepted(self, package):
+        assert pauli_string_dd(package, "xyz").node is pauli_string_dd(
+            package, "XYZ"
+        ).node
+
+
+class TestExpectation:
+    def test_z_on_basis_states(self, package):
+        zero = package.zero_state(1)
+        one = package.basis_state(1, 1)
+        assert expectation_pauli(package, zero, "Z") == pytest.approx(1.0)
+        assert expectation_pauli(package, one, "Z") == pytest.approx(-1.0)
+
+    def test_x_on_plus(self, package):
+        plus = package.from_state_vector([INV_SQRT2, INV_SQRT2])
+        assert expectation_pauli(package, plus, "X") == pytest.approx(1.0)
+        assert expectation_pauli(package, plus, "Z") == pytest.approx(0.0)
+
+    def test_bell_correlations(self, package):
+        """The Bell state has <ZZ> = <XX> = 1 and <ZI> = 0 (paper Ex. 2's
+        perfect correlation, stated as expectation values)."""
+        bell = package.from_state_vector([INV_SQRT2, 0, 0, INV_SQRT2])
+        assert expectation_pauli(package, bell, "ZZ") == pytest.approx(1.0)
+        assert expectation_pauli(package, bell, "XX") == pytest.approx(1.0)
+        assert expectation_pauli(package, bell, "ZI") == pytest.approx(0.0)
+        assert expectation_pauli(package, bell, "YY") == pytest.approx(-1.0)
+
+    def test_matches_dense_computation(self, package, rng):
+        vector = random_state(3, rng)
+        state = package.from_state_vector(vector)
+        paulis = {"I": np.eye(2), "X": [[0, 1], [1, 0]],
+                  "Y": [[0, -1j], [1j, 0]], "Z": np.diag([1, -1])}
+        for string in ("XYZ", "ZIX", "YYI"):
+            dense = np.ones((1, 1))
+            for character in string:
+                dense = np.kron(dense, np.asarray(paulis[character]))
+            expected = np.vdot(vector, dense @ vector).real
+            assert expectation_pauli(package, state, string) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_length_mismatch(self, package):
+        with pytest.raises(DDError):
+            expectation_pauli(package, package.zero_state(2), "XXX")
+
+    def test_hamiltonian(self, package):
+        """Ising-type energy of the GHZ state: ZZ terms give +1 each."""
+        simulator = DDSimulator(library.ghz_state(3), package=package)
+        simulator.run_all()
+        energy = expectation_hamiltonian(
+            package,
+            simulator.state,
+            {"ZZI": -1.0, "IZZ": -1.0, "XII": -0.5},
+        )
+        assert energy == pytest.approx(-2.0)
+
+    def test_hamiltonian_pairs_input(self, package):
+        zero = package.zero_state(1)
+        energy = expectation_hamiltonian(package, zero, [("Z", 2.0), ("X", 1.0)])
+        assert energy == pytest.approx(2.0)
+
+    def test_empty_hamiltonian(self, package):
+        with pytest.raises(DDError):
+            expectation_hamiltonian(package, package.zero_state(1), {})
+
+
+class TestTracePlot:
+    def test_valid_svg(self):
+        svg = trace_svg([3, 5, 9, 7, 3], title="demo")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert "demo" in svg
+
+    def test_marker_per_point(self):
+        svg = trace_svg([3, 5, 9])
+        assert svg.count("<circle") == 3
+
+    def test_sides_color_markers_and_legend(self):
+        svg = trace_svg([3, 5, 4], sides=["G", "G'", "G"])
+        assert svg.count('fill="#1f77b4"') >= 2  # two G markers + legend
+        assert svg.count('fill="#d62728"') >= 1
+        assert "from G" in svg
+
+    def test_reference_line(self):
+        svg = trace_svg([3, 5], reference=("monolithic peak", 21))
+        assert "monolithic peak (21)" in svg
+        assert "stroke-dasharray" in svg
+
+    def test_requires_points(self):
+        with pytest.raises(VisualizationError):
+            trace_svg([])
+
+    def test_sides_length_checked(self):
+        with pytest.raises(VisualizationError):
+            trace_svg([1, 2], sides=["G"])
+
+    def test_from_alternating_result(self):
+        from repro.verification import (
+            ApplicationStrategy,
+            check_equivalence_alternating,
+        )
+
+        result = check_equivalence_alternating(
+            library.qft(3), library.qft_compiled(3),
+            ApplicationStrategy.COMPILATION_FLOW,
+        )
+        svg = alternating_trace_svg(result)
+        ET.fromstring(svg)
+        assert svg.count("<circle") >= len(result.trace)
+
+
+class TestRealExport:
+    def test_toffoli_roundtrip(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(2).cx(2, 1).ccx(2, 1, 0)
+        text = circuit_to_real(circuit)
+        assert "t1 x0" in text
+        assert "t2 x0 x1" in text
+        assert "t3 x0 x1 x2" in text
+        reparsed = parse_real(text)
+        assert np.allclose(build_unitary(reparsed), build_unitary(circuit))
+
+    def test_negative_controls(self):
+        circuit = QuantumCircuit(2)
+        circuit.gate("x", [0], negative_controls=[1])
+        text = circuit_to_real(circuit)
+        assert "t2 -x0 x1" in text
+        reparsed = parse_real(text)
+        assert np.allclose(build_unitary(reparsed), build_unitary(circuit))
+
+    def test_fredkin_and_v(self):
+        circuit = QuantumCircuit(3)
+        circuit.cswap(2, 1, 0)
+        circuit.gate("sx", [0], controls=[1])
+        circuit.gate("sxdg", [0])
+        text = circuit_to_real(circuit)
+        assert "f3" in text and "v " in text and "v+" in text
+        reparsed = parse_real(text)
+        assert np.allclose(build_unitary(reparsed), build_unitary(circuit))
+
+    def test_barriers_skipped(self):
+        circuit = QuantumCircuit(1)
+        circuit.barrier().x(0)
+        assert "barrier" not in circuit_to_real(circuit)
+
+    def test_unsupported_gate_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        with pytest.raises(CircuitError):
+            circuit_to_real(circuit)
+
+    def test_measure_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(CircuitError):
+            circuit_to_real(circuit)
+
+    def test_random_reversible_roundtrip(self, rng):
+        circuit = QuantumCircuit(4)
+        for _ in range(25):
+            kind = rng.integers(3)
+            lines = list(rng.permutation(4))
+            if kind == 0:
+                circuit.x(int(lines[0]))
+            elif kind == 1:
+                circuit.cx(int(lines[0]), int(lines[1]))
+            else:
+                circuit.ccx(int(lines[0]), int(lines[1]), int(lines[2]))
+        reparsed = parse_real(circuit_to_real(circuit))
+        assert np.allclose(build_unitary(reparsed), build_unitary(circuit))

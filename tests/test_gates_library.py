@@ -1,0 +1,146 @@
+"""Unit tests for the standard gate library."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GateError
+from repro.qc.gates import (
+    gate_matrix,
+    gate_signature,
+    inverse_gate,
+    is_known_gate,
+    is_unitary,
+)
+
+ALL_FIXED = [
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+    "swap", "iswap", "iswapdg",
+]
+PARAMETRIZED = [
+    ("rx", 1), ("ry", 1), ("rz", 1), ("p", 1), ("u1", 1), ("u2", 2),
+    ("u3", 3), ("u", 3),
+]
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("name", ALL_FIXED)
+    def test_fixed_gates_are_unitary(self, name):
+        assert is_unitary(gate_matrix(name))
+
+    @pytest.mark.parametrize("name,num_params", PARAMETRIZED)
+    def test_parametrized_gates_are_unitary(self, name, num_params):
+        params = [0.3 * (k + 1) for k in range(num_params)]
+        assert is_unitary(gate_matrix(name, params))
+
+    def test_hadamard_values(self):
+        """Paper Fig. 1(a)."""
+        inv = 1.0 / math.sqrt(2.0)
+        assert np.allclose(gate_matrix("h"), [[inv, inv], [inv, -inv]])
+
+    def test_pauli_algebra(self):
+        x, y, z = gate_matrix("x"), gate_matrix("y"), gate_matrix("z")
+        assert np.allclose(x @ y, 1j * z)
+
+    def test_s_is_p_half_pi(self):
+        """Paper Ex. 10: S = P(pi/2)."""
+        assert np.allclose(gate_matrix("s"), gate_matrix("p", [math.pi / 2]))
+
+    def test_t_is_p_quarter_pi(self):
+        """Paper Ex. 10: T = P(pi/4)."""
+        assert np.allclose(gate_matrix("t"), gate_matrix("p", [math.pi / 4]))
+
+    def test_s_squared_is_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"))
+
+    def test_t_squared_is_s(self):
+        t = gate_matrix("t")
+        assert np.allclose(t @ t, gate_matrix("s"))
+
+    def test_sx_squared_is_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"))
+
+    def test_u3_special_cases(self):
+        assert np.allclose(
+            gate_matrix("u3", [math.pi / 2, 0.0, math.pi]), gate_matrix("h")
+        )
+        assert np.allclose(gate_matrix("u3", [math.pi, 0.0, math.pi]),
+                           gate_matrix("x"))
+
+    def test_u2_is_u3_half_pi(self):
+        phi, lam = 0.4, 1.1
+        assert np.allclose(
+            gate_matrix("u2", [phi, lam]),
+            gate_matrix("u3", [math.pi / 2, phi, lam]),
+        )
+
+    def test_rz_phase_convention(self):
+        theta = 0.7
+        rz = gate_matrix("rz", [theta])
+        assert cmath.isclose(rz[0, 0], cmath.exp(-0.5j * theta))
+        # rz differs from p by a global phase only.
+        p = gate_matrix("p", [theta])
+        assert np.allclose(rz * cmath.exp(0.5j * theta), p)
+
+    def test_swap_matrix(self):
+        expected = np.eye(4)[:, [0, 2, 1, 3]]
+        assert np.allclose(gate_matrix("swap"), expected)
+
+    def test_wrong_param_count(self):
+        with pytest.raises(GateError):
+            gate_matrix("rx")
+        with pytest.raises(GateError):
+            gate_matrix("h", [0.1])
+
+    def test_unknown_gate(self):
+        with pytest.raises(GateError):
+            gate_matrix("nope")
+
+    def test_matrix_is_a_copy(self):
+        first = gate_matrix("x")
+        first[0, 0] = 99.0
+        assert gate_matrix("x")[0, 0] == 0.0
+
+
+class TestSignatures:
+    def test_signature_contents(self):
+        assert gate_signature("u3") == (3, 1)
+        assert gate_signature("swap") == (0, 2)
+
+    def test_is_known_gate(self):
+        assert is_known_gate("h")
+        assert not is_known_gate("hh")
+
+
+class TestInverses:
+    @pytest.mark.parametrize("name", ALL_FIXED)
+    def test_fixed_inverse_is_inverse(self, name):
+        inverse_name, params = inverse_gate(name)
+        product = gate_matrix(inverse_name, params) @ gate_matrix(name)
+        assert np.allclose(product, np.eye(product.shape[0]))
+
+    @pytest.mark.parametrize("name,num_params", PARAMETRIZED)
+    def test_parametrized_inverse_is_inverse(self, name, num_params):
+        params = [0.37 * (k + 1) for k in range(num_params)]
+        inverse_name, inverse_params = inverse_gate(name, params)
+        product = gate_matrix(inverse_name, inverse_params) @ gate_matrix(name, params)
+        assert np.allclose(product, np.eye(2))
+
+    def test_unknown_gate_inverse(self):
+        with pytest.raises(GateError):
+            inverse_gate("nope")
+
+
+class TestIsUnitary:
+    def test_rejects_non_square(self):
+        assert not is_unitary(np.zeros((2, 3)))
+
+    def test_rejects_singular(self):
+        assert not is_unitary(np.zeros((2, 2)))
+
+    def test_accepts_phase(self):
+        assert is_unitary(np.eye(2) * cmath.exp(0.3j))

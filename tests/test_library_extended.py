@@ -1,0 +1,93 @@
+"""Unit tests for the extended circuit library: inverse QFT, QPE, DJ."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.qc import library
+from repro.simulation import DensityMatrixSimulator, build_unitary
+
+
+class TestQftInverse:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_is_the_inverse(self, n):
+        forward = build_unitary(library.qft(n))
+        backward = build_unitary(library.qft_inverse(n))
+        assert np.allclose(backward @ forward, np.eye(1 << n))
+
+    def test_matches_conjugate_transpose_of_formula(self):
+        assert np.allclose(
+            build_unitary(library.qft_inverse(3)),
+            library.qft_matrix(3).conj().T,
+        )
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize("m,j", [(3, 1), (3, 5), (4, 11), (2, 3)])
+    def test_exact_phase_is_deterministic(self, m, j):
+        phase = j / (1 << m)
+        simulator = DensityMatrixSimulator(library.phase_estimation(m, phase))
+        simulator.run()
+        distribution = simulator.classical_distribution()
+        expected = format(j, f"0{m}b")
+        assert distribution == {expected: pytest.approx(1.0)}
+
+    def test_inexact_phase_concentrates_on_nearest(self):
+        phase = 0.2  # between 1/8 and 2/8; nearest 3-bit value is 2/8
+        simulator = DensityMatrixSimulator(library.phase_estimation(3, phase))
+        simulator.run()
+        distribution = simulator.classical_distribution()
+        best = max(distribution, key=distribution.get)
+        assert int(best, 2) / 8 == pytest.approx(0.25)
+        assert distribution[best] > 0.4
+
+    def test_precision_improves_with_counting_qubits(self):
+        phase = 0.2
+        errors = []
+        for m in (2, 4, 6):
+            simulator = DensityMatrixSimulator(library.phase_estimation(m, phase))
+            simulator.run()
+            distribution = simulator.classical_distribution()
+            estimate = sum(
+                int(outcome, 2) / (1 << m) * probability
+                for outcome, probability in distribution.items()
+            )
+            errors.append(abs(estimate - phase))
+        assert errors[-1] < errors[0]
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            library.phase_estimation(0, 0.5)
+
+
+class TestDeutschJozsa:
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_constant_oracle_measures_zero(self, n):
+        simulator = DensityMatrixSimulator(library.deutsch_jozsa(n))
+        simulator.run()
+        assert simulator.classical_distribution() == {"0" * n: pytest.approx(1.0)}
+
+    @pytest.mark.parametrize("mask", [1, 5, 7])
+    def test_balanced_oracle_measures_mask(self, mask):
+        simulator = DensityMatrixSimulator(
+            library.deutsch_jozsa(3, balanced_mask=mask)
+        )
+        simulator.run()
+        expected = format(mask, "03b")
+        assert simulator.classical_distribution() == {expected: pytest.approx(1.0)}
+
+    def test_balanced_never_reads_zero(self):
+        for mask in range(1, 8):
+            simulator = DensityMatrixSimulator(
+                library.deutsch_jozsa(3, balanced_mask=mask)
+            )
+            simulator.run()
+            assert "000" not in simulator.classical_distribution()
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            library.deutsch_jozsa(0)
+        with pytest.raises(CircuitError):
+            library.deutsch_jozsa(3, balanced_mask=0)
+        with pytest.raises(CircuitError):
+            library.deutsch_jozsa(3, balanced_mask=8)

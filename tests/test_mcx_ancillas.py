@@ -1,0 +1,80 @@
+"""Unit tests for the clean-ancilla (Toffoli-chain) MCX construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.qc import QuantumCircuit
+from repro.qc.transforms import emit_mcx, emit_mcx_with_ancillas
+from repro.simulation import build_unitary
+from repro.verification import check_equivalence_ancillary
+
+
+def _chain_circuit(num_controls):
+    num_ancillas = max(num_controls - 2, 0)
+    num_qubits = num_controls + 1 + num_ancillas
+    circuit = QuantumCircuit(num_qubits)
+    controls = list(range(1, num_controls + 1))
+    ancillas = list(range(num_controls + 1, num_qubits))
+    emit_mcx_with_ancillas(circuit, controls, 0, ancillas)
+    return circuit, controls, ancillas
+
+
+class TestCleanAncillaMcx:
+    @pytest.mark.parametrize("num_controls", [1, 2, 3, 4, 5])
+    def test_correct_on_zero_ancillas(self, num_controls):
+        circuit, controls, ancillas = _chain_circuit(num_controls)
+        direct = QuantumCircuit(circuit.num_qubits)
+        direct.mcx(controls, 0)
+        chain_unitary = build_unitary(circuit)
+        direct_unitary = build_unitary(direct)
+        mask = sum(1 << a for a in ancillas)
+        columns = [b for b in range(1 << circuit.num_qubits) if b & mask == 0]
+        assert np.allclose(chain_unitary[:, columns], direct_unitary[:, columns])
+
+    @pytest.mark.parametrize("num_controls", [3, 4, 5])
+    def test_ancillas_uncomputed(self, num_controls):
+        circuit, controls, ancillas = _chain_circuit(num_controls)
+        unitary = build_unitary(circuit)
+        mask = sum(1 << a for a in ancillas)
+        for basis in range(1 << circuit.num_qubits):
+            if basis & mask:
+                continue
+            image = int(np.argmax(np.abs(unitary[:, basis])))
+            assert image & mask == 0  # ancillas end in |0>
+
+    def test_linear_gate_count(self):
+        counts = []
+        for num_controls in (3, 5, 7, 9):
+            circuit, __, __ = _chain_circuit(num_controls)
+            counts.append(circuit.num_gates)
+        # 2(k-2) + 1 Toffolis.
+        assert counts == [3, 7, 11, 15]
+        # Versus the exponential ancilla-free construction.
+        free = QuantumCircuit(10)
+        emit_mcx(free, list(range(1, 10)), 0)
+        assert free.num_gates > counts[-1] * 20
+
+    def test_equivalence_via_ancillary_checker(self):
+        """The intended verification route for ancilla constructions."""
+        circuit, controls, __ = _chain_circuit(4)
+        direct = QuantumCircuit(5)
+        direct.mcx([1, 2, 3, 4], 0)
+        result = check_equivalence_ancillary(direct, circuit, seed=0)
+        assert result.equivalent
+
+    def test_too_few_ancillas_rejected(self):
+        circuit = QuantumCircuit(6)
+        with pytest.raises(CircuitError):
+            emit_mcx_with_ancillas(circuit, [1, 2, 3, 4], 0, [5])
+
+    def test_overlapping_lines_rejected(self):
+        circuit = QuantumCircuit(6)
+        with pytest.raises(CircuitError):
+            emit_mcx_with_ancillas(circuit, [1, 2, 3], 0, [3])
+
+    def test_small_cases_need_no_ancillas(self):
+        circuit = QuantumCircuit(3)
+        emit_mcx_with_ancillas(circuit, [1, 2], 0, [])
+        assert circuit.num_gates == 1
+        assert circuit[0].gate == "x" and len(circuit[0].controls) == 2

@@ -1,0 +1,123 @@
+"""Unit tests for the ancilla-free multi-controlled decompositions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.qc import QuantumCircuit, library
+from repro.qc.qasm import parse_qasm
+from repro.qc.transforms import decompose_to_primitives, emit_mcp, emit_mcx
+from repro.simulation import build_unitary
+from repro.verification import check_equivalence_construct
+
+
+def _mcp_reference(num_qubits, lam, controls, target):
+    size = 1 << num_qubits
+    matrix = np.eye(size, dtype=complex)
+    mask = sum(1 << line for line in list(controls) + [target])
+    for basis in range(size):
+        if basis & mask == mask:
+            matrix[basis, basis] = np.exp(1j * lam)
+    return matrix
+
+
+class TestEmitMcp:
+    @pytest.mark.parametrize("num_controls", [0, 1, 2, 3, 4])
+    def test_exact_for_any_control_count(self, num_controls):
+        num_qubits = num_controls + 1
+        lam = 0.7
+        controls = list(range(1, num_qubits))
+        circuit = QuantumCircuit(num_qubits)
+        emit_mcp(circuit, lam, controls, 0)
+        expected = _mcp_reference(num_qubits, lam, controls, 0)
+        assert np.allclose(build_unitary(circuit), expected)
+
+    def test_only_primitive_gates(self):
+        circuit = QuantumCircuit(4)
+        emit_mcp(circuit, math.pi / 3, [1, 2, 3], 0)
+        for operation in circuit:
+            assert operation.num_controls <= 1
+
+    def test_symmetric_in_lines(self):
+        """A multi-controlled phase is symmetric: swapping the roles of
+        control and target lines gives the same unitary."""
+        a = QuantumCircuit(3)
+        emit_mcp(a, 0.9, [1, 2], 0)
+        b = QuantumCircuit(3)
+        emit_mcp(b, 0.9, [0, 1], 2)
+        assert np.allclose(build_unitary(a), build_unitary(b))
+
+
+class TestEmitMcx:
+    @pytest.mark.parametrize("num_controls", [0, 1, 2, 3, 4, 5])
+    def test_exact_for_any_control_count(self, num_controls):
+        num_qubits = num_controls + 1
+        controls = list(range(1, num_qubits))
+        direct = QuantumCircuit(num_qubits)
+        direct.gate("x", [0], controls=controls)
+        decomposed = QuantumCircuit(num_qubits)
+        emit_mcx(decomposed, controls, 0)
+        assert np.allclose(build_unitary(decomposed), build_unitary(direct))
+
+    def test_exact_not_just_up_to_phase(self):
+        """The H-P(pi)-H construction is exact, so no global-phase slack
+        creeps into larger circuits that embed it."""
+        circuit = QuantumCircuit(4)
+        emit_mcx(circuit, [1, 2, 3], 0)
+        direct = QuantumCircuit(4)
+        direct.mcx([1, 2, 3], 0)
+        difference = build_unitary(circuit) - build_unitary(direct)
+        assert np.max(np.abs(difference)) < 1e-9
+
+
+class TestDecomposeExtended:
+    def test_mcx_through_decompose(self):
+        circuit = QuantumCircuit(5)
+        circuit.mcx([1, 2, 3, 4], 0)
+        compiled = decompose_to_primitives(circuit)
+        assert np.allclose(build_unitary(compiled), build_unitary(circuit))
+        assert all(op.num_controls <= 1 for op in compiled)
+
+    def test_mcz_through_decompose(self):
+        circuit = QuantumCircuit(4)
+        circuit.gate("z", [0], controls=[1, 2, 3])
+        compiled = decompose_to_primitives(circuit)
+        assert np.allclose(build_unitary(compiled), build_unitary(circuit))
+
+    def test_mcp_through_decompose(self):
+        circuit = QuantumCircuit(4)
+        circuit.gate("p", [0], params=[1.1], controls=[1, 2, 3])
+        compiled = decompose_to_primitives(circuit)
+        assert np.allclose(build_unitary(compiled), build_unitary(circuit))
+
+    def test_negative_controls_through_decompose(self):
+        circuit = QuantumCircuit(3)
+        circuit.gate("x", [0], controls=[2], negative_controls=[1])
+        compiled = decompose_to_primitives(circuit)
+        assert np.allclose(build_unitary(compiled), build_unitary(circuit))
+        assert all(not op.negative_controls for op in compiled)
+
+    def test_controlled_swap_through_decompose(self):
+        circuit = QuantumCircuit(4)
+        circuit.cswap(3, 0, 2)
+        compiled = decompose_to_primitives(circuit)
+        assert np.allclose(build_unitary(compiled), build_unitary(circuit))
+
+    def test_grover_qasm_roundtrip(self):
+        """Grover with 3-controlled Z gates survives the full pipeline:
+        decompose -> export -> reparse -> verify equivalent."""
+        grover = library.grover(4, 9)
+        compiled = decompose_to_primitives(grover)
+        reparsed = parse_qasm(compiled.to_qasm())
+        result = check_equivalence_construct(grover, reparsed)
+        assert result.equivalent
+
+    def test_gate_count_growth(self):
+        counts = []
+        for k in (2, 3, 4, 5):
+            circuit = QuantumCircuit(k + 1)
+            circuit.mcx(list(range(1, k + 1)), 0)
+            counts.append(decompose_to_primitives(circuit).num_gates)
+        # Exponential (roughly 3x per control) but finite and exact.
+        assert all(a < b for a, b in zip(counts, counts[1:]))

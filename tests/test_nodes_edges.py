@@ -1,0 +1,69 @@
+"""Unit tests for nodes and edges."""
+
+import pytest
+
+from repro.dd.complex_table import ComplexTable
+from repro.dd.edge import Edge, ONE_EDGE, ZERO_EDGE
+from repro.dd.node import MatrixNode, TERMINAL, VectorNode
+
+
+class TestNodes:
+    def test_terminal_properties(self):
+        assert TERMINAL.is_terminal
+        assert TERMINAL.var == -1
+        assert TERMINAL.edges == ()
+
+    def test_vector_node_arity(self):
+        node = VectorNode(0, (ZERO_EDGE, ONE_EDGE))
+        assert not node.is_terminal
+        assert len(node.edges) == 2
+        with pytest.raises(ValueError):
+            VectorNode(0, (ZERO_EDGE,))
+
+    def test_matrix_node_arity(self):
+        node = MatrixNode(0, (ONE_EDGE, ZERO_EDGE, ZERO_EDGE, ONE_EDGE))
+        assert len(node.edges) == 4
+        with pytest.raises(ValueError):
+            MatrixNode(0, (ZERO_EDGE, ONE_EDGE))
+
+    def test_uids_are_unique(self):
+        a = VectorNode(0, (ZERO_EDGE, ONE_EDGE))
+        b = VectorNode(0, (ZERO_EDGE, ONE_EDGE))
+        assert a.uid != b.uid
+
+
+class TestEdges:
+    def test_zero_edge(self):
+        assert ZERO_EDGE.is_zero
+        assert ZERO_EDGE.is_terminal
+        assert ZERO_EDGE.weight == ComplexTable.ZERO
+
+    def test_one_edge(self):
+        assert not ONE_EDGE.is_zero
+        assert ONE_EDGE.is_terminal
+
+    def test_with_weight(self):
+        edge = ONE_EDGE.with_weight(0.5 + 0j)
+        assert edge.weight == 0.5 + 0j
+        assert edge.node is TERMINAL
+
+    def test_scaled_by_one_is_identity(self):
+        table = ComplexTable()
+        edge = Edge(TERMINAL, table.lookup(0.25))
+        assert edge.scaled(ComplexTable.ONE, table) is edge
+
+    def test_scaled_to_zero_collapses(self):
+        table = ComplexTable()
+        edge = Edge(TERMINAL, table.lookup(0.25))
+        assert edge.scaled(ComplexTable.ZERO, table) is ZERO_EDGE
+
+    def test_scaled_multiplies_and_canonicalizes(self):
+        table = ComplexTable()
+        edge = Edge(TERMINAL, table.lookup(0.5))
+        scaled = edge.scaled(table.lookup(0.5), table)
+        assert scaled.weight == table.lookup(0.25)
+
+    def test_edges_are_value_objects(self):
+        table = ComplexTable()
+        weight = table.lookup(0.5)
+        assert Edge(TERMINAL, weight) == Edge(TERMINAL, weight)

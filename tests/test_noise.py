@@ -1,0 +1,209 @@
+"""Unit tests for Kraus channels, noise models and noisy simulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage, density
+from repro.errors import DDError
+from repro.noise import (
+    KrausChannel,
+    NoiseModel,
+    NoisySimulator,
+    amplitude_damping,
+    apply_channel,
+    bit_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+)
+from repro.qc import QuantumCircuit, library
+
+
+def _rho(package, amplitudes):
+    return density.density_from_statevector(package, amplitudes)
+
+
+class TestChannelDefinitions:
+    @pytest.mark.parametrize(
+        "factory,param",
+        [
+            (bit_flip, 0.3),
+            (phase_flip, 0.2),
+            (depolarizing, 0.5),
+            (amplitude_damping, 0.4),
+            (phase_damping, 0.6),
+        ],
+    )
+    def test_trace_preserving(self, factory, param):
+        channel = factory(param)
+        total = sum(
+            operator.conj().T @ operator for operator in channel.operators
+        )
+        assert np.allclose(total, np.eye(2))
+
+    @pytest.mark.parametrize("factory", [bit_flip, phase_flip, depolarizing,
+                                         amplitude_damping, phase_damping])
+    def test_probability_validation(self, factory):
+        with pytest.raises(DDError):
+            factory(-0.1)
+        with pytest.raises(DDError):
+            factory(1.1)
+
+    def test_non_trace_preserving_rejected(self):
+        with pytest.raises(DDError):
+            KrausChannel("broken", (np.eye(2) * 0.5,))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(DDError):
+            KrausChannel("broken", (np.eye(4),))
+
+    def test_identity_detection(self):
+        assert bit_flip(0.0).is_identity
+        assert not bit_flip(0.1).is_identity
+
+
+class TestChannelAction:
+    def test_bit_flip_on_zero(self, package):
+        rho = _rho(package, [1.0, 0.0])
+        out = apply_channel(package, rho, bit_flip(0.3), 0)
+        assert np.allclose(package.to_matrix(out, 1), np.diag([0.7, 0.3]))
+
+    def test_phase_flip_kills_coherence(self, package):
+        inv = 1.0 / math.sqrt(2.0)
+        rho = _rho(package, [inv, inv])
+        out = apply_channel(package, rho, phase_flip(0.5), 0)
+        # Full dephasing at p = 1/2.
+        assert np.allclose(package.to_matrix(out, 1), np.eye(2) / 2)
+
+    def test_depolarizing_limit(self, package):
+        rho = _rho(package, [1.0, 0.0])
+        out = apply_channel(package, rho, depolarizing(1.0), 0)
+        assert np.allclose(package.to_matrix(out, 1), np.eye(2) / 2)
+
+    def test_amplitude_damping_decays_to_ground(self, package):
+        rho = _rho(package, [0.0, 1.0])
+        out = apply_channel(package, rho, amplitude_damping(1.0), 0)
+        assert np.allclose(package.to_matrix(out, 1), np.diag([1.0, 0.0]))
+
+    def test_amplitude_damping_partial(self, package):
+        rho = _rho(package, [0.0, 1.0])
+        out = apply_channel(package, rho, amplitude_damping(0.25), 0)
+        assert np.allclose(
+            package.to_matrix(out, 1), np.diag([0.25, 0.75])
+        )
+
+    def test_channel_on_selected_qubit(self, package):
+        rho = _rho(package, [0.0, 0.0, 0.0, 1.0])  # |11>
+        out = apply_channel(package, rho, amplitude_damping(1.0), 1)
+        expected = np.zeros((4, 4))
+        expected[1, 1] = 1.0  # q1 decayed, q0 untouched
+        assert np.allclose(package.to_matrix(out, 2), expected)
+
+    def test_trace_preserved_on_random_states(self, package, rng):
+        from tests.conftest import random_state
+
+        rho = _rho(package, random_state(3, rng))
+        for channel in (bit_flip(0.2), depolarizing(0.3), amplitude_damping(0.4)):
+            out = apply_channel(package, rho, channel, 1)
+            assert abs(density.trace(package, out) - 1.0) < 1e-9
+
+    def test_identity_channel_shortcut(self, package):
+        rho = _rho(package, [1.0, 0.0])
+        assert apply_channel(package, rho, bit_flip(0.0), 0) == rho
+
+
+class TestNoiseModel:
+    def test_channel_selection(self):
+        single = bit_flip(0.1)
+        double = depolarizing(0.2)
+        special = phase_flip(0.3)
+        model = NoiseModel(
+            single_qubit=single, two_qubit=double, per_gate={"t": special}
+        )
+        from repro.qc.operations import GateOp
+
+        assert model.channel_for(GateOp(gate="h", targets=(0,))) is single
+        assert model.channel_for(
+            GateOp(gate="x", targets=(0,), controls=(1,))
+        ) is double
+        assert model.channel_for(GateOp(gate="t", targets=(0,))) is special
+
+    def test_no_noise_by_default(self):
+        from repro.qc.operations import GateOp
+
+        model = NoiseModel()
+        assert model.channel_for(GateOp(gate="h", targets=(0,))) is None
+
+
+class TestNoisySimulator:
+    def test_zero_noise_equals_ideal(self):
+        model = NoiseModel(single_qubit=bit_flip(0.0))
+        simulator = NoisySimulator(library.ghz_state(3), model)
+        simulator.run()
+        assert abs(simulator.fidelity_with_ideal() - 1.0) < 1e-9
+        assert abs(simulator.purity() - 1.0) < 1e-9
+
+    def test_fidelity_decays_monotonically(self):
+        fidelities = []
+        for probability in (0.0, 0.02, 0.05, 0.1):
+            model = NoiseModel(
+                single_qubit=depolarizing(probability),
+                two_qubit=depolarizing(2 * probability),
+            )
+            simulator = NoisySimulator(library.ghz_state(4), model)
+            simulator.run()
+            fidelities.append(simulator.fidelity_with_ideal())
+        assert all(a > b for a, b in zip(fidelities, fidelities[1:]))
+        assert fidelities[0] > 1.0 - 1e-9
+
+    def test_trace_stays_one(self):
+        model = NoiseModel(
+            single_qubit=amplitude_damping(0.1), two_qubit=depolarizing(0.05)
+        )
+        simulator = NoisySimulator(library.qft(3), model)
+        simulator.run()
+        assert abs(
+            density.trace(simulator.package, simulator.state()) - 1.0
+        ) < 1e-9
+
+    def test_readout_error(self):
+        model = NoiseModel(measurement=bit_flip(0.1))
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        simulator = NoisySimulator(circuit, model)
+        simulator.run()
+        distribution = simulator.classical_distribution()
+        assert abs(distribution["0"] - 0.9) < 1e-9
+        assert abs(distribution["1"] - 0.1) < 1e-9
+
+    def test_bitflip_flips_distribution(self):
+        model = NoiseModel(single_qubit=bit_flip(1.0))
+        circuit = QuantumCircuit(1, 1)
+        circuit.i(0)  # the gate triggers the (certain) flip
+        circuit.measure(0, 0)
+        simulator = NoisySimulator(circuit, model)
+        simulator.run()
+        assert simulator.classical_distribution() == {"1": 1.0}
+
+    def test_fidelity_with_ideal_requires_unitary(self):
+        model = NoiseModel(single_qubit=bit_flip(0.1))
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        simulator = NoisySimulator(circuit, model)
+        simulator.run()
+        with pytest.raises(ValueError):
+            simulator.fidelity_with_ideal()
+
+    def test_dephasing_ghz_decoheres_but_keeps_populations(self):
+        model = NoiseModel(single_qubit=phase_damping(0.5),
+                           two_qubit=phase_damping(0.5))
+        simulator = NoisySimulator(library.ghz_state(3), model)
+        simulator.run()
+        dense = simulator.density_matrix()
+        # Populations of |000> and |111> survive dephasing...
+        assert abs(dense[0, 0] - 0.5) < 1e-9
+        assert abs(dense[7, 7] - 0.5) < 1e-9
+        # ... while the off-diagonal coherence shrinks.
+        assert abs(dense[0, 7]) < 0.5

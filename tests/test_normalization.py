@@ -1,0 +1,108 @@
+"""Unit tests for the normalization schemes (paper footnote 3)."""
+
+import cmath
+import math
+
+from repro.dd.complex_table import ComplexTable
+from repro.dd.edge import Edge, ZERO_EDGE
+from repro.dd.node import TERMINAL
+from repro.dd.normalization import NormalizationScheme, normalize
+
+
+def _edges(table, *weights):
+    return tuple(
+        Edge(TERMINAL, table.lookup(w)) if w != 0 else ZERO_EDGE for w in weights
+    )
+
+
+class TestL2:
+    def test_unit_pair_already_normalized(self):
+        table = ComplexTable()
+        inv = 1.0 / math.sqrt(2.0)
+        factor, edges = normalize(
+            _edges(table, inv, inv), table, NormalizationScheme.L2
+        )
+        assert factor == ComplexTable.ONE
+        assert edges[0].weight == table.lookup(inv)
+
+    def test_norm_extracted(self):
+        table = ComplexTable()
+        factor, edges = normalize(
+            _edges(table, 3.0, 4.0), table, NormalizationScheme.L2
+        )
+        assert abs(factor - 5.0) < 1e-12
+        norm = math.sqrt(sum(abs(e.weight) ** 2 for e in edges))
+        assert abs(norm - 1.0) < 1e-12
+
+    def test_first_nonzero_weight_positive_real(self):
+        table = ComplexTable()
+        factor, edges = normalize(
+            _edges(table, 1j * 0.6, 0.8j), table, NormalizationScheme.L2
+        )
+        first = edges[0].weight
+        assert abs(first.imag) < 1e-12
+        assert first.real > 0
+        # Reconstruction: factor * normalized weight == original.
+        assert cmath.isclose(factor * first, 0.6j, abs_tol=1e-12)
+
+    def test_zero_first_branch(self):
+        table = ComplexTable()
+        factor, edges = normalize(
+            _edges(table, 0.0, -2.0), table, NormalizationScheme.L2
+        )
+        assert edges[0] is ZERO_EDGE
+        assert abs(edges[1].weight - 1.0) < 1e-12  # real, positive
+        assert abs(factor + 2.0) < 1e-12
+
+    def test_all_zero(self):
+        table = ComplexTable()
+        factor, edges = normalize(
+            (ZERO_EDGE, ZERO_EDGE), table, NormalizationScheme.L2
+        )
+        assert factor == ComplexTable.ZERO
+        assert all(edge is ZERO_EDGE for edge in edges)
+
+    def test_tiny_weights_treated_as_zero(self):
+        table = ComplexTable()
+        factor, edges = normalize(
+            _edges(table, 1e-14, 1.0), table, NormalizationScheme.L2
+        )
+        assert edges[0] is ZERO_EDGE
+
+
+class TestMaxMagnitude:
+    def test_pivot_becomes_exactly_one(self):
+        table = ComplexTable()
+        factor, edges = normalize(
+            _edges(table, 0.5, -0.75), table, NormalizationScheme.MAX_MAGNITUDE
+        )
+        assert edges[1].weight == ComplexTable.ONE
+        assert abs(factor + 0.75) < 1e-12
+
+    def test_tie_broken_towards_smaller_index(self):
+        table = ComplexTable()
+        factor, edges = normalize(
+            _edges(table, 0.5, 0.5), table, NormalizationScheme.MAX_MAGNITUDE
+        )
+        assert edges[0].weight == ComplexTable.ONE
+        assert abs(factor - 0.5) < 1e-12
+
+    def test_four_edges(self):
+        table = ComplexTable()
+        factor, edges = normalize(
+            _edges(table, 0.0, 1j, 0.0, -1j),
+            table,
+            NormalizationScheme.MAX_MAGNITUDE,
+        )
+        assert edges[1].weight == ComplexTable.ONE
+        assert abs(factor - 1j) < 1e-12
+        assert edges[3].weight == table.lookup(-1.0)
+
+    def test_reconstruction(self):
+        table = ComplexTable()
+        weights = (0.1 + 0.2j, -0.3, 0.05j, 0.0)
+        factor, edges = normalize(
+            _edges(table, *weights), table, NormalizationScheme.MAX_MAGNITUDE
+        )
+        for original, edge in zip(weights, edges):
+            assert cmath.isclose(factor * edge.weight, original, abs_tol=1e-12)

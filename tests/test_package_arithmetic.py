@@ -1,0 +1,194 @@
+"""Unit tests for DD arithmetic: add, multiply, kron, adjoint, inner product."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+from repro.dd.edge import ZERO_EDGE
+from repro.errors import DDError, DimensionMismatchError
+from tests.conftest import random_state, random_unitary
+
+H = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+CNOT = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+
+
+class TestAdd:
+    def test_vector_addition(self, package, rng):
+        a = random_state(3, rng)
+        b = random_state(3, rng)
+        result = package.add(
+            package.from_state_vector(a), package.from_state_vector(b)
+        )
+        assert np.allclose(package.to_vector(result, 3), a + b)
+
+    def test_add_zero_identity(self, package):
+        state = package.zero_state(2)
+        assert package.add(state, ZERO_EDGE) == state
+        assert package.add(ZERO_EDGE, state) == state
+
+    def test_add_cancellation(self, package):
+        state = package.from_state_vector([0.6, 0.0, 0.0, 0.8])
+        negated = state.with_weight(package.complex_table.lookup(-state.weight))
+        result = package.add(state, negated)
+        assert result.is_zero
+
+    def test_add_is_commutative(self, package, rng):
+        a = package.from_state_vector(random_state(2, rng))
+        b = package.from_state_vector(random_state(2, rng))
+        left = package.add(a, b)
+        right = package.add(b, a)
+        assert left.node is right.node
+        assert package.complex_table.approx_equal(left.weight, right.weight)
+
+    def test_matrix_addition(self, package, rng):
+        a = random_unitary(2, rng)
+        b = random_unitary(2, rng)
+        result = package.add(package.from_matrix(a), package.from_matrix(b))
+        assert np.allclose(package.to_matrix(result, 2), a + b)
+
+    def test_level_mismatch_rejected(self, package):
+        with pytest.raises(DimensionMismatchError):
+            package.add(package.zero_state(2), package.zero_state(3))
+
+
+class TestMultiply:
+    def test_matrix_vector(self, package, rng):
+        matrix = random_unitary(3, rng)
+        vector = random_state(3, rng)
+        result = package.multiply(
+            package.from_matrix(matrix), package.from_state_vector(vector)
+        )
+        assert np.allclose(package.to_vector(result, 3), matrix @ vector)
+
+    def test_matrix_matrix(self, package, rng):
+        a = random_unitary(2, rng)
+        b = random_unitary(2, rng)
+        result = package.multiply(package.from_matrix(a), package.from_matrix(b))
+        assert np.allclose(package.to_matrix(result, 2), a @ b)
+
+    def test_hadamard_on_zero(self, package):
+        """Paper Ex. 3: (H (x) I)|00> = 1/sqrt(2)(|00> + |10>)."""
+        gate = package.single_qubit_gate(2, H, 1)
+        result = package.multiply(gate, package.zero_state(2))
+        inv = 1.0 / math.sqrt(2.0)
+        assert np.allclose(package.to_vector(result, 2), [inv, 0.0, inv, 0.0])
+
+    def test_bell_circuit_evolution(self, package):
+        """Paper Ex. 5: CNOT (H (x) I) |00> = Bell state."""
+        state = package.zero_state(2)
+        state = package.multiply(package.single_qubit_gate(2, H, 1), state)
+        state = package.multiply(
+            package.controlled_gate(2, X, 0, controls=[1]), state
+        )
+        inv = 1.0 / math.sqrt(2.0)
+        assert np.allclose(package.to_vector(state, 2), [inv, 0.0, 0.0, inv])
+
+    def test_multiply_by_zero(self, package):
+        gate = package.single_qubit_gate(2, H, 0)
+        assert package.multiply(gate, ZERO_EDGE).is_zero
+        assert package.multiply(ZERO_EDGE, package.zero_state(2)).is_zero
+
+    def test_first_operand_must_be_matrix(self, package):
+        state = package.zero_state(2)
+        with pytest.raises(DDError):
+            package.multiply(state, state)
+
+    def test_unitarity_preserved(self, package, rng):
+        """U^t U = I on diagrams, exactly (canonical identity node)."""
+        matrix = random_unitary(2, rng)
+        operation = package.from_matrix(matrix)
+        product = package.multiply(package.adjoint(operation), operation)
+        identity = package.identity(2)
+        assert product.node is identity.node
+        assert package.complex_table.approx_equal(product.weight, 1.0 + 0j)
+
+    def test_multiply_preserves_norm(self, package, rng):
+        matrix = random_unitary(3, rng)
+        vector = random_state(3, rng)
+        result = package.multiply(
+            package.from_matrix(matrix), package.from_state_vector(vector)
+        )
+        assert abs(package.norm_squared(result) - 1.0) < 1e-9
+
+
+class TestKron:
+    def test_kron_matches_numpy(self, package, rng):
+        a = random_unitary(1, rng)
+        b = random_unitary(2, rng)
+        result = package.kron(package.from_matrix(a), package.from_matrix(b))
+        assert np.allclose(package.to_matrix(result, 3), np.kron(a, b))
+
+    def test_kron_vectors(self, package, rng):
+        a = random_state(1, rng)
+        b = random_state(2, rng)
+        result = package.kron(
+            package.from_state_vector(a), package.from_state_vector(b)
+        )
+        assert np.allclose(package.to_vector(result, 3), np.kron(a, b))
+
+    def test_h_kron_identity(self, package):
+        """Paper Ex. 8 / Fig. 3: H (x) I2 by terminal replacement."""
+        h_dd = package.from_matrix(H)
+        id_dd = package.identity(1)
+        result = package.kron(h_dd, id_dd)
+        assert np.allclose(package.to_matrix(result, 2), np.kron(H, np.eye(2)))
+        # Terminal replacement: just one extra node on top of the identity.
+        assert package.node_count(result) == 2
+
+    def test_kron_with_zero(self, package):
+        assert package.kron(ZERO_EDGE, package.identity(1)).is_zero
+        assert package.kron(package.identity(1), ZERO_EDGE).is_zero
+
+    def test_kron_associative(self, package, rng):
+        a = package.from_matrix(random_unitary(1, rng))
+        b = package.from_matrix(random_unitary(1, rng))
+        c = package.from_matrix(random_unitary(1, rng))
+        left = package.kron(package.kron(a, b), c)
+        right = package.kron(a, package.kron(b, c))
+        assert left.node is right.node
+        assert package.complex_table.approx_equal(left.weight, right.weight)
+
+
+class TestAdjoint:
+    def test_adjoint_matches_numpy(self, package, rng):
+        matrix = random_unitary(3, rng)
+        operation = package.from_matrix(matrix)
+        assert np.allclose(
+            package.to_matrix(package.adjoint(operation), 3), matrix.conj().T
+        )
+
+    def test_adjoint_involution(self, package, rng):
+        matrix = random_unitary(2, rng)
+        operation = package.from_matrix(matrix)
+        twice = package.adjoint(package.adjoint(operation))
+        assert twice.node is operation.node
+        assert package.complex_table.approx_equal(twice.weight, operation.weight)
+
+    def test_adjoint_of_zero(self, package):
+        assert package.adjoint(ZERO_EDGE).is_zero
+
+
+class TestInnerProduct:
+    def test_matches_numpy(self, package, rng):
+        a = random_state(3, rng)
+        b = random_state(3, rng)
+        result = package.inner_product(
+            package.from_state_vector(a), package.from_state_vector(b)
+        )
+        assert abs(result - np.vdot(a, b)) < 1e-9
+
+    def test_conjugate_symmetry(self, package, rng):
+        a = package.from_state_vector(random_state(2, rng))
+        b = package.from_state_vector(random_state(2, rng))
+        forward = package.inner_product(a, b)
+        backward = package.inner_product(b, a)
+        assert abs(forward - backward.conjugate()) < 1e-9
+
+    def test_with_zero(self, package):
+        state = package.zero_state(2)
+        assert package.inner_product(state, ZERO_EDGE) == 0.0

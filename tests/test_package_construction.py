@@ -1,0 +1,195 @@
+"""Unit tests for DD construction: states, basis states, matrices."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+from repro.dd.node import TERMINAL
+from repro.errors import DDError, InvalidStateError
+
+INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+class TestStates:
+    def test_zero_state_vector(self, package):
+        state = package.zero_state(3)
+        vector = package.to_vector(state)
+        expected = np.zeros(8)
+        expected[0] = 1.0
+        assert np.allclose(vector, expected)
+
+    def test_zero_state_is_minimal(self, package):
+        # One node per level: the most compact possible representation.
+        assert package.node_count(package.zero_state(5)) == 5
+
+    def test_basis_state_from_int(self, package):
+        state = package.basis_state(3, 5)  # |101>
+        vector = package.to_vector(state)
+        assert vector[5] == 1.0
+        assert np.sum(np.abs(vector)) == 1.0
+
+    def test_basis_state_from_string(self, package):
+        state = package.basis_state(3, "101")
+        assert package.to_vector(state)[5] == 1.0
+
+    def test_basis_state_from_bits(self, package):
+        state = package.basis_state(3, [1, 0, 1])
+        assert package.to_vector(state)[5] == 1.0
+
+    def test_basis_state_out_of_range(self, package):
+        with pytest.raises(DDError):
+            package.basis_state(2, 4)
+        with pytest.raises(DDError):
+            package.basis_state(2, "011")
+        with pytest.raises(DDError):
+            package.basis_state(0, 0)
+
+    def test_bell_state_structure(self, package):
+        """Paper Ex. 6 / Fig. 2(a): 3 nodes, amplitudes 1/sqrt(2)."""
+        state = package.from_state_vector([INV_SQRT2, 0.0, 0.0, INV_SQRT2])
+        assert package.node_count(state) == 3
+        assert abs(package.amplitude(state, "00") - INV_SQRT2) < 1e-12
+        assert abs(package.amplitude(state, "11") - INV_SQRT2) < 1e-12
+        assert package.amplitude(state, "01") == 0.0
+        assert package.amplitude(state, "10") == 0.0
+
+    def test_from_state_vector_roundtrip(self, package, rng):
+        from tests.conftest import random_state
+
+        vector = random_state(4, rng)
+        state = package.from_state_vector(vector)
+        assert np.allclose(package.to_vector(state), vector)
+
+    def test_from_state_vector_invalid_length(self, package):
+        with pytest.raises(InvalidStateError):
+            package.from_state_vector([1.0, 0.0, 0.0])
+        with pytest.raises(InvalidStateError):
+            package.from_state_vector([1.0])
+
+    def test_product_state_shares_nodes(self, package):
+        """|+>^n has exactly one node per level thanks to sharing."""
+        n = 4
+        vector = np.full(1 << n, (INV_SQRT2) ** n)
+        state = package.from_state_vector(vector)
+        assert package.node_count(state) == n
+
+    def test_canonicity_same_vector_same_node(self, package):
+        a = package.from_state_vector([0.6, 0.0, 0.8, 0.0])
+        b = package.from_state_vector([0.6, 0.0, 0.8, 0.0])
+        assert a.node is b.node
+        assert a.weight == b.weight
+
+    def test_l2_normalized_subtrees(self, package):
+        """Under the L2 scheme, every node's successor weights have norm 1."""
+        state = package.from_state_vector([0.1, 0.2, 0.3, np.sqrt(0.86)])
+        stack = [state.node]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node.is_terminal or node in seen:
+                continue
+            seen.add(node)
+            total = sum(abs(edge.weight) ** 2 for edge in node.edges)
+            assert abs(total - 1.0) < 1e-9
+            stack.extend(edge.node for edge in node.edges)
+
+
+class TestMatrices:
+    def test_identity(self, package):
+        operation = package.identity(3)
+        assert np.allclose(package.to_matrix(operation), np.eye(8))
+        assert package.node_count(operation) == 3
+
+    def test_identity_requires_positive_size(self, package):
+        with pytest.raises(DDError):
+            package.identity(0)
+
+    def test_from_matrix_roundtrip(self, package, rng):
+        from tests.conftest import random_unitary
+
+        matrix = random_unitary(3, rng)
+        operation = package.from_matrix(matrix)
+        assert np.allclose(package.to_matrix(operation), matrix)
+
+    def test_from_matrix_shape_checks(self, package):
+        with pytest.raises(DDError):
+            package.from_matrix(np.zeros((3, 3)))
+        with pytest.raises(DDError):
+            package.from_matrix(np.zeros((2, 4)))
+        with pytest.raises(DDError):
+            package.from_matrix(np.zeros((1, 1)))
+
+    def test_hadamard_dd_single_node(self, package):
+        """Paper Fig. 2(b): the Hadamard DD has one node."""
+        h = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        operation = package.from_matrix(h)
+        assert package.node_count(operation) == 1
+        assert np.allclose(package.to_matrix(operation), h)
+
+    def test_cnot_dd_three_nodes(self, package):
+        """Paper Fig. 2(c): the CNOT DD has one q1 node and two q0 nodes."""
+        cnot = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=float
+        )
+        operation = package.from_matrix(cnot)
+        assert package.node_count(operation) == 3
+
+    def test_matrix_entry(self, package):
+        cnot = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=float
+        )
+        operation = package.from_matrix(cnot)
+        for row in range(4):
+            for column in range(4):
+                assert (
+                    abs(package.matrix_entry(operation, row, column) - cnot[row, column])
+                    < 1e-12
+                )
+
+    def test_canonicity_same_matrix_same_node(self, package, rng):
+        from tests.conftest import random_unitary
+
+        matrix = random_unitary(2, rng)
+        a = package.from_matrix(matrix)
+        b = package.from_matrix(matrix.copy())
+        assert a.node is b.node
+
+
+class TestQueries:
+    def test_num_qubits(self, package):
+        assert package.num_qubits(package.zero_state(4)) == 4
+        assert package.num_qubits(package.identity(2)) == 2
+
+    def test_node_count_excludes_terminal(self, package):
+        state = package.zero_state(1)
+        assert package.node_count(state) == 1
+        assert state.node.edges[0].node is TERMINAL
+
+    def test_amplitude_of_zero_branch(self, package):
+        state = package.zero_state(2)
+        assert package.amplitude(state, "11") == 0.0
+
+    def test_norm_squared(self, package):
+        state = package.from_state_vector([0.6, 0.0, 0.0, 0.8])
+        assert abs(package.norm_squared(state) - 1.0) < 1e-12
+
+    def test_fidelity_orthogonal_and_identical(self, package):
+        a = package.basis_state(2, 0)
+        b = package.basis_state(2, 3)
+        assert package.fidelity(a, b) == 0.0
+        assert abs(package.fidelity(a, a) - 1.0) < 1e-12
+
+    def test_stats_structure(self, package):
+        state = package.zero_state(3)  # noqa: F841 - keeps the nodes alive
+        stats = package.stats()
+        assert "unique_vector" in stats
+        assert "add" in stats
+        assert stats["unique_vector"]["entries"] >= 1
+
+    def test_clear_caches(self, package):
+        a = package.single_qubit_gate(2, np.array([[0, 1], [1, 0]]), 0)
+        package.multiply(a, package.zero_state(2))
+        package.clear_caches()
+        assert package.stats()["mult-mv"]["entries"] == 0

@@ -1,0 +1,251 @@
+"""Integration tests reproducing every numbered example and figure of the
+paper (Wille/Burgholzer/Artner, DATE 2021).
+
+Each test cites the example/figure it verifies; together they constitute
+the reproduction evidence recorded in EXPERIMENTS.md.
+"""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+from repro.dd import sampling
+from repro.qc import library
+from repro.qc.dd_builder import circuit_to_dd
+from repro.simulation import DDSimulator, build_unitary
+from repro.tool import SimulationSession, VerificationSession
+from repro.verification import (
+    ApplicationStrategy,
+    check_equivalence_alternating,
+    check_equivalence_construct,
+)
+
+INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+class TestSection2QuantumComputing:
+    def test_example1_bell_state_is_valid_and_entangled(self, package):
+        """Ex. 1: 1/sqrt(2)[1,0,0,1] is a valid, entangled state."""
+        vector = np.array([INV_SQRT2, 0.0, 0.0, INV_SQRT2])
+        assert abs(np.sum(np.abs(vector) ** 2) - 1.0) < 1e-12
+        # Entanglement: no product decomposition |q1> (x) |q0| exists; the
+        # reduced 2x2 amplitude matrix has rank 2.
+        assert np.linalg.matrix_rank(vector.reshape(2, 2)) == 2
+
+    def test_example2_measurement_is_fifty_fifty_and_correlated(self, package):
+        """Ex. 2: each outcome 50%; the second qubit is then determined."""
+        state = package.from_state_vector([INV_SQRT2, 0, 0, INV_SQRT2])
+        p0, p1 = sampling.qubit_probabilities(package, state, 0)
+        assert abs(p0 - 0.5) < 1e-12 and abs(p1 - 0.5) < 1e-12
+        for outcome, expected in ((0, [1, 0, 0, 0]), (1, [0, 0, 0, 1])):
+            __, __, collapsed = sampling.measure_qubit(
+                package, state, 0, outcome=outcome
+            )
+            assert np.allclose(package.to_vector(collapsed, 2), expected)
+
+    def test_example3_hadamard_on_msq(self, package):
+        """Ex. 3: (H (x) I2)|00> = 1/sqrt(2)[1,0,1,0]."""
+        h = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        gate = package.single_qubit_gate(2, h, 1)
+        assert np.allclose(package.to_matrix(gate, 2), np.kron(h, np.eye(2)))
+        result = package.multiply(gate, package.zero_state(2))
+        assert np.allclose(
+            package.to_vector(result, 2), [INV_SQRT2, 0, INV_SQRT2, 0]
+        )
+
+    def test_figure1_gate_matrices(self):
+        """Fig. 1(a)/(b): the H and CNOT matrices."""
+        from repro.qc.gates import gate_matrix
+        from repro.qc.operations import GateOp
+        from repro.simulation.statevector import gate_unitary
+
+        assert np.allclose(
+            gate_matrix("h"), np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        )
+        cnot = gate_unitary(GateOp(gate="x", targets=(0,), controls=(1,)), 2)
+        assert np.allclose(
+            cnot, [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]]
+        )
+
+    def test_example4_5_circuit_evolution(self):
+        """Ex. 4/5 / Fig. 1(c): |00> -> 1/sqrt(2)(|00>+|10|) -> Bell."""
+        simulator = DDSimulator(library.bell_pair())
+        simulator.step_forward()
+        assert np.allclose(
+            simulator.statevector(), [INV_SQRT2, 0, INV_SQRT2, 0]
+        )
+        simulator.step_forward()
+        assert np.allclose(
+            simulator.statevector(), [INV_SQRT2, 0, 0, INV_SQRT2]
+        )
+
+    def test_figure1c_circuit_unitary(self):
+        """Fig. 1(c): U = CNOT . (H (x) I2)."""
+        h = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        cnot = np.array([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]])
+        assert np.allclose(
+            build_unitary(library.bell_pair()), cnot @ np.kron(h, np.eye(2))
+        )
+
+
+class TestSection3DecisionDiagrams:
+    def test_example6_bell_dd_three_nodes(self, package):
+        """Ex. 6 / Fig. 2(a): 3 nodes; both paths have amplitude 1/sqrt(2)."""
+        state = package.from_state_vector([INV_SQRT2, 0, 0, INV_SQRT2])
+        assert package.node_count(state) == 3
+        assert abs(package.amplitude(state, "00") - INV_SQRT2) < 1e-12
+        assert abs(package.amplitude(state, "11") - INV_SQRT2) < 1e-12
+
+    def test_example7_gate_dds(self, package):
+        """Ex. 7 / Fig. 2(b)/(c): Hadamard (1 node) and CNOT (3 nodes)."""
+        h = package.from_matrix(np.array([[1, 1], [1, -1]]) / math.sqrt(2))
+        assert package.node_count(h) == 1
+        cnot = package.from_matrix(
+            np.array([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]])
+        )
+        assert package.node_count(cnot) == 3
+        # Successor order: U00, U01, U10, U11 (paper Ex. 7).
+        top = cnot.node
+        assert not top.edges[0].is_zero and top.edges[1].is_zero
+        assert top.edges[2].is_zero and not top.edges[3].is_zero
+
+    def test_example8_kron_by_terminal_replacement(self, package):
+        """Ex. 8 / Fig. 3: H (x) I2 built on diagrams."""
+        h = package.from_matrix(np.array([[1, 1], [1, -1]]) / math.sqrt(2))
+        identity = package.identity(1)
+        product = package.kron(h, identity)
+        assert np.allclose(
+            package.to_matrix(product, 2),
+            np.kron(np.array([[1, 1], [1, -1]]) / math.sqrt(2), np.eye(2)),
+        )
+        # Terminal replacement: the identity node is reused as-is.
+        assert product.node.edges[0].node is identity.node
+
+    def test_example9_figure4_multiplication_recursion(self, package, rng):
+        """Ex. 9 / Fig. 4: recursive matrix-vector decomposition."""
+        from tests.conftest import random_state, random_unitary
+
+        matrix = random_unitary(2, rng)
+        vector = random_state(2, rng)
+        m_dd = package.from_matrix(matrix)
+        v_dd = package.from_state_vector(vector)
+        result = package.multiply(m_dd, v_dd)
+        assert np.allclose(package.to_vector(result, 2), matrix @ vector)
+
+    def test_sampling_footnote3(self, package):
+        """Footnote 3 / Sec. III-B: L2 normalization makes branch
+        probabilities local edge-weight magnitudes."""
+        state = package.from_state_vector(
+            [math.sqrt(0.4), math.sqrt(0.1), math.sqrt(0.3), math.sqrt(0.2)]
+        )
+        w0, w1 = state.node.edges
+        assert abs(abs(w0.weight) ** 2 - 0.5) < 1e-12
+        assert abs(abs(w1.weight) ** 2 - 0.5) < 1e-12
+
+
+class TestSectionVerification:
+    def test_example10_figure5_qft_functionality(self):
+        """Ex. 10 / Fig. 5: both QFT circuits realize (1/sqrt(8)) omega^(jk)
+        with omega = exp(i pi / 4)."""
+        omega = cmath.exp(1j * math.pi / 4.0)
+        expected = np.array(
+            [[omega ** ((j * k) % 8) for k in range(8)] for j in range(8)]
+        ) / math.sqrt(8.0)
+        assert np.allclose(build_unitary(library.qft(3)), expected)
+        assert np.allclose(build_unitary(library.qft_compiled(3)), expected)
+        # omega = sqrt(i) = (1+i)/sqrt(2), as stated in Ex. 10.
+        assert cmath.isclose(omega, (1 + 1j) / math.sqrt(2.0))
+        assert cmath.isclose(omega**2, 1j)
+
+    def test_example11_figure6_canonical_comparison(self, package):
+        """Ex. 11 / Fig. 6: both circuits give the *same* DD root."""
+        left = circuit_to_dd(package, library.qft(3))
+        right = circuit_to_dd(package, library.qft_compiled(3))
+        assert left.node is right.node
+        assert package.complex_table.approx_equal(left.weight, right.weight)
+        result = check_equivalence_construct(
+            library.qft(3), library.qft_compiled(3)
+        )
+        assert result.equivalent
+
+    def test_example12_nine_vs_twentyone_nodes(self):
+        """Ex. 12: the alternating scheme needs a maximum of 9 nodes, versus
+        21 nodes for building the entire system matrix."""
+        alternating = check_equivalence_alternating(
+            library.qft(3),
+            library.qft_compiled(3),
+            strategy=ApplicationStrategy.COMPILATION_FLOW,
+        )
+        monolithic = check_equivalence_construct(
+            library.qft(3), library.qft_compiled(3)
+        )
+        assert alternating.equivalent and monolithic.equivalent
+        assert alternating.max_nodes == 9
+        assert monolithic.max_nodes == 21
+
+
+class TestSection4Visualization:
+    def test_figure7_styles(self, package):
+        """Fig. 7: classic mode, the HLS wheel, and colored edges."""
+        from repro.vis import DDStyle, dd_to_svg
+        from repro.vis.color import phase_to_color
+        from repro.vis.svg import color_wheel_svg
+
+        state = package.from_state_vector([INV_SQRT2, 0, 0, INV_SQRT2])
+        classic = dd_to_svg(package, state, DDStyle.classic())
+        assert "1/√2" in classic and "stroke-dasharray" in classic
+        colored = dd_to_svg(package, state, DDStyle.colored())
+        assert "1/√2" not in colored
+        # The wheel anchors: phase 0 -> red, pi -> cyan, pi/2 ~ chartreuse.
+        assert phase_to_color(1 + 0j) == "#ff0000"
+        assert phase_to_color(-1 + 0j) == "#00ffff"
+        assert color_wheel_svg().count("<polygon") >= 72
+
+    def test_figure8_simulation_walkthrough(self):
+        """Fig. 8: the four screenshots of the simulation feature."""
+        circuit = library.bell_pair()
+        circuit.measure(0, 0)
+        session = SimulationSession(circuit)
+        # (a) initial state |00>
+        assert np.allclose(session.simulator.statevector(), [1, 0, 0, 0])
+        # (b) after both gates: the Bell state
+        session.forward()
+        session.forward()
+        assert np.allclose(
+            session.simulator.statevector(), [INV_SQRT2, 0, 0, INV_SQRT2]
+        )
+        # (c) measurement dialog shows 50/50
+        kind, qubit, p0, p1 = session.pending_dialog()
+        assert (p0, p1) == (0.5, 0.5)
+        # (d) choosing |1> collapses to |11>
+        session.forward(outcome=1)
+        assert np.allclose(session.simulator.statevector(), [0, 0, 0, 1])
+        assert len(session.frames) == 4
+
+    def test_figure9_verification_walkthrough(self):
+        """Fig. 9: three gates of G and six of G' applied; the diagram
+        stays close to the identity, and finishing confirms equivalence."""
+        session = VerificationSession(library.qft(3), library.qft_compiled(3))
+        for _ in range(3):
+            session.apply_left()
+            session.apply_right_to_barrier()
+        # Close to the identity throughout (identity itself has 3 nodes).
+        assert session.peak_node_count <= 9
+        session.run_compilation_flow()
+        assert session.is_identity()
+
+    def test_breakpoints_of_section4b(self):
+        """Sec. IV-B: barriers, measurements and resets act as breakpoints."""
+        from repro.qc import QuantumCircuit
+
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).barrier().h(0).measure(0, 0).reset(0)
+        simulator = DDSimulator(circuit, seed=0)
+        stops = []
+        while not simulator.at_end:
+            records = simulator.run()
+            stops.append(records[-1].kind.value)
+        assert stops == ["barrier", "measurement", "reset"]

@@ -1,0 +1,135 @@
+"""Property-based tests for the extension subsystems: density matrices,
+state-preparation synthesis, and circuit transforms."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dd import DDPackage, density
+from repro.qc import library
+from repro.qc.transforms import (
+    decompose_to_primitives,
+    permute_qubits,
+    remove_barriers,
+)
+from repro.simulation import DDSimulator, DensityMatrixSimulator, build_unitary
+from repro.synthesis import prepare_state
+from tests.test_properties import random_circuits, state_vectors
+
+
+class TestDensityProperties:
+    @given(vector=state_vectors(max_qubits=3))
+    @settings(max_examples=40, deadline=None)
+    def test_pure_density_has_unit_trace_and_purity(self, vector):
+        package = DDPackage()
+        rho = density.density_from_statevector(package, vector)
+        assert abs(density.trace(package, rho) - 1.0) < 1e-9
+        assert abs(density.purity(package, rho) - 1.0) < 1e-9
+
+    @given(vector=state_vectors(max_qubits=3), qubit_seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_partial_trace_preserves_trace(self, vector, qubit_seed):
+        package = DDPackage()
+        n = int(math.log2(len(vector)))
+        qubit = qubit_seed % n
+        rho = density.density_from_statevector(package, vector)
+        reduced = density.partial_trace(package, rho, [qubit])
+        if n == 1:
+            assert abs(reduced.weight - 1.0) < 1e-9
+        else:
+            assert abs(density.trace(package, reduced) - 1.0) < 1e-9
+
+    @given(vector=state_vectors(max_qubits=3), qubit_seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_reset_preserves_trace_and_zeros_the_qubit(self, vector, qubit_seed):
+        package = DDPackage()
+        n = int(math.log2(len(vector)))
+        qubit = qubit_seed % n
+        rho = density.density_from_statevector(package, vector)
+        after = density.reset(package, rho, qubit)
+        assert abs(density.trace(package, after) - 1.0) < 1e-9
+        p0, p1 = density.measure_probabilities(package, after, qubit)
+        assert p1 < 1e-9
+
+    @given(vector=state_vectors(max_qubits=3))
+    @settings(max_examples=30, deadline=None)
+    def test_density_diagonal_is_outcome_distribution(self, vector):
+        package = DDPackage()
+        n = int(math.log2(len(vector)))
+        rho = density.density_from_statevector(package, vector)
+        dense = package.to_matrix(rho, n)
+        assert np.allclose(np.diag(dense).real, np.abs(vector) ** 2, atol=1e-9)
+
+
+class TestSynthesisProperties:
+    @given(vector=state_vectors(max_qubits=4))
+    @settings(max_examples=40, deadline=None)
+    def test_prepared_state_matches_target(self, vector):
+        circuit = prepare_state(vector)
+        simulator = DDSimulator(circuit)
+        simulator.run_all()
+        fidelity = abs(np.vdot(simulator.statevector(), vector)) ** 2
+        assert fidelity > 1.0 - 1e-9
+
+    @given(vector=state_vectors(max_qubits=3))
+    @settings(max_examples=25, deadline=None)
+    def test_optimized_and_raw_agree(self, vector):
+        for optimize in (True, False):
+            circuit = prepare_state(vector, optimize=optimize)
+            simulator = DDSimulator(circuit)
+            simulator.run_all()
+            assert abs(np.vdot(simulator.statevector(), vector)) ** 2 > 1 - 1e-9
+
+
+class TestTransformProperties:
+    @given(circuit=random_circuits(max_qubits=3, max_depth=15),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_conjugates(self, circuit, seed):
+        rng = np.random.default_rng(seed)
+        mapping = list(rng.permutation(circuit.num_qubits))
+        permuted = permute_qubits(circuit, mapping)
+        size = 1 << circuit.num_qubits
+        p_matrix = np.zeros((size, size))
+        for basis in range(size):
+            image = 0
+            for line in range(circuit.num_qubits):
+                if basis & (1 << line):
+                    image |= 1 << mapping[line]
+            p_matrix[image, basis] = 1.0
+        expected = p_matrix @ build_unitary(circuit) @ p_matrix.T
+        assert np.allclose(build_unitary(permuted), expected, atol=1e-9)
+
+    @given(circuit=random_circuits(max_qubits=3, max_depth=15))
+    @settings(max_examples=25, deadline=None)
+    def test_remove_barriers_preserves_unitary(self, circuit):
+        assert np.allclose(
+            build_unitary(remove_barriers(circuit)),
+            build_unitary(circuit),
+            atol=1e-9,
+        )
+
+    @given(circuit=random_circuits(max_qubits=3, max_depth=12))
+    @settings(max_examples=20, deadline=None)
+    def test_decompose_preserves_unitary(self, circuit):
+        compiled = decompose_to_primitives(circuit)
+        assert np.allclose(
+            build_unitary(compiled), build_unitary(circuit), atol=1e-9
+        )
+
+
+class TestSimulatorAgreement:
+    @given(circuit=random_circuits(max_qubits=3, max_depth=12))
+    @settings(max_examples=20, deadline=None)
+    def test_density_simulator_matches_vector_simulator_on_unitaries(
+        self, circuit
+    ):
+        exact = DensityMatrixSimulator(circuit)
+        exact.run()
+        vector_sim = DDSimulator(circuit)
+        vector_sim.run_all()
+        vector = vector_sim.statevector()
+        assert np.allclose(
+            exact.density_matrix(), np.outer(vector, vector.conj()), atol=1e-8
+        )

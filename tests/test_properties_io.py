@@ -1,0 +1,135 @@
+"""Property-based tests for serialization, exporters and observables."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dd import DDPackage
+from repro.dd.expectation import expectation_hamiltonian, expectation_pauli
+from repro.dd.serialize import dd_from_dict, dd_to_dict
+from repro.qc import QuantumCircuit
+from repro.qc.qasm import parse_qasm
+from repro.qc.real_exporter import circuit_to_real
+from repro.qc.real_format import parse_real
+from repro.simulation import build_unitary
+from tests.test_properties import state_vectors
+
+
+@st.composite
+def reversible_circuits(draw, max_qubits: int = 4, max_depth: int = 20):
+    """Circuits over the Toffoli family (what .real can express)."""
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    depth = draw(st.integers(min_value=1, max_value=max_depth))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(depth):
+        lines = list(rng.permutation(num_qubits))
+        kind = int(rng.integers(4))
+        if kind == 0:
+            circuit.x(int(lines[0]))
+        elif kind == 1 or num_qubits < 3:
+            circuit.cx(int(lines[0]), int(lines[1]))
+        elif kind == 2:
+            circuit.ccx(int(lines[0]), int(lines[1]), int(lines[2]))
+        else:
+            circuit.gate(
+                "x", [int(lines[0])],
+                controls=[int(lines[1])],
+                negative_controls=[int(lines[2])],
+            )
+    return circuit
+
+
+@st.composite
+def pauli_strings(draw, length: int):
+    return "".join(
+        draw(st.sampled_from("IXYZ")) for _ in range(length)
+    )
+
+
+class TestSerializationProperties:
+    @given(vector=state_vectors(max_qubits=4))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_into_fresh_package(self, vector):
+        package = DDPackage()
+        state = package.from_state_vector(vector)
+        fresh = DDPackage()
+        rebuilt = dd_from_dict(fresh, dd_to_dict(package, state))
+        n = int(math.log2(len(vector)))
+        assert np.allclose(fresh.to_vector(rebuilt, n), vector, atol=1e-9)
+
+    @given(vector=state_vectors(max_qubits=3))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_canonicity(self, vector):
+        package = DDPackage()
+        state = package.from_state_vector(vector)
+        rebuilt = dd_from_dict(package, dd_to_dict(package, state))
+        assert rebuilt.node is state.node
+
+    @given(vector=state_vectors(max_qubits=3))
+    @settings(max_examples=30, deadline=None)
+    def test_document_node_count_matches_diagram(self, vector):
+        package = DDPackage()
+        state = package.from_state_vector(vector)
+        data = dd_to_dict(package, state)
+        assert len(data["nodes"]) == package.node_count(state)
+
+
+class TestRealExportProperties:
+    @given(circuit=reversible_circuits())
+    @settings(max_examples=25, deadline=None)
+    def test_real_roundtrip_preserves_unitary(self, circuit):
+        reparsed = parse_real(circuit_to_real(circuit))
+        assert np.allclose(
+            build_unitary(reparsed), build_unitary(circuit), atol=1e-9
+        )
+
+    @given(circuit=reversible_circuits(max_qubits=3, max_depth=10))
+    @settings(max_examples=20, deadline=None)
+    def test_real_then_qasm_then_real(self, circuit):
+        """The two format pipelines commute on reversible circuits."""
+        via_real = parse_real(circuit_to_real(circuit))
+        via_qasm = parse_qasm(via_real.to_qasm())
+        assert np.allclose(
+            build_unitary(via_qasm), build_unitary(circuit), atol=1e-9
+        )
+
+
+class TestExpectationProperties:
+    @given(vector=state_vectors(max_qubits=3), seed=st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_pauli_expectations_are_real_and_bounded(self, vector, seed):
+        package = DDPackage()
+        n = int(math.log2(len(vector)))
+        state = package.from_state_vector(vector)
+        rng = np.random.default_rng(seed)
+        string = "".join(rng.choice(list("IXYZ")) for _ in range(n))
+        value = expectation_pauli(package, state, string)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(vector=state_vectors(max_qubits=3),
+           c1=st.floats(-2, 2), c2=st.floats(-2, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_hamiltonian_is_linear_in_coefficients(self, vector, c1, c2):
+        package = DDPackage()
+        n = int(math.log2(len(vector)))
+        state = package.from_state_vector(vector)
+        za = "Z" + "I" * (n - 1)
+        xa = "X" + "I" * (n - 1)
+        combined = expectation_hamiltonian(
+            package, state, {za: c1, xa: c2}
+        )
+        separate = c1 * expectation_pauli(package, state, za) + (
+            c2 * expectation_pauli(package, state, xa)
+        )
+        assert combined == separate or abs(combined - separate) < 1e-9
+
+    @given(vector=state_vectors(max_qubits=3))
+    @settings(max_examples=25, deadline=None)
+    def test_identity_expectation_is_one(self, vector):
+        package = DDPackage()
+        n = int(math.log2(len(vector)))
+        state = package.from_state_vector(vector)
+        assert abs(expectation_pauli(package, state, "I" * n) - 1.0) < 1e-9

@@ -1,0 +1,97 @@
+"""Unit tests for the OpenQASM exporter (and parse/export roundtrips)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.qc import QuantumCircuit, library
+from repro.qc.qasm import circuit_to_qasm, parse_qasm
+from repro.simulation import build_unitary
+
+
+class TestBasics:
+    def test_header(self):
+        text = circuit_to_qasm(QuantumCircuit(2, 1))
+        assert text.startswith('OPENQASM 2.0;\ninclude "qelib1.inc";\n')
+        assert "qreg q[2];" in text
+        assert "creg c[1];" in text
+
+    def test_no_creg_when_no_clbits(self):
+        assert "creg" not in circuit_to_qasm(QuantumCircuit(2))
+
+    def test_gate_lines(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).ccx(0, 1, 2).rz(0.5, 2)
+        text = circuit_to_qasm(circuit)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "ccx q[0],q[1],q[2];" in text
+        assert "rz(0.5) q[2];" in text
+
+    def test_specials(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.barrier().measure(0, 1).reset(1)
+        text = circuit_to_qasm(circuit)
+        assert "barrier q;" in text
+        assert "measure q[0] -> c[1];" in text
+        assert "reset q[1];" in text
+
+    def test_partial_barrier(self):
+        circuit = QuantumCircuit(3)
+        circuit.barrier(0, 2)
+        assert "barrier q[0],q[2];" in circuit_to_qasm(circuit)
+
+    def test_condition(self):
+        circuit = QuantumCircuit(1, 2)
+        circuit.gate("x", [0], condition=([0, 1], 2))
+        assert "if(c==2) x q[0];" in circuit_to_qasm(circuit)
+
+    def test_partial_condition_rejected(self):
+        circuit = QuantumCircuit(1, 2)
+        circuit.gate("x", [0], condition=([1], 1))
+        with pytest.raises(CircuitError):
+            circuit_to_qasm(circuit)
+
+    def test_negative_controls_via_x_conjugation(self):
+        circuit = QuantumCircuit(2)
+        circuit.gate("x", [0], negative_controls=[1])
+        text = circuit_to_qasm(circuit)
+        assert text.count("x q[1];") == 2
+        assert "cx q[1],q[0];" in text
+
+    def test_unexportable_gate_rejected(self):
+        circuit = QuantumCircuit(4)
+        circuit.mcx([1, 2, 3], 0)  # 3 controls: no qasm name
+        with pytest.raises(CircuitError):
+            circuit_to_qasm(circuit)
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            library.bell_pair,
+            lambda: library.ghz_state(3),
+            lambda: library.qft(3),
+            lambda: library.qft_compiled(3),
+            lambda: library.w_state(3),
+            lambda: library.random_circuit(3, 25, seed=3),
+        ],
+    )
+    def test_unitary_preserved(self, factory):
+        circuit = factory()
+        reparsed = parse_qasm(circuit_to_qasm(circuit))
+        assert np.allclose(build_unitary(reparsed), build_unitary(circuit))
+
+    def test_roundtrip_with_specials(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0).measure(0, 0).reset(0).barrier()
+        circuit.gate("x", [1], condition=([0, 1], 1))
+        reparsed = parse_qasm(circuit_to_qasm(circuit))
+        kinds = [type(op).__name__ for op in reparsed]
+        assert kinds == ["GateOp", "MeasureOp", "ResetOp", "BarrierOp", "GateOp"]
+        assert reparsed[4].condition == ((0, 1), 1)
+
+    def test_circuit_to_qasm_method(self):
+        circuit = library.bell_pair()
+        assert circuit.to_qasm() == circuit_to_qasm(circuit)

@@ -1,0 +1,75 @@
+"""Unit tests for the OpenQASM lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.qc.qasm.tokens import TokenType, tokenize
+
+
+def _texts(source):
+    return [(t.type, t.text) for t in tokenize(source) if t.type != TokenType.EOF]
+
+
+class TestTokens:
+    def test_identifiers_and_symbols(self):
+        tokens = _texts("qreg q[3];")
+        assert tokens == [
+            (TokenType.ID, "qreg"),
+            (TokenType.ID, "q"),
+            (TokenType.SYMBOL, "["),
+            (TokenType.INT, "3"),
+            (TokenType.SYMBOL, "]"),
+            (TokenType.SYMBOL, ";"),
+        ]
+
+    def test_arrow_and_equality(self):
+        tokens = _texts("-> == -")
+        assert [t[1] for t in tokens] == ["->", "==", "-"]
+
+    def test_reals_and_ints(self):
+        tokens = _texts("3 3.5 .5 2e3 1.5e-2")
+        kinds = [t[0] for t in tokens]
+        assert kinds == [
+            TokenType.INT,
+            TokenType.REAL,
+            TokenType.REAL,
+            TokenType.REAL,
+            TokenType.REAL,
+        ]
+
+    def test_string_literal(self):
+        tokens = _texts('include "qelib1.inc";')
+        assert (TokenType.STRING, "qelib1.inc") in tokens
+
+    def test_line_comment_skipped(self):
+        tokens = _texts("x // comment with ; tokens\ny")
+        assert [t[1] for t in tokens] == ["x", "y"]
+
+    def test_block_comment_skipped(self):
+        tokens = _texts("x /* multi\nline */ y")
+        assert [t[1] for t in tokens] == ["x", "y"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* never closed")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('include "broken')
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x @ y")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_ends_with_eof(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_underscore_identifiers(self):
+        tokens = _texts("my_gate _x")
+        assert [t[1] for t in tokens] == ["my_gate", "_x"]

@@ -1,0 +1,317 @@
+"""Unit tests for the OpenQASM 2.0 parser."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.qc.operations import BarrierOp, GateOp, MeasureOp, ResetOp
+from repro.qc.qasm import parse_qasm
+from repro.simulation import build_unitary
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestHeader:
+    def test_version_required(self):
+        with pytest.raises(ParseError):
+            parse_qasm("qreg q[1];")
+
+    def test_unsupported_version(self):
+        with pytest.raises(ParseError):
+            parse_qasm("OPENQASM 3.0;\nqreg q[1];")
+
+    def test_include_other_file_rejected(self):
+        with pytest.raises(ParseError):
+            parse_qasm('OPENQASM 2.0;\ninclude "other.inc";\nqreg q[1];')
+
+    def test_include_optional(self):
+        circuit = parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh q[0];")
+        assert circuit.num_qubits == 1
+
+
+class TestFileIncludes:
+    def test_local_include_spliced(self, tmp_path):
+        from repro.qc.qasm import parse_qasm_file
+
+        (tmp_path / "mygates.inc").write_text(
+            "gate bell a, b { h a; cx a, b; }\n"
+        )
+        (tmp_path / "main.qasm").write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            'include "mygates.inc";\nqreg q[2];\nbell q[1], q[0];\n'
+        )
+        circuit = parse_qasm_file(str(tmp_path / "main.qasm"))
+        assert [op.gate for op in circuit] == ["h", "x"]
+
+    def test_nested_includes(self, tmp_path):
+        from repro.qc.qasm import parse_qasm_file
+
+        (tmp_path / "inner.inc").write_text("gate foo a { x a; }\n")
+        (tmp_path / "outer.inc").write_text(
+            'include "inner.inc";\ngate bar a { foo a; foo a; }\n'
+        )
+        (tmp_path / "main.qasm").write_text(
+            'OPENQASM 2.0;\ninclude "outer.inc";\nqreg q[1];\nbar q[0];\n'
+        )
+        circuit = parse_qasm_file(str(tmp_path / "main.qasm"))
+        assert [op.gate for op in circuit] == ["x", "x"]
+
+    def test_include_cycle_detected(self, tmp_path):
+        from repro.qc.qasm import parse_qasm_file
+
+        (tmp_path / "a.inc").write_text('include "b.inc";\n')
+        (tmp_path / "b.inc").write_text('include "a.inc";\n')
+        (tmp_path / "main.qasm").write_text(
+            'OPENQASM 2.0;\ninclude "a.inc";\nqreg q[1];\n'
+        )
+        with pytest.raises(ParseError):
+            parse_qasm_file(str(tmp_path / "main.qasm"))
+
+    def test_missing_include_still_errors(self, tmp_path):
+        from repro.qc.qasm import parse_qasm_file
+
+        (tmp_path / "main.qasm").write_text(
+            'OPENQASM 2.0;\ninclude "nope.inc";\nqreg q[1];\n'
+        )
+        with pytest.raises(ParseError):
+            parse_qasm_file(str(tmp_path / "main.qasm"))
+
+
+class TestRegisters:
+    def test_multiple_qregs_concatenate(self):
+        circuit = parse_qasm(HEADER + "qreg a[2]; qreg b[3]; x b[0];")
+        assert circuit.num_qubits == 5
+        assert circuit[0].targets == (2,)  # b[0] is line 2
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "qreg q[1]; creg q[1];")
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "qreg q[0];")
+
+    def test_no_quantum_register_rejected(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "creg c[2];")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "qreg q[2]; x q[2];")
+
+
+class TestGateApplications:
+    def test_primitives_u_and_cx(self):
+        circuit = parse_qasm(
+            "OPENQASM 2.0;\nqreg q[2];\nU(pi/2,0,pi) q[0];\nCX q[0],q[1];"
+        )
+        assert circuit[0].gate == "u3"
+        assert circuit[1].gate == "x" and circuit[1].controls == (0,)
+
+    def test_qelib_gates_map_natively(self):
+        circuit = parse_qasm(
+            HEADER + "qreg q[3];\nccx q[0],q[1],q[2];\ncswap q[0],q[1],q[2];"
+        )
+        assert circuit[0].gate == "x" and set(circuit[0].controls) == {0, 1}
+        assert circuit[1].gate == "swap" and circuit[1].controls == (0,)
+
+    def test_register_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg q[3]; h q;")
+        assert len(circuit) == 3
+        assert {op.targets[0] for op in circuit} == {0, 1, 2}
+
+    def test_two_register_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg a[2]; qreg b[2]; cx a,b;")
+        assert len(circuit) == 2
+        assert circuit[0].controls == (0,) and circuit[0].targets == (2,)
+        assert circuit[1].controls == (1,) and circuit[1].targets == (3,)
+
+    def test_mixed_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg a[1]; qreg b[3]; cx a,b;")
+        assert len(circuit) == 3
+        assert all(op.controls == (0,) for op in circuit)
+
+    def test_mismatched_broadcast_rejected(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "qreg a[2]; qreg b[3]; cx a,b;")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "qreg q[1]; frobnicate q[0];")
+
+    def test_wrong_parameter_count(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "qreg q[1]; rx q[0];")
+
+    def test_wrong_qubit_count(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "qreg q[2]; h q[0],q[1];")
+
+    def test_rzz_decomposition(self):
+        circuit = parse_qasm(HEADER + "qreg q[2]; rzz(0.5) q[0],q[1];")
+        gates = [op.gate for op in circuit]
+        assert gates == ["x", "u1", "x"]
+
+
+class TestExpressions:
+    def test_pi_arithmetic(self):
+        circuit = parse_qasm(HEADER + "qreg q[1]; rz(pi/4 + pi/4) q[0];")
+        assert abs(circuit[0].params[0] - math.pi / 2) < 1e-12
+
+    def test_functions(self):
+        circuit = parse_qasm(HEADER + "qreg q[1]; rz(cos(0) + sqrt(4)) q[0];")
+        assert abs(circuit[0].params[0] - 3.0) < 1e-12
+
+    def test_power_right_associative(self):
+        circuit = parse_qasm(HEADER + "qreg q[1]; rz(2^3^2) q[0];")
+        assert abs(circuit[0].params[0] - 512.0) < 1e-9
+
+    def test_unary_minus(self):
+        circuit = parse_qasm(HEADER + "qreg q[1]; rz(-pi) q[0];")
+        assert abs(circuit[0].params[0] + math.pi) < 1e-12
+
+    def test_precedence(self):
+        circuit = parse_qasm(HEADER + "qreg q[1]; rz(1 + 2 * 3) q[0];")
+        assert abs(circuit[0].params[0] - 7.0) < 1e-12
+
+    def test_unknown_variable_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "qreg q[1]; rz(theta) q[0];")
+
+
+class TestGateDefinitions:
+    def test_simple_definition(self):
+        source = HEADER + (
+            "qreg q[2];\n"
+            "gate bell a, b { h a; cx a, b; }\n"
+            "bell q[1], q[0];\n"
+        )
+        circuit = parse_qasm(source)
+        assert [op.gate for op in circuit] == ["h", "x"]
+        assert circuit[0].targets == (1,)
+        assert circuit[1].controls == (1,) and circuit[1].targets == (0,)
+
+    def test_parametrized_definition(self):
+        source = HEADER + (
+            "qreg q[1];\n"
+            "gate twist(a) x0 { rz(2*a) x0; rx(a/2) x0; }\n"
+            "twist(pi) q[0];\n"
+        )
+        circuit = parse_qasm(source)
+        assert abs(circuit[0].params[0] - 2 * math.pi) < 1e-12
+        assert abs(circuit[1].params[0] - math.pi / 2) < 1e-12
+
+    def test_nested_definitions(self):
+        source = HEADER + (
+            "qreg q[2];\n"
+            "gate inner a { h a; }\n"
+            "gate outer a, b { inner a; cx a, b; inner b; }\n"
+            "outer q[0], q[1];\n"
+        )
+        circuit = parse_qasm(source)
+        assert [op.gate for op in circuit] == ["h", "x", "h"]
+
+    def test_recursive_definition_rejected(self):
+        source = HEADER + (
+            "qreg q[1];\n"
+            "gate loop a { loop a; }\n"
+            "loop q[0];\n"
+        )
+        with pytest.raises(ParseError):
+            parse_qasm(source)
+
+    def test_barrier_inside_definition(self):
+        source = HEADER + (
+            "qreg q[2];\n"
+            "gate withbar a, b { h a; barrier a, b; h b; }\n"
+            "withbar q[0], q[1];\n"
+        )
+        circuit = parse_qasm(source)
+        assert isinstance(circuit[1], BarrierOp)
+        assert circuit[1].lines == (0, 1)
+
+    def test_user_definition_shadows_native(self):
+        source = HEADER + (
+            "qreg q[1];\n"
+            "gate h a { x a; }\n"  # devious but legal
+            "h q[0];\n"
+        )
+        circuit = parse_qasm(source)
+        assert circuit[0].gate == "x"
+
+    def test_definition_wrong_arity_on_use(self):
+        source = HEADER + (
+            "qreg q[2];\n"
+            "gate solo a { h a; }\n"
+            "solo q[0], q[1];\n"
+        )
+        with pytest.raises(ParseError):
+            parse_qasm(source)
+
+    def test_opaque_gate_application_rejected(self):
+        source = HEADER + "qreg q[1];\nopaque magic a;\nmagic q[0];\n"
+        with pytest.raises(ParseError):
+            parse_qasm(source)
+
+
+class TestSpecialOperations:
+    def test_measure_single(self):
+        circuit = parse_qasm(HEADER + "qreg q[1]; creg c[1]; measure q[0] -> c[0];")
+        assert isinstance(circuit[0], MeasureOp)
+
+    def test_measure_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg q[3]; creg c[3]; measure q -> c;")
+        assert len(circuit) == 3
+        assert all(isinstance(op, MeasureOp) for op in circuit)
+        assert [(op.qubit, op.clbit) for op in circuit] == [(0, 0), (1, 1), (2, 2)]
+
+    def test_measure_size_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "qreg q[3]; creg c[2]; measure q -> c;")
+
+    def test_reset(self):
+        circuit = parse_qasm(HEADER + "qreg q[2]; reset q;")
+        assert all(isinstance(op, ResetOp) for op in circuit)
+        assert len(circuit) == 2
+
+    def test_barrier(self):
+        circuit = parse_qasm(HEADER + "qreg q[3]; barrier q[0], q[2];")
+        assert isinstance(circuit[0], BarrierOp)
+        assert circuit[0].lines == (0, 2)
+
+    def test_if_condition(self):
+        circuit = parse_qasm(
+            HEADER + "qreg q[1]; creg c[2]; if (c == 3) x q[0];"
+        )
+        operation = circuit[0]
+        assert isinstance(operation, GateOp)
+        assert operation.condition == ((0, 1), 3)
+
+    def test_if_unknown_register(self):
+        with pytest.raises(ParseError):
+            parse_qasm(HEADER + "qreg q[1]; if (c == 1) x q[0];")
+
+    def test_if_measure_rejected(self):
+        with pytest.raises(ParseError):
+            parse_qasm(
+                HEADER + "qreg q[1]; creg c[1]; if (c == 1) measure q[0] -> c[0];"
+            )
+
+
+class TestSemantics:
+    def test_parsed_qft_matches_library(self):
+        from repro.qc import library
+
+        source = HEADER + (
+            "qreg q[3];\n"
+            "h q[2]; cp(pi/2) q[1],q[2]; cp(pi/4) q[0],q[2];\n"
+            "h q[1]; cp(pi/2) q[0],q[1];\n"
+            "h q[0];\n"
+            "swap q[0],q[2];\n"
+        )
+        circuit = parse_qasm(source)
+        assert np.allclose(
+            build_unitary(circuit), build_unitary(library.qft(3))
+        )

@@ -1,0 +1,136 @@
+"""Unit tests for the RevLib .real parser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.qc.real_format import parse_real
+from repro.simulation import build_unitary, StatevectorSimulator
+
+
+def _simulate_bits(circuit, input_bits):
+    """Classically simulate a reversible circuit on basis input."""
+    simulator = StatevectorSimulator(circuit)
+    simulator.state[:] = 0.0
+    simulator.state[input_bits] = 1.0
+    simulator.run()
+    outputs = np.flatnonzero(np.abs(simulator.state) > 0.5)
+    assert outputs.size == 1
+    return int(outputs[0])
+
+
+HEADER = ".version 2.0\n.numvars 3\n.variables a b c\n"
+
+
+class TestParsing:
+    def test_toffoli_gate(self):
+        circuit = parse_real(HEADER + ".begin\nt3 a b c\n.end\n")
+        operation = circuit[0]
+        # a is the most significant variable (line 2), c the target (line 0).
+        assert operation.gate == "x"
+        assert operation.targets == (0,)
+        assert set(operation.controls) == {1, 2}
+
+    def test_not_and_cnot(self):
+        circuit = parse_real(HEADER + ".begin\nt1 a\nt2 a b\n.end\n")
+        assert circuit[0].gate == "x" and circuit[0].targets == (2,)
+        assert circuit[1].controls == (2,) and circuit[1].targets == (1,)
+
+    def test_fredkin(self):
+        circuit = parse_real(HEADER + ".begin\nf3 a b c\n.end\n")
+        operation = circuit[0]
+        assert operation.gate == "swap"
+        assert operation.controls == (2,)
+        assert set(operation.targets) == {0, 1}
+
+    def test_negative_control(self):
+        circuit = parse_real(HEADER + ".begin\nt2 -a b\n.end\n")
+        operation = circuit[0]
+        assert operation.negative_controls == (2,)
+        assert operation.targets == (1,)
+
+    def test_v_gates(self):
+        circuit = parse_real(HEADER + ".begin\nv a b\nv+ a b\n.end\n")
+        assert circuit[0].gate == "sx"
+        assert circuit[1].gate == "sxdg"
+        assert circuit[0].controls == (2,)
+
+    def test_peres(self):
+        circuit = parse_real(HEADER + ".begin\np3 a b c\n.end\n")
+        assert len(circuit) == 2
+        assert circuit[0].gate == "x" and len(circuit[0].controls) == 2
+        assert circuit[1].gate == "x" and len(circuit[1].controls) == 1
+
+    def test_constants_initialize_lines(self):
+        circuit = parse_real(
+            ".numvars 3\n.variables a b c\n.constants 1-0\n.begin\n.end\n"
+        )
+        assert circuit[0].gate == "x" and circuit[0].targets == (2,)
+        assert len(circuit) == 1
+
+    def test_comments_and_blank_lines(self):
+        source = HEADER + "# comment\n\n.begin\nt1 a # trailing\n.end\n"
+        circuit = parse_real(source)
+        assert len(circuit) == 1
+
+    def test_default_variable_names(self):
+        circuit = parse_real(".numvars 2\n.begin\nt1 x0\n.end\n")
+        assert circuit.num_qubits == 2
+
+
+class TestErrors:
+    def test_missing_numvars(self):
+        with pytest.raises(ParseError):
+            parse_real(".variables a b\n.begin\n.end\n")
+
+    def test_numvars_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 3\n.variables a b\n.begin\n.end\n")
+
+    def test_unknown_variable(self):
+        with pytest.raises(ParseError):
+            parse_real(HEADER + ".begin\nt1 z\n.end\n")
+
+    def test_gate_before_begin(self):
+        with pytest.raises(ParseError):
+            parse_real(HEADER + "t1 a\n.begin\n.end\n")
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_real(HEADER + ".begin\nt1 a\n")
+
+    def test_operand_count_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_real(HEADER + ".begin\nt3 a b\n.end\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(ParseError):
+            parse_real(HEADER + ".begin\nq2 a b\n.end\n")
+
+    def test_bad_constants_length(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 2\n.constants 101\n.begin\n.end\n")
+
+
+class TestSemantics:
+    def test_toffoli_truth_table(self):
+        circuit = parse_real(HEADER + ".begin\nt3 a b c\n.end\n")
+        # Lines: a=2, b=1, c=0; target flips when a=b=1.
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    index = (a << 2) | (b << 1) | c
+                    expected = index ^ 1 if (a and b) else index
+                    assert _simulate_bits(circuit, index) == expected
+
+    def test_peres_equals_its_definition(self):
+        peres = parse_real(HEADER + ".begin\np3 a b c\n.end\n")
+        explicit = parse_real(HEADER + ".begin\nt3 a b c\nt2 a b\n.end\n")
+        assert np.allclose(build_unitary(peres), build_unitary(explicit))
+
+    def test_reversibility(self):
+        circuit = parse_real(
+            HEADER + ".begin\nt3 a b c\nt2 b c\nt1 a\nf2 b c\n.end\n"
+        )
+        unitary = build_unitary(circuit)
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(8))

@@ -1,0 +1,164 @@
+"""Unit tests for the interactive terminal tool (REPL)."""
+
+import io
+
+import pytest
+
+from repro.qc import library
+from repro.tool.repl import InteractiveTool, run_repl
+
+
+@pytest.fixture
+def bell_path(tmp_path):
+    circuit = library.bell_pair()
+    circuit.measure(0, 0)
+    path = tmp_path / "bell.qasm"
+    path.write_text(circuit.to_qasm())
+    return str(path)
+
+
+class TestCommands:
+    def test_load(self, bell_path):
+        tool = InteractiveTool()
+        out = tool.execute(f"load {bell_path}")
+        assert "2 qubits" in out and "3 operations" in out
+
+    def test_commands_require_circuit(self):
+        tool = InteractiveTool()
+        assert "no circuit loaded" in tool.execute("step")
+        assert "no circuit loaded" in tool.execute("show")
+
+    def test_unknown_command(self):
+        tool = InteractiveTool()
+        assert "unknown command" in tool.execute("frobnicate")
+
+    def test_help(self):
+        tool = InteractiveTool()
+        out = tool.execute("help")
+        for command in ("load", "step", "back", "export"):
+            assert command in out
+
+    def test_empty_line(self):
+        assert InteractiveTool().execute("   ") == ""
+
+    def test_source(self, bell_path):
+        tool = InteractiveTool()
+        tool.execute(f"load {bell_path}")
+        out = tool.execute("source")
+        assert "q1:" in out and "[H]" in out
+
+    def test_step_and_back(self, bell_path):
+        tool = InteractiveTool(seed=0)
+        tool.execute(f"load {bell_path}")
+        out = tool.execute("step")
+        assert "gate" in out and "[1/3]" in out
+        out = tool.execute("back")
+        assert "[0/3]" in out
+
+    def test_measurement_dialog(self, bell_path):
+        tool = InteractiveTool(seed=0)
+        tool.execute(f"load {bell_path}")
+        tool.execute("step")
+        tool.execute("step")
+        # A bare 'step' at a superposed measurement shows the dialog...
+        out = tool.execute("step")
+        assert "dialog" in out and "P(0)=0.500" in out
+        # ... and answering it collapses the state.
+        out = tool.execute("step 1")
+        assert "outcome 1" in out
+        vector = tool.execute("vector")
+        assert "|11>" in vector and "|00>" not in vector
+
+    def test_run_stops_at_breakpoint(self, tmp_path):
+        circuit = library.bell_pair()
+        circuit.barrier()
+        circuit.x(0)
+        path = tmp_path / "barrier.qasm"
+        path.write_text(circuit.to_qasm())
+        tool = InteractiveTool()
+        tool.execute(f"load {path}")
+        out = tool.execute("run")
+        assert "executed 3 step(s)" in out
+
+    def test_end_and_start(self, bell_path):
+        tool = InteractiveTool(seed=0)
+        tool.execute(f"load {bell_path}")
+        out = tool.execute("end")
+        assert "[3/3]" in out
+        out = tool.execute("start")
+        assert "[0/3]" in out
+
+    def test_show_and_style(self, bell_path):
+        tool = InteractiveTool(seed=0)
+        tool.execute(f"load {bell_path}")
+        tool.execute("step")
+        tool.execute("step")
+        out = tool.execute("show")
+        assert "q1" in out and "1/√2" in out
+        assert "style set to colored" == tool.execute("style colored")
+        assert "usage" in tool.execute("style neon")
+
+    def test_probs_and_sample(self, bell_path):
+        tool = InteractiveTool(seed=1)
+        tool.execute(f"load {bell_path}")
+        tool.execute("step")
+        tool.execute("step")
+        assert "P(0)=0.5000" in tool.execute("probs 0")
+        out = tool.execute("sample 50")
+        assert "|00>" in out or "|11>" in out
+
+    def test_bloch(self, bell_path):
+        tool = InteractiveTool(seed=0)
+        tool.execute(f"load {bell_path}")
+        out = tool.execute("bloch")
+        assert "q0" in out and "|r|=1.000" in out
+
+    def test_export(self, bell_path, tmp_path):
+        tool = InteractiveTool(seed=0)
+        tool.execute(f"load {bell_path}")
+        tool.execute("end")
+        target = tmp_path / "session.html"
+        out = tool.execute(f"export {target}")
+        assert "wrote" in out
+        assert target.read_text().startswith("<!DOCTYPE html>")
+
+    def test_stats(self, bell_path):
+        tool = InteractiveTool(seed=0)
+        tool.execute(f"load {bell_path}")
+        tool.execute("end")
+        assert "unique_vector" in tool.execute("stats")
+
+    def test_quit(self):
+        tool = InteractiveTool()
+        assert tool.execute("quit") == "bye"
+        assert tool.finished
+
+    def test_error_reporting(self, bell_path):
+        tool = InteractiveTool()
+        tool.execute(f"load {bell_path}")
+        assert "error" in tool.execute("probs notanumber")
+        assert "error" in tool.execute("load /nonexistent/file.qasm")
+
+
+class TestRunRepl:
+    def test_scripted_session(self, bell_path):
+        script = io.StringIO(
+            f"load {bell_path}\nstep\nstep\nstep 0\nvector\nquit\n"
+        )
+        output = io.StringIO()
+        run_repl(script, output, seed=0, interactive=False)
+        text = output.getvalue()
+        assert "loaded" in text
+        assert "|00>" in text
+        assert "bye" in text
+
+    def test_eof_terminates(self):
+        output = io.StringIO()
+        run_repl(io.StringIO(""), output, interactive=False)
+        assert output.getvalue() == ""
+
+    def test_prompt_written_in_interactive_mode(self, bell_path):
+        script = io.StringIO("quit\n")
+        output = io.StringIO()
+        run_repl(script, output, interactive=True)
+        assert "qdd> " in output.getvalue()

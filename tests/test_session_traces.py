@@ -1,0 +1,32 @@
+"""Tests for the verification-session trace chart and related plumbing."""
+
+import xml.etree.ElementTree as ET
+
+from repro.qc import library
+from repro.tool import VerificationSession
+
+
+class TestVerificationTraceChart:
+    def test_trace_svg_after_run(self):
+        session = VerificationSession(library.qft(3), library.qft_compiled(3))
+        session.run_compilation_flow()
+        svg = session.trace_svg()
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        total = len(session._engine.trace)
+        assert svg.count("<circle") >= total
+
+    def test_trace_reflects_partial_progress(self):
+        session = VerificationSession(library.qft(3), library.qft_compiled(3))
+        session.apply_left()
+        session.apply_right_to_barrier()
+        svg = session.trace_svg(title="partial")
+        assert "partial" in svg
+        # One left application plus the barrier group from the right.
+        assert svg.count("from G") >= 1
+
+    def test_peak_matches_chart_maximum(self):
+        session = VerificationSession(library.qft(3), library.qft_compiled(3))
+        session.run_compilation_flow()
+        counts = [entry.node_count for entry in session._engine.trace]
+        assert max(counts) == session.peak_node_count == 9

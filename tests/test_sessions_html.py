@@ -1,0 +1,203 @@
+"""Unit tests for the tool layer: sessions and HTML export (paper Sec. IV)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SimulationError, VerificationError
+from repro.qc import QuantumCircuit, library
+from repro.tool import SimulationSession, VerificationSession, load_circuit
+from repro.vis.html_export import Frame, frames_to_html
+
+INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+class TestLoadCircuit:
+    def test_passthrough(self):
+        circuit = library.bell_pair()
+        assert load_circuit(circuit) is circuit
+
+    def test_qasm_source(self):
+        circuit = load_circuit("OPENQASM 2.0;\nqreg q[2];\nh q[0];")
+        assert circuit.num_qubits == 2
+
+    def test_real_source(self):
+        circuit = load_circuit(".numvars 2\n.begin\nt2 x0 x1\n.end\n")
+        assert circuit.num_qubits == 2
+
+    def test_qasm_file(self, tmp_path):
+        path = tmp_path / "c.qasm"
+        path.write_text(library.bell_pair().to_qasm())
+        circuit = load_circuit(str(path))
+        assert circuit.name == "c"
+
+    def test_real_file(self, tmp_path):
+        path = tmp_path / "c.real"
+        path.write_text(".numvars 1\n.begin\nt1 x0\n.end\n")
+        circuit = load_circuit(str(path))
+        assert circuit.num_qubits == 1
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ReproError):
+            load_circuit("not a circuit at all")
+
+
+class TestSimulationSession:
+    def test_fig8_walkthrough(self):
+        """Paper Fig. 8: initial |00>, Bell state, measurement dialog, |11>."""
+        circuit = library.bell_pair()
+        circuit.measure(0, 0)
+        session = SimulationSession(circuit)
+        session.forward()  # H
+        session.forward()  # CNOT
+        dialog = session.pending_dialog()
+        assert dialog is not None
+        kind, qubit, p0, p1 = dialog
+        assert kind == "measure" and qubit == 0
+        assert abs(p0 - 0.5) < 1e-12 and abs(p1 - 0.5) < 1e-12
+        record = session.forward(outcome=1)
+        assert record.outcome == 1
+        assert np.allclose(
+            session.simulator.statevector(), [0, 0, 0, 1]
+        )
+
+    def test_no_dialog_for_deterministic_qubit(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0).measure(0, 0)
+        session = SimulationSession(circuit)
+        session.forward()
+        assert session.pending_dialog() is None
+
+    def test_dialog_for_reset(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).reset(0)
+        session = SimulationSession(circuit)
+        session.forward()
+        dialog = session.pending_dialog()
+        assert dialog[0] == "reset"
+
+    def test_backward_drops_frame(self):
+        session = SimulationSession(library.bell_pair())
+        session.forward()
+        assert len(session.frames) == 2
+        session.backward()
+        assert len(session.frames) == 1
+
+    def test_to_end_stops_at_barrier(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().h(1)
+        session = SimulationSession(circuit)
+        session.to_end()
+        assert session.simulator.position == 2
+        session.to_end()
+        assert session.simulator.at_end
+
+    def test_to_start(self):
+        session = SimulationSession(library.ghz_state(3))
+        session.to_end(stop_at_breakpoints=False)
+        session.to_start()
+        assert session.simulator.at_start
+        assert len(session.frames) == 1
+
+    def test_play_iterates_all(self):
+        session = SimulationSession(library.ghz_state(3))
+        records = list(session.play())
+        assert len(records) == 3
+
+    def test_frames_carry_svg_and_descriptions(self):
+        session = SimulationSession(library.bell_pair())
+        session.to_end(stop_at_breakpoints=False)
+        assert all(frame.svg.startswith("<svg") for frame in session.frames)
+        assert "Applied H" in session.frames[1].description
+
+    def test_export_html(self, tmp_path):
+        session = SimulationSession(library.bell_pair())
+        session.to_end(stop_at_breakpoints=False)
+        path = tmp_path / "session.html"
+        session.export_html(str(path))
+        text = path.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "const frames" in text
+        assert text.count("<svg") >= 3
+
+    def test_accepts_qasm_source_directly(self):
+        session = SimulationSession("OPENQASM 2.0;\nqreg q[1];\nx q[0];")
+        session.to_end()
+        assert np.allclose(session.simulator.statevector(), [0, 1])
+
+
+class TestVerificationSession:
+    def test_fig9_qft_verification(self):
+        """Paper Ex. 15 / Fig. 9: alternating application stays close to
+        the identity and ends at it."""
+        session = VerificationSession(library.qft(3), library.qft_compiled(3))
+        session.run_compilation_flow()
+        assert session.finished
+        assert session.is_identity()
+        assert session.peak_node_count == 9  # paper Ex. 12
+
+    def test_manual_stepping(self):
+        session = VerificationSession(library.qft(3), library.qft_compiled(3))
+        session.apply_left()
+        applied = session.apply_right_to_barrier()
+        assert applied >= 1
+        assert session.node_count >= 3
+
+    def test_mid_way_not_identity(self):
+        session = VerificationSession(library.qft(3), library.qft_compiled(3))
+        session.apply_left()
+        assert not session.is_identity()
+
+    def test_inequivalent_detected(self):
+        wrong = library.qft_compiled(3)
+        wrong.x(0)
+        session = VerificationSession(library.qft(3), wrong)
+        session.run_compilation_flow()
+        assert not session.is_identity()
+
+    def test_stepping_past_end_rejected(self):
+        session = VerificationSession(library.bell_pair(), library.bell_pair())
+        session.apply_left(2)
+        with pytest.raises(SimulationError):
+            session.apply_left()
+
+    def test_remaining_counters(self):
+        session = VerificationSession(library.bell_pair(), library.bell_pair())
+        assert session.left_remaining == 2
+        session.apply_left()
+        assert session.left_remaining == 1
+        assert session.right_remaining == 2
+
+    def test_qubit_mismatch_rejected(self):
+        with pytest.raises(VerificationError):
+            VerificationSession(library.qft(2), library.qft(3))
+
+    def test_export_html(self, tmp_path):
+        session = VerificationSession(library.bell_pair(), library.bell_pair())
+        session.run_compilation_flow()
+        path = tmp_path / "verify.html"
+        session.export_html(str(path))
+        assert "Verification" in path.read_text()
+
+
+class TestHtmlExport:
+    def test_requires_frames(self):
+        with pytest.raises(ValueError):
+            frames_to_html([])
+
+    def test_escapes_title(self):
+        html = frames_to_html([Frame(svg="<svg/>")], title="<nasty>")
+        assert "<nasty>" not in html
+        assert "&lt;nasty&gt;" in html
+
+    def test_embeds_all_frames(self):
+        frames = [Frame(svg=f"<svg>{i}</svg>", title=f"t{i}") for i in range(5)]
+        html = frames_to_html(frames)
+        for i in range(5):
+            assert f"<svg>{i}</svg>" in html
+
+    def test_controls_present(self):
+        html = frames_to_html([Frame(svg="<svg/>")])
+        for control in ("to-start", "back", "forward", "to-end", "play"):
+            assert f'id="{control}"' in html

@@ -1,0 +1,243 @@
+"""Unit tests for the step-through DD simulator (paper Sec. IV-B)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.qc import QuantumCircuit, library
+from repro.simulation import DDSimulator, StepKind
+
+INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+class TestStepping:
+    def test_forward_through_bell(self):
+        """Paper Ex. 13 / Fig. 8(a)-(b)."""
+        simulator = DDSimulator(library.bell_pair())
+        assert np.allclose(simulator.statevector(), [1, 0, 0, 0])
+        simulator.step_forward()
+        assert np.allclose(simulator.statevector(), [INV_SQRT2, 0, INV_SQRT2, 0])
+        simulator.step_forward()
+        assert np.allclose(simulator.statevector(), [INV_SQRT2, 0, 0, INV_SQRT2])
+        assert simulator.at_end
+
+    def test_step_past_end_rejected(self):
+        simulator = DDSimulator(library.bell_pair())
+        simulator.run_all()
+        with pytest.raises(SimulationError):
+            simulator.step_forward()
+
+    def test_backward_restores_state(self):
+        simulator = DDSimulator(library.bell_pair())
+        initial = simulator.state
+        simulator.step_forward()
+        simulator.step_forward()
+        simulator.step_backward()
+        simulator.step_backward()
+        assert simulator.state == initial
+        assert simulator.at_start
+
+    def test_backward_at_start_rejected(self):
+        simulator = DDSimulator(library.bell_pair())
+        with pytest.raises(SimulationError):
+            simulator.step_backward()
+
+    def test_backward_through_measurement(self):
+        """Measurements are irreversible physically, but the history makes
+        stepping backward possible in the tool."""
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        simulator = DDSimulator(circuit, seed=0)
+        simulator.step_forward()
+        superposed = simulator.state
+        simulator.step_forward(outcome=1)
+        assert np.allclose(simulator.statevector(), [0, 1])
+        simulator.step_backward()
+        assert simulator.state == superposed
+        assert simulator.classical_bits == (0,)
+
+    def test_rewind(self):
+        simulator = DDSimulator(library.ghz_state(3))
+        simulator.run_all()
+        simulator.rewind()
+        assert simulator.at_start
+        assert np.allclose(simulator.statevector(), np.eye(8)[0])
+
+    def test_records_accumulate(self):
+        simulator = DDSimulator(library.bell_pair())
+        simulator.run_all()
+        assert len(simulator.records) == 2
+        assert all(r.kind is StepKind.GATE for r in simulator.records)
+        assert simulator.records[1].node_count == 3
+
+    def test_slideshow(self):
+        simulator = DDSimulator(library.ghz_state(3))
+        steps = list(simulator.slideshow())
+        assert len(steps) == 3
+        assert simulator.at_end
+
+
+class TestBreakpoints:
+    def test_run_stops_after_barrier(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().h(1)
+        simulator = DDSimulator(circuit)
+        records = simulator.run()
+        assert [r.kind for r in records] == [StepKind.GATE, StepKind.BARRIER]
+        assert simulator.position == 2
+
+    def test_run_stops_after_measurement(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0).x(0)
+        simulator = DDSimulator(circuit, seed=1)
+        records = simulator.run()
+        assert records[-1].kind is StepKind.MEASUREMENT
+        assert simulator.position == 2
+
+    def test_run_without_breakpoints(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().h(1).barrier()
+        simulator = DDSimulator(circuit)
+        simulator.run(stop_at_breakpoints=False)
+        assert simulator.at_end
+
+
+class TestMeasurement:
+    def test_forced_outcome(self):
+        """Paper Fig. 8(c)-(d): choosing |1> in the dialog yields |11>."""
+        circuit = library.bell_pair()
+        circuit.measure(0, 0)
+        simulator = DDSimulator(circuit)
+        simulator.run(stop_at_breakpoints=False)
+        # Undo the automatic measurement, redo with a forced outcome.
+        simulator.step_backward()
+        record = simulator.step_forward(outcome=1)
+        assert record.outcome == 1
+        assert abs(record.probability - 0.5) < 1e-12
+        assert np.allclose(simulator.statevector(), [0, 0, 0, 1])
+        assert simulator.classical_bits == (1, 0)
+
+    def test_outcome_chooser_callback(self):
+        """The chooser models the tool's pop-up dialog."""
+        seen = []
+
+        def chooser(p0, p1):
+            seen.append((p0, p1))
+            return 0
+
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        simulator = DDSimulator(circuit, outcome_chooser=chooser)
+        simulator.run_all()
+        assert len(seen) == 1
+        assert abs(seen[0][0] - 0.5) < 1e-12
+        assert simulator.classical_bits == (0,)
+
+    def test_chooser_not_called_for_deterministic_qubit(self):
+        calls = []
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0).measure(0, 0)
+        simulator = DDSimulator(
+            circuit, outcome_chooser=lambda p0, p1: calls.append(1) or 0
+        )
+        simulator.run_all()
+        assert not calls  # no dialog: qubit was deterministic
+        assert simulator.classical_bits == (1,)
+
+    def test_invalid_chooser_return(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        simulator = DDSimulator(circuit, outcome_chooser=lambda p0, p1: 7)
+        with pytest.raises(SimulationError):
+            simulator.run_all()
+
+    def test_seeded_reproducibility(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0).h(1).measure(0, 0).measure(1, 1)
+        runs = []
+        for _ in range(2):
+            simulator = DDSimulator(circuit, seed=42)
+            simulator.run_all()
+            runs.append(simulator.classical_bits)
+        assert runs[0] == runs[1]
+
+
+class TestReset:
+    def test_reset_reinitializes_qubit(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0).reset(0)
+        simulator = DDSimulator(circuit)
+        simulator.run_all()
+        assert np.allclose(simulator.statevector(), [1, 0, 0, 0])
+
+    def test_reset_record(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).reset(0)
+        simulator = DDSimulator(circuit)
+        simulator.step_forward()
+        record = simulator.step_forward(outcome=1)
+        assert record.kind is StepKind.RESET
+        assert record.outcome == 1
+        assert np.allclose(simulator.statevector(), [1, 0])
+
+
+class TestClassicalControl:
+    def test_condition_met_applies_gate(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.x(0).measure(0, 0)
+        circuit.gate("x", [1], condition=([0], 1))
+        simulator = DDSimulator(circuit)
+        simulator.run_all()
+        assert np.allclose(simulator.statevector(), [0, 0, 0, 1])
+
+    def test_condition_unmet_skips_gate(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0)  # c0 = 0
+        circuit.gate("x", [1], condition=([0], 1))
+        simulator = DDSimulator(circuit)
+        records = simulator.run_all()
+        assert records[-1].kind is StepKind.GATE_SKIPPED
+        assert np.allclose(simulator.statevector(), [1, 0, 0, 0])
+
+    def test_multibit_condition(self):
+        circuit = QuantumCircuit(3, 2)
+        circuit.x(0).x(1).measure(0, 0).measure(1, 1)
+        circuit.gate("x", [2], condition=([0, 1], 3))
+        simulator = DDSimulator(circuit)
+        simulator.run_all()
+        assert simulator.statevector()[7] == 1.0
+
+    def test_teleportation_style_correction(self):
+        """Measure-and-correct always ends in |0> (deferred X)."""
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.gate("x", [0], condition=([0], 1))
+        for seed in range(8):
+            simulator = DDSimulator(circuit, seed=seed)
+            simulator.run_all()
+            assert np.allclose(simulator.statevector(), [1, 0])
+
+
+class TestQueries:
+    def test_probabilities(self):
+        simulator = DDSimulator(library.bell_pair())
+        simulator.run_all()
+        p0, p1 = simulator.probabilities(0)
+        assert abs(p0 - 0.5) < 1e-12
+
+    def test_sample_counts(self):
+        simulator = DDSimulator(library.bell_pair(), seed=0)
+        simulator.run_all()
+        counts = simulator.sample_counts(500, seed=1)
+        assert set(counts) == {"00", "11"}
+
+    def test_initial_state_override(self, package):
+        initial = package.basis_state(2, "11")
+        circuit = QuantumCircuit(2)
+        circuit.i(0)
+        simulator = DDSimulator(circuit, package=package, initial_state=initial)
+        simulator.run_all()
+        assert simulator.statevector()[3] == 1.0

@@ -1,0 +1,119 @@
+"""Unit tests for the dense baseline and DD-vs-dense cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.qc import QuantumCircuit, library
+from repro.qc.operations import GateOp
+from repro.simulation import DDSimulator, StatevectorSimulator, build_unitary
+from repro.simulation.statevector import gate_unitary
+
+
+class TestGateUnitary:
+    def test_single_qubit_embedding(self):
+        op = GateOp(gate="x", targets=(1,))
+        expected = np.kron(np.eye(2), np.kron([[0, 1], [1, 0]], np.eye(2)))
+        assert np.allclose(gate_unitary(op, 3), expected)
+
+    def test_controlled_embedding(self):
+        op = GateOp(gate="x", targets=(0,), controls=(1,))
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]]
+        )
+        assert np.allclose(gate_unitary(op, 2), expected)
+
+    def test_two_qubit_with_control(self):
+        op = GateOp(gate="swap", targets=(1, 0), controls=(2,))
+        dense = gate_unitary(op, 3)
+        expected = np.eye(8)
+        expected[[5, 6]] = expected[[6, 5]]
+        assert np.allclose(dense, expected)
+
+    def test_every_library_gate_is_unitary_when_embedded(self):
+        for name, targets in [
+            ("h", (0,)), ("y", (1,)), ("sdg", (2,)), ("swap", (2, 0)),
+            ("iswap", (1, 0)),
+        ]:
+            op = GateOp(gate=name, targets=targets)
+            dense = gate_unitary(op, 3)
+            assert np.allclose(dense @ dense.conj().T, np.eye(8))
+
+
+class TestBuildUnitary:
+    def test_rejects_nonunitary(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(SimulationError):
+            build_unitary(circuit)
+
+    def test_gate_order(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0).s(0)  # S X as a matrix product
+        s = np.diag([1.0, 1j])
+        x = np.array([[0, 1], [1, 0]])
+        assert np.allclose(build_unitary(circuit), s @ x)
+
+
+class TestSimulator:
+    def test_matches_dd_simulator_on_random_circuits(self):
+        for seed in (0, 1, 2):
+            circuit = library.random_circuit(4, 40, seed=seed)
+            dd = DDSimulator(circuit)
+            dd.run_all()
+            dense = StatevectorSimulator(circuit)
+            dense.run()
+            assert np.allclose(dd.statevector(), dense.state)
+
+    def test_measurement_collapse(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        simulator = StatevectorSimulator(circuit, seed=3)
+        simulator.run()
+        assert simulator.classical_bits[0] in (0, 1)
+        assert abs(np.linalg.norm(simulator.state) - 1.0) < 1e-12
+
+    def test_forced_outcome(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        simulator = StatevectorSimulator(circuit)
+        simulator.step()
+        simulator.step(outcome=1)
+        assert np.allclose(simulator.state, [0, 1])
+
+    def test_impossible_outcome_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        simulator = StatevectorSimulator(circuit)
+        with pytest.raises(SimulationError):
+            simulator.step(outcome=1)
+
+    def test_reset(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0).reset(0)
+        simulator = StatevectorSimulator(circuit)
+        simulator.run()
+        assert np.allclose(simulator.state, [1, 0])
+
+    def test_classical_condition(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.x(0).measure(0, 0)
+        circuit.gate("x", [1], condition=([0], 1))
+        simulator = StatevectorSimulator(circuit)
+        simulator.run()
+        assert np.allclose(simulator.state, np.eye(4)[3])
+
+    def test_step_past_end(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        simulator = StatevectorSimulator(circuit)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.step()
+
+    def test_probabilities(self):
+        circuit = library.bell_pair()
+        simulator = StatevectorSimulator(circuit)
+        simulator.run()
+        p0, p1 = simulator.probabilities(1)
+        assert abs(p0 - 0.5) < 1e-12

@@ -1,0 +1,70 @@
+"""Unit tests for stimuli-based equivalence checking."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.qc import QuantumCircuit, library
+from repro.verification import check_equivalence_stimuli
+
+
+class TestStimuli:
+    def test_equivalent_pair_not_falsified(self):
+        result = check_equivalence_stimuli(
+            library.qft(3), library.qft_compiled(3), seed=0
+        )
+        assert result.equivalent
+        assert result.worst_fidelity > 1.0 - 1e-9
+        assert bool(result)
+
+    def test_inequivalent_pair_falsified(self):
+        a = library.qft(3)
+        b = library.qft(3)
+        b.x(1)
+        result = check_equivalence_stimuli(a, b, seed=0)
+        assert not result.equivalent
+        assert result.first_failure is not None
+        assert result.worst_fidelity < 1.0
+
+    def test_difference_invisible_on_zero_state_found_by_other_stimuli(self):
+        """A bug that only triggers for |1> inputs escapes the all-zero
+        stimulus but is caught by random basis states."""
+        a = QuantumCircuit(2)
+        a.cx(1, 0)
+        b = QuantumCircuit(2)  # forgets the CNOT entirely
+        result = check_equivalence_stimuli(a, b, num_stimuli=4, seed=1)
+        assert not result.equivalent
+
+    def test_zero_state_always_first(self):
+        a = QuantumCircuit(1)
+        a.x(0)
+        b = QuantumCircuit(1)
+        result = check_equivalence_stimuli(a, b, num_stimuli=1, seed=0)
+        assert not result.equivalent
+        assert result.first_failure == 0
+        assert result.stimuli_run == 1
+
+    def test_stimuli_capped_at_dimension(self):
+        result = check_equivalence_stimuli(
+            library.bell_pair(), library.bell_pair(), num_stimuli=1000, seed=0
+        )
+        assert result.stimuli_run == 4
+
+    def test_global_phase_not_flagged(self):
+        a = QuantumCircuit(1)
+        a.p(0.4, 0)
+        b = QuantumCircuit(1)
+        b.rz(0.4, 0)
+        result = check_equivalence_stimuli(a, b, seed=0)
+        assert result.equivalent  # fidelity is phase-insensitive
+
+    def test_validation(self):
+        with pytest.raises(VerificationError):
+            check_equivalence_stimuli(library.qft(2), library.qft(3))
+        with pytest.raises(VerificationError):
+            check_equivalence_stimuli(
+                library.qft(2), library.qft(2), num_stimuli=0
+            )
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(VerificationError):
+            check_equivalence_stimuli(circuit, QuantumCircuit(1))

@@ -1,0 +1,132 @@
+"""Unit tests for DD-based state-preparation synthesis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage, NormalizationScheme
+from repro.errors import DDError, InvalidStateError
+from repro.qc import library
+from repro.simulation import DDSimulator
+from repro.synthesis import prepare_state, synthesize_state_preparation
+from tests.conftest import random_state
+
+
+def _fidelity(circuit, target):
+    simulator = DDSimulator(circuit)
+    simulator.run_all()
+    return abs(np.vdot(simulator.statevector(), target)) ** 2
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("index", [0, 1, 5, 7])
+    def test_basis_states(self, index):
+        target = np.zeros(8)
+        target[index] = 1.0
+        circuit = prepare_state(target)
+        assert _fidelity(circuit, target) > 1.0 - 1e-9
+        # Basis states need only X gates.
+        assert all(op.gate == "x" for op in circuit)
+
+    def test_bell_state(self):
+        target = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        circuit = prepare_state(target)
+        assert _fidelity(circuit, target) > 1.0 - 1e-9
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_random_states(self, n, rng):
+        target = random_state(n, rng)
+        circuit = prepare_state(target)
+        assert _fidelity(circuit, target) > 1.0 - 1e-9
+
+    def test_complex_phases(self, rng):
+        target = np.exp(1j * rng.uniform(0, 2 * np.pi, size=8))
+        target /= np.linalg.norm(target)
+        circuit = prepare_state(target)
+        assert _fidelity(circuit, target) > 1.0 - 1e-9
+
+    def test_from_existing_dd(self, package):
+        simulator = DDSimulator(library.w_state(5), package=package)
+        simulator.run_all()
+        circuit = synthesize_state_preparation(package, simulator.state)
+        assert _fidelity(circuit, simulator.statevector()) > 1.0 - 1e-9
+
+    def test_unoptimized_variant(self, rng):
+        target = random_state(3, rng)
+        circuit = prepare_state(target, optimize=False)
+        assert _fidelity(circuit, target) > 1.0 - 1e-9
+
+
+class TestGateCounts:
+    def test_ghz_is_linear(self, package):
+        simulator = DDSimulator(library.ghz_state(10), package=package)
+        simulator.run_all()
+        circuit = synthesize_state_preparation(package, simulator.state)
+        assert circuit.num_gates == 10
+
+    def test_uniform_superposition_is_linear(self):
+        n = 6
+        target = np.full(1 << n, (1 << n) ** -0.5)
+        circuit = prepare_state(target)
+        assert circuit.num_gates == n
+        # All uncontrolled single-qubit rotations.
+        assert all(op.num_controls == 0 for op in circuit)
+
+    def test_w_state_is_quadratic(self, package):
+        for n in (3, 5, 7):
+            simulator = DDSimulator(library.w_state(n), package=package)
+            simulator.run_all()
+            circuit = synthesize_state_preparation(package, simulator.state)
+            assert circuit.num_gates <= n * (n + 1) // 2
+
+    def test_optimization_reduces_uniform_count(self):
+        n = 5
+        target = np.full(1 << n, (1 << n) ** -0.5)
+        optimized = prepare_state(target, optimize=True)
+        raw = prepare_state(target, optimize=False)
+        assert optimized.num_gates == n
+        assert raw.num_gates == (1 << n) - 1
+
+
+class TestValidation:
+    def test_rejects_unnormalized(self):
+        with pytest.raises(InvalidStateError):
+            prepare_state([1.0, 1.0])
+
+    def test_rejects_zero_vector_dd(self, package):
+        from repro.dd.edge import ZERO_EDGE
+
+        with pytest.raises(InvalidStateError):
+            synthesize_state_preparation(package, ZERO_EDGE)
+
+    def test_rejects_max_magnitude_scheme(self, max_package):
+        state = max_package.from_state_vector([1.0, 0.0])
+        with pytest.raises(DDError):
+            synthesize_state_preparation(max_package, state)
+
+
+class TestRoundtrip:
+    def test_synthesis_composes_with_verification(self):
+        """The synthesized Bell preparation agrees with the paper's Bell
+        circuit on the |00> input (they may differ on other columns)."""
+        from repro.dd import DDPackage
+        from repro.qc.dd_builder import circuit_to_dd
+
+        target = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        synthesized = prepare_state(target)
+        reference = library.bell_pair()
+        package = DDPackage()
+        zero = package.zero_state(2)
+        out_a = package.multiply(circuit_to_dd(package, synthesized), zero)
+        out_b = package.multiply(circuit_to_dd(package, reference), zero)
+        assert package.fidelity(out_a, out_b) > 1.0 - 1e-9
+
+    def test_simulate_synthesize_simulate_is_fixpoint(self, package, rng):
+        """prepare(simulate(prepare(v))) reproduces v."""
+        target = random_state(3, rng)
+        circuit = prepare_state(target, package=package)
+        simulator = DDSimulator(circuit, package=package)
+        simulator.run_all()
+        again = synthesize_state_preparation(package, simulator.state)
+        assert _fidelity(again, target) > 1.0 - 1e-9

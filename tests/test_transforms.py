@@ -1,0 +1,149 @@
+"""Unit tests for circuit transformations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.qc import QuantumCircuit, library
+from repro.qc.operations import BarrierOp
+from repro.qc.transforms import (
+    decompose_to_primitives,
+    permute_qubits,
+    remove_barriers,
+    reverse_qubits,
+)
+from repro.simulation import build_unitary
+from repro.verification import check_equivalence_construct
+
+
+def _wire_permutation_matrix(num_qubits, mapping):
+    size = 1 << num_qubits
+    matrix = np.zeros((size, size))
+    for basis in range(size):
+        image = 0
+        for line in range(num_qubits):
+            if basis & (1 << line):
+                image |= 1 << mapping[line]
+        matrix[image, basis] = 1.0
+    return matrix
+
+
+class TestPermuteQubits:
+    def test_identity_permutation(self):
+        circuit = library.qft(3)
+        same = permute_qubits(circuit, [0, 1, 2])
+        assert np.allclose(build_unitary(same), build_unitary(circuit))
+
+    @pytest.mark.parametrize("mapping", [[1, 0, 2], [2, 0, 1], [2, 1, 0]])
+    def test_conjugates_by_wire_permutation(self, mapping):
+        circuit = library.qft(3)
+        permuted = permute_qubits(circuit, mapping)
+        p_matrix = _wire_permutation_matrix(3, mapping)
+        expected = p_matrix @ build_unitary(circuit) @ p_matrix.T
+        assert np.allclose(build_unitary(permuted), expected)
+
+    def test_remaps_special_operations(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0).reset(1).barrier(0)
+        permuted = permute_qubits(circuit, [1, 0])
+        assert permuted[0].qubit == 1
+        assert permuted[1].qubit == 0
+        assert permuted[2].lines == (1,)
+
+    def test_swap_targets_stay_high_low(self):
+        circuit = QuantumCircuit(3)
+        circuit.swap(2, 0)
+        permuted = permute_qubits(circuit, [2, 1, 0])
+        assert permuted[0].targets == (2, 0)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(CircuitError):
+            permute_qubits(library.qft(2), [0, 0])
+        with pytest.raises(CircuitError):
+            permute_qubits(library.qft(2), [0, 2])
+
+    def test_reverse_qubits(self):
+        circuit = library.bell_pair()
+        reversed_circuit = reverse_qubits(circuit)
+        assert reversed_circuit[0].targets == (0,)
+        assert reversed_circuit[1].controls == (0,)
+        assert reversed_circuit[1].targets == (1,)
+
+
+class TestRemoveBarriers:
+    def test_strips_all_barriers(self):
+        circuit = library.qft_compiled(3)
+        stripped = remove_barriers(circuit)
+        assert not any(isinstance(op, BarrierOp) for op in stripped)
+        assert stripped.num_gates == circuit.num_gates
+
+    def test_preserves_functionality(self):
+        circuit = library.qft_compiled(2)
+        assert np.allclose(
+            build_unitary(remove_barriers(circuit)), build_unitary(circuit)
+        )
+
+
+class TestDecomposeToPrimitives:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: library.qft(3),
+            lambda: library.ghz_state(3),
+            lambda: library.w_state(3),
+        ],
+    )
+    def test_preserves_functionality(self, factory):
+        circuit = factory()
+        compiled = decompose_to_primitives(circuit)
+        result = check_equivalence_construct(circuit, compiled)
+        assert result.equivalent_up_to_global_phase
+
+    def test_toffoli_decomposition_exact(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(2, 1, 0)
+        compiled = decompose_to_primitives(circuit)
+        assert np.allclose(build_unitary(compiled), build_unitary(circuit))
+        assert all(op.num_controls <= 1 for op in compiled)
+
+    def test_result_is_primitive(self):
+        compiled = decompose_to_primitives(library.qft(4))
+        for operation in compiled:
+            assert operation.num_controls <= 1
+            assert operation.gate != "swap" or not operation.controls
+            if operation.gate in ("p", "u1"):
+                assert not operation.controls
+
+    def test_barrier_per_gate(self):
+        circuit = library.qft(3)
+        compiled = decompose_to_primitives(circuit, barrier_per_gate=True)
+        barriers = sum(1 for op in compiled if isinstance(op, BarrierOp))
+        assert barriers == len(circuit)  # one per original gate incl. none skipped
+
+    def test_matches_library_qft_compiled(self):
+        via_transform = decompose_to_primitives(
+            library.qft(3), barrier_per_gate=True
+        )
+        result = check_equivalence_construct(
+            via_transform, library.qft_compiled(3)
+        )
+        assert result.equivalent
+
+    def test_multicontrolled_x_now_supported(self):
+        circuit = QuantumCircuit(4)
+        circuit.mcx([1, 2, 3], 0)
+        compiled = decompose_to_primitives(circuit)
+        assert np.allclose(build_unitary(compiled), build_unitary(circuit))
+
+    def test_unsupported_controlled_twoqubit_rejected(self):
+        circuit = QuantumCircuit(3)
+        circuit.gate("iswap", [2, 1], controls=[0])
+        with pytest.raises(CircuitError):
+            decompose_to_primitives(circuit)
+
+    def test_specials_pass_through(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0).reset(0)
+        compiled = decompose_to_primitives(circuit)
+        kinds = [type(op).__name__ for op in compiled]
+        assert kinds == ["MeasureOp", "ResetOp"]

@@ -1,0 +1,53 @@
+"""Regression tests: mixed vector/matrix operands must raise, not corrupt."""
+
+import pytest
+
+from repro.dd import DDPackage
+from repro.errors import DDError
+
+
+@pytest.fixture
+def operands(package):
+    vector = package.zero_state(2)
+    matrix = package.identity(2)
+    return package, vector, matrix
+
+
+class TestMixedOperandGuards:
+    def test_add_rejects_vector_plus_matrix(self, operands):
+        package, vector, matrix = operands
+        with pytest.raises(DDError):
+            package.add(vector, matrix)
+        with pytest.raises(DDError):
+            package.add(matrix, vector)
+
+    def test_kron_rejects_mixed_kinds(self, operands):
+        package, vector, matrix = operands
+        with pytest.raises(DDError):
+            package.kron(vector, matrix)
+        with pytest.raises(DDError):
+            package.kron(matrix, vector)
+
+    def test_kron_with_scalar_still_works(self, operands):
+        from repro.dd.edge import ONE_EDGE
+
+        package, vector, matrix = operands
+        assert not package.kron(vector, ONE_EDGE).is_zero
+        assert not package.kron(matrix, ONE_EDGE).is_zero
+
+    def test_inner_product_rejects_matrices(self, operands):
+        package, vector, matrix = operands
+        with pytest.raises(DDError):
+            package.inner_product(vector, matrix)
+        with pytest.raises(DDError):
+            package.inner_product(matrix, matrix)
+
+    def test_adjoint_rejects_vectors(self, operands):
+        package, vector, __ = operands
+        with pytest.raises(DDError):
+            package.adjoint(vector)
+
+    def test_multiply_rejects_vector_as_operation(self, operands):
+        package, vector, __ = operands
+        with pytest.raises(DDError):
+            package.multiply(vector, vector)

@@ -1,0 +1,84 @@
+"""Unit tests for hash-consing and memoization tables."""
+
+import gc
+
+import pytest
+
+from repro.dd.compute_table import ComputeTable
+from repro.dd.edge import Edge, ONE_EDGE, ZERO_EDGE
+from repro.dd.node import VectorNode
+from repro.dd.unique_table import UniqueTable
+
+
+class TestUniqueTable:
+    def test_identical_structure_shares_node(self):
+        table = UniqueTable(VectorNode)
+        a = table.get_or_create(0, (ZERO_EDGE, ONE_EDGE))
+        b = table.get_or_create(0, (ZERO_EDGE, ONE_EDGE))
+        assert a is b
+        assert table.hits == 1
+        assert table.misses == 1
+
+    def test_different_levels_are_distinct(self):
+        table = UniqueTable(VectorNode)
+        a = table.get_or_create(0, (ZERO_EDGE, ONE_EDGE))
+        b = table.get_or_create(1, (ZERO_EDGE, ONE_EDGE))
+        assert a is not b
+
+    def test_different_weights_are_distinct(self):
+        table = UniqueTable(VectorNode)
+        a = table.get_or_create(0, (ONE_EDGE, ZERO_EDGE))
+        b = table.get_or_create(0, (ONE_EDGE, ONE_EDGE))
+        assert a is not b
+
+    def test_weak_references_allow_collection(self):
+        table = UniqueTable(VectorNode)
+        node = table.get_or_create(0, (ZERO_EDGE, ONE_EDGE))
+        assert len(table) == 1
+        del node
+        gc.collect()
+        assert len(table) == 0
+
+    def test_clear(self):
+        table = UniqueTable(VectorNode)
+        keep = table.get_or_create(0, (ZERO_EDGE, ONE_EDGE))
+        table.clear()
+        assert len(table) == 0
+        again = table.get_or_create(0, (ZERO_EDGE, ONE_EDGE))
+        assert again is not keep  # fresh node after clear
+
+
+class TestComputeTable:
+    def test_lookup_miss_then_hit(self):
+        cache = ComputeTable("test")
+        assert cache.lookup("key") is None
+        cache.insert("key", "value")
+        assert cache.lookup("key") == "value"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_capacity_clears_when_full(self):
+        cache = ComputeTable("test", capacity=2)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        cache.insert("c", 3)  # exceeds capacity: table cleared first
+        assert cache.lookup("a") is None
+        assert cache.lookup("c") == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ComputeTable("test", capacity=0)
+
+    def test_hit_ratio(self):
+        cache = ComputeTable("test")
+        assert cache.hit_ratio == 0.0
+        cache.insert("x", 1)
+        cache.lookup("x")
+        cache.lookup("y")
+        assert 0.0 < cache.hit_ratio < 1.0
+
+    def test_clear(self):
+        cache = ComputeTable("test")
+        cache.insert("x", 1)
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,183 @@
+"""Unit tests for equivalence checking (paper Sec. III-C, Ex. 11/12)."""
+
+import math
+
+import pytest
+
+from repro.dd import DDPackage
+from repro.errors import VerificationError
+from repro.qc import QuantumCircuit, library
+from repro.verification import (
+    ApplicationStrategy,
+    build_functionality,
+    check_equivalence_alternating,
+    check_equivalence_construct,
+)
+
+
+def _inequivalent_pair():
+    a = library.qft(3)
+    b = library.qft(3)
+    b.x(0)
+    return a, b
+
+
+class TestConstructChecker:
+    def test_qft_pair_equivalent(self):
+        """Paper Ex. 11: both QFT circuits yield the identical DD."""
+        result = check_equivalence_construct(
+            library.qft(3), library.qft_compiled(3)
+        )
+        assert result.equivalent
+        assert result.equivalent_up_to_global_phase
+        assert bool(result)
+
+    def test_monolithic_peak_is_21_nodes(self):
+        """Paper Ex. 12: building the full system matrix needs 21 nodes."""
+        result = check_equivalence_construct(
+            library.qft(3), library.qft_compiled(3)
+        )
+        assert result.max_nodes == 21
+
+    def test_detects_inequivalence(self):
+        result = check_equivalence_construct(*_inequivalent_pair())
+        assert not result.equivalent
+        assert not result.equivalent_up_to_global_phase
+        assert not bool(result)
+
+    def test_global_phase_detected(self):
+        a = QuantumCircuit(1)
+        a.p(0.4, 0)
+        b = QuantumCircuit(1)
+        b.rz(0.4, 0)  # differs by exp(i*0.2) global phase
+        result = check_equivalence_construct(a, b)
+        assert not result.equivalent
+        assert result.equivalent_up_to_global_phase
+        assert abs(abs(result.global_phase) - 1.0) < 1e-9
+        assert abs(result.global_phase - complex(math.cos(0.2), -math.sin(0.2))) < 1e-9
+
+    def test_qubit_count_mismatch(self):
+        with pytest.raises(VerificationError):
+            check_equivalence_construct(library.qft(2), library.qft(3))
+
+    def test_shared_package_reuse(self, package):
+        result = check_equivalence_construct(
+            library.bell_pair(), library.bell_pair(), package=package
+        )
+        assert result.equivalent
+
+    def test_build_functionality_peak_tracking(self, package):
+        functionality, peak = build_functionality(
+            package, library.qft(3), track_peak=True
+        )
+        assert peak >= package.node_count(functionality)
+        assert peak == 21
+
+
+class TestAlternatingChecker:
+    @pytest.mark.parametrize("strategy", list(ApplicationStrategy))
+    def test_all_strategies_confirm_equivalence(self, strategy):
+        result = check_equivalence_alternating(
+            library.qft(3), library.qft_compiled(3), strategy=strategy
+        )
+        assert result.equivalent
+        assert result.strategy is strategy
+
+    @pytest.mark.parametrize("strategy", list(ApplicationStrategy))
+    def test_all_strategies_detect_inequivalence(self, strategy):
+        result = check_equivalence_alternating(
+            *_inequivalent_pair(), strategy=strategy
+        )
+        assert not result.equivalent
+
+    def test_compilation_flow_peak_is_9_nodes(self):
+        """Paper Ex. 12: the alternating scheme needs at most 9 nodes."""
+        result = check_equivalence_alternating(
+            library.qft(3),
+            library.qft_compiled(3),
+            strategy=ApplicationStrategy.COMPILATION_FLOW,
+        )
+        assert result.max_nodes == 9
+
+    def test_naive_peak_matches_monolithic(self):
+        result = check_equivalence_alternating(
+            library.qft(3),
+            library.qft_compiled(3),
+            strategy=ApplicationStrategy.NAIVE,
+        )
+        assert result.max_nodes == 21
+
+    def test_compilation_flow_beats_naive(self):
+        good = check_equivalence_alternating(
+            library.qft(3), library.qft_compiled(3),
+            strategy=ApplicationStrategy.COMPILATION_FLOW,
+        )
+        bad = check_equivalence_alternating(
+            library.qft(3), library.qft_compiled(3),
+            strategy=ApplicationStrategy.NAIVE,
+        )
+        assert good.max_nodes < bad.max_nodes
+
+    def test_trace_records_every_application(self):
+        result = check_equivalence_alternating(
+            library.qft(3), library.qft_compiled(3),
+            strategy=ApplicationStrategy.ONE_TO_ONE,
+        )
+        left_count = sum(1 for entry in result.trace if entry.side == "G")
+        right_count = sum(1 for entry in result.trace if entry.side == "G'")
+        assert left_count == library.qft(3).num_gates
+        assert right_count == library.qft_compiled(3).num_gates
+        assert max(entry.node_count for entry in result.trace) <= result.max_nodes
+
+    def test_asymmetric_lengths_proportional(self):
+        short = QuantumCircuit(2)
+        short.h(0)
+        long = QuantumCircuit(2)
+        # h = h h h (odd count keeps equivalence)
+        long.h(0).h(0).h(0)
+        result = check_equivalence_alternating(
+            short, long, strategy=ApplicationStrategy.PROPORTIONAL
+        )
+        assert result.equivalent
+
+    def test_empty_right_circuit(self):
+        a = QuantumCircuit(1)
+        a.x(0).x(0)
+        b = QuantumCircuit(1)
+        result = check_equivalence_alternating(a, b)
+        assert result.equivalent
+
+    def test_self_inverse_identity(self):
+        circuit = library.ghz_state(4)
+        result = check_equivalence_alternating(circuit, circuit)
+        assert result.equivalent
+
+    def test_nonunitary_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(VerificationError):
+            check_equivalence_alternating(circuit, QuantumCircuit(1))
+
+    def test_qubit_count_mismatch(self):
+        with pytest.raises(VerificationError):
+            check_equivalence_alternating(library.qft(2), library.qft(3))
+
+    def test_swap_decompositions_equivalent(self):
+        a = QuantumCircuit(3)
+        a.swap(0, 2)
+        b = QuantumCircuit(3)
+        b.cx(0, 2).cx(2, 0).cx(0, 2)
+        result = check_equivalence_alternating(a, b)
+        assert result.equivalent
+
+    def test_lookahead_never_worse_than_naive(self):
+        for seed in (0, 1):
+            circuit = library.random_circuit(3, 20, seed=seed)
+            compiled = circuit.copy()
+            naive = check_equivalence_alternating(
+                circuit, compiled, strategy=ApplicationStrategy.NAIVE
+            )
+            lookahead = check_equivalence_alternating(
+                circuit, compiled, strategy=ApplicationStrategy.LOOKAHEAD
+            )
+            assert lookahead.max_nodes <= naive.max_nodes

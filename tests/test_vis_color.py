@@ -1,0 +1,82 @@
+"""Unit tests for the HLS color wheel and weight formatting (Fig. 7(b))."""
+
+import math
+
+from repro.vis.color import (
+    hls_wheel_color,
+    phase_to_color,
+    pretty_complex,
+    weight_to_width,
+)
+
+
+class TestColorWheel:
+    def test_phase_zero_is_red(self):
+        assert hls_wheel_color(0.0) == "#ff0000"
+
+    def test_cardinal_phases_are_distinct(self):
+        colors = {
+            hls_wheel_color(k * math.pi / 2) for k in range(4)
+        }
+        assert len(colors) == 4
+
+    def test_full_turn_wraps(self):
+        assert hls_wheel_color(2 * math.pi) == hls_wheel_color(0.0)
+
+    def test_phase_to_color_uses_weight_phase(self):
+        assert phase_to_color(complex(1.0, 0.0)) == "#ff0000"
+        assert phase_to_color(complex(2.0, 0.0)) == "#ff0000"  # magnitude-free
+
+    def test_negative_real_is_cyan(self):
+        # pi phase -> hue 0.5 -> cyan.
+        assert phase_to_color(complex(-1.0, 0.0)) == "#00ffff"
+
+    def test_output_format(self):
+        color = hls_wheel_color(1.234)
+        assert color.startswith("#") and len(color) == 7
+
+
+class TestWidth:
+    def test_magnitude_one_gives_maximum(self):
+        assert weight_to_width(1.0 + 0j) == 4.0
+
+    def test_magnitude_zero_gives_minimum(self):
+        assert weight_to_width(0.0 + 0j) == 0.5
+
+    def test_linear_midpoint(self):
+        assert abs(weight_to_width(0.5 + 0j) - 2.25) < 1e-12
+
+    def test_clipped_above_one(self):
+        assert weight_to_width(5.0 + 0j) == 4.0
+
+    def test_custom_bounds(self):
+        assert weight_to_width(1.0, minimum=1.0, maximum=2.0) == 2.0
+
+
+class TestPrettyComplex:
+    def test_integers(self):
+        assert pretty_complex(1.0 + 0j) == "1"
+        assert pretty_complex(-2.0 + 0j) == "-2"
+
+    def test_sqrt2_fractions(self):
+        inv = 1.0 / math.sqrt(2.0)
+        assert pretty_complex(complex(inv, 0)) == "1/√2"
+        assert pretty_complex(complex(-inv, 0)) == "-1/√2"
+        assert pretty_complex(complex(inv**2, 0)) == "1/2"
+
+    def test_imaginary_units(self):
+        assert pretty_complex(1j) == "i"
+        assert pretty_complex(-1j) == "-i"
+        assert pretty_complex(0.5j) == "1/2i"
+
+    def test_unit_magnitude_phase_form(self):
+        value = complex(math.cos(0.3), math.sin(0.3))
+        rendered = pretty_complex(value)
+        assert rendered.startswith("e^(i")
+
+    def test_general_complex(self):
+        rendered = pretty_complex(0.25 + 0.1j)
+        assert "+" in rendered and rendered.endswith("i")
+
+    def test_simple_fractions(self):
+        assert pretty_complex(0.25 + 0j) == "1/4"
