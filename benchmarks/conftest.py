@@ -8,11 +8,18 @@ the run leaves auditable artifacts (referenced by EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+if SRC_DIR not in sys.path:
+    sys.path.insert(0, SRC_DIR)
 
 
 @pytest.fixture(scope="session")
@@ -23,14 +30,30 @@ def results_dir() -> str:
 
 @pytest.fixture
 def report(results_dir):
-    """Print a titled report block and persist it to results/<name>.txt."""
+    """Print a titled report block and persist it to results/<name>.txt
+    and a machine-readable results/<name>.json (rows plus a snapshot of
+    the observability default registry at report time)."""
 
     def _report(name: str, lines) -> None:
-        text = "\n".join(str(line) for line in lines)
+        rows = [str(line) for line in lines]
+        text = "\n".join(rows)
         banner = f"==== {name} ===="
         print(f"\n{banner}\n{text}")
         with open(os.path.join(results_dir, f"{name}.txt"), "w",
                   encoding="utf-8") as handle:
             handle.write(banner + "\n" + text + "\n")
+
+        from repro import obs
+        from repro.obs.export import registry_snapshot
+
+        payload = {
+            "name": name,
+            "rows": rows,
+            "metrics": registry_snapshot(obs.default_registry())["metrics"],
+        }
+        with open(os.path.join(results_dir, f"{name}.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
     return _report

@@ -13,7 +13,9 @@ A from-scratch Python reproduction of R. Wille, L. Burgholzer, M. Artner,
 * :mod:`repro.verification` — construction-based and alternating
   ``G (G')^-1`` equivalence checking;
 * :mod:`repro.vis` — classic / colored / modern DD rendering (DOT, SVG,
-  ASCII, interactive HTML);
+  ASCII, interactive HTML) plus run-timeline charts;
+* :mod:`repro.obs` — observability: metrics registry, span tracing and
+  JSON / Prometheus / run-report exporters;
 * :mod:`repro.tool` — simulation and verification sessions mirroring the
   paper's web tool, plus the ``qdd-tool`` CLI.
 
@@ -26,8 +28,10 @@ Quickstart::
     print(session.current_text())
 """
 
+from repro import obs
 from repro.dd import DDPackage, Edge, NormalizationScheme
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry, Tracer, traced
 from repro.qc import QuantumCircuit, library
 from repro.qc.qasm import circuit_to_qasm, parse_qasm, parse_qasm_file
 from repro.qc.real_format import parse_real, parse_real_file
@@ -52,11 +56,13 @@ __all__ = [
     "DDStyle",
     "DensityMatrixSimulator",
     "Edge",
+    "MetricsRegistry",
     "NormalizationScheme",
     "QuantumCircuit",
     "ReproError",
     "SimulationSession",
     "StatevectorSimulator",
+    "Tracer",
     "VerificationSession",
     "__version__",
     "check_equivalence_alternating",
@@ -69,10 +75,12 @@ __all__ = [
     "dd_to_text",
     "library",
     "load_circuit",
+    "obs",
     "parse_qasm",
     "parse_qasm_file",
     "parse_real",
     "parse_real_file",
     "prepare_state",
     "synthesize_state_preparation",
+    "traced",
 ]

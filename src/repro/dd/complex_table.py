@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import cmath
 import math
-from typing import Dict, List, Tuple
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
 
 #: Default tolerance used to identify complex numbers.
 DEFAULT_TOLERANCE = 1e-10
@@ -41,13 +44,22 @@ class ComplexTable:
     ZERO = complex(0.0, 0.0)
     ONE = complex(1.0, 0.0)
 
-    def __init__(self, tolerance: float = DEFAULT_TOLERANCE):
+    def __init__(
+        self,
+        tolerance: float = DEFAULT_TOLERANCE,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
         self.tolerance = tolerance
         self._buckets: Dict[Tuple[int, int], List[complex]] = {}
+        # Plain-integer statistics (every weight canonicalization passes
+        # through `lookup`, so the hot path must stay one increment); a
+        # registry collector copies them into counters at export time.
         self.hits = 0
         self.misses = 0
+        if registry is not None and registry.enabled:
+            self._register(registry)
         # Seed the exact special values so they are canonical representatives.
         for special in (self.ZERO, self.ONE, -self.ONE, 1j, -1j):
             self._insert(special)
@@ -108,6 +120,19 @@ class ComplexTable:
             abs(a.real - b.real) < self.tolerance
             and abs(a.imag - b.imag) < self.tolerance
         )
+
+    def _register(self, registry: MetricsRegistry) -> None:
+        hits = registry.counter("dd_complex_table_hits_total")
+        misses = registry.counter("dd_complex_table_misses_total")
+        ref = weakref.ref(self)
+
+        def sync() -> None:
+            table = ref()
+            if table is not None:
+                hits.set_value(table.hits)
+                misses.set_value(table.misses)
+
+        registry.add_collector(sync)
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())

@@ -12,13 +12,29 @@ cache is bounded) and canonical complex weights.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+import weakref
+from typing import Dict, Hashable, Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 
 class ComputeTable:
-    """A bounded memoization table with hit/miss statistics."""
+    """A bounded memoization table with hit/miss statistics.
 
-    def __init__(self, name: str, capacity: int = 1 << 16):
+    ``hits`` / ``misses`` / ``evictions`` are plain integer attributes so
+    the lookup hot path costs exactly one increment.  When a ``registry``
+    is given, a weakref-bound collector copies them into registry counters
+    (labelled with the table name) at export time, so ``DDPackage.stats()``,
+    the ``qdd-tool stats`` command and any Prometheus scrape all read the
+    same numbers without taxing lookups.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 1 << 16,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.name = name
@@ -26,6 +42,25 @@ class ComputeTable:
         self._table: Dict[Hashable, object] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        if registry is not None and registry.enabled:
+            self._register(registry)
+
+    def _register(self, registry: MetricsRegistry) -> None:
+        labels = {"table": self.name}
+        hits = registry.counter("dd_compute_table_hits_total", labels)
+        misses = registry.counter("dd_compute_table_misses_total", labels)
+        evictions = registry.counter("dd_compute_table_evictions_total", labels)
+        ref = weakref.ref(self)
+
+        def sync() -> None:
+            table = ref()
+            if table is not None:
+                hits.set_value(table.hits)
+                misses.set_value(table.misses)
+                evictions.set_value(table.evictions)
+
+        registry.add_collector(sync)
 
     def lookup(self, key: Hashable):
         """Return the cached result for ``key`` or ``None`` if absent."""
@@ -40,6 +75,7 @@ class ComputeTable:
         """Cache ``result`` under ``key`` (clearing the table when full)."""
         if len(self._table) >= self.capacity:
             self._table.clear()
+            self.evictions += 1
         self._table[key] = result
 
     def __len__(self) -> int:

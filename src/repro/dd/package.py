@@ -22,6 +22,8 @@ Qubit/level convention follows the paper's big-endian notation: level ``n-1``
 
 from __future__ import annotations
 
+import weakref
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -33,6 +35,7 @@ from repro.dd.node import MatrixNode, Node, TERMINAL, VectorNode
 from repro.dd.normalization import NormalizationScheme, normalize
 from repro.dd.unique_table import UniqueTable
 from repro.errors import DDError, DimensionMismatchError, InvalidStateError
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
 
 _ID2 = np.eye(2, dtype=complex)
 
@@ -79,24 +82,84 @@ class DDPackage:
         Normalization scheme for vector nodes.  The default ``L2`` scheme
         (paper footnote 3) makes subtree norms 1, enabling single-path
         sampling; ``MAX_MAGNITUDE`` is provided for ablation.
+    registry:
+        Metrics registry receiving the package's table statistics and
+        operation counters/timers.  Each package creates a private registry
+        by default (so per-package statistics stay separate); pass one
+        explicitly to aggregate several components into one report.
     """
+
+    _OPERATION_NAMES = ("add", "multiply", "kron", "adjoint", "inner_product")
 
     def __init__(
         self,
         tolerance: float = DEFAULT_TOLERANCE,
         vector_scheme: NormalizationScheme = NormalizationScheme.L2,
         cache_capacity: int = 1 << 16,
+        registry: Optional[MetricsRegistry] = None,
     ):
-        self.complex_table = ComplexTable(tolerance)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.complex_table = ComplexTable(tolerance, registry=self.registry)
         self.vector_scheme = vector_scheme
-        self._vector_unique = UniqueTable(VectorNode)
-        self._matrix_unique = UniqueTable(MatrixNode)
-        self._add_cache = ComputeTable("add", cache_capacity)
-        self._mult_mv_cache = ComputeTable("mult-mv", cache_capacity)
-        self._mult_mm_cache = ComputeTable("mult-mm", cache_capacity)
-        self._kron_cache = ComputeTable("kron", cache_capacity)
-        self._adjoint_cache = ComputeTable("adjoint", cache_capacity)
-        self._inner_cache = ComputeTable("inner", cache_capacity)
+        self._vector_unique = UniqueTable(
+            VectorNode, registry=self.registry, kind="vector"
+        )
+        self._matrix_unique = UniqueTable(
+            MatrixNode, registry=self.registry, kind="matrix"
+        )
+        self._add_cache = ComputeTable("add", cache_capacity, registry=self.registry)
+        self._mult_mv_cache = ComputeTable(
+            "mult-mv", cache_capacity, registry=self.registry
+        )
+        self._mult_mm_cache = ComputeTable(
+            "mult-mm", cache_capacity, registry=self.registry
+        )
+        self._kron_cache = ComputeTable("kron", cache_capacity, registry=self.registry)
+        self._adjoint_cache = ComputeTable(
+            "adjoint", cache_capacity, registry=self.registry
+        )
+        self._inner_cache = ComputeTable(
+            "inner", cache_capacity, registry=self.registry
+        )
+        # Operation counters/timers cover only the *public* entry points;
+        # the recursive workers below them stay uninstrumented so the hot
+        # recursion pays nothing.
+        self._obs_on = self.registry.enabled
+        self._op_counters = {
+            name: self.registry.counter("dd_ops_total", {"op": name})
+            for name in self._OPERATION_NAMES
+        }
+        self._op_timers = {
+            name: self.registry.histogram(
+                "dd_op_seconds", DEFAULT_TIME_BUCKETS, {"op": name}
+            )
+            for name in self._OPERATION_NAMES
+        }
+        # Occupancy is sampled at export time through a weakly-bound
+        # collector, so a shared registry never keeps a package alive.
+        ref = weakref.ref(self)
+        self.registry.add_collector(
+            lambda: None if ref() is None else ref()._collect_occupancy()
+        )
+
+    def _collect_occupancy(self) -> None:
+        """Sample table occupancy into gauges (export-time collector)."""
+        registry = self.registry
+        registry.gauge("dd_complex_table_entries").set(len(self.complex_table))
+        registry.gauge("dd_unique_table_entries", {"kind": "vector"}).set(
+            len(self._vector_unique)
+        )
+        registry.gauge("dd_unique_table_entries", {"kind": "matrix"}).set(
+            len(self._matrix_unique)
+        )
+        for table in self._compute_tables():
+            registry.gauge(
+                "dd_compute_table_entries", {"table": table.name}
+            ).set(len(table))
+
+    def _observe_op(self, name: str, start: float) -> None:
+        self._op_counters[name].inc()
+        self._op_timers[name].observe(perf_counter() - start)
 
     # ------------------------------------------------------------------
     # node creation (normalizing constructors)
@@ -273,7 +336,7 @@ class DDPackage:
             factors[control] = _ELEMENTARY[(1, 1)]
         for control in negative_controls:
             factors[control] = _ELEMENTARY[(0, 0)]
-        return self.add(self.identity(num_qubits), self._chain(num_qubits, factors))
+        return self._add(self.identity(num_qubits), self._chain(num_qubits, factors))
 
     def two_qubit_gate(
         self, num_qubits: int, matrix: np.ndarray, qubit_high: int, qubit_low: int
@@ -303,7 +366,7 @@ class DDPackage:
                     num_qubits,
                     {qubit_high: _ELEMENTARY[(i, j)], qubit_low: block},
                 )
-                result = self.add(result, term)
+                result = self._add(result, term)
         return result
 
     @staticmethod
@@ -316,6 +379,14 @@ class DDPackage:
     # ------------------------------------------------------------------
     def add(self, left: Edge, right: Edge) -> Edge:
         """Element-wise sum of two vector or two matrix DDs (paper Fig. 4)."""
+        if not self._obs_on:
+            return self._add(left, right)
+        start = perf_counter()
+        result = self._add(left, right)
+        self._observe_op("add", start)
+        return result
+
+    def _add(self, left: Edge, right: Edge) -> Edge:
         if left.is_zero:
             return right
         if right.is_zero:
@@ -340,7 +411,7 @@ class DDPackage:
         cached = self._add_cache.lookup(key)
         if cached is None:
             children = tuple(
-                self.add(
+                self._add(
                     left.node.edges[index],
                     right.node.edges[index].scaled(ratio, self.complex_table),
                 )
@@ -359,6 +430,14 @@ class DDPackage:
         ``operation`` must be a matrix DD; ``operand`` may be a vector DD
         (simulation step) or a matrix DD (functionality construction).
         """
+        if not self._obs_on:
+            return self._multiply(operation, operand)
+        start = perf_counter()
+        result = self._multiply(operation, operand)
+        self._observe_op("multiply", start)
+        return result
+
+    def _multiply(self, operation: Edge, operand: Edge) -> Edge:
         if operation.is_zero or operand.is_zero:
             return ZERO_EDGE
         if not isinstance(operation.node, MatrixNode):
@@ -383,7 +462,7 @@ class DDPackage:
         if cached is None:
             children = []
             for i in (0, 1):
-                partial = self.add(
+                partial = self._add(
                     self._multiply_mv(m_edge.node.edges[2 * i], v_edge.node.edges[0]),
                     self._multiply_mv(m_edge.node.edges[2 * i + 1], v_edge.node.edges[1]),
                 )
@@ -409,7 +488,7 @@ class DDPackage:
             children = []
             for i in (0, 1):
                 for j in (0, 1):
-                    entry = self.add(
+                    entry = self._add(
                         self._multiply_mm(
                             a_edge.node.edges[2 * i], b_edge.node.edges[j]
                         ),
@@ -429,6 +508,14 @@ class DDPackage:
         ``top`` levels are shifted above ``bottom``'s (paper Fig. 3).  Works
         for two vector DDs or two matrix DDs.
         """
+        if not self._obs_on:
+            return self._kron(top, bottom)
+        start = perf_counter()
+        result = self._kron(top, bottom)
+        self._observe_op("kron", start)
+        return result
+
+    def _kron(self, top: Edge, bottom: Edge) -> Edge:
         if top.is_zero or bottom.is_zero:
             return ZERO_EDGE
         if (
@@ -464,6 +551,14 @@ class DDPackage:
 
     def adjoint(self, operation: Edge) -> Edge:
         """Conjugate transpose of a matrix DD."""
+        if not self._obs_on:
+            return self._adjoint(operation)
+        start = perf_counter()
+        result = self._adjoint(operation)
+        self._observe_op("adjoint", start)
+        return result
+
+    def _adjoint(self, operation: Edge) -> Edge:
         if operation.is_zero:
             return ZERO_EDGE
         weight = self.complex_table.lookup(operation.weight.conjugate())
@@ -480,7 +575,7 @@ class DDPackage:
             transposed = (
                 node.edges[0], node.edges[2], node.edges[1], node.edges[3]
             )
-            children = tuple(self.adjoint(edge) for edge in transposed)
+            children = tuple(self._adjoint(edge) for edge in transposed)
             cached = self.make_matrix_node(node.var, children)
             self._adjoint_cache.insert(node, cached)
         return cached
@@ -602,6 +697,14 @@ class DDPackage:
 
     def inner_product(self, left: Edge, right: Edge) -> complex:
         """The inner product ``<left|right>`` of two vector DDs."""
+        if not self._obs_on:
+            return self._inner_product(left, right)
+        start = perf_counter()
+        result = self._inner_product(left, right)
+        self._observe_op("inner_product", start)
+        return result
+
+    def _inner_product(self, left: Edge, right: Edge) -> complex:
         if left.is_zero or right.is_zero:
             return ComplexTable.ZERO
         if isinstance(left.node, MatrixNode) or isinstance(right.node, MatrixNode):

@@ -14,10 +14,11 @@ reference counting; weak values are the Pythonic equivalent.)
 from __future__ import annotations
 
 import weakref
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.dd.edge import Edge
 from repro.dd.node import Node
+from repro.obs.metrics import MetricsRegistry
 
 
 def _signature(var: int, edges: Tuple[Edge, ...]) -> tuple:
@@ -30,13 +31,37 @@ def _signature(var: int, edges: Tuple[Edge, ...]) -> tuple:
 class UniqueTable:
     """One hash-consing table for a node kind (vector or matrix)."""
 
-    def __init__(self, factory: Callable[[int, Tuple[Edge, ...]], Node]):
+    def __init__(
+        self,
+        factory: Callable[[int, Tuple[Edge, ...]], Node],
+        registry: Optional[MetricsRegistry] = None,
+        kind: Optional[str] = None,
+    ):
         self._factory = factory
         self._table: "weakref.WeakValueDictionary[tuple, Node]" = (
             weakref.WeakValueDictionary()
         )
+        # Hit/miss statistics are plain integers (the get_or_create hot path
+        # pays one increment); a registry collector copies them into labelled
+        # counters at export time so `DDPackage.stats()` and the Prometheus
+        # exporter read the same numbers.
         self.hits = 0
         self.misses = 0
+        if registry is not None and registry.enabled:
+            self._register(registry, {"kind": kind or factory.__name__})
+
+    def _register(self, registry: MetricsRegistry, labels: dict) -> None:
+        hits = registry.counter("dd_unique_table_hits_total", labels)
+        misses = registry.counter("dd_unique_table_misses_total", labels)
+        ref = weakref.ref(self)
+
+        def sync() -> None:
+            table = ref()
+            if table is not None:
+                hits.set_value(table.hits)
+                misses.set_value(table.misses)
+
+        registry.add_collector(sync)
 
     def get_or_create(self, var: int, edges: Tuple[Edge, ...]) -> Node:
         """Return the canonical node with the given level and successors."""

@@ -1,0 +1,42 @@
+"""repro.obs — the observability subsystem.
+
+Metrics (counters, gauges, fixed-bucket histograms in a
+:class:`MetricsRegistry`), span tracing (:class:`Tracer`, :func:`traced`)
+and exporters (JSON snapshot, Prometheus text exposition, human-readable
+run report).  See ``docs/observability.md`` for the full guide.
+
+The package-level switch :func:`set_enabled` turns all instrumentation
+created afterwards into no-ops, so the hot paths cost ~nothing when
+observability is off.
+"""
+
+from repro.obs.export import registry_snapshot, run_report, to_json, to_prometheus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    is_enabled,
+    set_enabled,
+)
+from repro.obs.tracing import Span, Tracer, default_tracer, format_span_tree, traced
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "default_registry",
+    "default_tracer",
+    "format_span_tree",
+    "is_enabled",
+    "registry_snapshot",
+    "run_report",
+    "set_enabled",
+    "to_json",
+    "to_prometheus",
+    "traced",
+]

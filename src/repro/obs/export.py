@@ -1,0 +1,170 @@
+"""Exporters for metric registries — JSON, Prometheus text, run reports.
+
+Three consumers, three formats:
+
+* :func:`to_json` — a machine-readable snapshot (dashboards, the
+  ``BENCH_*.json`` perf trajectory under ``benchmarks/results/``);
+* :func:`to_prometheus` — the Prometheus text exposition format, so a
+  scrape endpoint is one ``open().write()`` away;
+* :func:`run_report` — a human-readable summary grouped by subsystem, the
+  format behind ``qdd-tool stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["registry_snapshot", "run_report", "to_json", "to_prometheus"]
+
+
+def registry_snapshot(registry: MetricsRegistry) -> Dict[str, object]:
+    """A JSON-able snapshot of every instrument in ``registry``."""
+    metrics: List[Dict[str, object]] = []
+    for metric in registry.collect():
+        entry: Dict[str, object] = {
+            "name": metric.name,
+            "type": metric.kind,
+            "labels": dict(metric.labels),
+        }
+        if metric.kind == "histogram":
+            entry["count"] = metric.count
+            entry["sum"] = metric.sum
+            entry["buckets"] = [
+                {"le": "+Inf" if math.isinf(bound) else bound, "count": count}
+                for bound, count in metric.cumulative_buckets()
+            ]
+        else:
+            entry["value"] = metric.value
+        metrics.append(entry)
+    return {"metrics": metrics}
+
+
+def to_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    """Serialize a registry snapshot as JSON."""
+    return json.dumps(registry_snapshot(registry), indent=indent, sort_keys=True)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_string(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(merged.items())
+    )
+    return f"{{{body}}}"
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: set = set()
+    for metric in registry.collect():
+        if metric.name not in typed:
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            typed.add(metric.name)
+        if metric.kind == "histogram":
+            for bound, count in metric.cumulative_buckets():
+                le = "+Inf" if math.isinf(bound) else _format_number(bound)
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_label_string(metric.labels, {'le': le})} {count}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_label_string(metric.labels)} "
+                f"{_format_number(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_label_string(metric.labels)} {metric.count}"
+            )
+        else:
+            lines.append(
+                f"{metric.name}{_label_string(metric.labels)} "
+                f"{_format_number(metric.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _derived_hit_ratios(metrics) -> List[str]:
+    """hit-ratio lines derived from ``*_hits_total`` / ``*_misses_total``."""
+    hits: Dict[tuple, float] = {}
+    misses: Dict[tuple, float] = {}
+    for metric in metrics:
+        if metric.kind != "counter":
+            continue
+        if metric.name.endswith("_hits_total"):
+            key = (metric.name[: -len("_hits_total")], tuple(sorted(metric.labels.items())))
+            hits[key] = metric.value
+        elif metric.name.endswith("_misses_total"):
+            key = (metric.name[: -len("_misses_total")], tuple(sorted(metric.labels.items())))
+            misses[key] = metric.value
+    lines = []
+    for key in sorted(set(hits) | set(misses)):
+        hit = hits.get(key, 0.0)
+        miss = misses.get(key, 0.0)
+        total = hit + miss
+        ratio = hit / total if total else 0.0
+        stem, labels = key
+        label_text = _label_string(dict(labels))
+        lines.append(f"  {stem}{label_text}: {ratio:.3f} ({hit:.0f}/{total:.0f})")
+    return lines
+
+
+def run_report(registry: MetricsRegistry, title: Optional[str] = None) -> str:
+    """A human-readable report of everything the registry has seen.
+
+    Metrics are grouped by their name prefix (``dd``, ``sim``, ``verify``,
+    ...), histograms summarized as count/mean/max-bucket, and hit ratios
+    derived from paired ``*_hits_total``/``*_misses_total`` counters.
+    """
+    metrics = registry.collect()
+    groups: Dict[str, List] = {}
+    for metric in metrics:
+        prefix = metric.name.split("_", 1)[0] if metric.name else "misc"
+        groups.setdefault(prefix, []).append(metric)
+    lines: List[str] = []
+    if title:
+        lines.append(f"==== run report: {title} ====")
+    if not metrics:
+        lines.append("(observability disabled or no metrics recorded)")
+        return "\n".join(lines)
+    for prefix in sorted(groups):
+        lines.append(f"[{prefix}]")
+        for metric in groups[prefix]:
+            label_text = _label_string(metric.labels)
+            if metric.kind == "histogram":
+                lines.append(
+                    f"  {metric.name}{label_text}: count={metric.count} "
+                    f"mean={metric.mean:.6g} sum={metric.sum:.6g}"
+                )
+            else:
+                lines.append(
+                    f"  {metric.name}{label_text}: "
+                    f"{_format_number(metric.value)}"
+                )
+    ratios = _derived_hit_ratios(metrics)
+    if ratios:
+        lines.append("[hit ratios]")
+        lines.extend(ratios)
+    return "\n".join(lines)

@@ -1,0 +1,382 @@
+"""Metrics primitives — counters, gauges, histograms and their registry.
+
+The paper's whole point is making decision-diagram internals *visible*:
+compute-table hit ratios, unique-table occupancy and peak node counts are
+the quantities that explain DD performance (paper Sec. III; also the JKQ
+tool paper).  This module provides the process-wide plumbing for them,
+modelled on the Prometheus data model but dependency-free:
+
+* :class:`Counter` — a monotonically increasing count (hits, misses, ops);
+* :class:`Gauge` — a value that can go up and down (occupancy, live node
+  count) with a ``set_max`` helper for peak tracking;
+* :class:`Histogram` — fixed-bucket distribution (step durations);
+* :class:`MetricsRegistry` — get-or-create instruments keyed by
+  ``(name, labels)``, plus *collector* callbacks for values that are only
+  sampled at export time (table occupancy).
+
+Instrumentation must cost ~nothing when switched off: a disabled registry
+hands out shared null instruments whose methods are no-ops, so call sites
+never need an ``if``.  The global switch (:func:`set_enabled`) is consulted
+by registries created with ``enabled=None`` — i.e. disable observability
+*before* creating packages/simulators and they stay dark.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "DEFAULT_TIME_BUCKETS",
+    "default_registry",
+    "is_enabled",
+    "set_enabled",
+]
+
+#: Default histogram buckets for wall-clock durations in seconds.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+#: Default buckets for node-count distributions.
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing counter.
+
+    Usable standalone (``Counter()``) or registered through a
+    :class:`MetricsRegistry`.  The hot-path operation is :meth:`inc`;
+    everything else is bookkeeping.
+    """
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str = "", labels: Optional[Dict[str, str]] = None):
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self._value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set_value(self, value: float) -> None:
+        """Overwrite the count (kept for legacy ``table.hits = 0`` resets)."""
+        self._value = value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}{self.labels or ''}: {self._value}>"
+
+
+class Gauge:
+    """A value that can move both ways, with peak tracking support."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str = "", labels: Optional[Dict[str, str]] = None):
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self._value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it exceeds the current reading."""
+        if value > self._value:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    set_value = set
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}{self.labels or ''}: {self._value}>"
+
+
+class Histogram:
+    """A fixed-bucket histogram (Prometheus semantics).
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets; one
+    implicit ``+Inf`` bucket catches the rest.  :meth:`observe` is O(log b).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "_bucket_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self._bucket_counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        self._bucket_counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self._bucket_counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self._bucket_counts[-1]))
+        return out
+
+    def reset(self) -> None:
+        self._bucket_counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Histogram {self.name}{self.labels or ''}: "
+            f"{self._count} observations, sum {self._sum:.6g}>"
+        )
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by disabled registries."""
+
+    kind = "counter"
+    name = ""
+    labels: Dict[str, str] = {}
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set_value(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class _NullGauge:
+    kind = "gauge"
+    name = ""
+    labels: Dict[str, str] = {}
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    set_value = set
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class _NullHistogram:
+    kind = "histogram"
+    name = ""
+    labels: Dict[str, str] = {}
+    bounds: Tuple[float, ...] = ()
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+#: Process-wide observability switch, consulted by registries/tracers
+#: created with ``enabled=None`` (the default).
+_GLOBAL_ENABLED = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally switch observability on or off.
+
+    Affects registries and tracers created with ``enabled=None`` — call it
+    *before* constructing packages/simulators; instruments already handed
+    out by a registry keep their nature.
+    """
+    global _GLOBAL_ENABLED
+    _GLOBAL_ENABLED = bool(flag)
+
+
+def is_enabled() -> bool:
+    """Whether observability is globally enabled."""
+    return _GLOBAL_ENABLED
+
+
+class MetricsRegistry:
+    """Get-or-create home for metric instruments.
+
+    Instruments are keyed by ``(name, sorted labels)``: asking twice for the
+    same key returns the same object, so independent components can share
+    one registry without coordination.  ``enabled=None`` (the default)
+    defers to the global :func:`set_enabled` switch at instrument-creation
+    time; a disabled registry hands out shared null instruments and exports
+    nothing.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None):
+        self._enabled = enabled
+        self._metrics: Dict[Tuple[str, _LabelKey], object] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    @property
+    def enabled(self) -> bool:
+        if self._enabled is None:
+            return _GLOBAL_ENABLED
+        return self._enabled
+
+    # ------------------------------------------------------------------
+    # instrument creation
+    # ------------------------------------------------------------------
+    def counter(self, name: str, labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._instrument(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._instrument(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Histogram:
+        return self._instrument(Histogram, name, labels, buckets=buckets)
+
+    _NULLS = {Counter: NULL_COUNTER, Gauge: NULL_GAUGE, Histogram: NULL_HISTOGRAM}
+
+    def _instrument(self, cls, name: str, labels, **kwargs):
+        if not self.enabled:
+            return self._NULLS[cls]
+        key = (name, _label_key(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, labels=labels, **kwargs)
+        self._metrics[key] = metric
+        return metric
+
+    # ------------------------------------------------------------------
+    # collection / export
+    # ------------------------------------------------------------------
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback run before every :meth:`collect`.
+
+        Collectors sample values that only make sense at export time (e.g.
+        table occupancy) into gauges.  Exceptions are swallowed so a dead
+        weak reference inside a collector cannot break exporting.
+        """
+        if self.enabled:
+            self._collectors.append(collector)
+
+    def collect(self) -> List[object]:
+        """All instruments, sorted by (name, labels), collectors run first."""
+        for collector in list(self._collectors):
+            try:
+                collector()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def get(self, name: str, labels: Optional[Dict[str, str]] = None):
+        """Look up an existing instrument or return ``None``."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def reset(self) -> None:
+        """Drop every instrument and collector."""
+        self._metrics.clear()
+        self._collectors.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: The process-wide default registry (used by the default tracer and any
+#: component not handed an explicit registry).
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,217 @@
+"""Span tracing — nested, wall-clock-timed sections of a run.
+
+The visualization tool's value is showing *how* a simulation or
+verification evolves step by step; spans are the textual counterpart: each
+simulator step, each alternating-scheme application opens a span carrying
+attributes such as the operation label and the resulting node count.
+Completed root spans are retained in a bounded ring buffer so a long
+process never grows without bound.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("sim.run", circuit="qft3") as root:
+        with tracer.span("sim.step", index=0) as step:
+            ...
+            step.set_attribute("nodes", 5)
+    print(format_span_tree(tracer.spans[-1]))
+
+A disabled tracer (``Tracer(enabled=False)``, or globally via
+:func:`repro.obs.set_enabled`) returns a shared null span whose methods are
+no-ops, so instrumented code pays only one flag check per span.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import deque
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import is_enabled
+
+__all__ = ["Span", "Tracer", "default_tracer", "format_span_tree", "traced"]
+
+
+class Span:
+    """One timed, attributed section; nests via the owning tracer."""
+
+    __slots__ = ("name", "attributes", "children", "start_time", "end_time", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.children: List[Span] = []
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_time = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_time = perf_counter()
+        self._tracer._pop(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.name} {self.duration * 1e3:.3f} ms>"
+
+
+class _NullSpan:
+    """Shared no-op span returned by disabled tracers."""
+
+    name = ""
+    attributes: Dict[str, object] = {}
+    children: Tuple[()] = ()
+    start_time = None
+    end_time = None
+    duration = 0.0
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces nested spans and retains finished root spans.
+
+    ``capacity`` bounds the ring buffer of retained root spans (children
+    live through their parents, so retention is per tree).  ``enabled=None``
+    defers to the global observability switch *per call*, so tracing can be
+    toggled at runtime.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._enabled = enabled
+        self._stack: List[Span] = []
+        self._finished: deque = deque(maxlen=capacity)
+
+    @property
+    def enabled(self) -> bool:
+        if self._enabled is None:
+            return is_enabled()
+        return self._enabled
+
+    def span(self, name: str, **attributes):
+        """Open a span as a context manager; nests under the current span."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attributes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def spans(self) -> Tuple[Span, ...]:
+        """Retained finished *root* spans, oldest first."""
+        return tuple(self._finished)
+
+    def clear(self) -> None:
+        self._stack.clear()
+        self._finished.clear()
+
+    # ------------------------------------------------------------------
+    # span bookkeeping (called by Span.__enter__/__exit__)
+    # ------------------------------------------------------------------
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (generators abandoned mid-span) by
+        # unwinding to the closing span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if not self._stack:
+            self._finished.append(span)
+
+
+def traced(
+    name_or_func=None,
+    tracer: Optional[Tracer] = None,
+):
+    """Decorator tracing every call of a function as one span.
+
+    Works bare (``@traced``) or parameterized
+    (``@traced("dd.multiply", tracer=my_tracer)``).  The tracer is resolved
+    at call time, so the global default tracer picks up runtime toggling.
+    """
+
+    def decorate(func: Callable, span_name: Optional[str] = None) -> Callable:
+        label = span_name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            active = tracer if tracer is not None else default_tracer()
+            with active.span(label):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    if callable(name_or_func):
+        return decorate(name_or_func)
+    return lambda func: decorate(func, name_or_func)
+
+
+def _format_attributes(attributes: Dict[str, object]) -> str:
+    if not attributes:
+        return ""
+    body = ", ".join(f"{key}={value}" for key, value in attributes.items())
+    return f"  {{{body}}}"
+
+
+def format_span_tree(span, indent: str = "") -> str:
+    """Render a finished span and its children as an indented tree."""
+    lines: List[str] = []
+
+    def visit(node, prefix: str, child_prefix: str) -> None:
+        lines.append(
+            f"{prefix}{node.name}  [{node.duration * 1e3:.3f} ms]"
+            f"{_format_attributes(node.attributes)}"
+        )
+        children = list(node.children)
+        for position, child in enumerate(children):
+            last = position == len(children) - 1
+            branch = "└─ " if last else "├─ "
+            extend = "   " if last else "│  "
+            visit(child, child_prefix + branch, child_prefix + extend)
+
+    visit(span, indent, indent)
+    return "\n".join(lines)
+
+
+#: Process-wide default tracer (honours the global observability switch).
+_DEFAULT_TRACER = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-wide default :class:`Tracer`."""
+    return _DEFAULT_TRACER

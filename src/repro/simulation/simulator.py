@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,6 +31,8 @@ from repro.dd import sampling
 from repro.dd.edge import Edge
 from repro.dd.package import DDPackage
 from repro.errors import SimulationError
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.obs.tracing import Tracer, default_tracer
 from repro.qc.circuit import QuantumCircuit
 from repro.qc.dd_builder import apply_gate
 from repro.qc.operations import BarrierOp, GateOp, MeasureOp, Operation, ResetOp
@@ -76,9 +79,11 @@ class DDSimulator:
         seed: Optional[int] = None,
         outcome_chooser: Optional[OutcomeChooser] = None,
         approximation_threshold: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.circuit = circuit
-        self.package = package if package is not None else DDPackage()
+        self.package = package if package is not None else DDPackage(registry=registry)
         self._rng = np.random.default_rng(seed)
         self._chooser = outcome_chooser
         #: optional per-step branch pruning (approximate simulation):
@@ -93,6 +98,24 @@ class DDSimulator:
         self._classical: List[Tuple[int, ...]] = [(0,) * circuit.num_clbits]
         self._records: List[StepRecord] = []
         self._fidelities: List[float] = [1.0]
+        # Observability: per-step metrics go to the package's registry by
+        # default (one registry per run) unless another one is passed in;
+        # spans go to the given tracer or the process-wide default.
+        self.registry = registry if registry is not None else self.package.registry
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self._obs_on = self.registry.enabled
+        self._m_steps = self.registry.counter("sim_steps_total")
+        self._m_steps_back = self.registry.counter("sim_steps_back_total")
+        self._m_breakpoints = self.registry.counter("sim_breakpoints_total")
+        self._m_step_seconds = self.registry.histogram(
+            "sim_step_seconds", DEFAULT_TIME_BUCKETS
+        )
+        self._m_nodes = self.registry.gauge("sim_nodes")
+        self._m_peak_nodes = self.registry.gauge("sim_peak_nodes")
+        #: Peak state-DD size seen so far (terminal excluded, as everywhere).
+        self.peak_node_count = self.package.node_count(initial_state)
+        self._m_nodes.set(self.peak_node_count)
+        self._m_peak_nodes.set_max(self.peak_node_count)
 
     # ------------------------------------------------------------------
     # inspection
@@ -151,6 +174,41 @@ class DDSimulator:
         ``outcome`` forces the result of a pending measurement or reset,
         standing in for the user's choice in the pop-up dialog.
         """
+        if not self._obs_on and not self.tracer.enabled:
+            record = self._execute_step(outcome)
+            if record.node_count > self.peak_node_count:
+                self.peak_node_count = record.node_count
+            return record
+        with self.tracer.span("sim.step", index=self.position) as span:
+            start = perf_counter()
+            record = self._execute_step(outcome)
+            elapsed = perf_counter() - start
+            span.set_attribute("op", self._operation_label(record.operation))
+            span.set_attribute("kind", record.kind.value)
+            if record.outcome is not None:
+                span.set_attribute("outcome", record.outcome)
+            span.set_attribute("nodes", record.node_count)
+        if record.node_count > self.peak_node_count:
+            self.peak_node_count = record.node_count
+        self._m_steps.inc()
+        self._m_step_seconds.observe(elapsed)
+        self._m_nodes.set(record.node_count)
+        self._m_peak_nodes.set_max(record.node_count)
+        if record.is_breakpoint:
+            self._m_breakpoints.inc()
+        return record
+
+    @staticmethod
+    def _operation_label(operation: Operation) -> str:
+        if isinstance(operation, GateOp):
+            return f"{operation.label()} {list(operation.qubits)}"
+        if isinstance(operation, MeasureOp):
+            return f"measure q{operation.qubit}"
+        if isinstance(operation, ResetOp):
+            return f"reset q{operation.qubit}"
+        return "barrier"
+
+    def _execute_step(self, outcome: Optional[int] = None) -> StepRecord:
         if self.at_end:
             raise SimulationError("already at the end of the circuit")
         operation = self.circuit[self.position]
@@ -206,6 +264,9 @@ class DDSimulator:
         self._classical.pop()
         self._fidelities.pop()
         record = self._records.pop()
+        if self._obs_on:
+            self._m_steps_back.inc()
+            self._m_nodes.set(self.package.node_count(self.state))
         return record.operation
 
     def run(self, stop_at_breakpoints: bool = True) -> List[StepRecord]:
@@ -216,11 +277,19 @@ class DDSimulator:
         reset; paper Sec. IV-B).  Returns the records of the executed steps.
         """
         executed: List[StepRecord] = []
-        while not self.at_end:
-            record = self.step_forward()
-            executed.append(record)
-            if stop_at_breakpoints and record.is_breakpoint:
-                break
+        with self.tracer.span(
+            "sim.run",
+            circuit=self.circuit.name,
+            qubits=self.circuit.num_qubits,
+        ) as span:
+            while not self.at_end:
+                record = self.step_forward()
+                executed.append(record)
+                if stop_at_breakpoints and record.is_breakpoint:
+                    break
+            if self.tracer.enabled:
+                span.set_attribute("steps", len(executed))
+                span.set_attribute("nodes", self.package.node_count(self.state))
         return executed
 
     def rewind(self) -> None:

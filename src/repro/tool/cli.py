@@ -105,10 +105,26 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="output .qasm file (default: stdout)")
 
     stats = commands.add_parser(
-        "stats", help="simulate a circuit and print DD package statistics"
+        "stats",
+        help="simulate a circuit and report the metrics registry "
+             "(tables, operations, simulation)",
     )
     stats.add_argument("circuit", help="path to a .qasm or .real file")
     stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the registry snapshot as JSON")
+    stats.add_argument("--prom", action="store_true",
+                       help="emit the registry in Prometheus text format")
+
+    trace = commands.add_parser(
+        "trace",
+        help="simulate a circuit under the tracer and print the span tree",
+    )
+    trace.add_argument("circuit", help="path to a .qasm or .real file")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--svg", metavar="FILE",
+                       help="also write a per-step duration/node-count "
+                            "timeline SVG")
 
     bloch = commands.add_parser(
         "bloch", help="render per-qubit Bloch spheres of the final state"
@@ -268,15 +284,30 @@ def _cmd_convert(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    from repro import obs
     from repro.dd.package import DDPackage
+    from repro.obs.tracing import Tracer
     from repro.simulation.simulator import DDSimulator
 
     circuit = load_circuit(args.circuit)
-    package = DDPackage()
-    simulator = DDSimulator(circuit, package=package, seed=args.seed)
+    # One fresh registry per run: the package's table/op metrics and the
+    # simulator's step metrics land in the same place, so every exporter
+    # reads one source of truth.
+    registry = obs.MetricsRegistry()
+    package = DDPackage(registry=registry)
+    simulator = DDSimulator(
+        circuit, package=package, seed=args.seed, tracer=Tracer(enabled=False)
+    )
     simulator.run_all()
+    if args.json:
+        print(obs.to_json(registry))
+        return 0
+    if args.prom:
+        print(obs.to_prometheus(registry), end="")
+        return 0
     print(f"{circuit.name}: {circuit.num_qubits} qubits, "
-          f"{len(circuit)} operations, final DD {simulator.node_count()} nodes")
+          f"{len(circuit)} operations, final DD {simulator.node_count()} nodes "
+          f"(peak {simulator.peak_node_count})")
     print(f"{'table':16s} {'entries':>9s} {'hits':>10s} {'misses':>10s} "
           f"{'hit ratio':>10s}")
     for name, values in package.stats().items():
@@ -284,6 +315,37 @@ def _cmd_stats(args) -> int:
         rendered = f"{ratio:10.3f}" if ratio is not None else " " * 10
         print(f"{name:16s} {values['entries']:9.0f} {values['hits']:10.0f} "
               f"{values['misses']:10.0f} {rendered}")
+    print()
+    print(obs.run_report(registry, title=circuit.name))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+    from repro.dd.package import DDPackage
+    from repro.simulation.simulator import DDSimulator
+
+    circuit = load_circuit(args.circuit)
+    tracer = obs.Tracer(enabled=True)
+    package = DDPackage()
+    simulator = DDSimulator(
+        circuit, package=package, seed=args.seed, tracer=tracer
+    )
+    simulator.run_all()
+    if not tracer.spans:
+        print("no spans recorded (circuit has no operations?)")
+        return 0
+    root = tracer.spans[-1]
+    print(obs.format_span_tree(root))
+    if args.svg:
+        from repro.vis.timeline import span_timeline_svg
+
+        rendered = span_timeline_svg(
+            root, title=f"Simulation timeline of {circuit.name}"
+        )
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.svg}")
     return 0
 
 
@@ -353,6 +415,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "synth": _cmd_synth,
         "convert": _cmd_convert,
         "stats": _cmd_stats,
+        "trace": _cmd_trace,
         "bloch": _cmd_bloch,
         "repl": _cmd_repl,
     }

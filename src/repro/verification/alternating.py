@@ -26,6 +26,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.dd.edge import Edge
 from repro.dd.package import DDPackage
 from repro.errors import VerificationError
+from repro.obs.metrics import DEFAULT_COUNT_BUCKETS
+from repro.obs.tracing import Tracer, default_tracer
 from repro.qc.circuit import QuantumCircuit
 from repro.qc.dd_builder import gate_to_dd
 from repro.qc.operations import BarrierOp, GateOp
@@ -66,14 +68,39 @@ class AlternatingResult(EquivalenceResult):
 
 
 class _Engine:
-    """Applies gates to the evolving ``E`` and records the trace."""
+    """Applies gates to the evolving ``E`` and records the trace.
 
-    def __init__(self, package: DDPackage, num_qubits: int):
+    Every committed application also feeds the package's metrics registry
+    (application counters per side, live/peak node-count gauges and the
+    node-count histogram that *is* the trajectory distribution), so paper
+    Ex. 12's "at most 9 nodes" claim becomes a recorded metric.
+    """
+
+    def __init__(
+        self,
+        package: DDPackage,
+        num_qubits: int,
+        tracer: Optional[Tracer] = None,
+    ):
         self.package = package
         self.num_qubits = num_qubits
         self.current = package.identity(num_qubits)
         self.peak = package.node_count(self.current)
         self.trace: List[TraceEntry] = []
+        self.tracer = tracer if tracer is not None else default_tracer()
+        registry = package.registry
+        self._obs_on = registry.enabled
+        self._m_apps = {
+            side: registry.counter("verify_applications_total", {"side": side})
+            for side in ("G", "G'")
+        }
+        self._m_nodes = registry.gauge("verify_nodes")
+        self._m_peak_nodes = registry.gauge("verify_peak_nodes")
+        self._m_trajectory = registry.histogram(
+            "verify_node_trajectory", DEFAULT_COUNT_BUCKETS
+        )
+        self._m_nodes.set(self.peak)
+        self._m_peak_nodes.set_max(self.peak)
 
     def preview_left(self, gate: GateOp) -> Edge:
         gate_dd = gate_to_dd(self.package, gate, self.num_qubits)
@@ -88,12 +115,31 @@ class _Engine:
         count = self.package.node_count(result)
         self.peak = max(self.peak, count)
         self.trace.append(TraceEntry(side, gate_index, count))
+        if self._obs_on:
+            self._m_apps[side].inc()
+            self._m_nodes.set(count)
+            self._m_peak_nodes.set_max(count)
+            self._m_trajectory.observe(count)
 
     def apply_left(self, gate: GateOp, gate_index: int) -> None:
-        self.commit("G", gate_index, self.preview_left(gate))
+        if not self.tracer.enabled:
+            self.commit("G", gate_index, self.preview_left(gate))
+            return
+        with self.tracer.span(
+            "verify.apply", side="G", gate=gate.label(), index=gate_index
+        ) as span:
+            self.commit("G", gate_index, self.preview_left(gate))
+            span.set_attribute("nodes", self.trace[-1].node_count)
 
     def apply_right(self, gate: GateOp, gate_index: int) -> None:
-        self.commit("G'", gate_index, self.preview_right(gate))
+        if not self.tracer.enabled:
+            self.commit("G'", gate_index, self.preview_right(gate))
+            return
+        with self.tracer.span(
+            "verify.apply", side="G'", gate=gate.label(), index=gate_index
+        ) as span:
+            self.commit("G'", gate_index, self.preview_right(gate))
+            span.set_attribute("nodes", self.trace[-1].node_count)
 
 
 def _unitary_gates(circuit: QuantumCircuit) -> List[GateOp]:
@@ -149,20 +195,28 @@ def check_equivalence_alternating(
         package = DDPackage()
     engine = _Engine(package, circuit_a.num_qubits)
     left = _unitary_gates(circuit_a)
-    if strategy is ApplicationStrategy.COMPILATION_FLOW:
-        _run_compilation_flow(engine, left, _barrier_groups(circuit_b))
-    else:
-        right = _unitary_gates(circuit_b)
-        if strategy is ApplicationStrategy.NAIVE:
-            _run_naive(engine, left, right)
-        elif strategy is ApplicationStrategy.ONE_TO_ONE:
-            _run_one_to_one(engine, left, right)
-        elif strategy is ApplicationStrategy.PROPORTIONAL:
-            _run_proportional(engine, left, right)
-        elif strategy is ApplicationStrategy.LOOKAHEAD:
-            _run_lookahead(engine, left, right)
-        else:  # pragma: no cover - enum is exhaustive
-            raise VerificationError(f"unknown strategy {strategy!r}")
+    with engine.tracer.span(
+        "verify.run",
+        left=circuit_a.name,
+        right=circuit_b.name,
+        strategy=strategy.value,
+        qubits=circuit_a.num_qubits,
+    ) as span:
+        if strategy is ApplicationStrategy.COMPILATION_FLOW:
+            _run_compilation_flow(engine, left, _barrier_groups(circuit_b))
+        else:
+            right = _unitary_gates(circuit_b)
+            if strategy is ApplicationStrategy.NAIVE:
+                _run_naive(engine, left, right)
+            elif strategy is ApplicationStrategy.ONE_TO_ONE:
+                _run_one_to_one(engine, left, right)
+            elif strategy is ApplicationStrategy.PROPORTIONAL:
+                _run_proportional(engine, left, right)
+            elif strategy is ApplicationStrategy.LOOKAHEAD:
+                _run_lookahead(engine, left, right)
+            else:  # pragma: no cover - enum is exhaustive
+                raise VerificationError(f"unknown strategy {strategy!r}")
+        span.set_attribute("peak_nodes", engine.peak)
     identity = package.identity(circuit_a.num_qubits)
     base = _compare_roots(
         package, identity, engine.current, f"alternating-{strategy.value}",

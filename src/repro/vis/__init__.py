@@ -21,6 +21,7 @@ from repro.vis.color import hls_wheel_color, phase_to_color, weight_to_width
 from repro.vis.dot import dd_to_dot
 from repro.vis.style import DDStyle, RenderMode
 from repro.vis.svg import color_wheel_svg, dd_to_svg
+from repro.vis.timeline import span_timeline_svg, timeline_svg
 from repro.vis.trace_plot import alternating_trace_svg, trace_svg
 from repro.vis.bloch import all_bloch_vectors, bloch_svg, qubit_bloch_vector
 from repro.vis.ascii_art import circuit_to_text, dd_to_text
@@ -43,6 +44,8 @@ __all__ = [
     "hls_wheel_color",
     "matrix_svg",
     "phase_to_color",
+    "span_timeline_svg",
     "statevector_svg",
+    "timeline_svg",
     "weight_to_width",
 ]

@@ -1,0 +1,170 @@
+"""Run-timeline charts — per-step durations and node-count trajectories.
+
+The observability layer (:mod:`repro.obs`) records what happened during a
+simulation or verification run; this module draws it, in the same
+hand-rolled SVG style as the rest of the visualization layer
+(:mod:`repro.vis.trace_plot`): duration bars per step on the left axis and
+the node-count trajectory as a poly-line on the right axis, so the costly
+steps and the diagram growth can be read off one picture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import VisualizationError
+
+_WIDTH = 560.0
+_HEIGHT = 260.0
+_MARGIN_LEFT = 52.0
+_MARGIN_RIGHT = 52.0
+_MARGIN_TOP = 30.0
+_MARGIN_BOTTOM = 40.0
+
+_BAR_COLOR = "#1f77b4"
+_LINE_COLOR = "#d62728"
+_AXIS_COLOR = "#333"
+
+#: One chart entry: (label, duration in seconds, node count after the step).
+TimelineStep = Tuple[str, float, int]
+
+
+def timeline_svg(
+    steps: Sequence[TimelineStep],
+    title: Optional[str] = None,
+) -> str:
+    """Render per-step durations (bars) and node counts (line) as SVG.
+
+    ``steps`` is a sequence of ``(label, duration_seconds, node_count)``
+    tuples, one per executed step, in order.
+    """
+    if not steps:
+        raise VisualizationError("at least one step is required")
+    durations = [max(float(duration), 0.0) for _, duration, _ in steps]
+    counts = [int(count) for _, _, count in steps]
+    peak_ms = max(max(durations) * 1e3, 1e-6)
+    peak_nodes = max(max(counts), 1)
+    plot_width = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+    slot = plot_width / len(steps)
+    bar_width = max(min(slot * 0.6, 26.0), 1.5)
+    base_y = _MARGIN_TOP + plot_height
+
+    def x_center(index: int) -> float:
+        return _MARGIN_LEFT + slot * (index + 0.5)
+
+    def y_duration(value_ms: float) -> float:
+        return base_y - plot_height * value_ms / peak_ms
+
+    def y_nodes(count: float) -> float:
+        return base_y - plot_height * count / peak_nodes
+
+    parts: List[str] = []
+    if title:
+        parts.append(
+            f'<text x="{_WIDTH / 2:.1f}" y="18" font-size="13" '
+            f'text-anchor="middle" font-family="Helvetica, sans-serif">'
+            f"{title}</text>"
+        )
+    # Axes: left (duration), bottom (steps), right (nodes).
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" x2="{_MARGIN_LEFT}" '
+        f'y2="{base_y:.1f}" stroke="{_AXIS_COLOR}" stroke-width="1" />'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{base_y:.1f}" '
+        f'x2="{_MARGIN_LEFT + plot_width:.1f}" y2="{base_y:.1f}" '
+        f'stroke="{_AXIS_COLOR}" stroke-width="1" />'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT + plot_width:.1f}" y1="{_MARGIN_TOP}" '
+        f'x2="{_MARGIN_LEFT + plot_width:.1f}" y2="{base_y:.1f}" '
+        f'stroke="{_AXIS_COLOR}" stroke-width="1" />'
+    )
+    # Left axis ticks (milliseconds).
+    for fraction in (0.0, 0.5, 1.0):
+        value = peak_ms * fraction
+        y = y_duration(value)
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 6:.1f}" y="{y + 4:.1f}" font-size="10" '
+            f'text-anchor="end" fill="{_BAR_COLOR}">{value:.3g}</text>'
+        )
+    parts.append(
+        f'<text x="14" y="{_MARGIN_TOP + plot_height / 2:.1f}" font-size="11" '
+        f'text-anchor="middle" fill="{_BAR_COLOR}" transform="rotate(-90 14 '
+        f'{_MARGIN_TOP + plot_height / 2:.1f})">step duration [ms]</text>'
+    )
+    # Right axis ticks (nodes).
+    for fraction in (0.0, 0.5, 1.0):
+        value = round(peak_nodes * fraction)
+        y = y_nodes(value)
+        parts.append(
+            f'<text x="{_MARGIN_LEFT + plot_width + 6:.1f}" y="{y + 4:.1f}" '
+            f'font-size="10" text-anchor="start" fill="{_LINE_COLOR}">'
+            f"{value}</text>"
+        )
+    parts.append(
+        f'<text x="{_WIDTH - 12:.1f}" y="{_MARGIN_TOP + plot_height / 2:.1f}" '
+        f'font-size="11" text-anchor="middle" fill="{_LINE_COLOR}" '
+        f'transform="rotate(90 {_WIDTH - 12:.1f} '
+        f'{_MARGIN_TOP + plot_height / 2:.1f})">nodes</text>'
+    )
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + plot_width / 2:.1f}" y="{_HEIGHT - 8:.1f}" '
+        f'font-size="11" text-anchor="middle">steps</text>'
+    )
+    # Duration bars with hover titles.
+    for index, (label, duration, count) in enumerate(steps):
+        value_ms = durations[index] * 1e3
+        top = y_duration(value_ms)
+        parts.append(
+            f'<rect x="{x_center(index) - bar_width / 2:.1f}" y="{top:.1f}" '
+            f'width="{bar_width:.1f}" height="{max(base_y - top, 0.5):.1f}" '
+            f'fill="{_BAR_COLOR}" fill-opacity="0.55">'
+            f"<title>step {index}: {label} — {value_ms:.3f} ms, "
+            f"{count} nodes</title></rect>"
+        )
+    # Node-count trajectory.
+    points = " ".join(
+        f"{x_center(index):.1f},{y_nodes(count):.1f}"
+        for index, count in enumerate(counts)
+    )
+    parts.append(
+        f'<polyline points="{points}" fill="none" stroke="{_LINE_COLOR}" '
+        f'stroke-width="1.5" />'
+    )
+    for index, count in enumerate(counts):
+        parts.append(
+            f'<circle cx="{x_center(index):.1f}" cy="{y_nodes(count):.1f}" '
+            f'r="2.5" fill="{_LINE_COLOR}"><title>step {index}: {count} '
+            f"nodes</title></circle>"
+        )
+    body = "\n  ".join(parts)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH:.0f}" '
+        f'height="{_HEIGHT:.0f}" viewBox="0 0 {_WIDTH:.0f} {_HEIGHT:.0f}">'
+        f"\n  {body}\n</svg>"
+    )
+
+
+def span_timeline_svg(span, title: Optional[str] = None) -> str:
+    """Chart the children of a finished root span as a timeline.
+
+    Designed for the span trees the simulator and the alternating
+    verification engine produce: each child span becomes one step, labelled
+    with its ``op``/``gate`` attribute and scaled by its duration; the
+    ``nodes`` attribute drives the trajectory line.
+    """
+    steps: List[TimelineStep] = []
+    for child in span.children:
+        label = str(
+            child.attributes.get("op")
+            or child.attributes.get("gate")
+            or child.name
+        )
+        steps.append(
+            (label, child.duration, int(child.attributes.get("nodes", 0)))
+        )
+    if not steps:
+        raise VisualizationError("the span has no children to chart")
+    return timeline_svg(steps, title=title or span.name)

@@ -13,9 +13,23 @@ import pytest
 EXAMPLES_DIR = os.path.join(
     os.path.dirname(__file__), os.pardir, "examples"
 )
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
 ALL_EXAMPLES = sorted(
     name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
 )
+
+
+def _subprocess_env() -> dict:
+    """The examples import `repro` without being installed: prepend the
+    repo's src/ directory to the subprocess's PYTHONPATH."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        SRC_DIR if not existing else SRC_DIR + os.pathsep + existing
+    )
+    return env
 
 
 @pytest.mark.parametrize("name", ALL_EXAMPLES)
@@ -24,6 +38,7 @@ def test_example_runs(name, tmp_path):
     completed = subprocess.run(
         [sys.executable, script],
         cwd=tmp_path,
+        env=_subprocess_env(),
         capture_output=True,
         text=True,
         timeout=300,

@@ -1,0 +1,372 @@
+"""Tests for the metrics layer: instruments, registry, exporters.
+
+Covers counter/gauge/histogram semantics, the get-or-create registry with
+label keying, the global and per-registry no-op modes, collectors, and the
+JSON / Prometheus / run-report exporters — plus the integration points that
+the rest of the package relies on (table counters as thin views, package op
+metrics, the CLI's ``--json`` / ``--prom`` output).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.dd import DDPackage
+from repro.dd.compute_table import ComputeTable
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_snapshot,
+    run_report,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    DEFAULT_COUNT_BUCKETS,
+)
+from repro.qc import library
+from repro.tool.cli import main
+
+
+@pytest.fixture
+def restore_global_switch():
+    """Any test toggling the global switch must leave it on for the rest."""
+    yield
+    obs.set_enabled(True)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("requests_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_set_value_and_reset(self):
+        counter = Counter("hits")
+        counter.inc(7)
+        counter.set_value(2)
+        assert counter.value == 2
+        counter.reset()
+        assert counter.value == 0
+
+    def test_labels_are_copied(self):
+        labels = {"table": "add"}
+        counter = Counter("x", labels=labels)
+        labels["table"] = "mutated"
+        assert counter.labels == {"table": "add"}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("occupancy")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_set_max_only_raises(self):
+        gauge = Gauge("peak")
+        gauge.set_max(9)
+        assert gauge.value == 9
+        gauge.set_max(4)
+        assert gauge.value == 9
+        gauge.set_max(21)
+        assert gauge.value == 21
+
+
+class TestHistogram:
+    def test_bucket_bounds_are_inclusive(self):
+        hist = Histogram("n", buckets=(1, 2, 4))
+        for value in (0.5, 1, 2, 3, 4, 100):
+            hist.observe(value)
+        cumulative = dict(hist.cumulative_buckets())
+        assert cumulative[1.0] == 2  # 0.5 and 1 (bound inclusive)
+        assert cumulative[2.0] == 3
+        assert cumulative[4.0] == 5
+        assert cumulative[float("inf")] == 6
+
+    def test_count_sum_mean(self):
+        hist = Histogram("d", buckets=(10,))
+        assert hist.mean == 0.0
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.count == 2
+        assert hist.sum == 6
+        assert hist.mean == 3
+
+    def test_bounds_sorted_and_nonempty(self):
+        hist = Histogram("h", buckets=(4, 1, 2))
+        assert hist.bounds == (1.0, 2.0, 4.0)
+        with pytest.raises(ValueError):
+            Histogram("empty", buckets=())
+
+    def test_reset(self):
+        hist = Histogram("h", buckets=(1,))
+        hist.observe(0.5)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.sum == 0.0
+        assert hist.cumulative_buckets()[-1][1] == 0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry(enabled=True)
+        a = registry.counter("ops_total", {"op": "add"})
+        b = registry.counter("ops_total", {"op": "add"})
+        c = registry.counter("ops_total", {"op": "multiply"})
+        assert a is b
+        assert a is not c
+        assert len(registry) == 2
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_get_and_reset(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("a")
+        assert registry.get("a") is counter
+        assert registry.get("missing") is None
+        registry.reset()
+        assert len(registry) == 0
+
+    def test_collectors_run_on_collect(self):
+        registry = MetricsRegistry(enabled=True)
+        gauge = registry.gauge("sampled")
+        registry.add_collector(lambda: gauge.set(42))
+        [collected] = registry.collect()
+        assert collected.value == 42
+
+    def test_collector_exceptions_swallowed(self):
+        registry = MetricsRegistry(enabled=True)
+
+        def broken():
+            raise RuntimeError("dead weakref")
+
+        registry.add_collector(broken)
+        registry.counter("ok")
+        assert [m.name for m in registry.collect()] == ["ok"]
+
+
+class TestNoOpMode:
+    def test_disabled_registry_hands_out_shared_nulls(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a") is NULL_COUNTER
+        assert registry.gauge("b") is NULL_GAUGE
+        assert registry.histogram("c") is NULL_HISTOGRAM
+        assert len(registry) == 0
+        assert registry.collect() == []
+
+    def test_null_instruments_ignore_everything(self):
+        NULL_COUNTER.inc(5)
+        NULL_GAUGE.set(3)
+        NULL_GAUGE.set_max(9)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+        assert NULL_HISTOGRAM.cumulative_buckets() == []
+
+    def test_global_switch_governs_default_registries(self, restore_global_switch):
+        obs.set_enabled(False)
+        assert not obs.is_enabled()
+        registry = MetricsRegistry()  # enabled=None defers to the switch
+        assert registry.counter("x") is NULL_COUNTER
+        obs.set_enabled(True)
+        assert isinstance(registry.counter("x"), Counter)
+
+    def test_explicit_enabled_overrides_global(self, restore_global_switch):
+        obs.set_enabled(False)
+        registry = MetricsRegistry(enabled=True)
+        assert isinstance(registry.counter("x"), Counter)
+
+    def test_disabled_package_runs_dark(self, restore_global_switch):
+        obs.set_enabled(False)
+        package = DDPackage()
+        edge = package.zero_state(2)
+        package.add(edge, edge)
+        assert len(package.registry) == 0
+        obs.set_enabled(True)
+
+
+class TestExporters:
+    @staticmethod
+    def _sample_registry() -> MetricsRegistry:
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("dd_ops_total", {"op": "add"}).inc(3)
+        registry.gauge("sim_nodes").set(7)
+        hist = registry.histogram("sim_step_seconds", buckets=(0.001, 0.01))
+        hist.observe(0.0005)
+        hist.observe(0.5)
+        return registry
+
+    def test_json_snapshot_round_trips(self):
+        registry = self._sample_registry()
+        payload = json.loads(to_json(registry))
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        assert by_name["dd_ops_total"]["value"] == 3
+        assert by_name["dd_ops_total"]["labels"] == {"op": "add"}
+        assert by_name["sim_nodes"]["type"] == "gauge"
+        hist = by_name["sim_step_seconds"]
+        assert hist["count"] == 2
+        assert hist["buckets"][-1] == {"le": "+Inf", "count": 2}
+
+    def test_snapshot_matches_collect(self):
+        registry = self._sample_registry()
+        snapshot = registry_snapshot(registry)
+        assert len(snapshot["metrics"]) == len(registry.collect())
+
+    def test_prometheus_golden_output(self):
+        registry = self._sample_registry()
+        text = to_prometheus(registry)
+        assert "# TYPE dd_ops_total counter" in text
+        assert 'dd_ops_total{op="add"} 3' in text
+        assert "# TYPE sim_nodes gauge" in text
+        assert "sim_nodes 7" in text
+        assert "# TYPE sim_step_seconds histogram" in text
+        assert 'sim_step_seconds_bucket{le="0.001"} 1' in text
+        assert 'sim_step_seconds_bucket{le="+Inf"} 2' in text
+        assert "sim_step_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_label_escaping(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("c", {"path": 'a"b\\c\nd'}).inc()
+        text = to_prometheus(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_run_report_derives_hit_ratios(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("dd_compute_table_hits_total", {"table": "add"}).inc(3)
+        registry.counter("dd_compute_table_misses_total", {"table": "add"}).inc(1)
+        report = run_report(registry, title="demo")
+        assert "==== run report: demo ====" in report
+        assert "[dd]" in report
+        assert "[hit ratios]" in report
+        assert 'dd_compute_table{table="add"}: 0.750 (3/4)' in report
+
+    def test_run_report_empty_registry(self):
+        report = run_report(MetricsRegistry(enabled=True))
+        assert "no metrics recorded" in report
+
+
+class TestTableIntegration:
+    def test_compute_table_stats_sync_into_registry(self):
+        registry = MetricsRegistry(enabled=True)
+        table = ComputeTable("add", registry=registry)
+        key = ("k",)
+        assert table.lookup(key) is None
+        table.insert(key, "value")
+        assert table.lookup(key) == "value"
+        assert table.hits == 1
+        assert table.misses == 1
+        registry.collect()  # the sync collector copies the plain ints over
+        hits = registry.get("dd_compute_table_hits_total", {"table": "add"})
+        assert hits.value == 1
+        table.hits = 0  # legacy reset is visible after the next collect
+        registry.collect()
+        assert hits.value == 0
+
+    def test_dead_table_does_not_break_collect(self):
+        registry = MetricsRegistry(enabled=True)
+        table = ComputeTable("add", registry=registry)
+        table.lookup(("k",))
+        registry.collect()
+        del table
+        registry.collect()  # weakref-bound collector must cope
+        misses = registry.get("dd_compute_table_misses_total", {"table": "add"})
+        assert misses.value == 1  # last synced value survives
+
+    def test_package_op_metrics(self):
+        registry = MetricsRegistry(enabled=True)
+        package = DDPackage(registry=registry)
+        zero = package.zero_state(2)
+        package.add(zero, zero)
+        package.add(zero, zero)
+        ops = registry.get("dd_ops_total", {"op": "add"})
+        assert ops.value == 2
+        timer = registry.get("dd_op_seconds", {"op": "add"})
+        assert timer.count == 2
+        assert timer.sum >= 0
+
+    def test_package_occupancy_collected_at_export(self):
+        registry = MetricsRegistry(enabled=True)
+        package = DDPackage(registry=registry)
+        state = package.zero_state(2)  # keep the DD alive (weak unique table)
+        assert state is not None
+        registry.collect()
+        occupancy = registry.get("dd_unique_table_entries", {"kind": "vector"})
+        assert occupancy is not None
+        assert occupancy.value >= 1
+
+    def test_simulation_feeds_registry(self):
+        registry = MetricsRegistry(enabled=True)
+        from repro.simulation import DDSimulator
+        from repro.obs import Tracer
+
+        simulator = DDSimulator(
+            library.ghz_state(3), seed=0, registry=registry,
+            tracer=Tracer(enabled=False),
+        )
+        simulator.run(stop_at_breakpoints=False)
+        assert registry.get("sim_steps_total").value == 3
+        assert registry.get("sim_peak_nodes").value >= 3
+        assert registry.get("sim_step_seconds").count == 3
+
+
+class TestCliExports:
+    def test_stats_json_is_valid(self, tmp_path, capsys):
+        qasm = tmp_path / "ghz.qasm"
+        qasm.write_text(library.ghz_state(3).to_qasm())
+        assert main(["stats", str(qasm), "--seed", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {m["name"] for m in payload["metrics"]}
+        assert "dd_compute_table_hits_total" in names
+        assert "dd_unique_table_entries" in names
+        assert "sim_peak_nodes" in names
+
+    def test_stats_prom_is_valid_exposition(self, tmp_path, capsys):
+        qasm = tmp_path / "ghz.qasm"
+        qasm.write_text(library.ghz_state(3).to_qasm())
+        assert main(["stats", str(qasm), "--seed", "0", "--prom"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE dd_compute_table_hits_total counter" in text
+        assert "# TYPE sim_peak_nodes gauge" in text
+        # Every non-comment line is "name{labels} value".
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part
+            float(value.replace("+Inf", "inf"))
+
+    def test_stats_default_report_has_ratios_and_peak(self, tmp_path, capsys):
+        qasm = tmp_path / "ghz.qasm"
+        qasm.write_text(library.ghz_state(3).to_qasm())
+        assert main(["stats", str(qasm), "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "[hit ratios]" in out
+        assert "sim_peak_nodes" in out
+        assert "dd_unique_table_entries" in out
+
+
+def test_default_registry_is_process_wide():
+    assert obs.default_registry() is obs.default_registry()
+
+
+def test_default_count_buckets_cover_paper_scale():
+    # Ex. 12's 9- and 21-node peaks must land in distinct finite buckets.
+    assert any(b >= 9 for b in DEFAULT_COUNT_BUCKETS)
+    assert not math.isinf(DEFAULT_COUNT_BUCKETS[-1])

@@ -1,0 +1,268 @@
+"""Tests for span tracing and its wiring into simulator and verifier.
+
+Covers span nesting and timing monotonicity, the ring-buffer retention,
+the ``@traced`` decorator, the disabled fast path, tree rendering, the
+per-step simulator spans, the verification trajectory (paper Ex. 12's
+"at most 9 nodes" peak as a recorded metric), the ``trace`` CLI
+subcommand and the SVG timeline renderer.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, Tracer, format_span_tree, traced
+from repro.obs.tracing import NULL_SPAN
+from repro.qc import library
+from repro.simulation import DDSimulator
+from repro.tool.cli import main
+from repro.verification import ApplicationStrategy, check_equivalence_alternating
+from repro.vis import span_timeline_svg, timeline_svg
+from repro.errors import VisualizationError
+
+
+class TestSpanBasics:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert tracer.spans == (root,)
+
+    def test_timing_is_monotonic(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                time.sleep(0.002)
+        assert outer.start_time <= inner.start_time
+        assert inner.end_time <= outer.end_time
+        assert inner.duration > 0
+        assert outer.duration >= inner.duration
+
+    def test_duration_zero_while_open(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.span("open")
+        assert span.duration == 0.0
+        with span:
+            assert span.duration == 0.0
+        assert span.duration > 0
+
+    def test_attributes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", op="H", index=0) as span:
+            span.set_attribute("nodes", 5)
+        assert span.attributes == {"op": "H", "index": 0, "nodes": 5}
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+            with tracer.span("b") as b:
+                assert tracer.current is b
+            assert tracer.current is a
+        assert tracer.current is None
+
+
+class TestTracerRetention:
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(enabled=True, capacity=2)
+        for index in range(4):
+            with tracer.span(f"run{index}"):
+                pass
+        assert [s.name for s in tracer.spans] == ["run2", "run3"]
+
+    def test_only_roots_are_retained(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in tracer.spans] == ["root"]
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.spans == ()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestDisabledTracer:
+    def test_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", key="value")
+        assert span is NULL_SPAN
+        with span as entered:
+            entered.set_attribute("ignored", 1)
+        assert tracer.spans == ()
+
+    def test_enabled_none_defers_to_global_switch(self):
+        tracer = Tracer()
+        try:
+            obs.set_enabled(False)
+            assert tracer.span("dark") is NULL_SPAN
+            obs.set_enabled(True)
+            with tracer.span("lit"):
+                pass
+            assert [s.name for s in tracer.spans] == ["lit"]
+        finally:
+            obs.set_enabled(True)
+
+
+class TestTracedDecorator:
+    def test_bare_decorator_uses_qualname(self):
+        tracer = Tracer(enabled=True)
+
+        @traced(tracer=tracer)
+        def compute():
+            return 21
+
+        assert compute() == 21
+        assert len(tracer.spans) == 1
+        assert "compute" in tracer.spans[0].name
+
+    def test_named_decorator(self):
+        tracer = Tracer(enabled=True)
+
+        @traced("dd.multiply", tracer=tracer)
+        def multiply(a, b):
+            return a * b
+
+        assert multiply(3, 7) == 21
+        assert tracer.spans[0].name == "dd.multiply"
+
+
+class TestFormatSpanTree:
+    def test_renders_branches_and_attributes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("sim.run", circuit="qft3") as root:
+            with tracer.span("sim.step", index=0):
+                pass
+            with tracer.span("sim.step", index=1):
+                pass
+        text = format_span_tree(root)
+        lines = text.splitlines()
+        assert lines[0].startswith("sim.run")
+        assert "{circuit=qft3}" in lines[0]
+        assert lines[1].startswith("├─ sim.step")
+        assert lines[2].startswith("└─ sim.step")
+        assert "ms]" in lines[0]
+
+
+class TestSimulatorSpans:
+    def test_run_produces_one_step_span_per_operation(self):
+        tracer = Tracer(enabled=True)
+        circuit = library.qft(3)
+        simulator = DDSimulator(circuit, seed=0, tracer=tracer)
+        simulator.run(stop_at_breakpoints=False)
+        root = tracer.spans[-1]
+        assert root.name == "sim.run"
+        assert root.attributes["circuit"] == circuit.name
+        steps = [c for c in root.children if c.name == "sim.step"]
+        assert len(steps) == circuit.num_gates
+        for index, step in enumerate(steps):
+            assert step.attributes["index"] == index
+            assert "op" in step.attributes
+            assert step.attributes["nodes"] >= 1
+        assert root.attributes["steps"] == circuit.num_gates
+
+    def test_disabled_tracer_records_nothing_but_peak_tracks(self):
+        tracer = Tracer(enabled=False)
+        simulator = DDSimulator(library.ghz_state(3), seed=0, tracer=tracer)
+        simulator.run(stop_at_breakpoints=False)
+        assert tracer.spans == ()
+        assert simulator.peak_node_count >= 3
+
+
+class TestVerificationTrajectory:
+    def test_example_12_peak_is_a_recorded_metric(self):
+        from repro.dd import DDPackage
+
+        registry = MetricsRegistry(enabled=True)
+        package = DDPackage(registry=registry)
+        result = check_equivalence_alternating(
+            library.qft(3),
+            library.qft_compiled(3),
+            strategy=ApplicationStrategy.COMPILATION_FLOW,
+            package=package,
+        )
+        assert result.equivalent
+        assert result.max_nodes == 9  # paper Ex. 12
+        assert registry.get("verify_peak_nodes").value == 9
+        trajectory = registry.get("verify_node_trajectory")
+        assert trajectory.count == len(result.trace)
+        applications = sum(
+            registry.get("verify_applications_total", {"side": side}).value
+            for side in ("G", "G'")
+        )
+        assert applications == len(result.trace)
+
+    def test_verify_spans_carry_sides_and_nodes(self):
+        tracer = Tracer(enabled=True)
+        from repro.verification.alternating import _Engine
+        from repro.dd import DDPackage
+
+        registry = MetricsRegistry(enabled=True)
+        package = DDPackage(registry=registry)
+        engine = _Engine(package, 3, tracer=tracer)
+        gates = [op for op in library.qft(3)]
+        with tracer.span("verify.run"):
+            engine.apply_left(gates[0], 0)
+        root = tracer.spans[-1]
+        [apply_span] = root.children
+        assert apply_span.name == "verify.apply"
+        assert apply_span.attributes["side"] == "G"
+        assert apply_span.attributes["nodes"] >= 1
+
+
+class TestTraceCli:
+    def test_trace_prints_nested_span_tree(self, tmp_path, capsys):
+        qasm = tmp_path / "qft.qasm"
+        qasm.write_text(library.qft(3).to_qasm())
+        assert main(["trace", str(qasm), "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "sim.run" in out
+        assert "└─ sim.step" in out
+        assert "ms]" in out
+
+    def test_trace_writes_timeline_svg(self, tmp_path, capsys):
+        qasm = tmp_path / "qft.qasm"
+        qasm.write_text(library.qft(3).to_qasm())
+        svg = tmp_path / "timeline.svg"
+        assert main(["trace", str(qasm), "--seed", "0", "--svg", str(svg)]) == 0
+        text = svg.read_text()
+        assert text.startswith("<svg")
+        assert "</svg>" in text
+
+
+class TestTimelineSvg:
+    def test_timeline_from_tuples(self):
+        svg = timeline_svg(
+            [("H [0]", 0.001, 2), ("CX", 0.002, 3), ("measure", 0.0005, 1)],
+            title="demo",
+        )
+        assert svg.startswith("<svg")
+        assert "demo" in svg
+        assert "H [0]" in svg
+
+    def test_timeline_rejects_empty_input(self):
+        with pytest.raises(VisualizationError):
+            timeline_svg([])
+
+    def test_span_timeline_from_simulator_run(self):
+        tracer = Tracer(enabled=True)
+        simulator = DDSimulator(library.ghz_state(3), seed=0, tracer=tracer)
+        simulator.run(stop_at_breakpoints=False)
+        svg = span_timeline_svg(tracer.spans[-1])
+        assert svg.startswith("<svg")
+        assert "polyline" in svg
