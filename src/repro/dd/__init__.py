@@ -12,6 +12,11 @@ measurement, sampling and reset.
 The central entry point is :class:`repro.dd.DDPackage`.
 """
 
+from repro.dd.apply import (
+    apply_controlled,
+    apply_single_qubit,
+    apply_swap,
+)
 from repro.dd.complex_table import ComplexTable
 from repro.dd.edge import Edge
 from repro.dd.node import MatrixNode, Node, TERMINAL, VectorNode
@@ -22,6 +27,9 @@ from repro.dd.package import DDPackage
 __all__ = [
     "ComplexTable",
     "DDPackage",
+    "apply_controlled",
+    "apply_single_qubit",
+    "apply_swap",
     "Edge",
     "MatrixNode",
     "Node",

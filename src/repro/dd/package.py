@@ -87,6 +87,11 @@ class DDPackage:
         operation counters/timers.  Each package creates a private registry
         by default (so per-package statistics stay separate); pass one
         explicitly to aggregate several components into one report.
+    use_apply_kernels:
+        Route gate applications through the direct kernels of
+        :mod:`repro.dd.apply` (no full-system gate DD is constructed).
+        On by default; switch off to force the legacy matrix path, which
+        is retained as the differential-testing oracle.
     """
 
     _OPERATION_NAMES = ("add", "multiply", "kron", "adjoint", "inner_product")
@@ -97,8 +102,10 @@ class DDPackage:
         vector_scheme: NormalizationScheme = NormalizationScheme.L2,
         cache_capacity: int = 1 << 16,
         registry: Optional[MetricsRegistry] = None,
+        use_apply_kernels: bool = True,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.use_apply_kernels = use_apply_kernels
         self.complex_table = ComplexTable(tolerance, registry=self.registry)
         self.vector_scheme = vector_scheme
         self._vector_unique = UniqueTable(
@@ -120,6 +127,9 @@ class DDPackage:
         )
         self._inner_cache = ComputeTable(
             "inner", cache_capacity, registry=self.registry
+        )
+        self._apply_cache = ComputeTable(
+            "apply", cache_capacity, registry=self.registry
         )
         # Operation counters/timers cover only the *public* entry points;
         # the recursive workers below them stay uninstrumented so the hot
@@ -549,6 +559,60 @@ class DDPackage:
             self._kron_cache.insert(key, cached)
         return cached
 
+    # ------------------------------------------------------------------
+    # direct gate application (no gate DD is constructed)
+    # ------------------------------------------------------------------
+    def apply_single_qubit_gate(
+        self, state: Edge, matrix: np.ndarray, target: int
+    ) -> Edge:
+        """Apply a single-qubit gate directly to a vector DD.
+
+        Unlike :meth:`single_qubit_gate` + :meth:`multiply`, no full-system
+        matrix DD is built — the kernel recurses over the state diagram
+        alone (:mod:`repro.dd.apply`).
+        """
+        from repro.dd import apply as apply_kernels
+
+        self._check_line(self.num_qubits(state), target)
+        return apply_kernels.apply_single_qubit(self, state, matrix, target)
+
+    def apply_controlled_gate(
+        self,
+        state: Edge,
+        matrix: np.ndarray,
+        target: int,
+        controls: Sequence[int] = (),
+        negative_controls: Sequence[int] = (),
+    ) -> Edge:
+        """Apply a (multi-)controlled single-qubit gate directly to a
+        vector DD (the direct counterpart of :meth:`controlled_gate`)."""
+        from repro.dd import apply as apply_kernels
+
+        num_qubits = self.num_qubits(state)
+        for line in (target, *controls, *negative_controls):
+            self._check_line(num_qubits, line)
+        return apply_kernels.apply_controlled(
+            self, state, matrix, target, controls, negative_controls
+        )
+
+    def apply_swap_gate(
+        self,
+        state: Edge,
+        line_a: int,
+        line_b: int,
+        controls: Sequence[int] = (),
+        negative_controls: Sequence[int] = (),
+    ) -> Edge:
+        """Apply a (controlled) SWAP directly to a vector DD."""
+        from repro.dd import apply as apply_kernels
+
+        num_qubits = self.num_qubits(state)
+        for line in (line_a, line_b, *controls, *negative_controls):
+            self._check_line(num_qubits, line)
+        return apply_kernels.apply_swap(
+            self, state, line_a, line_b, controls, negative_controls
+        )
+
     def adjoint(self, operation: Edge) -> Edge:
         """Conjugate transpose of a matrix DD."""
         if not self._obs_on:
@@ -763,6 +827,7 @@ class DDPackage:
             self._kron_cache,
             self._adjoint_cache,
             self._inner_cache,
+            self._apply_cache,
         )
 
     def stats(self) -> Dict[str, Dict[str, float]]:

@@ -186,11 +186,17 @@ def _project(
     package: DDPackage, state: Edge, qubit: int, outcome: int, probability: float
 ) -> Edge:
     """Apply the outcome projector and renormalize."""
-    num_qubits = package.num_qubits(state)
-    projector = package.single_qubit_gate(
-        num_qubits, _P0 if outcome == 0 else _P1, qubit
-    )
-    projected = package.multiply(projector, state)
+    matrix = _P0 if outcome == 0 else _P1
+    if getattr(package, "use_apply_kernels", False):
+        # Diagonal kernel: the projector only rescales (zeroes) edge
+        # weights, no full-system matrix DD is built.
+        from repro.dd.apply import apply_single_qubit
+
+        projected = apply_single_qubit(package, state, matrix, qubit)
+    else:
+        num_qubits = package.num_qubits(state)
+        projector = package.single_qubit_gate(num_qubits, matrix, qubit)
+        projected = package.multiply(projector, state)
     if projected.is_zero:
         raise InvalidStateError("projection annihilated the state")
     scale = package.complex_table.lookup(
@@ -216,7 +222,12 @@ def reset_qubit(
         package, state, qubit, outcome, rng
     )
     if observed == 1:
-        num_qubits = package.num_qubits(state)
-        flip = package.single_qubit_gate(num_qubits, _X, qubit)
-        collapsed = package.multiply(flip, collapsed)
+        if getattr(package, "use_apply_kernels", False):
+            from repro.dd.apply import apply_single_qubit
+
+            collapsed = apply_single_qubit(package, collapsed, _X, qubit)
+        else:
+            num_qubits = package.num_qubits(state)
+            flip = package.single_qubit_gate(num_qubits, _X, qubit)
+            collapsed = package.multiply(flip, collapsed)
     return observed, probability, collapsed

@@ -128,6 +128,19 @@ def circuit_to_dd(
 def apply_gate(
     package: DDPackage, state: Edge, operation: GateOp, num_qubits: int
 ) -> Edge:
-    """Apply one gate to a state DD (one simulation step, paper Sec. III-B)."""
+    """Apply one gate to a state DD (one simulation step, paper Sec. III-B).
+
+    With ``package.use_apply_kernels`` (the default) the gate is applied
+    directly by the kernels of :mod:`repro.dd.apply` — no full-system gate
+    DD is constructed.  Gates without a direct kernel, and packages with
+    the flag off, take the legacy matrix path (gate DD + multiply), which
+    is retained as the differential-testing oracle.
+    """
+    if getattr(package, "use_apply_kernels", False):
+        from repro.dd import apply as apply_kernels
+
+        result = apply_kernels.apply_operation(package, state, operation, num_qubits)
+        if result is not None:
+            return result
     gate_dd = gate_to_dd(package, operation, num_qubits)
     return package.multiply(gate_dd, state)
