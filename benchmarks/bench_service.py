@@ -1,0 +1,123 @@
+"""Throughput/latency benchmark of the service's ``/simulate`` endpoint.
+
+For 1, 4 and 8 worker processes a loopback server is driven by 8
+concurrent clients in two regimes:
+
+* **uncached** — every request carries a distinct circuit, so each one
+  pays the full pipeline (parse → worker-pool simulation);
+* **cached** — all requests are identical, so after the first response
+  everything is served straight from the LRU result cache.
+
+Reported per configuration: requests/second and p50/p99 latency.  The
+cached regime should be far faster and essentially independent of the
+worker count — that is the point of keying the cache on the canonical
+circuit digest.  Results land in ``benchmarks/results/service.json``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from http.client import HTTPConnection
+from time import perf_counter
+
+from repro.qc import library
+from repro.service import DDToolServer, ServiceConfig
+
+CLIENTS = 8
+UNCACHED_PER_CLIENT = 6
+CACHED_PER_CLIENT = 25
+WORKER_COUNTS = (1, 4, 8)
+
+_fresh_circuit_ids = itertools.count()
+
+
+def _fresh_qasm() -> str:
+    """A circuit no previous request has sent (defeats the result cache)."""
+    seed = next(_fresh_circuit_ids)
+    return library.random_circuit(3, 12, seed=seed).to_qasm()
+
+
+def _drive(server, payloads) -> list:
+    host, port = server.address
+    connection = HTTPConnection(host, port, timeout=60)
+    latencies = []
+    for payload in payloads:
+        body = json.dumps(payload).encode()
+        start = perf_counter()
+        connection.request("POST", "/simulate", body=body,
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        data = response.read()
+        latencies.append(perf_counter() - start)
+        assert response.status == 200, data
+    connection.close()
+    return latencies
+
+
+def _measure(server, payload_lists) -> dict:
+    all_latencies: list = []
+    collected = [None] * len(payload_lists)
+
+    def worker(index):
+        collected[index] = _drive(server, payload_lists[index])
+
+    threads = [
+        threading.Thread(target=worker, args=(i,))
+        for i in range(len(payload_lists))
+    ]
+    start = perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = perf_counter() - start
+    for chunk in collected:
+        all_latencies.extend(chunk)
+    all_latencies.sort()
+    total = len(all_latencies)
+    return {
+        "requests": total,
+        "rps": total / wall if wall else 0.0,
+        "p50_ms": 1e3 * all_latencies[int(0.50 * (total - 1))],
+        "p99_ms": 1e3 * all_latencies[int(0.99 * (total - 1))],
+    }
+
+
+def test_service_throughput(report):
+    rows = ["workers  regime    requests     req/s   p50[ms]   p99[ms]"]
+    results = {}
+    for workers in WORKER_COUNTS:
+        config = ServiceConfig(port=0, workers=workers, cache_capacity=1024)
+        with DDToolServer(config) as server:
+            uncached_payloads = [
+                [{"qasm": _fresh_qasm(), "shots": 16, "seed": 1}
+                 for _ in range(UNCACHED_PER_CLIENT)]
+                for _ in range(CLIENTS)
+            ]
+            uncached = _measure(server, uncached_payloads)
+
+            shared = {"qasm": library.qft(3).to_qasm(), "shots": 16, "seed": 1}
+            _drive(server, [shared])  # warm the cache once
+            cached_payloads = [
+                [dict(shared) for _ in range(CACHED_PER_CLIENT)]
+                for _ in range(CLIENTS)
+            ]
+            cached = _measure(server, cached_payloads)
+
+        results[workers] = {"uncached": uncached, "cached": cached}
+        for regime, stats in (("uncached", uncached), ("cached", cached)):
+            rows.append(
+                f"{workers:7d}  {regime:8s}  {stats['requests']:8d}  "
+                f"{stats['rps']:8.1f}  {stats['p50_ms']:8.2f}  "
+                f"{stats['p99_ms']:8.2f}"
+            )
+
+        # The cache must dominate recomputation at every worker count.
+        assert cached["rps"] > uncached["rps"]
+        assert cached["p50_ms"] < uncached["p50_ms"]
+
+    rows.append("---")
+    rows.append(json.dumps(results, indent=2, sort_keys=True))
+    report("service", rows)

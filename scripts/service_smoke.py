@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Loopback smoke test of the service, runnable as a plain script (CI).
+
+Starts a server on an ephemeral port, drives a 3-qubit QFT simulation
+session step by step, exercises the cached ``/simulate`` path and the
+Ex. 12 ``/verify`` check, asserts that ``/metrics`` exposes the request
+counters, and writes the run report plus the metrics exposition to
+``benchmarks/results/service_smoke.{txt,json}`` for artifact upload.
+
+Environment: ``SERVICE_SMOKE_WORKERS`` (default 2) selects the pool size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import urllib.request
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.qc import library  # noqa: E402
+from repro.service import DDToolServer, ServiceConfig  # noqa: E402
+
+
+def _request(base, method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    if data:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=60) as response:
+        body = response.read()
+        if response.headers.get_content_type() == "application/json":
+            return response.status, json.loads(body)
+        return response.status, body
+
+
+def main() -> int:
+    workers = int(os.environ.get("SERVICE_SMOKE_WORKERS", "2"))
+    qft = library.qft(3).to_qasm()
+    qft_compiled = library.qft_compiled(3).to_qasm()
+    steps = []
+
+    config = ServiceConfig(port=0, workers=workers)
+    with DDToolServer(config) as server:
+        base = server.url
+        steps.append(f"server listening at {base} with {workers} worker(s)")
+
+        status, health = _request(base, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok", health
+        steps.append("healthz ok")
+
+        # Drive a QFT simulation session step by step.
+        status, session = _request(base, "POST", "/sessions", {
+            "kind": "simulation", "qasm": qft, "seed": 0,
+        })
+        assert status == 201, session
+        sid = session["session_id"]
+        position = 0
+        while True:
+            status, state = _request(
+                base, "POST", f"/sessions/{sid}/step", {"action": "forward"}
+            )
+            assert status == 200, state
+            position = state["position"]
+            if state["at_end"]:
+                break
+        assert state["node_count"] == 3, state
+        steps.append(f"stepped QFT session to the end ({position} steps, "
+                     f"{state['node_count']} nodes)")
+        _request(base, "DELETE", f"/sessions/{sid}")
+
+        # Cached one-shot simulation.
+        payload = {"qasm": qft, "shots": 64, "seed": 0}
+        status, first = _request(base, "POST", "/simulate", payload)
+        assert status == 200 and first["cached"] is False, first
+        status, second = _request(base, "POST", "/simulate", payload)
+        assert status == 200 and second["cached"] is True, second
+        steps.append("repeated /simulate served from the result cache")
+
+        # Paper Ex. 12 through the API.
+        status, verdict = _request(base, "POST", "/verify", {
+            "left": qft, "right": qft_compiled, "strategy": "compilation-flow",
+        })
+        assert status == 200 and verdict["equivalent"], verdict
+        assert verdict["peak_nodes"] == 9, verdict
+        steps.append("verify(qft3, compiled) equivalent with peak 9 nodes")
+
+        status, metrics = _request(base, "GET", "/metrics")
+        assert status == 200
+        text = metrics.decode()
+        assert "service_requests_total{" in text, text[:400]
+        assert "service_cache_hits_total 1" in text, text[:400]
+        steps.append("/metrics exposes request counters and the cache hit")
+
+        status, report = _request(base, "GET", "/report")
+        assert status == 200
+
+    results_dir = os.path.join(ROOT, "benchmarks", "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "service_smoke.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write("==== service smoke ====\n")
+        handle.write("\n".join(steps) + "\n\n")
+        handle.write(report.decode())
+        handle.write("\n")
+    with open(os.path.join(results_dir, "service_smoke.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump({"steps": steps, "metrics": text.splitlines()},
+                  handle, indent=2)
+        handle.write("\n")
+    print("\n".join(steps))
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

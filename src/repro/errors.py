@@ -52,3 +52,35 @@ class VerificationError(ReproError):
 
 class VisualizationError(ReproError):
     """Error while rendering a decision diagram."""
+
+
+class ServiceError(ReproError):
+    """Error raised by the HTTP service layer (:mod:`repro.service`)."""
+
+
+class BadRequestError(ServiceError):
+    """A malformed service request (missing field, invalid value, bad JSON)."""
+
+
+class NotFoundError(ServiceError):
+    """The requested route or resource does not exist."""
+
+
+class SessionNotFoundError(NotFoundError):
+    """The referenced service session does not exist (or has expired)."""
+
+
+class SessionLimitError(ServiceError):
+    """The session store is full and nothing is evictable (backpressure)."""
+
+
+class RequestTooLargeError(ServiceError):
+    """The request body exceeds the configured size limit."""
+
+
+class RateLimitedError(ServiceError):
+    """The client exceeded the configured request rate."""
+
+
+class JobTimeoutError(ServiceError):
+    """A worker-pool job did not finish within the configured timeout."""

@@ -9,6 +9,7 @@ barrier, and classically-controlled gates — are first-class citizens.
 
 from repro.qc.circuit import QuantumCircuit
 from repro.qc.gates import gate_matrix, inverse_gate, is_known_gate
+from repro.qc.hashing import circuit_digest
 from repro.qc.operations import (
     BarrierOp,
     GateOp,
@@ -24,6 +25,7 @@ __all__ = [
     "Operation",
     "QuantumCircuit",
     "ResetOp",
+    "circuit_digest",
     "gate_matrix",
     "inverse_gate",
     "is_known_gate",

@@ -337,6 +337,16 @@ class QuantumCircuit:
 
         return circuit_to_qasm(self)
 
+    def digest(self) -> str:
+        """Canonical content hash (see :mod:`repro.qc.hashing`).
+
+        Independent of the circuit name and stable under a QASM roundtrip;
+        any gate/parameter/wiring change changes the digest.
+        """
+        from repro.qc.hashing import circuit_digest
+
+        return circuit_digest(self)
+
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------

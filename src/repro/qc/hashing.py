@@ -1,0 +1,77 @@
+"""Canonical circuit hashing.
+
+:func:`circuit_digest` computes a SHA-256 digest over a canonical
+serialization of a :class:`~repro.qc.circuit.QuantumCircuit`.  The digest
+identifies the *computation*, not the object:
+
+* it is independent of the circuit's display name;
+* it is stable under an OpenQASM export/parse roundtrip (the exporter
+  writes exact ``repr(float)`` parameters, so no precision is lost);
+* control sets are order-insensitive (``controls=(2, 1)`` and
+  ``controls=(1, 2)`` denote the same gate), while target order is kept
+  because it is semantically meaningful for multi-target gates;
+* any change to a gate, parameter, control line, classical condition,
+  measurement, reset or barrier changes the digest.
+
+The service layer (:mod:`repro.service`) keys its result cache on this
+digest, so two clients uploading the same circuit — even via different
+textual routes — share one cached simulation/verification result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.qc.circuit import QuantumCircuit
+from repro.qc.operations import BarrierOp, GateOp, MeasureOp, Operation, ResetOp
+
+__all__ = ["circuit_digest", "operation_fingerprint"]
+
+
+def _canonical_float(value: float) -> str:
+    # Normalize the one representation quirk repr() keeps: -0.0 vs 0.0.
+    value = float(value)
+    if value == 0.0:
+        value = 0.0
+    return repr(value)
+
+
+def _canonical_lines(lines: Iterable[int]) -> str:
+    return ",".join(str(int(line)) for line in lines)
+
+
+def operation_fingerprint(operation: Operation) -> str:
+    """One canonical line of text per operation (the digest's alphabet)."""
+    if isinstance(operation, GateOp):
+        parts = [
+            "gate",
+            operation.gate,
+            "p=" + ",".join(_canonical_float(p) for p in operation.params),
+            "t=" + _canonical_lines(operation.targets),
+            "c=" + _canonical_lines(sorted(operation.controls)),
+            "n=" + _canonical_lines(sorted(operation.negative_controls)),
+        ]
+        if operation.condition is not None:
+            clbits, value = operation.condition
+            parts.append(f"if={_canonical_lines(clbits)}=={int(value)}")
+        return "|".join(parts)
+    if isinstance(operation, MeasureOp):
+        return f"measure|q={operation.qubit}|c={operation.clbit}"
+    if isinstance(operation, ResetOp):
+        return f"reset|q={operation.qubit}"
+    if isinstance(operation, BarrierOp):
+        return "barrier|l=" + _canonical_lines(operation.lines)
+    raise TypeError(f"unknown operation kind: {operation!r}")  # pragma: no cover
+
+
+def circuit_digest(circuit: QuantumCircuit) -> str:
+    """Canonical, name-independent SHA-256 hex digest of ``circuit``."""
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"qdd-circuit-v1|q={circuit.num_qubits}|c={circuit.num_clbits}\n".encode()
+    )
+    for operation in circuit:
+        hasher.update(operation_fingerprint(operation).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()

@@ -1,0 +1,557 @@
+"""The service application: routing, handlers, metrics, error mapping.
+
+This module is deliberately transport-free: :class:`ServiceApp` maps a
+plain :class:`Request` value to a :class:`Response` value, so the whole API
+is unit-testable without opening a socket.  ``server.py`` adapts it to
+``http.server``; a WSGI/ASGI adapter would be a dozen lines.
+
+Routes (all JSON unless noted):
+
+====== =============================== =====================================
+POST   ``/sessions``                   open a simulation/verification session
+GET    ``/sessions``                   list live sessions
+GET    ``/sessions/{id}``              session status (incl. pending dialog)
+DELETE ``/sessions/{id}``              close a session
+POST   ``/sessions/{id}/step``         navigate (forward/backward/…)
+GET    ``/sessions/{id}/svg``          current DD as SVG (image/svg+xml)
+GET    ``/sessions/{id}/text``         current DD as terminal art (text/plain)
+GET    ``/sessions/{id}/counts``       sampled shot histogram
+POST   ``/simulate``                   one-shot batch simulation (cached)
+POST   ``/verify``                     one-shot equivalence check (cached)
+GET    ``/metrics``                    Prometheus text exposition
+GET    ``/report``                     human-readable run report (text/plain)
+GET    ``/healthz``                    liveness probe
+====== =============================== =====================================
+
+Error responses are structured and reuse the :mod:`repro.errors` hierarchy:
+``{"error": {"type": "ParseError", "message": "...", "status": 400}}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import (
+    BadRequestError,
+    JobTimeoutError,
+    NotFoundError,
+    RateLimitedError,
+    ReproError,
+    RequestTooLargeError,
+    ServiceError,
+    SessionLimitError,
+    SimulationError,
+    VerificationError,
+)
+from repro.obs.export import run_report, to_prometheus
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.qc.qasm.parser import parse_qasm
+from repro.service.cache import ResultCache
+from repro.service.sessions import SessionHandle, SessionStore
+from repro.service.workers import WorkerPool, simulate_job, verify_job
+from repro.tool.session import SimulationSession, VerificationSession
+from repro.vis.style import DDStyle
+
+__all__ = ["Request", "Response", "ServiceApp", "ServiceConfig"]
+
+_JSON = "application/json"
+_STATUS_BY_ERROR: Tuple[Tuple[type, int], ...] = (
+    (NotFoundError, 404),
+    (SessionLimitError, 503),
+    (RequestTooLargeError, 413),
+    (RateLimitedError, 429),
+    (JobTimeoutError, 504),
+    (BadRequestError, 400),
+    (SimulationError, 409),
+    (VerificationError, 409),
+    (ServiceError, 400),
+    (ReproError, 400),
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance (see ``qdd-tool serve --help``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8137
+    workers: int = 2
+    max_sessions: int = 64
+    session_ttl: float = 600.0
+    cache_capacity: int = 256
+    max_body_bytes: int = 1 << 20
+    rate_limit: float = 0.0  # requests/second; 0 disables the limiter
+    rate_burst: int = 32
+    job_timeout: float = 120.0
+    drain_timeout: float = 10.0
+
+
+@dataclass
+class Request:
+    """A transport-independent request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    client: str = ""
+
+
+@dataclass
+class Response:
+    status: int
+    content_type: str
+    body: bytes
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200) -> "Response":
+        return cls(status, _JSON, (json.dumps(payload, indent=2) + "\n").encode())
+
+    @classmethod
+    def text(cls, text: str, status: int = 200, content_type: str = "text/plain") -> "Response":
+        return cls(status, f"{content_type}; charset=utf-8", text.encode())
+
+
+class _RateLimiter:
+    """A token bucket shared by all clients (coarse overload protection)."""
+
+    def __init__(self, rate: float, burst: int):
+        self.rate = rate
+        self.burst = max(1, burst)
+        self._tokens = float(self.burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def admit(self) -> bool:
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens < 1.0:
+                return False
+            self._tokens -= 1.0
+            return True
+
+
+class ServiceApp:
+    """Routes requests to handlers; owns store, cache, pool and metrics."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = registry if registry is not None else MetricsRegistry(enabled=True)
+        self.store = SessionStore(
+            max_sessions=self.config.max_sessions,
+            ttl=self.config.session_ttl,
+            registry=self.registry,
+        )
+        self.cache = ResultCache(
+            capacity=self.config.cache_capacity, registry=self.registry
+        )
+        self.pool = WorkerPool(
+            workers=self.config.workers,
+            job_timeout=self.config.job_timeout,
+            registry=self.registry,
+        )
+        self._limiter = (
+            _RateLimiter(self.config.rate_limit, self.config.rate_burst)
+            if self.config.rate_limit > 0
+            else None
+        )
+        self._started = time.time()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._m_inflight = self.registry.gauge("service_inflight_requests")
+        # (endpoint, method, status) counters are created on demand; the
+        # latency histograms per endpoint too.  Touch the cache counters so
+        # they are visible at /metrics from the first scrape.
+        self.cache.get(("__warm__",))
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        start = perf_counter()
+        with self._inflight_lock:
+            self._inflight += 1
+            self._m_inflight.set(self._inflight)
+        endpoint = "unmatched"
+        try:
+            handler, endpoint, session_id = self._route(request.method, request.path)
+            if self._limiter is not None and endpoint not in ("/healthz", "/metrics"):
+                if not self._limiter.admit():
+                    raise RateLimitedError("request rate limit exceeded")
+            if len(request.body) > self.config.max_body_bytes:
+                raise RequestTooLargeError(
+                    f"request body of {len(request.body)} bytes exceeds the "
+                    f"{self.config.max_body_bytes}-byte limit"
+                )
+            response = handler(request, session_id)
+        except ReproError as error:
+            response = self._error_response(error)
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            response = Response.json(
+                {"error": {"type": type(error).__name__,
+                           "message": str(error), "status": 500}},
+                status=500,
+            )
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                self._m_inflight.set(self._inflight)
+        self.registry.counter(
+            "service_requests_total",
+            {"endpoint": endpoint, "method": request.method,
+             "status": str(response.status)},
+        ).inc()
+        self.registry.histogram(
+            "service_request_seconds", DEFAULT_TIME_BUCKETS,
+            {"endpoint": endpoint},
+        ).observe(perf_counter() - start)
+        return response
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def close(self) -> None:
+        self.pool.close()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(
+        self, method: str, path: str
+    ) -> Tuple[Callable[[Request, Optional[str]], Response], str, Optional[str]]:
+        parts = [part for part in path.split("/") if part]
+        flat = {
+            ("GET", "healthz"): (self._get_healthz, "/healthz"),
+            ("GET", "metrics"): (self._get_metrics, "/metrics"),
+            ("GET", "report"): (self._get_report, "/report"),
+            ("POST", "sessions"): (self._post_sessions, "/sessions"),
+            ("GET", "sessions"): (self._get_sessions, "/sessions"),
+            ("POST", "simulate"): (self._post_simulate, "/simulate"),
+            ("POST", "verify"): (self._post_verify, "/verify"),
+        }
+        if len(parts) == 1:
+            entry = flat.get((method, parts[0]))
+            if entry:
+                return entry[0], entry[1], None
+        if len(parts) == 2 and parts[0] == "sessions":
+            if method == "GET":
+                return self._get_session, "/sessions/{id}", parts[1]
+            if method == "DELETE":
+                return self._delete_session, "/sessions/{id}", parts[1]
+        if len(parts) == 3 and parts[0] == "sessions":
+            sub = {
+                ("POST", "step"): (self._post_step, "/sessions/{id}/step"),
+                ("GET", "svg"): (self._get_svg, "/sessions/{id}/svg"),
+                ("GET", "text"): (self._get_text, "/sessions/{id}/text"),
+                ("GET", "counts"): (self._get_counts, "/sessions/{id}/counts"),
+            }
+            entry = sub.get((method, parts[2]))
+            if entry:
+                return entry[0], entry[1], parts[1]
+        raise NotFoundError(f"no route for {method} {path}")
+
+    # ------------------------------------------------------------------
+    # request parsing helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _json_body(request: Request) -> Dict[str, Any]:
+        if not request.body:
+            return {}
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequestError(f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _require(payload: Dict[str, Any], key: str) -> str:
+        if key not in payload:
+            raise BadRequestError(f"missing required field {key!r}")
+        value = payload[key]
+        if not isinstance(value, str):
+            raise BadRequestError(f"field {key!r} must be a string")
+        return value
+
+    @staticmethod
+    def _int_field(value: Any, name: str, default: int = 0) -> int:
+        if value is None:
+            return default
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise BadRequestError(f"field {name!r} must be an integer")
+
+    def _error_response(self, error: ReproError) -> Response:
+        status = 400
+        for cls, code in _STATUS_BY_ERROR:
+            if isinstance(error, cls):
+                status = code
+                break
+        return Response.json(
+            {"error": {"type": type(error).__name__,
+                       "message": str(error), "status": status}},
+            status=status,
+        )
+
+    # ------------------------------------------------------------------
+    # infrastructure endpoints
+    # ------------------------------------------------------------------
+    def _get_healthz(self, request: Request, _sid: Optional[str]) -> Response:
+        return Response.json({
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "sessions": len(self.store),
+            "workers": self.pool.workers,
+        })
+
+    def _get_metrics(self, request: Request, _sid: Optional[str]) -> Response:
+        return Response.text(to_prometheus(self.registry))
+
+    def _get_report(self, request: Request, _sid: Optional[str]) -> Response:
+        return Response.text(run_report(self.registry, title="qdd-service"))
+
+    # ------------------------------------------------------------------
+    # session endpoints
+    # ------------------------------------------------------------------
+    def _post_sessions(self, request: Request, _sid: Optional[str]) -> Response:
+        payload = self._json_body(request)
+        kind = payload.get("kind", "simulation")
+        style_name = payload.get("style", "classic")
+        styles = {"classic": DDStyle.classic, "colored": DDStyle.colored,
+                  "modern": DDStyle.modern}
+        if style_name not in styles:
+            raise BadRequestError(
+                f"unknown style {style_name!r} (expected one of: "
+                f"{', '.join(sorted(styles))})"
+            )
+        style = styles[style_name]()
+        if kind == "simulation":
+            qasm = self._require(payload, "qasm")
+            seed = self._int_field(payload.get("seed"), "seed", 0)
+            circuit = parse_qasm(qasm)  # parse errors become 400 here
+
+            def factory() -> SimulationSession:
+                return SimulationSession(circuit, style=style, seed=seed)
+
+        elif kind == "verification":
+            left = parse_qasm(self._require(payload, "left"), name="G")
+            right = parse_qasm(self._require(payload, "right"), name="G'")
+
+            def factory() -> VerificationSession:
+                return VerificationSession(left, right, style=style)
+
+        else:
+            raise BadRequestError(
+                f"unknown session kind {kind!r} "
+                "(expected 'simulation' or 'verification')"
+            )
+        handle = self.store.create(kind, factory)
+        with handle.lock:
+            return Response.json(self._status_payload(handle), status=201)
+
+    def _get_sessions(self, request: Request, _sid: Optional[str]) -> Response:
+        entries = [
+            {
+                "session_id": handle.session_id,
+                "kind": handle.kind,
+                "idle_seconds": round(handle.idle_seconds(), 3),
+            }
+            for handle in self.store.list()
+        ]
+        return Response.json({"sessions": entries, "count": len(entries)})
+
+    def _get_session(self, request: Request, session_id: str) -> Response:
+        handle = self.store.get(session_id)
+        with handle.lock:
+            return Response.json(self._status_payload(handle))
+
+    def _delete_session(self, request: Request, session_id: str) -> Response:
+        self.store.remove(session_id)
+        return Response.json({"deleted": session_id})
+
+    def _post_step(self, request: Request, session_id: str) -> Response:
+        handle = self.store.get(session_id)
+        payload = self._json_body(request)
+        action = self._require(payload, "action")
+        count = self._int_field(payload.get("count"), "count", 1)
+        if count < 1:
+            raise BadRequestError("field 'count' must be >= 1")
+        outcome = payload.get("outcome")
+        if outcome is not None:
+            outcome = self._int_field(outcome, "outcome")
+            if outcome not in (0, 1):
+                raise BadRequestError("field 'outcome' must be 0 or 1")
+        with handle.lock:
+            if handle.kind == "simulation":
+                self._step_simulation(handle.session, action, count, outcome)
+            else:
+                self._step_verification(handle.session, action, count)
+            handle.touch()
+            return Response.json(self._status_payload(handle))
+
+    @staticmethod
+    def _step_simulation(
+        session: SimulationSession, action: str, count: int, outcome: Optional[int]
+    ) -> None:
+        if action == "forward":
+            for _ in range(count):
+                session.forward(outcome=outcome)
+        elif action == "backward":
+            for _ in range(count):
+                session.backward()
+        elif action == "to_end":
+            session.to_end(stop_at_breakpoints=False)
+        elif action == "run":  # fast-forward to the next breakpoint
+            session.to_end(stop_at_breakpoints=True)
+        elif action == "to_start":
+            session.to_start()
+        else:
+            raise BadRequestError(
+                f"unknown simulation action {action!r} (expected forward, "
+                "backward, to_end, run or to_start)"
+            )
+
+    @staticmethod
+    def _step_verification(
+        session: VerificationSession, action: str, count: int
+    ) -> None:
+        if action == "left":
+            session.apply_left(count)
+        elif action == "right":
+            session.apply_right(count)
+        elif action == "right_to_barrier":
+            session.apply_right_to_barrier()
+        elif action == "compilation_flow":
+            session.run_compilation_flow()
+        else:
+            raise BadRequestError(
+                f"unknown verification action {action!r} (expected left, "
+                "right, right_to_barrier or compilation_flow)"
+            )
+
+    def _get_svg(self, request: Request, session_id: str) -> Response:
+        handle = self.store.get(session_id)
+        with handle.lock:
+            return Response.text(
+                handle.session.current_svg(), content_type="image/svg+xml"
+            )
+
+    def _get_text(self, request: Request, session_id: str) -> Response:
+        handle = self.store.get(session_id)
+        with handle.lock:
+            return Response.text(handle.session.current_text())
+
+    def _get_counts(self, request: Request, session_id: str) -> Response:
+        handle = self.store.get(session_id)
+        if handle.kind != "simulation":
+            raise BadRequestError("only simulation sessions can be sampled")
+        shots = self._int_field(request.query.get("shots"), "shots", 256)
+        if shots < 1:
+            raise BadRequestError("query parameter 'shots' must be >= 1")
+        seed = request.query.get("seed")
+        seed = self._int_field(seed, "seed") if seed is not None else None
+        with handle.lock:
+            counts = handle.session.sample_counts(shots, seed=seed)
+            handle.touch()
+        return Response.json({"shots": shots, "counts": counts})
+
+    # ------------------------------------------------------------------
+    # one-shot batch endpoints (worker pool + result cache)
+    # ------------------------------------------------------------------
+    def _post_simulate(self, request: Request, _sid: Optional[str]) -> Response:
+        payload = self._json_body(request)
+        qasm = self._require(payload, "qasm")
+        shots = self._int_field(payload.get("shots"), "shots", 0)
+        if shots < 0:
+            raise BadRequestError("field 'shots' must be >= 0")
+        # A deterministic default seed makes repeated identical requests
+        # cache-safe even for circuits with mid-circuit measurements.
+        seed = self._int_field(payload.get("seed"), "seed", 0)
+        digest = parse_qasm(qasm).digest()
+        key = ("simulate", digest, shots, seed)
+        hit, cached = self.cache.get(key)
+        if hit:
+            return Response.json(dict(cached, cached=True))
+        result = self.pool.submit("simulate", simulate_job, qasm, shots, seed)
+        result["digest"] = digest
+        self.cache.put(key, result)
+        return Response.json(dict(result, cached=False))
+
+    def _post_verify(self, request: Request, _sid: Optional[str]) -> Response:
+        payload = self._json_body(request)
+        left = self._require(payload, "left")
+        right = self._require(payload, "right")
+        strategy = payload.get("strategy", "proportional")
+        if not isinstance(strategy, str):
+            raise BadRequestError("field 'strategy' must be a string")
+        key = (
+            "verify",
+            parse_qasm(left).digest(),
+            parse_qasm(right).digest(),
+            strategy,
+        )
+        hit, cached = self.cache.get(key)
+        if hit:
+            return Response.json(dict(cached, cached=True))
+        result = self.pool.submit("verify", verify_job, left, right, strategy)
+        self.cache.put(key, result)
+        return Response.json(dict(result, cached=False))
+
+    # ------------------------------------------------------------------
+    # status rendering
+    # ------------------------------------------------------------------
+    def _status_payload(self, handle: SessionHandle) -> Dict[str, Any]:
+        if handle.kind == "simulation":
+            session: SimulationSession = handle.session
+            simulator = session.simulator
+            dialog = session.pending_dialog()
+            return {
+                "session_id": handle.session_id,
+                "kind": "simulation",
+                "circuit": session.circuit.name,
+                "num_qubits": session.circuit.num_qubits,
+                "position": simulator.position,
+                "total": len(session.circuit),
+                "at_start": simulator.at_start,
+                "at_end": simulator.at_end,
+                "node_count": simulator.node_count(),
+                "peak_node_count": simulator.peak_node_count,
+                "classical_bits": list(simulator.classical_bits),
+                "pending_dialog": None if dialog is None else {
+                    "kind": dialog[0], "qubit": dialog[1],
+                    "p0": dialog[2], "p1": dialog[3],
+                },
+            }
+        session: VerificationSession = handle.session
+        return {
+            "session_id": handle.session_id,
+            "kind": "verification",
+            "left": session.left.name,
+            "right": session.right.name,
+            "num_qubits": session.left.num_qubits,
+            "left_applied": session.left_position,
+            "left_total": session.left_total,
+            "right_applied": session.right_position,
+            "right_total": session.right_total,
+            "finished": session.finished,
+            "node_count": session.node_count,
+            "peak_node_count": session.peak_node_count,
+            "is_identity": session.is_identity(),
+        }

@@ -1,0 +1,80 @@
+"""LRU result cache for the service layer.
+
+One-shot ``/simulate`` and ``/verify`` requests are pure functions of the
+uploaded circuit(s) and the request parameters, so their responses are
+memoizable.  The cache key is built from the canonical circuit digest
+(:func:`repro.qc.hashing.circuit_digest`) plus the parameters, which makes
+it robust against textual variation: the same circuit uploaded with a
+different name, different whitespace or through a QASM roundtrip hits the
+same entry.
+
+Thread-safe; eviction is least-recently-used.  Hit/miss/eviction counters
+and an entry gauge are registered on the service's
+:class:`~repro.obs.metrics.MetricsRegistry` so the effectiveness of the
+cache is visible at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ResultCache"]
+
+_MISSING = object()
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU map from request keys to responses."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        registry: Optional[MetricsRegistry] = None,
+        name: str = "service_cache",
+    ):
+        if capacity < 0:
+            raise ValueError("cache capacity cannot be negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        self._m_hits = registry.counter(f"{name}_hits_total")
+        self._m_misses = registry.counter(f"{name}_misses_total")
+        self._m_evictions = registry.counter(f"{name}_evictions_total")
+        self._m_entries = registry.gauge(f"{name}_entries")
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """``(hit, value)``; a hit refreshes the entry's recency."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._m_misses.inc()
+                return False, None
+            self._entries.move_to_end(key)
+            self._m_hits.inc()
+            return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._m_evictions.inc()
+            self._m_entries.set(len(self._entries))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._m_entries.set(0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,210 @@
+"""stdlib HTTP front end for :class:`~repro.service.app.ServiceApp`.
+
+``http.server.ThreadingHTTPServer`` gives us one thread per connection;
+per-session locks (not a global lock) serialize access to the non-thread-
+safe decision-diagram packages, and the one-shot batch endpoints fan out to
+the worker processes, so independent clients genuinely run in parallel.
+
+Shutdown is graceful: ``SIGTERM``/``SIGINT`` stop the accept loop, wait for
+in-flight requests to drain (bounded by ``config.drain_timeout``) and then
+reap the worker pool.  :class:`DDToolServer` is also directly embeddable —
+``start()``/``stop()`` is what the tests and the benchmark use.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.app import Request, ServiceApp, ServiceConfig
+
+__all__ = ["DDToolServer", "serve"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "qdd-service/1.0"
+    protocol_version = "HTTP/1.1"
+    # Responses are written as (headers, body) — two small segments.  With
+    # Nagle on, the second one sits out a delayed ACK (~40ms) on loopback,
+    # capping cached-request latency; TCP_NODELAY removes that stall.
+    disable_nagle_algorithm = True
+
+    # ------------------------------------------------------------------
+    # request funnel
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        app: ServiceApp = self.server.app  # type: ignore[attr-defined]
+        split = urlsplit(self.path)
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > app.config.max_body_bytes:
+            # Refuse to buffer an oversized body; close the connection so
+            # the unread remainder cannot poison the next request.
+            payload = json.dumps({"error": {
+                "type": "RequestTooLargeError",
+                "message": f"request body of {length} bytes exceeds the "
+                           f"{app.config.max_body_bytes}-byte limit",
+                "status": 413,
+            }}).encode()
+            self._respond(413, "application/json", payload, close=True)
+            return
+        body = self.rfile.read(length) if length else b""
+        request = Request(
+            method=method,
+            path=split.path,
+            query=dict(parse_qsl(split.query)),
+            body=body,
+            client=self.client_address[0] if self.client_address else "",
+        )
+        response = app.handle(request)
+        self._respond(response.status, response.content_type, response.body)
+
+    def _respond(
+        self, status: int, content_type: str, body: bytes, close: bool = False
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def log_message(self, fmt: str, *args) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            sys.stderr.write(
+                f"[{self.log_date_time_string()}] {self.address_string()} "
+                f"{fmt % args}\n"
+            )
+
+
+class DDToolServer:
+    """An embeddable service instance bound to one host/port."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        verbose: bool = False,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.app = ServiceApp(self.config, registry=registry)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        # Handler threads are daemons: graceful drain is handled explicitly
+        # in stop(), so an idle keep-alive connection cannot block exit.
+        self._httpd.daemon_threads = True
+        self._httpd.app = self.app  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually bound ``(host, port)`` (port 0 resolves here)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`stop` (or shutdown) is called."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "DDToolServer":
+        """Serve on a background thread (for embedding and tests)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="qdd-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for in-flight requests to finish; True if fully drained."""
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else self.config.drain_timeout
+        )
+        while self.app.inflight and time.monotonic() < deadline:
+            time.sleep(0.01)
+        return self.app.inflight == 0
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain in-flight work, reap the pool."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if drain:
+            self.drain()
+        self._httpd.server_close()
+        self.app.close()
+
+    def __enter__(self) -> "DDToolServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(
+    config: Optional[ServiceConfig] = None,
+    verbose: bool = True,
+    install_signal_handlers: bool = True,
+) -> int:
+    """Run a server in the foreground until SIGTERM/SIGINT (CLI entry)."""
+    server = DDToolServer(config, verbose=verbose)
+    stop_requested = threading.Event()
+
+    def _request_stop(signum, _frame):  # pragma: no cover - signal path
+        if stop_requested.is_set():
+            return
+        stop_requested.set()
+        print(f"\nreceived signal {signum}: draining...", file=sys.stderr)
+        # shutdown() must not run on the thread inside serve_forever().
+        threading.Thread(target=server._httpd.shutdown, daemon=True).start()
+
+    if install_signal_handlers:
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+    host, port = server.address
+    print(
+        f"qdd-service listening on http://{host}:{port} "
+        f"({server.config.workers} worker(s), "
+        f"{server.config.max_sessions} session slots); "
+        "endpoints: /sessions /simulate /verify /metrics /healthz",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - no handler installed
+        pass
+    drained = server.drain()
+    server._httpd.server_close()
+    server.app.close()
+    print(
+        "qdd-service stopped"
+        + ("" if drained else " (drain timeout; some requests were cut off)"),
+        file=sys.stderr,
+    )
+    return 0

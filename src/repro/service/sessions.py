@@ -1,0 +1,162 @@
+"""Server-side session store with TTL and LRU eviction.
+
+A *service session* wraps one of the tool's session objects
+(:class:`~repro.tool.session.SimulationSession` or
+:class:`~repro.tool.session.VerificationSession`) with everything a
+multi-client server needs around it:
+
+* a random, unguessable identifier;
+* a per-session re-entrant lock — the underlying :class:`DDPackage` is not
+  thread-safe, so every operation on a session must hold it;
+* idle-time bookkeeping for TTL expiry and LRU eviction.
+
+The :class:`SessionStore` enforces a hard capacity: when a new session
+would exceed it, expired sessions are purged first, then the
+least-recently-used *idle* session is evicted; if every session is
+currently busy the create is rejected with
+:class:`~repro.errors.SessionLimitError` (mapped to ``503`` — the
+backpressure signal that tells a load balancer to try another replica).
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SessionLimitError, SessionNotFoundError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SessionHandle", "SessionStore"]
+
+
+class SessionHandle:
+    """One live session plus the serving metadata around it."""
+
+    def __init__(self, session_id: str, kind: str, session: object, clock: Callable[[], float]):
+        self.session_id = session_id
+        self.kind = kind  # "simulation" | "verification"
+        self.session = session
+        self.lock = threading.RLock()
+        self._clock = clock
+        self.created_at = clock()
+        self.last_used = self.created_at
+
+    def touch(self) -> None:
+        self.last_used = self._clock()
+
+    def idle_seconds(self) -> float:
+        return self._clock() - self.last_used
+
+
+class SessionStore:
+    """Bounded, TTL-expiring, LRU-evicting map of live sessions."""
+
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        ttl: float = 600.0,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_sessions < 1:
+            raise ValueError("the store needs room for at least one session")
+        self.max_sessions = max_sessions
+        self.ttl = ttl
+        self._clock = clock
+        self._sessions: Dict[str, SessionHandle] = {}
+        self._lock = threading.Lock()
+        registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        self._m_open = registry.gauge("service_sessions_open")
+        self._m_created = registry.counter("service_sessions_created_total")
+        self._m_expired = registry.counter("service_sessions_expired_total")
+        self._m_evicted = registry.counter("service_sessions_evicted_total")
+        self._m_rejected = registry.counter("service_sessions_rejected_total")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def create(self, kind: str, factory: Callable[[], object]) -> SessionHandle:
+        """Build a session via ``factory`` and register it.
+
+        The factory runs *outside* the store lock (parsing a circuit can be
+        slow); only registration is synchronized.
+        """
+        session = factory()
+        handle = SessionHandle(secrets.token_hex(12), kind, session, self._clock)
+        with self._lock:
+            self._purge_expired_locked()
+            if len(self._sessions) >= self.max_sessions:
+                self._evict_lru_locked()
+            if len(self._sessions) >= self.max_sessions:
+                self._m_rejected.inc()
+                raise SessionLimitError(
+                    f"session store is full ({self.max_sessions} live sessions, "
+                    "none evictable); retry later or delete a session"
+                )
+            self._sessions[handle.session_id] = handle
+            self._m_created.inc()
+            self._m_open.set(len(self._sessions))
+        return handle
+
+    def get(self, session_id: str) -> SessionHandle:
+        """Look up a live session and refresh its recency."""
+        with self._lock:
+            self._purge_expired_locked()
+            handle = self._sessions.get(session_id)
+            if handle is None:
+                raise SessionNotFoundError(f"no such session: {session_id}")
+            handle.touch()
+            return handle
+
+    def remove(self, session_id: str) -> None:
+        with self._lock:
+            if self._sessions.pop(session_id, None) is None:
+                raise SessionNotFoundError(f"no such session: {session_id}")
+            self._m_open.set(len(self._sessions))
+
+    def purge_expired(self) -> int:
+        with self._lock:
+            return self._purge_expired_locked()
+
+    def list(self) -> List[SessionHandle]:
+        with self._lock:
+            self._purge_expired_locked()
+            return sorted(self._sessions.values(), key=lambda h: h.created_at)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # internals (store lock held)
+    # ------------------------------------------------------------------
+    def _purge_expired_locked(self) -> int:
+        if self.ttl <= 0:
+            return 0
+        expired = [
+            session_id
+            for session_id, handle in self._sessions.items()
+            if handle.idle_seconds() > self.ttl and handle.lock.acquire(blocking=False)
+        ]
+        for session_id in expired:
+            handle = self._sessions.pop(session_id)
+            handle.lock.release()
+            self._m_expired.inc()
+        if expired:
+            self._m_open.set(len(self._sessions))
+        return len(expired)
+
+    def _evict_lru_locked(self) -> bool:
+        """Evict the least-recently-used session that is not mid-request."""
+        for handle in sorted(self._sessions.values(), key=lambda h: h.last_used):
+            if handle.lock.acquire(blocking=False):
+                try:
+                    del self._sessions[handle.session_id]
+                finally:
+                    handle.lock.release()
+                self._m_evicted.inc()
+                self._m_open.set(len(self._sessions))
+                return True
+        return False

@@ -1,0 +1,184 @@
+"""Process-pool execution of one-shot simulate/verify jobs.
+
+:class:`DDPackage` instances are not thread-safe, and a busy batch endpoint
+must not serialize all clients behind one package.  The pool therefore runs
+jobs in worker *processes*, each owning exactly one long-lived package that
+is reused across jobs (its unique tables hold nodes via weak references, so
+finished jobs release their memory; the memoization tables are cleared
+between jobs to bound growth).
+
+Job functions are module-level so they pickle, take only plain-data
+arguments (QASM text, ints, strings) and return plain dicts — the JSON the
+endpoint will serve.
+
+``workers=0`` selects *inline* mode: jobs run in the calling thread behind
+a lock.  That keeps unit tests and single-user deployments free of
+subprocess machinery while exercising the exact same job functions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+import threading
+from time import perf_counter
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import BadRequestError, JobTimeoutError
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+
+__all__ = ["WorkerPool", "simulate_job", "verify_job"]
+
+#: The per-process decision-diagram package (one per worker, reused).
+_WORKER_PACKAGE = None
+
+
+def _package():
+    global _WORKER_PACKAGE
+    if _WORKER_PACKAGE is None:
+        from repro.dd.package import DDPackage
+        from repro.obs.metrics import MetricsRegistry as _Registry
+
+        # Workers keep their own dark registry: service-level metrics are
+        # recorded in the parent, and a disabled registry keeps the
+        # simulation hot path free of instrumentation cost.
+        _WORKER_PACKAGE = DDPackage(registry=_Registry(enabled=False))
+    return _WORKER_PACKAGE
+
+
+def _init_worker() -> None:  # pragma: no cover - runs in the child process
+    _package()
+
+
+def simulate_job(qasm: str, shots: int = 0, seed: Optional[int] = 0) -> Dict[str, Any]:
+    """Parse, simulate to the end, optionally sample; return a JSON dict."""
+    from repro.dd import sampling
+    from repro.qc.qasm.parser import parse_qasm
+    from repro.simulation.simulator import DDSimulator
+
+    circuit = parse_qasm(qasm)
+    package = _package()
+    try:
+        simulator = DDSimulator(circuit, package=package, seed=seed)
+        simulator.run_all()
+        counts = None
+        if shots:
+            import numpy as np
+
+            rng = np.random.default_rng(seed)
+            counts = sampling.sample_counts(package, simulator.state, shots, rng)
+        return {
+            "circuit": circuit.name,
+            "num_qubits": circuit.num_qubits,
+            "operations": len(circuit),
+            "nodes": simulator.node_count(),
+            "peak_nodes": simulator.peak_node_count,
+            "classical_bits": list(simulator.classical_bits),
+            "counts": counts,
+        }
+    finally:
+        package.clear_caches()
+
+
+def verify_job(left_qasm: str, right_qasm: str, strategy: str = "proportional") -> Dict[str, Any]:
+    """Equivalence-check two QASM circuits; return a JSON dict."""
+    from repro.qc.qasm.parser import parse_qasm
+    from repro.verification import (
+        ApplicationStrategy,
+        check_equivalence_alternating,
+        check_equivalence_construct,
+    )
+
+    left = parse_qasm(left_qasm, name="G")
+    right = parse_qasm(right_qasm, name="G'")
+    package = _package()
+    try:
+        if strategy == "construct":
+            result = check_equivalence_construct(left, right, package=package)
+        else:
+            try:
+                parsed = ApplicationStrategy(strategy)
+            except ValueError:
+                valid = ", ".join(
+                    ["construct"] + [s.value for s in ApplicationStrategy]
+                )
+                raise BadRequestError(
+                    f"unknown strategy {strategy!r} (expected one of: {valid})"
+                )
+            result = check_equivalence_alternating(
+                left, right, strategy=parsed, package=package
+            )
+        return {
+            "equivalent": result.equivalent,
+            "equivalent_up_to_global_phase": result.equivalent_up_to_global_phase,
+            "method": result.method,
+            "peak_nodes": result.max_nodes,
+        }
+    finally:
+        package.clear_caches()
+
+
+class WorkerPool:
+    """A fixed pool of worker processes (or an inline fallback)."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        job_timeout: float = 120.0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.workers = max(0, int(workers))
+        self.job_timeout = job_timeout
+        registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        self._m_jobs = {
+            kind: registry.counter("service_jobs_total", {"kind": kind})
+            for kind in ("simulate", "verify")
+        }
+        self._m_seconds = {
+            kind: registry.histogram(
+                "service_job_seconds", DEFAULT_TIME_BUCKETS, {"kind": kind}
+            )
+            for kind in ("simulate", "verify")
+        }
+        self._m_timeouts = registry.counter("service_job_timeouts_total")
+        self._inline_lock = threading.Lock()
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        if self.workers:
+            # Prefer fork (cheap, instant warm-up); the pool is created
+            # before the server starts accepting, so no threads exist yet.
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = context.Pool(self.workers, initializer=_init_worker)
+
+    def submit(self, kind: str, fn: Callable[..., Dict[str, Any]], *args) -> Dict[str, Any]:
+        """Run ``fn(*args)`` on a worker and block for the result."""
+        start = perf_counter()
+        try:
+            if self._pool is None:
+                with self._inline_lock:
+                    return fn(*args)
+            try:
+                return self._pool.apply_async(fn, args).get(self.job_timeout)
+            except multiprocessing.TimeoutError:
+                self._m_timeouts.inc()
+                raise JobTimeoutError(
+                    f"{kind} job exceeded the {self.job_timeout:.0f}s limit"
+                )
+        finally:
+            self._m_jobs[kind].inc()
+            self._m_seconds[kind].observe(perf_counter() - start)
+
+    def close(self) -> None:
+        """Stop accepting jobs and reap the workers."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

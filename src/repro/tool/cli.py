@@ -143,6 +143,29 @@ def _build_parser() -> argparse.ArgumentParser:
     repl.add_argument("circuit", nargs="?",
                       help="optionally load this circuit on startup")
     repl.add_argument("--seed", type=int, default=None)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-client JSON-over-HTTP visualization/simulation "
+             "service (see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8137)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes for /simulate and /verify "
+                            "(0 = run jobs inline)")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       help="live-session cap before LRU eviction / 503")
+    serve.add_argument("--session-ttl", type=float, default=600.0,
+                       help="idle seconds after which a session expires")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="entries in the simulate/verify result cache")
+    serve.add_argument("--max-body-bytes", type=int, default=1 << 20,
+                       help="largest accepted request body")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       help="global requests/second cap (0 = unlimited)")
+    serve.add_argument("--job-timeout", type=float, default=120.0,
+                       help="seconds before a batch job returns 504")
     return parser
 
 
@@ -389,6 +412,23 @@ def _cmd_wheel(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
+        cache_capacity=args.cache_size,
+        max_body_bytes=args.max_body_bytes,
+        rate_limit=args.rate_limit,
+        job_timeout=args.job_timeout,
+    )
+    return serve(config)
+
+
 def _cmd_repl(args) -> int:
     from repro.tool.repl import InteractiveTool, run_repl
 
@@ -423,10 +463,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "bloch": _cmd_bloch,
         "repl": _cmd_repl,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)
     except ReproError as error:
+        # Bad input (missing file, malformed QASM, invalid amplitudes, ...)
+        # exits with a one-line diagnostic instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # Unreadable inputs and unwritable outputs (permissions, missing
+        # directories, paths that are directories) get the same treatment.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -57,6 +57,10 @@ def load_circuit(source: Union[str, QuantumCircuit], name: str = "circuit") -> Q
         return parse_qasm(source, name=name)
     if ".numvars" in source:
         return parse_real(source, name=name)
+    if source.endswith((".qasm", ".real")):
+        # Looks like a circuit-file path, but the exists() check above
+        # failed — say so instead of the generic message below.
+        raise ReproError(f"no such file: {source}")
     raise ReproError(
         "could not interpret the input as a file path, OpenQASM source or "
         ".real source"
@@ -263,6 +267,22 @@ class VerificationSession:
     # ------------------------------------------------------------------
     # navigation (per-side step controls)
     # ------------------------------------------------------------------
+    @property
+    def left_position(self) -> int:
+        return self._left_position
+
+    @property
+    def right_position(self) -> int:
+        return self._right_position
+
+    @property
+    def left_total(self) -> int:
+        return len(self._left_gates)
+
+    @property
+    def right_total(self) -> int:
+        return len(self._right_gates)
+
     @property
     def left_remaining(self) -> int:
         return len(self._left_gates) - self._left_position

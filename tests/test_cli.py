@@ -131,3 +131,48 @@ class TestErrors:
         bad.write_text("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];")
         assert main(["sim", str(bad)]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exit_two_one_line(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.qasm")
+        assert main(["sim", missing]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nope.qasm" in err
+        assert len(err.strip().splitlines()) == 1  # no traceback
+
+    @pytest.mark.parametrize("command", ["verify", "render", "convert", "stats"])
+    def test_missing_file_other_subcommands(self, command, tmp_path, capsys):
+        missing = str(tmp_path / "absent.qasm")
+        argv = {
+            "verify": ["verify", missing, missing],
+            "render": ["render", missing],
+            "convert": ["convert", missing],
+            "stats": ["stats", missing],
+        }[command]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "absent.qasm" in err
+
+    def test_malformed_qasm_one_line_message(self, tmp_path, capsys):
+        bad = tmp_path / "bad.qasm"
+        bad.write_text("OPENQASM 2.0;\nqreg q[2;\n")
+        assert main(["sim", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "line" in err  # parser reports the position
+        assert "Traceback" not in err
+
+    def test_input_path_is_directory_exit_two(self, tmp_path, capsys):
+        directory = tmp_path / "adir.qasm"
+        directory.mkdir()
+        assert main(["sim", str(directory)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_unwritable_output_exit_two(self, bell_qasm, tmp_path, capsys):
+        target = str(tmp_path / "no" / "such" / "dir" / "out.svg")
+        assert main(["sim", bell_qasm, "--seed", "0", "--svg", target]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_synth_missing_amplitude_file_exit_two(self, tmp_path, capsys):
+        assert main(["synth", f"@{tmp_path / 'amps.txt'}"]) == 2
+        assert capsys.readouterr().err.startswith("error:")

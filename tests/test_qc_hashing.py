@@ -1,0 +1,120 @@
+"""Unit tests for the canonical circuit digest (repro.qc.hashing)."""
+
+import math
+
+import pytest
+
+from repro.qc import circuit_digest, library
+from repro.qc.circuit import QuantumCircuit
+from repro.qc.hashing import operation_fingerprint
+from repro.qc.operations import GateOp
+from repro.qc.qasm.parser import parse_qasm
+
+
+def test_digest_is_hex_sha256():
+    digest = circuit_digest(library.bell_pair())
+    assert len(digest) == 64
+    int(digest, 16)  # parses as hex
+
+
+def test_digest_matches_method():
+    circuit = library.qft(3)
+    assert circuit.digest() == circuit_digest(circuit)
+
+
+def test_same_construction_same_digest():
+    assert circuit_digest(library.qft(4)) == circuit_digest(library.qft(4))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        library.bell_pair,
+        lambda: library.qft(3),
+        lambda: library.qft_compiled(3),
+        lambda: library.ghz_state(5),
+        lambda: library.random_circuit(4, 30, seed=3),
+    ],
+)
+def test_qasm_roundtrip_preserves_digest(factory):
+    circuit = factory()
+    roundtripped = parse_qasm(circuit.to_qasm())
+    assert circuit_digest(roundtripped) == circuit_digest(circuit)
+
+
+def test_name_does_not_matter():
+    a = library.qft(3)
+    b = a.copy(name="completely-different-name")
+    assert circuit_digest(a) == circuit_digest(b)
+
+
+def test_gate_change_changes_digest():
+    a = QuantumCircuit(2).h(0).cx(0, 1)
+    b = QuantumCircuit(2).h(0).cz(0, 1)
+    assert circuit_digest(a) != circuit_digest(b)
+
+
+def test_parameter_change_changes_digest():
+    a = QuantumCircuit(1).rz(0.5, 0)
+    b = QuantumCircuit(1).rz(0.5 + 1e-9, 0)
+    assert circuit_digest(a) != circuit_digest(b)
+
+
+def test_qubit_rewiring_changes_digest():
+    a = QuantumCircuit(2).cx(0, 1)
+    b = QuantumCircuit(2).cx(1, 0)
+    assert circuit_digest(a) != circuit_digest(b)
+
+
+def test_operation_order_changes_digest():
+    a = QuantumCircuit(2).h(0).x(1)
+    b = QuantumCircuit(2).x(1).h(0)
+    assert circuit_digest(a) != circuit_digest(b)
+
+
+def test_register_shape_changes_digest():
+    assert circuit_digest(QuantumCircuit(2)) != circuit_digest(QuantumCircuit(3))
+    assert circuit_digest(QuantumCircuit(2, 1)) != circuit_digest(QuantumCircuit(2, 2))
+
+
+def test_control_order_is_canonical():
+    a = GateOp(gate="x", targets=(0,), controls=(1, 2))
+    b = GateOp(gate="x", targets=(0,), controls=(2, 1))
+    assert operation_fingerprint(a) == operation_fingerprint(b)
+
+
+def test_negative_zero_parameter_is_canonical():
+    a = QuantumCircuit(1).rz(0.0, 0)
+    b = QuantumCircuit(1).rz(-0.0, 0)
+    assert circuit_digest(a) == circuit_digest(b)
+
+
+def test_special_operations_distinguished():
+    base = QuantumCircuit(2, 2).h(0)
+    measured = base.copy().measure(0, 0)
+    reset = base.copy().reset(0)
+    barriered = base.copy().barrier()
+    digests = {
+        circuit_digest(base),
+        circuit_digest(measured),
+        circuit_digest(reset),
+        circuit_digest(barriered),
+    }
+    assert len(digests) == 4
+
+
+def test_condition_changes_digest():
+    a = QuantumCircuit(2, 1).gate("x", [1], condition=([0], 0))
+    b = QuantumCircuit(2, 1).gate("x", [1], condition=([0], 1))
+    c = QuantumCircuit(2, 1).gate("x", [1])
+    assert len({circuit_digest(a), circuit_digest(b), circuit_digest(c)}) == 3
+
+
+def test_conditioned_circuit_roundtrips():
+    # One classical bit: QASM 2.0 only exports full-register conditions.
+    circuit = QuantumCircuit(2, 1, name="teleport-ish")
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.gate("x", [1], condition=([0], 1))
+    circuit.rz(math.pi / 7, 1)
+    assert parse_qasm(circuit.to_qasm()).digest() == circuit.digest()

@@ -1,0 +1,121 @@
+"""Breakpoint and measurement-dialog edge cases in tool sessions.
+
+The service layer replays these session semantics verbatim, so the corner
+cases — a breakpoint as the very last operation, stepping backward across
+a measurement, querying the dialog after fast-forward — are pinned here.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.qc.circuit import QuantumCircuit
+from repro.tool.session import SimulationSession
+
+
+def _h_then_barrier():
+    return QuantumCircuit(1, name="hb").h(0).barrier()
+
+
+def _h_measure_h():
+    circuit = QuantumCircuit(1, 1, name="hmh")
+    return circuit.h(0).measure(0, 0).h(0)
+
+
+class TestBreakpointAsFinalOp:
+    def test_to_end_stops_on_final_barrier_at_end(self):
+        session = SimulationSession(_h_then_barrier())
+        records = session.to_end(stop_at_breakpoints=True)
+        assert records[-1].is_breakpoint
+        assert session.simulator.at_end
+        # The dialog query after the very last operation must not raise.
+        assert session.pending_dialog() is None
+
+    def test_forward_past_final_barrier_raises(self):
+        session = SimulationSession(_h_then_barrier())
+        session.to_end(stop_at_breakpoints=True)
+        with pytest.raises(SimulationError):
+            session.forward()
+
+    def test_frames_cover_every_step(self):
+        session = SimulationSession(_h_then_barrier())
+        session.to_end(stop_at_breakpoints=True)
+        assert len(session.frames) == 3  # initial + H + barrier
+
+
+class TestBackwardAcrossMeasurement:
+    def test_backward_restores_superposition_and_classical_bits(self):
+        session = SimulationSession(_h_measure_h())
+        session.forward()                # H
+        record = session.forward(outcome=1)
+        assert record.outcome == 1
+        assert session.simulator.classical_bits == (1,)
+        assert session.simulator.node_count() == 1  # collapsed to |1>
+
+        session.backward()               # undo the measurement
+        assert session.simulator.classical_bits == (0,)
+        p0, p1 = session.simulator.probabilities(0)
+        assert p0 == pytest.approx(0.5)
+        assert p1 == pytest.approx(0.5)
+        # The dialog is pending again for the restored superposition.
+        kind, qubit, p0, p1 = session.pending_dialog()
+        assert (kind, qubit) == ("measure", 0)
+
+    def test_remeasure_with_other_outcome(self):
+        session = SimulationSession(_h_measure_h())
+        session.forward()
+        session.forward(outcome=1)
+        session.backward()
+        record = session.forward(outcome=0)
+        assert record.outcome == 0
+        assert session.simulator.classical_bits == (0,)
+
+    def test_to_start_across_measurement(self):
+        session = SimulationSession(_h_measure_h())
+        session.to_end(stop_at_breakpoints=False)
+        session.to_start()
+        assert session.simulator.at_start
+        assert session.simulator.classical_bits == (0,)
+        assert len(session.frames) == 1
+
+    def test_backward_at_start_raises(self):
+        session = SimulationSession(_h_measure_h())
+        with pytest.raises(SimulationError):
+            session.backward()
+
+
+class TestPendingDialogAfterToEnd:
+    def test_dialog_none_at_circuit_end(self):
+        circuit = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        session = SimulationSession(circuit, seed=0)
+        session.to_end(stop_at_breakpoints=False)
+        assert session.simulator.at_end
+        assert session.pending_dialog() is None
+
+    def test_fast_forward_stops_at_measurement_then_dialog_reflects_next_op(self):
+        session = SimulationSession(_h_measure_h(), seed=0)
+        records = session.to_end(stop_at_breakpoints=True)
+        # stopped right after the measurement breakpoint ...
+        assert records[-1].kind.value == "measurement"
+        assert not session.simulator.at_end
+        # ... and the next operation is a plain gate: no dialog.
+        assert session.pending_dialog() is None
+
+    def test_dialog_only_for_superposed_qubits(self):
+        circuit = QuantumCircuit(1, 1).x(0).measure(0, 0)
+        session = SimulationSession(circuit)
+        session.forward()  # X: the qubit is deterministically |1>
+        assert session.pending_dialog() is None
+
+    def test_dialog_for_pending_reset(self):
+        circuit = QuantumCircuit(1).h(0).reset(0)
+        session = SimulationSession(circuit)
+        session.forward()
+        kind, qubit, p0, p1 = session.pending_dialog()
+        assert kind == "reset"
+        assert p0 == pytest.approx(0.5)
+
+    def test_to_end_resumes_after_breakpoint(self):
+        session = SimulationSession(_h_measure_h(), seed=0)
+        session.to_end(stop_at_breakpoints=True)   # stops after measure
+        session.to_end(stop_at_breakpoints=True)   # runs the trailing H
+        assert session.simulator.at_end
