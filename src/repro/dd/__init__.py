@@ -19,6 +19,7 @@ from repro.dd.apply import (
 )
 from repro.dd.complex_table import ComplexTable
 from repro.dd.edge import Edge
+from repro.dd.governance import GcStats, MemoryBudget, PressureLevel, ResourceGovernor
 from repro.dd.node import MatrixNode, Node, TERMINAL, VectorNode
 from repro.dd.normalization import NormalizationScheme
 from repro.dd.expectation import expectation_hamiltonian, expectation_pauli, pauli_string_dd
@@ -27,6 +28,10 @@ from repro.dd.package import DDPackage
 __all__ = [
     "ComplexTable",
     "DDPackage",
+    "GcStats",
+    "MemoryBudget",
+    "PressureLevel",
+    "ResourceGovernor",
     "apply_controlled",
     "apply_single_qubit",
     "apply_swap",

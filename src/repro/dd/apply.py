@@ -334,6 +334,7 @@ def apply_controlled(
     negative_controls: Sequence[int] = (),
 ) -> Edge:
     """Apply a (multi-)controlled single-qubit gate directly to a vector DD."""
+    package._maybe_gc()
     kernel = _ApplyKernel(
         package, "v", matrix, target, _control_map(controls, negative_controls)
     )
@@ -361,6 +362,7 @@ def apply_swap(
     """
     if line_a == line_b:
         raise DDError("SWAP needs two distinct lines")
+    package._maybe_gc()
     start = perf_counter() if package._obs_on else None
     outer = _ApplyKernel(package, "v", _X_MATRIX, line_a, {line_b: 1})
     mapping = _control_map(controls, negative_controls)
@@ -435,6 +437,7 @@ def apply_operation_matrix(
     """
     if side not in ("left", "right"):
         raise DDError(f"side must be 'left' or 'right', got {side!r}")
+    package._maybe_gc()
     mode = "ml" if side == "left" else "mr"
     matrix = operation.matrix()
     targets = operation.targets

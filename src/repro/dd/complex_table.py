@@ -60,13 +60,24 @@ class ComplexTable:
         self.misses = 0
         if registry is not None and registry.enabled:
             self._register(registry)
-        # Seed the exact special values so they are canonical representatives.
-        for special in (self.ZERO, self.ONE, -self.ONE, 1j, -1j):
-            self._insert(special)
+        self._seed()
+
+    def _seed(self) -> None:
+        """(Re-)insert the special values as canonical representatives.
+
+        Shared by ``__init__``, ``clear`` and ``sweep`` so the seed set
+        cannot drift between construction and later resets.  Idempotent:
+        a seed that survived a sweep is not inserted twice.
+        """
         sqrt2_inv = 1.0 / math.sqrt(2.0)
-        for special in (complex(sqrt2_inv, 0.0), complex(-sqrt2_inv, 0.0),
-                        complex(0.0, sqrt2_inv), complex(0.0, -sqrt2_inv)):
-            self._insert(special)
+        for special in (
+            self.ZERO, self.ONE, -self.ONE, 1j, -1j,
+            complex(sqrt2_inv, 0.0), complex(-sqrt2_inv, 0.0),
+            complex(0.0, sqrt2_inv), complex(0.0, -sqrt2_inv),
+        ):
+            bucket = self._buckets.setdefault(self._key(special), [])
+            if special not in bucket:
+                bucket.append(special)
 
     # ------------------------------------------------------------------
     # public API
@@ -142,8 +153,29 @@ class ComplexTable:
         self._buckets.clear()
         self.hits = 0
         self.misses = 0
-        for special in (self.ZERO, self.ONE, -self.ONE, 1j, -1j):
-            self._insert(special)
+        self._seed()
+
+    def sweep(self, marked: "set[complex]") -> int:
+        """Drop every stored value not in ``marked``; return how many.
+
+        This is the sweep half of the governor's mark-and-sweep: ``marked``
+        must contain every weight still referenced by a live diagram (node
+        successor weights plus registered root-edge weights), because
+        removing a live weight's representative would let a later lookup
+        mint a *different* representative — silently breaking the exact
+        ``==``/hash canonicity the rest of the package relies on.  The
+        special seeds always survive.  Only safe between operations: weights
+        held solely by in-flight intermediates are not marked.
+        """
+        before = len(self)
+        survivors: Dict[Tuple[int, int], List[complex]] = {}
+        for key, bucket in self._buckets.items():
+            kept = [value for value in bucket if value in marked]
+            if kept:
+                survivors[key] = kept
+        self._buckets = survivors
+        self._seed()
+        return before - len(self)
 
     # ------------------------------------------------------------------
     # helpers

@@ -84,6 +84,28 @@ class ComputeTable:
     def clear(self) -> None:
         self._table.clear()
 
+    def shrink(self, fraction: float = 0.5) -> int:
+        """Drop the oldest ``fraction`` of entries; return how many.
+
+        Dict insertion order approximates LRU-by-insertion: the oldest
+        entries are the least likely to be hit again.  Used by the resource
+        governor's SOFT pressure tier, where dropping cached results also
+        releases the strong node references that pin otherwise dead
+        diagrams in the weak unique tables.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        drop = int(len(self._table) * fraction)
+        if drop <= 0:
+            return 0
+        if drop >= len(self._table):
+            dropped = len(self._table)
+            self._table.clear()
+            return dropped
+        for key in list(self._table)[:drop]:
+            del self._table[key]
+        return drop
+
     @property
     def hit_ratio(self) -> float:
         """Fraction of lookups answered from the cache."""

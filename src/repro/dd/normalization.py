@@ -28,6 +28,7 @@ from typing import Sequence, Tuple
 
 from repro.dd.complex_table import ComplexTable
 from repro.dd.edge import Edge, ZERO_EDGE
+from repro.errors import DDError
 
 
 class NormalizationScheme(enum.Enum):
@@ -38,10 +39,25 @@ class NormalizationScheme(enum.Enum):
 
 
 def _clean_edges(edges: Sequence[Edge], table: ComplexTable) -> Tuple[Edge, ...]:
-    """Replace numerically-zero weights by the canonical zero stub."""
+    """Replace numerically-zero weights by the canonical zero stub.
+
+    Clamps both component-wise sub-tolerance weights (the canonical-zero
+    definition) and weights whose *magnitude* is below the tolerance, so a
+    ``|w| < tolerance`` edge can never become a division pivot — dividing
+    by such a weight amplifies its rounding noise into a garbage phase on
+    every sibling edge.  Non-finite weights are rejected outright: they
+    would otherwise silently win the max-magnitude pivot selection.
+    """
     cleaned = []
     for edge in edges:
-        if edge.weight == ComplexTable.ZERO or table.is_zero(edge.weight):
+        weight = edge.weight
+        if not (math.isfinite(weight.real) and math.isfinite(weight.imag)):
+            raise DDError(f"non-finite edge weight {weight!r} in normalization")
+        if (
+            weight == ComplexTable.ZERO
+            or table.is_zero(weight)
+            or abs(weight) < table.tolerance
+        ):
             cleaned.append(ZERO_EDGE)
         else:
             cleaned.append(edge)

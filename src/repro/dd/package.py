@@ -31,6 +31,7 @@ import numpy as np
 from repro.dd.complex_table import ComplexTable, DEFAULT_TOLERANCE
 from repro.dd.compute_table import ComputeTable
 from repro.dd.edge import Edge, ONE_EDGE, ZERO_EDGE
+from repro.dd.governance import GcStats, MemoryBudget, ResourceGovernor
 from repro.dd.node import MatrixNode, Node, TERMINAL, VectorNode
 from repro.dd.normalization import NormalizationScheme, normalize
 from repro.dd.unique_table import UniqueTable
@@ -92,6 +93,11 @@ class DDPackage:
         :mod:`repro.dd.apply` (no full-system gate DD is constructed).
         On by default; switch off to force the legacy matrix path, which
         is retained as the differential-testing oracle.
+    budget:
+        Memory budget enforced by the package's resource governor
+        (:mod:`repro.dd.governance`).  The default budget has no limits:
+        ``incref``/``decref``/``gc`` still work (so workers can force a
+        collection between jobs), but no automatic collection triggers.
     """
 
     _OPERATION_NAMES = ("add", "multiply", "kron", "adjoint", "inner_product")
@@ -103,6 +109,7 @@ class DDPackage:
         cache_capacity: int = 1 << 16,
         registry: Optional[MetricsRegistry] = None,
         use_apply_kernels: bool = True,
+        budget: Optional[MemoryBudget] = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.use_apply_kernels = use_apply_kernels
@@ -145,6 +152,9 @@ class DDPackage:
             )
             for name in self._OPERATION_NAMES
         }
+        self.governor = ResourceGovernor(
+            self, budget if budget is not None else MemoryBudget(), self.registry
+        )
         # Occupancy is sampled at export time through a weakly-bound
         # collector, so a shared registry never keeps a package alive.
         ref = weakref.ref(self)
@@ -389,6 +399,7 @@ class DDPackage:
     # ------------------------------------------------------------------
     def add(self, left: Edge, right: Edge) -> Edge:
         """Element-wise sum of two vector or two matrix DDs (paper Fig. 4)."""
+        self._maybe_gc()
         if not self._obs_on:
             return self._add(left, right)
         start = perf_counter()
@@ -440,6 +451,7 @@ class DDPackage:
         ``operation`` must be a matrix DD; ``operand`` may be a vector DD
         (simulation step) or a matrix DD (functionality construction).
         """
+        self._maybe_gc()
         if not self._obs_on:
             return self._multiply(operation, operand)
         start = perf_counter()
@@ -518,6 +530,7 @@ class DDPackage:
         ``top`` levels are shifted above ``bottom``'s (paper Fig. 3).  Works
         for two vector DDs or two matrix DDs.
         """
+        self._maybe_gc()
         if not self._obs_on:
             return self._kron(top, bottom)
         start = perf_counter()
@@ -615,6 +628,7 @@ class DDPackage:
 
     def adjoint(self, operation: Edge) -> Edge:
         """Conjugate transpose of a matrix DD."""
+        self._maybe_gc()
         if not self._obs_on:
             return self._adjoint(operation)
         start = perf_counter()
@@ -761,6 +775,7 @@ class DDPackage:
 
     def inner_product(self, left: Edge, right: Edge) -> complex:
         """The inner product ``<left|right>`` of two vector DDs."""
+        self._maybe_gc()
         if not self._obs_on:
             return self._inner_product(left, right)
         start = perf_counter()
@@ -812,6 +827,48 @@ class DDPackage:
         return abs(self.inner_product(left, right)) ** 2
 
     # ------------------------------------------------------------------
+    # resource governance
+    # ------------------------------------------------------------------
+    def incref(self, edge: Edge) -> Edge:
+        """Register a long-lived root edge with the governor.
+
+        Holders of roots that must survive garbage collection — simulators,
+        verification engines, service sessions — call this so a complex-
+        table sweep never purges the root's weight representative.  Node
+        liveness itself is still governed by ordinary Python references.
+        Returns ``edge`` for call-through convenience.
+        """
+        self.governor.incref(edge)
+        return edge
+
+    def decref(self, edge: Edge) -> None:
+        """Release a root edge registered with :meth:`incref`.
+
+        Unbalanced calls are tolerated: a decref of an unregistered edge is
+        a no-op, and a forgotten decref self-cleans once the node dies.
+        """
+        self.governor.decref(edge)
+
+    def gc(self, force: bool = False) -> GcStats:
+        """Run one garbage collection at the current pressure tier.
+
+        ``force=True`` runs the full HARD tier (clear compute tables, sweep
+        the complex table) regardless of measured pressure.  Only safe
+        between operations — never call from inside a DD recursion.
+        """
+        return self.governor.collect(force=force)
+
+    def _maybe_gc(self) -> None:
+        """Governor hook for public operation entry points.
+
+        Runs *before* the operation starts, when no un-marked intermediate
+        edges are in flight; a sweep mid-recursion could purge weights held
+        only by local variables and silently degrade canonicity.
+        """
+        if self.governor.should_collect():
+            self.governor.collect()
+
+    # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
@@ -856,4 +913,5 @@ class DDPackage:
                 "misses": table.misses,
                 "hit_ratio": table.hit_ratio,
             }
+        result["governance"] = self.governor.stats()
         return result

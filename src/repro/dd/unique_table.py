@@ -13,11 +13,13 @@ reference counting; weak values are the Pythonic equivalent.)
 
 from __future__ import annotations
 
+import math
 import weakref
-from typing import Callable, Optional, Tuple
+from typing import Callable, Iterator, Optional, Tuple
 
 from repro.dd.edge import Edge
 from repro.dd.node import Node
+from repro.errors import DDError
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -65,6 +67,15 @@ class UniqueTable:
 
     def get_or_create(self, var: int, edges: Tuple[Edge, ...]) -> Node:
         """Return the canonical node with the given level and successors."""
+        for edge in edges:
+            weight = edge.weight
+            if not (math.isfinite(weight.real) and math.isfinite(weight.imag)):
+                # A non-finite weight would poison every diagram sharing this
+                # node (NaN breaks hashing/equality, so canonicity too); fail
+                # at the entry gate where the culprit operation is on stack.
+                raise DDError(
+                    f"non-finite edge weight {weight!r} at level {var}"
+                )
         key = _signature(var, edges)
         node = self._table.get(key)
         if node is not None:
@@ -77,6 +88,14 @@ class UniqueTable:
 
     def __len__(self) -> int:
         return len(self._table)
+
+    def live_nodes(self) -> Iterator[Node]:
+        """Iterate over the currently live nodes (GC mark phase).
+
+        ``WeakValueDictionary.values()`` already snapshots with strong
+        references internally, so nodes cannot vanish mid-iteration.
+        """
+        return iter(self._table.values())
 
     def clear(self) -> None:
         self._table.clear()

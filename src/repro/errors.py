@@ -84,3 +84,19 @@ class RateLimitedError(ServiceError):
 
 class JobTimeoutError(ServiceError):
     """A worker-pool job did not finish within the configured timeout."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is temporarily unable to take the request (try later).
+
+    ``retry_after`` is the suggested back-off in seconds; the HTTP layer
+    surfaces it as a ``Retry-After`` response header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class TablePressureError(ServiceUnavailableError):
+    """The DD tables are at their memory budget; the request was shed."""

@@ -44,6 +44,7 @@ from repro.errors import (
     ReproError,
     RequestTooLargeError,
     ServiceError,
+    ServiceUnavailableError,
     SessionLimitError,
     SimulationError,
     VerificationError,
@@ -63,6 +64,7 @@ _JSON = "application/json"
 _STATUS_BY_ERROR: Tuple[Tuple[type, int], ...] = (
     (NotFoundError, 404),
     (SessionLimitError, 503),
+    (ServiceUnavailableError, 503),  # includes TablePressureError
     (RequestTooLargeError, 413),
     (RateLimitedError, 429),
     (JobTimeoutError, 504),
@@ -89,6 +91,14 @@ class ServiceConfig:
     rate_burst: int = 32
     job_timeout: float = 120.0
     drain_timeout: float = 10.0
+    #: Per-request wall-clock deadline enforced by the worker watchdog
+    #: (overrunning workers are killed and respawned); 0 falls back to
+    #: ``job_timeout``.
+    request_deadline: float = 0.0
+    #: Worker-package memory budget: max unique-table nodes (0 = no limit).
+    budget_nodes: int = 0
+    #: Worker-package memory budget: max estimated table bytes (0 = no limit).
+    budget_bytes: int = 0
 
 
 @dataclass
@@ -107,10 +117,22 @@ class Response:
     status: int
     content_type: str
     body: bytes
+    #: extra HTTP headers (e.g. ``Retry-After`` on 503), emitted verbatim
+    headers: Dict[str, str] = field(default_factory=dict)
 
     @classmethod
-    def json(cls, payload: Any, status: int = 200) -> "Response":
-        return cls(status, _JSON, (json.dumps(payload, indent=2) + "\n").encode())
+    def json(
+        cls,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "Response":
+        return cls(
+            status,
+            _JSON,
+            (json.dumps(payload, indent=2) + "\n").encode(),
+            headers=headers or {},
+        )
 
     @classmethod
     def text(cls, text: str, status: int = 200, content_type: str = "text/plain") -> "Response":
@@ -162,6 +184,9 @@ class ServiceApp:
             workers=self.config.workers,
             job_timeout=self.config.job_timeout,
             registry=self.registry,
+            request_deadline=self.config.request_deadline,
+            budget_nodes=self.config.budget_nodes,
+            budget_bytes=self.config.budget_bytes,
         )
         self._limiter = (
             _RateLimiter(self.config.rate_limit, self.config.rate_burst)
@@ -304,21 +329,40 @@ class ServiceApp:
             if isinstance(error, cls):
                 status = code
                 break
+        headers = {}
+        retry_after = getattr(error, "retry_after", None)
+        if retry_after is not None:
+            # RFC 7231 allows only integer seconds; round up so a client
+            # honouring the header never retries before the window closes.
+            headers["Retry-After"] = str(max(1, int(retry_after + 0.999)))
         return Response.json(
             {"error": {"type": type(error).__name__,
                        "message": str(error), "status": status}},
             status=status,
+            headers=headers,
         )
 
     # ------------------------------------------------------------------
     # infrastructure endpoints
     # ------------------------------------------------------------------
     def _get_healthz(self, request: Request, _sid: Optional[str]) -> Response:
+        report = self.pool.last_report or {}
+        pressure = self.pool.pressure_level
         return Response.json({
-            "status": "ok",
+            # Degraded (not down) while workers sit at their memory budget:
+            # the process still serves, it just sheds batch load.
+            "status": "ok" if pressure < 2 else "degraded",
             "uptime_seconds": round(time.time() - self._started, 3),
             "sessions": len(self.store),
             "workers": self.pool.workers,
+            "governance": {
+                "pressure": pressure,
+                "table_bytes": report.get("table_bytes", 0),
+                "nodes": report.get("nodes", 0),
+                "gc_runs": report.get("gc_runs", 0),
+                "gc_nodes_reclaimed": report.get("gc_nodes_reclaimed", 0),
+                "watchdog_kills": self.pool.watchdog_kills,
+            },
         })
 
     def _get_metrics(self, request: Request, _sid: Optional[str]) -> Response:
@@ -410,10 +454,31 @@ class ServiceApp:
     def _step_simulation(
         session: SimulationSession, action: str, count: int, outcome: Optional[int]
     ) -> None:
+        # Multi-step navigation is atomic: bounds are validated before any
+        # step executes, so an out-of-range request leaves `position`
+        # exactly where it was (a half-applied batch after a mid-loop
+        # error would desynchronize the client's view of the session).
+        simulator = session.simulator
         if action == "forward":
-            for _ in range(count):
-                session.forward(outcome=outcome)
+            remaining = len(session.circuit) - simulator.position
+            if count > remaining:
+                raise SimulationError(
+                    f"cannot step forward {count} operation(s): only "
+                    f"{remaining} remain (position {simulator.position} of "
+                    f"{len(session.circuit)})"
+                )
+            for index in range(count):
+                # An explicit outcome answers only the dialog pending *now*;
+                # later steps in the same batch fall back to the session's
+                # seeded RNG.  Replaying one forced outcome onto every
+                # measurement/reset in the batch would silently bias them.
+                session.forward(outcome=outcome if index == 0 else None)
         elif action == "backward":
+            if count > simulator.position:
+                raise SimulationError(
+                    f"cannot step backward {count} operation(s) from "
+                    f"position {simulator.position}"
+                )
             for _ in range(count):
                 session.backward()
         elif action == "to_end":
@@ -432,9 +497,20 @@ class ServiceApp:
     def _step_verification(
         session: VerificationSession, action: str, count: int
     ) -> None:
+        # Same atomicity contract as _step_simulation: validate first.
         if action == "left":
+            if count > session.left_remaining:
+                raise SimulationError(
+                    f"cannot apply {count} gate(s) from G: only "
+                    f"{session.left_remaining} remain"
+                )
             session.apply_left(count)
         elif action == "right":
+            if count > session.right_remaining:
+                raise SimulationError(
+                    f"cannot apply {count} gate(s) from G': only "
+                    f"{session.right_remaining} remain"
+                )
             session.apply_right(count)
         elif action == "right_to_barrier":
             session.apply_right_to_barrier()
@@ -484,12 +560,22 @@ class ServiceApp:
         # A deterministic default seed makes repeated identical requests
         # cache-safe even for circuits with mid-circuit measurements.
         seed = self._int_field(payload.get("seed"), "seed", 0)
+        # Backend option: route through the legacy matrix-DD path instead
+        # of the direct apply kernels (the differential-testing oracle).
+        matrix_path = payload.get("matrix_path", False)
+        if not isinstance(matrix_path, bool):
+            raise BadRequestError("field 'matrix_path' must be a boolean")
         digest = parse_qasm(qasm).digest()
-        key = ("simulate", digest, shots, seed)
+        # The cache key must fold every request parameter that changes the
+        # response — shots, seed and backend options — not just the circuit
+        # digest, or differing requests would collide on one cached result.
+        key = ("simulate", digest, shots, seed, matrix_path)
         hit, cached = self.cache.get(key)
         if hit:
             return Response.json(dict(cached, cached=True))
-        result = self.pool.submit("simulate", simulate_job, qasm, shots, seed)
+        result = self.pool.submit(
+            "simulate", simulate_job, qasm, shots, seed, matrix_path
+        )
         result["digest"] = digest
         self.cache.put(key, result)
         return Response.json(dict(result, cached=False))

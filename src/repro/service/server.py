@@ -63,14 +63,26 @@ class _Handler(BaseHTTPRequestHandler):
             client=self.client_address[0] if self.client_address else "",
         )
         response = app.handle(request)
-        self._respond(response.status, response.content_type, response.body)
+        self._respond(
+            response.status,
+            response.content_type,
+            response.body,
+            headers=response.headers,
+        )
 
     def _respond(
-        self, status: int, content_type: str, body: bytes, close: bool = False
+        self,
+        status: int,
+        content_type: str,
+        body: bytes,
+        close: bool = False,
+        headers: Optional[dict] = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if close:
             self.send_header("Connection", "close")
             self.close_connection = True

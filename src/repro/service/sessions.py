@@ -49,6 +49,20 @@ class SessionHandle:
     def idle_seconds(self) -> float:
         return self._clock() - self.last_used
 
+    def close(self) -> None:
+        """Release the session's engine resources (governor roots etc.).
+
+        Tool sessions expose ``close()``; tolerate foreign session objects
+        (tests register plain stubs) and never let teardown raise.
+        """
+        closer = getattr(self.session, "close", None)
+        if closer is None:
+            return
+        try:
+            closer()
+        except Exception:  # noqa: BLE001 - teardown must not raise
+            pass
+
 
 class SessionStore:
     """Bounded, TTL-expiring, LRU-evicting map of live sessions."""
@@ -112,8 +126,10 @@ class SessionStore:
 
     def remove(self, session_id: str) -> None:
         with self._lock:
-            if self._sessions.pop(session_id, None) is None:
+            handle = self._sessions.pop(session_id, None)
+            if handle is None:
                 raise SessionNotFoundError(f"no such session: {session_id}")
+            handle.close()
             self._m_open.set(len(self._sessions))
 
     def purge_expired(self) -> int:
@@ -142,6 +158,7 @@ class SessionStore:
         ]
         for session_id in expired:
             handle = self._sessions.pop(session_id)
+            handle.close()
             handle.lock.release()
             self._m_expired.inc()
         if expired:
@@ -154,6 +171,7 @@ class SessionStore:
             if handle.lock.acquire(blocking=False):
                 try:
                     del self._sessions[handle.session_id]
+                    handle.close()
                 finally:
                     handle.lock.release()
                 self._m_evicted.inc()

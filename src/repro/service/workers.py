@@ -1,11 +1,27 @@
-"""Process-pool execution of one-shot simulate/verify jobs.
+"""Watchdog-supervised worker processes for one-shot simulate/verify jobs.
 
 :class:`DDPackage` instances are not thread-safe, and a busy batch endpoint
 must not serialize all clients behind one package.  The pool therefore runs
-jobs in worker *processes*, each owning exactly one long-lived package that
-is reused across jobs (its unique tables hold nodes via weak references, so
-finished jobs release their memory; the memoization tables are cleared
-between jobs to bound growth).
+jobs in dedicated worker *processes*, each owning exactly one long-lived,
+memory-governed package that is reused across jobs.
+
+Unlike a ``multiprocessing.Pool`` (whose ``get(timeout)`` abandons the
+result but leaves the worker churning on the stuck job forever), every
+worker here is supervised by a *request watchdog*: the parent waits on the
+worker's pipe with a per-request wall-clock deadline and, on overrun,
+**kills** the worker process and respawns a fresh one — the runaway
+computation is actually stopped, not merely ignored.  Kills are counted in
+``service_watchdog_kills_total``.
+
+Workers also participate in memory governance: after every job the worker
+runs its package's garbage collector if the configured
+:class:`~repro.dd.governance.MemoryBudget` shows pressure, and reports the
+post-GC pressure back alongside the result.  If a worker remains at HARD
+pressure even after collecting (live data alone exceeds the budget), the
+pool sheds load for a cooldown period: ``submit`` raises
+:class:`~repro.errors.TablePressureError`, which the HTTP layer maps to
+``503`` with a ``Retry-After`` header — bounded memory instead of
+fast-until-OOM.
 
 Job functions are module-level so they pickle, take only plain-data
 arguments (QASM text, ints, strings) and return plain dicts — the JSON the
@@ -13,53 +29,100 @@ endpoint will serve.
 
 ``workers=0`` selects *inline* mode: jobs run in the calling thread behind
 a lock.  That keeps unit tests and single-user deployments free of
-subprocess machinery while exercising the exact same job functions.
+subprocess machinery while exercising the exact same job functions (the
+watchdog cannot kill the calling thread, so deadlines are not enforced
+inline; pressure shedding still works).
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import multiprocessing.pool
+import multiprocessing.connection
+import queue
 import threading
+import time
 from time import perf_counter
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.errors import BadRequestError, JobTimeoutError
+from repro import errors as _errors
+from repro.errors import (
+    BadRequestError,
+    JobTimeoutError,
+    ServiceError,
+    TablePressureError,
+)
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
 
 __all__ = ["WorkerPool", "simulate_job", "verify_job"]
 
 #: The per-process decision-diagram package (one per worker, reused).
 _WORKER_PACKAGE = None
+#: Budget applied to worker packages, set by the worker bootstrap.
+_WORKER_BUDGET: Tuple[int, int] = (0, 0)  # (max_nodes, max_bytes); 0 = off
 
 
 def _package():
     global _WORKER_PACKAGE
     if _WORKER_PACKAGE is None:
+        from repro.dd.governance import MemoryBudget
         from repro.dd.package import DDPackage
         from repro.obs.metrics import MetricsRegistry as _Registry
 
+        max_nodes, max_bytes = _WORKER_BUDGET
+        budget = MemoryBudget(
+            max_nodes=max_nodes or None,
+            max_bytes=max_bytes or None,
+        )
         # Workers keep their own dark registry: service-level metrics are
         # recorded in the parent, and a disabled registry keeps the
         # simulation hot path free of instrumentation cost.
-        _WORKER_PACKAGE = DDPackage(registry=_Registry(enabled=False))
+        _WORKER_PACKAGE = DDPackage(
+            registry=_Registry(enabled=False), budget=budget
+        )
     return _WORKER_PACKAGE
 
 
-def _init_worker() -> None:  # pragma: no cover - runs in the child process
-    _package()
+def _set_budget(max_nodes: int, max_bytes: int) -> None:
+    global _WORKER_BUDGET
+    _WORKER_BUDGET = (int(max_nodes), int(max_bytes))
 
 
-def simulate_job(qasm: str, shots: int = 0, seed: Optional[int] = 0) -> Dict[str, Any]:
-    """Parse, simulate to the end, optionally sample; return a JSON dict."""
+def _reset_package() -> None:
+    """Drop the process-wide package so the next job rebuilds it.
+
+    Needed when an *inline* pool (workers=0) configures a budget after a
+    previous pool in the same process already built an unbudgeted package.
+    """
+    global _WORKER_PACKAGE
+    _WORKER_PACKAGE = None
+
+
+def simulate_job(
+    qasm: str,
+    shots: int = 0,
+    seed: Optional[int] = 0,
+    matrix_path: bool = False,
+) -> Dict[str, Any]:
+    """Parse, simulate to the end, optionally sample; return a JSON dict.
+
+    ``matrix_path`` forces the legacy matrix-DD gate pipeline instead of
+    the direct apply kernels (the differential-testing oracle).
+    """
     from repro.dd import sampling
     from repro.qc.qasm.parser import parse_qasm
     from repro.simulation.simulator import DDSimulator
 
     circuit = parse_qasm(qasm)
     package = _package()
+    simulator = None
+    original_kernels = package.use_apply_kernels
     try:
-        simulator = DDSimulator(circuit, package=package, seed=seed)
+        simulator = DDSimulator(
+            circuit,
+            package=package,
+            seed=seed,
+            use_apply_kernels=not matrix_path,
+        )
         simulator.run_all()
         counts = None
         if shots:
@@ -77,6 +140,9 @@ def simulate_job(qasm: str, shots: int = 0, seed: Optional[int] = 0) -> Dict[str
             "counts": counts,
         }
     finally:
+        if simulator is not None:
+            simulator.close()  # release the history's governor roots
+        package.use_apply_kernels = original_kernels
         package.clear_caches()
 
 
@@ -118,17 +184,121 @@ def verify_job(left_qasm: str, right_qasm: str, strategy: str = "proportional") 
         package.clear_caches()
 
 
+#: Job dispatch by name — the pipe carries names, not pickled callables.
+_JOB_FUNCTIONS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "simulate": simulate_job,
+    "verify": verify_job,
+}
+
+
+def _governance_report() -> Dict[str, Any]:
+    """Post-job governance snapshot; collects if the budget shows pressure."""
+    from repro.dd.governance import PressureLevel
+
+    package = _package()
+    governor = package.governor
+    if governor.pressure() is not PressureLevel.OK:
+        governor.collect()
+    return {
+        "pressure": int(governor.pressure()),
+        "table_bytes": governor.table_bytes(),
+        "nodes": governor.node_count(),
+        "gc_runs": governor.runs,
+        "gc_nodes_reclaimed": governor.nodes_reclaimed_total,
+        "gc_complex_reclaimed": governor.complex_reclaimed_total,
+    }
+
+
+def _worker_main(conn, max_nodes: int, max_bytes: int) -> None:  # pragma: no cover - child process
+    """Worker loop: recv (job, args), run, send (status, payload, report)."""
+    _set_budget(max_nodes, max_bytes)
+    _package()  # warm up before signalling readiness
+    conn.send(("ready", None, None))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        job, args = message
+        try:
+            result = _JOB_FUNCTIONS[job](*args)
+            conn.send(("ok", result, _governance_report()))
+        except BaseException as error:  # noqa: BLE001 - marshalled to parent
+            try:
+                report = _governance_report()
+            except Exception:  # noqa: BLE001 - reporting must not mask the job error
+                report = None
+            conn.send(("err", (type(error).__name__, str(error)), report))
+    conn.close()
+
+
+def _rebuild_error(name: str, message: str) -> Exception:
+    """Map a worker-side exception back onto the :mod:`repro.errors` tree."""
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, _errors.ReproError):
+        try:
+            return cls(message)
+        except TypeError:  # pragma: no cover - exotic constructor signature
+            pass
+    return ServiceError(f"{name}: {message}")
+
+
+class _Worker:
+    """One supervised worker process and its duplex pipe."""
+
+    def __init__(self, context, max_nodes: int, max_bytes: int):
+        self.conn, child_conn = multiprocessing.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main,
+            args=(child_conn, max_nodes, max_bytes),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        if not self.conn.poll(timeout):  # pragma: no cover - slow machine
+            raise ServiceError("worker failed to start in time")
+        self.conn.recv()
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5.0)
+
+
 class WorkerPool:
-    """A fixed pool of worker processes (or an inline fallback)."""
+    """A fixed pool of watchdog-supervised workers (or an inline fallback).
+
+    ``request_deadline`` is the per-request wall-clock limit enforced by
+    the watchdog (0 falls back to ``job_timeout``).  ``budget_nodes`` /
+    ``budget_bytes`` configure each worker package's
+    :class:`~repro.dd.governance.MemoryBudget` (0 disables a limit).
+    """
+
+    #: Seconds of load shedding after a worker stays at HARD pressure.
+    PRESSURE_COOLDOWN = 2.0
 
     def __init__(
         self,
         workers: int = 2,
         job_timeout: float = 120.0,
         registry: Optional[MetricsRegistry] = None,
+        request_deadline: float = 0.0,
+        budget_nodes: int = 0,
+        budget_bytes: int = 0,
     ):
         self.workers = max(0, int(workers))
         self.job_timeout = job_timeout
+        self.request_deadline = request_deadline if request_deadline > 0 else job_timeout
+        self.budget_nodes = int(budget_nodes)
+        self.budget_bytes = int(budget_bytes)
         registry = registry if registry is not None else MetricsRegistry(enabled=False)
         self._m_jobs = {
             kind: registry.counter("service_jobs_total", {"kind": kind})
@@ -141,41 +311,169 @@ class WorkerPool:
             for kind in ("simulate", "verify")
         }
         self._m_timeouts = registry.counter("service_job_timeouts_total")
+        self._m_kills = registry.counter("service_watchdog_kills_total")
+        self._m_shed = registry.counter("service_pressure_rejections_total")
+        self._m_pressure = registry.gauge("service_worker_pressure")
+        self._m_table_bytes = registry.gauge("dd_worker_table_bytes")
+        self._m_gc_runs = registry.counter("dd_gc_runs_total")
+        self._m_gc_nodes = registry.counter("dd_gc_nodes_reclaimed_total")
         self._inline_lock = threading.Lock()
-        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self.watchdog_kills = 0
+        self.last_report: Optional[Dict[str, Any]] = None
+        self._reject_until = 0.0
+        self._reject_lock = threading.Lock()
+        self._idle: "queue.Queue[_Worker]" = queue.Queue()
+        self._closed = False
+        self._context = None
+        if not self.workers and (self.budget_nodes or self.budget_bytes):
+            # Inline jobs share this process's package: install the budget
+            # and rebuild so it actually takes effect.
+            _set_budget(self.budget_nodes, self.budget_bytes)
+            _reset_package()
         if self.workers:
             # Prefer fork (cheap, instant warm-up); the pool is created
             # before the server starts accepting, so no threads exist yet.
             methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
+            self._context = multiprocessing.get_context(
                 "fork" if "fork" in methods else "spawn"
             )
-            self._pool = context.Pool(self.workers, initializer=_init_worker)
+            spawned = [self._spawn() for _ in range(self.workers)]
+            for worker in spawned:
+                worker.wait_ready()
+                self._idle.put(worker)
 
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        return _Worker(self._context, self.budget_nodes, self.budget_bytes)
+
+    def _respawn_after_kill(self, worker: _Worker, reason: str) -> None:
+        worker.kill()
+        self.watchdog_kills += 1
+        self._m_kills.inc()
+        replacement = self._spawn()
+        try:
+            replacement.wait_ready()
+        except ServiceError:  # pragma: no cover - respawn failure
+            replacement.kill()
+            raise
+        self._idle.put(replacement)
+
+    def _absorb_report(self, report: Optional[Dict[str, Any]]) -> None:
+        """Fold a worker's post-job governance report into pool state."""
+        if not report:
+            return
+        from repro.dd.governance import PressureLevel
+
+        self.last_report = report
+        self._m_pressure.set(report.get("pressure", 0))
+        self._m_table_bytes.set(report.get("table_bytes", 0))
+        self._m_gc_runs.set_value(report.get("gc_runs", 0))
+        self._m_gc_nodes.set_value(report.get("gc_nodes_reclaimed", 0))
+        if report.get("pressure", 0) >= int(PressureLevel.HARD):
+            # The worker is still over budget *after* collecting: its live
+            # data alone exceeds the budget.  Shed load briefly so clients
+            # back off instead of piling more work onto a saturated table.
+            with self._reject_lock:
+                self._reject_until = time.monotonic() + self.PRESSURE_COOLDOWN
+
+    def _check_pressure_gate(self) -> None:
+        with self._reject_lock:
+            remaining = self._reject_until - time.monotonic()
+        if remaining > 0:
+            self._m_shed.inc()
+            raise TablePressureError(
+                "worker decision-diagram tables are at their memory budget; "
+                "retry shortly",
+                retry_after=max(0.1, round(remaining, 1)),
+            )
+
+    @property
+    def pressure_level(self) -> int:
+        """Last reported post-GC worker pressure (0 = OK)."""
+        report = self.last_report
+        return int(report.get("pressure", 0)) if report else 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
     def submit(self, kind: str, fn: Callable[..., Dict[str, Any]], *args) -> Dict[str, Any]:
-        """Run ``fn(*args)`` on a worker and block for the result."""
+        """Run ``fn(*args)`` on a worker and block for the result.
+
+        Raises :class:`JobTimeoutError` if the request deadline elapses
+        (the runaway worker is killed and replaced), and
+        :class:`TablePressureError` while the pool is shedding load.
+        """
+        if self._closed:
+            raise ServiceError("the worker pool is closed")
+        self._check_pressure_gate()
         start = perf_counter()
         try:
-            if self._pool is None:
+            if not self.workers:
                 with self._inline_lock:
-                    return fn(*args)
-            try:
-                return self._pool.apply_async(fn, args).get(self.job_timeout)
-            except multiprocessing.TimeoutError:
-                self._m_timeouts.inc()
-                raise JobTimeoutError(
-                    f"{kind} job exceeded the {self.job_timeout:.0f}s limit"
-                )
+                    try:
+                        return fn(*args)
+                    finally:
+                        self._absorb_report(_governance_report())
+            return self._submit_to_worker(kind, args)
         finally:
             self._m_jobs[kind].inc()
             self._m_seconds[kind].observe(perf_counter() - start)
 
+    def _submit_to_worker(self, kind: str, args: tuple) -> Dict[str, Any]:
+        # Checkout blocks until a worker frees up — same queueing semantics
+        # as a shared Pool, but each job owns its worker for its duration.
+        worker = self._idle.get()
+        try:
+            worker.conn.send((kind, args))
+        except (BrokenPipeError, OSError):
+            self._respawn_after_kill(worker, "send failed")
+            raise ServiceError("worker was unavailable; please retry")
+        deadline = time.monotonic() + self.request_deadline
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._m_timeouts.inc()
+                self._respawn_after_kill(worker, "deadline overrun")
+                raise JobTimeoutError(
+                    f"{kind} job exceeded the {self.request_deadline:.0f}s "
+                    "request deadline (worker was killed and replaced)"
+                )
+            try:
+                if not worker.conn.poll(min(remaining, 0.2)):
+                    continue
+                status, payload, report = worker.conn.recv()
+            except (EOFError, OSError):
+                self._respawn_after_kill(worker, "worker died")
+                raise ServiceError(f"worker died while running a {kind} job")
+            break
+        self._idle.put(worker)
+        self._absorb_report(report)
+        if status == "err":
+            name, message = payload
+            raise _rebuild_error(name, message)
+        return payload
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop accepting jobs and reap the workers."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        if self._closed:
+            return
+        self._closed = True
+        while True:
+            try:
+                worker = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            worker.process.join(timeout=2.0)
+            worker.kill()
 
     def __enter__(self) -> "WorkerPool":
         return self

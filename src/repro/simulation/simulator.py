@@ -99,8 +99,11 @@ class DDSimulator:
         self.approximation_threshold = approximation_threshold
         if initial_state is None:
             initial_state = self.package.zero_state(circuit.num_qubits)
-        #: history of (state, classical bits) *before* each executed step
-        self._states: List[Edge] = [initial_state]
+        #: history of (state, classical bits) *before* each executed step.
+        #: Every state in the history is a governor-registered root: the
+        #: package's GC must never sweep the weight of a state the user can
+        #: still step back to.
+        self._states: List[Edge] = [self.package.incref(initial_state)]
         self._classical: List[Tuple[int, ...]] = [(0,) * circuit.num_clbits]
         self._records: List[StepRecord] = []
         self._fidelities: List[float] = [1.0]
@@ -252,7 +255,7 @@ class DDSimulator:
                 record = self._record(operation, StepKind.GATE, state)
         else:  # pragma: no cover - the IR has no other operation kinds
             raise SimulationError(f"unsupported operation {operation!r}")
-        self._states.append(state)
+        self._states.append(self.package.incref(state))
         self._classical.append(classical)
         self._records.append(record)
         self._fidelities.append(self._pending_fidelity)
@@ -266,7 +269,7 @@ class DDSimulator:
         """
         if self.at_start:
             raise SimulationError("already at the beginning of the circuit")
-        self._states.pop()
+        self.package.decref(self._states.pop())
         self._classical.pop()
         self._fidelities.pop()
         record = self._records.pop()
@@ -302,6 +305,17 @@ class DDSimulator:
         """Go back to the initial state (the tool's fast-backward)."""
         while not self.at_start:
             self.step_backward()
+
+    def close(self) -> None:
+        """Release the governor root registrations for the state history.
+
+        Idempotent.  After closing, the simulator must not be stepped; the
+        service session store calls this on eviction/expiry so the worker
+        package's GC can reclaim the session's diagrams.
+        """
+        for state in self._states:
+            self.package.decref(state)
+        self._states = self._states[:1] if self._states else []
 
     def run_all(self) -> List[StepRecord]:
         """Execute every remaining operation, ignoring breakpoints."""

@@ -166,6 +166,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="global requests/second cap (0 = unlimited)")
     serve.add_argument("--job-timeout", type=float, default=120.0,
                        help="seconds before a batch job returns 504")
+    serve.add_argument("--request-deadline", type=float, default=0.0,
+                       help="per-request wall-clock deadline in seconds; an "
+                            "overrunning worker is killed and replaced "
+                            "(0 = fall back to --job-timeout)")
+    serve.add_argument("--budget-nodes", type=int, default=0,
+                       help="per-worker DD node budget before garbage "
+                            "collection kicks in (0 = unlimited)")
+    serve.add_argument("--budget-bytes", type=int, default=0,
+                       help="per-worker DD table byte budget (estimated) "
+                            "before garbage collection kicks in "
+                            "(0 = unlimited)")
     return parser
 
 
@@ -336,13 +347,20 @@ def _cmd_stats(args) -> int:
     print(f"{circuit.name}: {circuit.num_qubits} qubits, "
           f"{len(circuit)} operations, final DD {simulator.node_count()} nodes "
           f"(peak {simulator.peak_node_count})")
+    all_stats = package.stats()
+    governance = all_stats.pop("governance", None)
     print(f"{'table':16s} {'entries':>9s} {'hits':>10s} {'misses':>10s} "
           f"{'hit ratio':>10s}")
-    for name, values in package.stats().items():
+    for name, values in all_stats.items():
         ratio = values.get("hit_ratio")
         rendered = f"{ratio:10.3f}" if ratio is not None else " " * 10
         print(f"{name:16s} {values['entries']:9.0f} {values['hits']:10.0f} "
               f"{values['misses']:10.0f} {rendered}")
+    if governance:
+        print()
+        print("governance:")
+        for key, value in governance.items():
+            print(f"  {key:24s} {value}")
     print()
     print(obs.run_report(registry, title=circuit.name))
     return 0
@@ -425,6 +443,9 @@ def _cmd_serve(args) -> int:
         max_body_bytes=args.max_body_bytes,
         rate_limit=args.rate_limit,
         job_timeout=args.job_timeout,
+        request_deadline=args.request_deadline,
+        budget_nodes=args.budget_nodes,
+        budget_bytes=args.budget_bytes,
     )
     return serve(config)
 

@@ -242,12 +242,19 @@ class InteractiveTool:
 
     def _stats(self, arguments: List[str]) -> str:
         session = self._require_session()
+        all_stats = session.simulator.package.stats()
+        governance = all_stats.pop("governance", None)
         lines = []
-        for name, values in session.simulator.package.stats().items():
+        for name, values in all_stats.items():
             lines.append(
                 f"{name:16s} entries={values['entries']:.0f} "
                 f"hits={values['hits']:.0f} misses={values['misses']:.0f}"
             )
+        if governance:
+            rendered = " ".join(
+                f"{key}={value}" for key, value in governance.items()
+            )
+            lines.append(f"{'governance':16s} {rendered}")
         return "\n".join(lines)
 
     def _quit(self, arguments: List[str]) -> str:

@@ -133,6 +133,14 @@ class SimulationSession:
         while not self.simulator.at_end:
             yield self.forward()
 
+    def close(self) -> None:
+        """Release the package-governor roots held by this session.
+
+        Called by the service session store on expiry/eviction; idempotent.
+        The session must not be navigated afterwards.
+        """
+        self.simulator.close()
+
     # ------------------------------------------------------------------
     # the measurement dialog (paper Sec. IV-B)
     # ------------------------------------------------------------------
@@ -336,6 +344,14 @@ class VerificationSession:
             self.apply_right_to_barrier()
         while self._right_position < len(self._right_gates):
             self.apply_right()
+
+    def close(self) -> None:
+        """Release the package-governor root for the evolving diagram.
+
+        Called by the service session store on expiry/eviction; idempotent.
+        The session must not be navigated afterwards.
+        """
+        self._engine.close()
 
     # ------------------------------------------------------------------
     # status

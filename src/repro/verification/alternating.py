@@ -84,7 +84,9 @@ class _Engine:
     ):
         self.package = package
         self.num_qubits = num_qubits
-        self.current = package.identity(num_qubits)
+        # The evolving E is a governor-registered root so a GC triggered
+        # by an interleaved application never sweeps its weight.
+        self.current = package.incref(package.identity(num_qubits))
         self.peak = package.node_count(self.current)
         self.trace: List[TraceEntry] = []
         self.tracer = tracer if tracer is not None else default_tracer()
@@ -128,7 +130,8 @@ class _Engine:
         return self.package.multiply(self.current, inverse_dd)
 
     def commit(self, side: str, gate_index: int, result: Edge) -> None:
-        self.current = result
+        self.package.decref(self.current)
+        self.current = self.package.incref(result)
         count = self.package.node_count(result)
         self.peak = max(self.peak, count)
         self.trace.append(TraceEntry(side, gate_index, count))
@@ -147,6 +150,12 @@ class _Engine:
         ) as span:
             self.commit("G", gate_index, self.preview_left(gate))
             span.set_attribute("nodes", self.trace[-1].node_count)
+
+    def close(self) -> None:
+        """Release the governor root registration for the evolving E."""
+        if self.current is not None:
+            self.package.decref(self.current)
+            self.current = None
 
     def apply_right(self, gate: GateOp, gate_index: int) -> None:
         if not self.tracer.enabled:
@@ -239,6 +248,7 @@ def check_equivalence_alternating(
         package, identity, engine.current, f"alternating-{strategy.value}",
         engine.peak,
     )
+    engine.close()
     return AlternatingResult(
         equivalent=base.equivalent,
         equivalent_up_to_global_phase=base.equivalent_up_to_global_phase,

@@ -44,6 +44,21 @@ class TestLookup:
         second = table.lookup(base + tolerance / 4)
         assert first == second
 
+    def test_half_tolerance_apart_across_bucket_edge(self):
+        # Regression: two values tolerance/2 apart whose buckets differ
+        # (one just below, one just above a grid line) must map to the
+        # same canonical representative on both axes.
+        tolerance = 1e-6
+        table = ComplexTable(tolerance)
+        for base in (3 * tolerance, -7 * tolerance):
+            first = table.lookup(complex(base - tolerance / 4, 0.0))
+            second = table.lookup(complex(base + tolerance / 4, 0.0))
+            assert first == second, f"real-axis split at {base}"
+        imag_base = 11 * tolerance
+        first = table.lookup(complex(0.5, imag_base - tolerance / 4))
+        second = table.lookup(complex(0.5, imag_base + tolerance / 4))
+        assert first == second
+
     def test_sqrt2_inverse_is_seeded(self):
         table = ComplexTable()
         value = table.lookup(1.0 / math.sqrt(2.0))
@@ -111,6 +126,54 @@ class TestBookkeeping:
         table.clear()
         assert table.lookup(1.0) == ComplexTable.ONE
         assert table.hits >= 0
+
+    def test_clear_reseeds_full_special_set(self):
+        # Regression: clear() used to re-insert only 0/1/-1/+-1j, so the
+        # sqrt(2) family got fresh (bit-different) representatives after a
+        # cache reset — breaking exact == against pre-clear weights.
+        table = ComplexTable()
+        sqrt2_inv = 1.0 / math.sqrt(2.0)
+        before = len(table)
+        table.clear()
+        assert len(table) == before
+        for special in (complex(sqrt2_inv, 0.0), complex(-sqrt2_inv, 0.0),
+                        complex(0.0, sqrt2_inv), complex(0.0, -sqrt2_inv)):
+            hits_before = table.hits
+            assert table.lookup(special) == special
+            assert table.hits == hits_before + 1  # seeded, not re-minted
+
+
+class TestSweep:
+    def test_unmarked_values_dropped(self):
+        table = ComplexTable()
+        keep = table.lookup(0.123 + 0.456j)
+        table.lookup(0.777)
+        table.lookup(-0.25j)
+        reclaimed = table.sweep({keep})
+        assert reclaimed == 2
+        # The survivor keeps its identity (a re-lookup is a hit).
+        hits_before = table.hits
+        assert table.lookup(0.123 + 0.456j) == keep
+        assert table.hits == hits_before + 1
+
+    def test_specials_survive_empty_mark_set(self):
+        table = ComplexTable()
+        table.lookup(0.777)
+        table.sweep(set())
+        assert table.lookup(1.0) == ComplexTable.ONE
+        assert table.lookup(1.0 / math.sqrt(2.0)) == complex(
+            1.0 / math.sqrt(2.0), 0.0
+        )
+
+    def test_sweep_does_not_duplicate_marked_specials(self):
+        # A marked seed survives the sweep AND gets re-seeded; the idempotent
+        # _seed() must not insert it a second time.
+        table = ComplexTable()
+        size = len(table)
+        table.sweep({ComplexTable.ONE, complex(0.0, 1.0)})
+        assert len(table) == size
+        table.sweep(set())
+        assert len(table) == size
 
 
 class TestPhaseOf:

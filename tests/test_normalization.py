@@ -3,10 +3,13 @@
 import cmath
 import math
 
+import pytest
+
 from repro.dd.complex_table import ComplexTable
 from repro.dd.edge import Edge, ZERO_EDGE
 from repro.dd.node import TERMINAL
 from repro.dd.normalization import NormalizationScheme, normalize
+from repro.errors import DDError
 
 
 def _edges(table, *weights):
@@ -106,3 +109,46 @@ class TestMaxMagnitude:
         )
         for original, edge in zip(weights, edges):
             assert cmath.isclose(factor * edge.weight, original, abs_tol=1e-12)
+
+
+class TestNearZeroClamp:
+    """Near-zero and non-finite weights must never reach normalization."""
+
+    def test_sub_tolerance_magnitude_clamped_both_schemes(self):
+        table = ComplexTable()
+        tiny = complex(table.tolerance * 0.5, -table.tolerance * 0.5)
+        for scheme in NormalizationScheme:
+            factor, edges = normalize(
+                (Edge(TERMINAL, tiny), Edge(TERMINAL, table.lookup(0.8))),
+                table,
+                scheme,
+            )
+            assert edges[0] is ZERO_EDGE
+            assert not edges[1].is_zero
+
+    def test_tiny_weight_never_becomes_pivot(self):
+        # If the only non-zero weight is sub-tolerance, the whole node must
+        # collapse to the zero stub — dividing by a ~1e-11 pivot would blow
+        # its rounding noise up into garbage sibling phases.
+        table = ComplexTable()
+        tiny = complex(table.tolerance * 0.9, 0.0)
+        for scheme in NormalizationScheme:
+            factor, edges = normalize(
+                (Edge(TERMINAL, tiny), ZERO_EDGE), table, scheme
+            )
+            assert factor == ComplexTable.ZERO
+            assert all(edge is ZERO_EDGE for edge in edges)
+
+    def test_non_finite_weight_rejected(self):
+        table = ComplexTable()
+        for bad in (
+            complex(float("inf"), 0.0),
+            complex(0.0, float("-inf")),
+            complex(float("nan"), 0.0),
+        ):
+            with pytest.raises(DDError):
+                normalize(
+                    (Edge(TERMINAL, bad), Edge(TERMINAL, ComplexTable.ONE)),
+                    table,
+                    NormalizationScheme.MAX_MAGNITUDE,
+                )

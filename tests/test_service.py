@@ -241,6 +241,53 @@ class TestSimulationSessions:
         assert response.status == 409
         assert _json(response)["error"]["type"] == "SimulationError"
 
+    def test_multi_step_past_end_is_atomic(self, app):
+        # Regression: a forward batch that overruns the final operation must
+        # fail *before* executing any step, not leave the session stranded
+        # somewhere in the middle of a half-applied batch.
+        sid = _json(_post(app, "/sessions", {"kind": "simulation",
+                                             "qasm": QFT}))["session_id"]
+        _post(app, f"/sessions/{sid}/step", {"action": "forward", "count": 3})
+        response = _post(app, f"/sessions/{sid}/step",
+                         {"action": "forward", "count": 99})
+        assert response.status == 409
+        status = _json(app.handle(Request("GET", f"/sessions/{sid}")))
+        assert status["position"] == 3  # unchanged — still resumable
+        # ... and the session still steps normally afterwards.
+        after = _json(_post(app, f"/sessions/{sid}/step",
+                            {"action": "forward"}))
+        assert after["position"] == 4
+
+    def test_multi_step_backward_past_start_is_atomic(self, app):
+        sid = _json(_post(app, "/sessions", {"kind": "simulation",
+                                             "qasm": QFT}))["session_id"]
+        _post(app, f"/sessions/{sid}/step", {"action": "forward", "count": 2})
+        response = _post(app, f"/sessions/{sid}/step",
+                         {"action": "backward", "count": 5})
+        assert response.status == 409
+        status = _json(app.handle(Request("GET", f"/sessions/{sid}")))
+        assert status["position"] == 2
+
+    def test_outcome_answers_only_the_pending_dialog(self, app):
+        # Regression: a forced outcome in a multi-step batch used to be
+        # replayed onto *every* measurement in the batch.  Here the second
+        # measurement is of a deterministic |1> qubit: forcing outcome=0
+        # onto it would fail (or corrupt the state), so the batch only
+        # succeeds if the outcome answers just the first (pending) dialog.
+        qasm = (
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+            "qreg q[2];\ncreg c[2];\n"
+            "h q[0];\nmeasure q[0] -> c[0];\n"
+            "x q[1];\nmeasure q[1] -> c[1];\n"
+        )
+        sid = _json(_post(app, "/sessions", {"kind": "simulation",
+                                             "qasm": qasm}))["session_id"]
+        _post(app, f"/sessions/{sid}/step", {"action": "forward"})  # H
+        status = _json(_post(app, f"/sessions/{sid}/step",
+                             {"action": "forward", "count": 3, "outcome": 0}))
+        assert status["at_end"]
+        assert status["classical_bits"] == [0, 1]
+
     def test_bad_inputs_400(self, app):
         assert _post(app, "/sessions", {"kind": "simulation"}).status == 400
         assert _post(app, "/sessions", {"kind": "wat", "qasm": QFT}).status == 400
@@ -310,6 +357,33 @@ class TestBatchEndpoints:
         other = _json(_post(app, "/simulate", {"qasm": QFT, "shots": 16}))
         assert other["cached"] is False
 
+    def test_cache_key_folds_seed(self, app):
+        # Regression: two /simulate calls that differ only in a parameter
+        # must not collide on one cached result.
+        _post(app, "/simulate", {"qasm": QFT, "shots": 8, "seed": 1})
+        other = _json(_post(app, "/simulate",
+                            {"qasm": QFT, "shots": 8, "seed": 2}))
+        assert other["cached"] is False
+
+    def test_cache_key_folds_backend_options(self, app):
+        # matrix_path selects a different backend (gate-DD multiply instead
+        # of the direct apply kernels); same circuit, different key.
+        kernels = _json(_post(app, "/simulate", {"qasm": QFT, "shots": 16}))
+        matrix = _json(_post(app, "/simulate",
+                             {"qasm": QFT, "shots": 16, "matrix_path": True}))
+        assert matrix["cached"] is False
+        # ... but the two paths must agree on the result.
+        assert matrix["nodes"] == kernels["nodes"]
+        assert matrix["counts"] == kernels["counts"]
+        again = _json(_post(app, "/simulate",
+                            {"qasm": QFT, "shots": 16, "matrix_path": True}))
+        assert again["cached"] is True
+
+    def test_matrix_path_must_be_boolean(self, app):
+        response = _post(app, "/simulate",
+                         {"qasm": QFT, "matrix_path": "yes"})
+        assert response.status == 400
+
     def test_verify_strategies_and_cache(self, app):
         payload = {"left": QFT, "right": QFT_COMPILED,
                    "strategy": "compilation-flow"}
@@ -333,6 +407,41 @@ class TestBatchEndpoints:
         result = _json(_post(app, "/verify", {"left": QFT,
                                               "right": wrong.to_qasm()}))
         assert result["equivalent"] is False
+
+
+class TestGovernancePressure:
+    def test_503_with_retry_after_under_table_pressure(self, app):
+        import time as _time
+
+        # Simulate a worker that just reported HARD pressure: the pool
+        # sheds batch load for the cooldown window.
+        app.pool._reject_until = _time.monotonic() + 30.0
+        response = _post(app, "/simulate", {"qasm": QFT})
+        assert response.status == 503
+        assert _json(response)["error"]["type"] == "TablePressureError"
+        retry_after = response.headers.get("Retry-After")
+        assert retry_after is not None and int(retry_after) >= 1
+        # Interactive sessions are unaffected — only batch work is shed.
+        assert _post(app, "/sessions",
+                     {"kind": "simulation", "qasm": QFT}).status == 201
+        # Once the window closes, batch requests flow again.
+        app.pool._reject_until = 0.0
+        assert _post(app, "/simulate", {"qasm": QFT}).status == 200
+
+    def test_healthz_reports_governance(self, app):
+        _post(app, "/simulate", {"qasm": QFT})  # produce one worker report
+        body = _json(app.handle(Request("GET", "/healthz")))
+        assert body["status"] == "ok"
+        governance = body["governance"]
+        assert governance["pressure"] == 0
+        assert governance["watchdog_kills"] == 0
+        assert governance["nodes"] >= 0
+
+    def test_metrics_expose_gc_and_watchdog_counters(self, app):
+        _post(app, "/simulate", {"qasm": QFT})
+        body = app.handle(Request("GET", "/metrics")).body.decode()
+        assert "service_watchdog_kills_total" in body
+        assert "dd_gc_runs_total" in body
 
 
 class TestRateLimit:

@@ -119,3 +119,66 @@ class TestPendingDialogAfterToEnd:
         session.to_end(stop_at_breakpoints=True)   # stops after measure
         session.to_end(stop_at_breakpoints=True)   # runs the trailing H
         assert session.simulator.at_end
+
+
+class TestNavigationPastEndStaysResumable:
+    def test_failed_forward_leaves_session_consistent(self):
+        session = SimulationSession(_h_then_barrier())
+        session.to_end(stop_at_breakpoints=False)
+        position = session.simulator.position
+        frames = len(session.frames)
+        with pytest.raises(SimulationError):
+            session.forward()
+        # The failed step must not advance the position, grow the frame
+        # list, or wedge navigation: backward still works.
+        assert session.simulator.position == position
+        assert len(session.frames) == frames
+        session.backward()
+        assert session.simulator.position == position - 1
+        session.forward()
+        assert session.simulator.at_end
+
+    def test_dialog_query_at_end_is_stable(self):
+        session = SimulationSession(_h_measure_h(), seed=0)
+        session.to_end(stop_at_breakpoints=False)
+        # Repeated queries after the final operation are pure.
+        assert session.pending_dialog() is None
+        assert session.pending_dialog() is None
+        assert session.simulator.at_end
+
+
+class TestDeclinedDialogReEntry:
+    """Cancelling a measurement/reset dialog must not consume the step."""
+
+    def test_reset_dialog_declined_then_reentered(self):
+        circuit = QuantumCircuit(1, name="hr").h(0).reset(0)
+        session = SimulationSession(circuit, seed=0)
+        session.forward()  # H: superposition, reset dialog pending
+        first = session.pending_dialog()
+        assert first is not None and first[0] == "reset"
+        # Declining the dialog = not stepping.  The query itself must be
+        # side-effect-free: ask again and the same dialog is still pending.
+        second = session.pending_dialog()
+        assert second == first
+        assert session.simulator.position == 1
+        # Re-enter with an explicit outcome: the reset observes |1> ...
+        record = session.forward(outcome=1)
+        assert record.outcome == 1
+        # ... and leaves the qubit in |0> regardless of the observation.
+        p0, _ = session.simulator.probabilities(0)
+        assert p0 == pytest.approx(1.0)
+        assert session.simulator.at_end
+
+    def test_backward_across_reset_restores_dialog(self):
+        circuit = QuantumCircuit(1, name="hr").h(0).reset(0)
+        session = SimulationSession(circuit, seed=0)
+        session.forward()
+        session.forward(outcome=0)
+        session.backward()  # undo the reset
+        dialog = session.pending_dialog()
+        assert dialog is not None and dialog[0] == "reset"
+        p0, p1 = session.simulator.probabilities(0)
+        assert p0 == pytest.approx(0.5) and p1 == pytest.approx(0.5)
+        # Re-entry with the other observation is still possible.
+        record = session.forward(outcome=1)
+        assert record.outcome == 1
