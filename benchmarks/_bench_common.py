@@ -1,0 +1,65 @@
+"""Shared CLI plumbing for the benchmark harness.
+
+Every benchmark entry point — the pytest harness (``conftest.py``) and the
+standalone scripts (``bench_soak.py`` & friends) — takes the same two
+knobs:
+
+* ``--json-out PATH``: where to write the machine-readable result payload
+  (default: ``benchmarks/results/<name>.json``), so CI jobs can collect
+  artifacts from one configurable location.
+* ``--seed N`` (scripts) / ``--bench-seed N`` (pytest): the base seed for
+  any randomized workload, defaulting to the ``BENCH_SEED`` environment
+  variable — CI can rotate seeds fleet-wide without touching commands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Environment variable holding the fleet-wide base seed.
+SEED_ENV = "BENCH_SEED"
+
+
+def default_seed() -> int:
+    """Base seed from ``$BENCH_SEED`` (0 when unset or unparsable)."""
+    raw = os.environ.get(SEED_ENV, "")
+    try:
+        return int(raw) if raw.strip() else 0
+    except ValueError:
+        return 0
+
+
+def add_common_arguments(parser) -> None:
+    """Attach the shared ``--json-out`` / ``--seed`` flags to ``parser``."""
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="write the JSON result payload to PATH "
+             "(default: benchmarks/results/<name>.json)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=default_seed(),
+        help="base seed for randomized workloads "
+             f"(default: ${SEED_ENV} or 0)",
+    )
+
+
+def write_json_result(
+    name: str, payload: Dict[str, Any], json_out: Optional[str] = None
+) -> str:
+    """Persist ``payload`` to ``json_out`` or ``results/<name>.json``."""
+    path = json_out or os.path.join(RESULTS_DIR, f"{name}.json")
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

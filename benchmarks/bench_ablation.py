@@ -100,7 +100,7 @@ def test_ablation_sharing(benchmark, report):
     )
 
 
-def test_ablation_tolerance_effect(benchmark, report):
+def test_ablation_tolerance_effect(benchmark, report, bench_seed):
     """A too-small complex tolerance breaks node sharing after arithmetic.
 
     With the default tolerance, applying H twice returns exactly the
@@ -113,7 +113,8 @@ def test_ablation_tolerance_effect(benchmark, report):
         for tolerance in (1e-10, 1e-15):
             package = DDPackage(tolerance=tolerance)
             simulator = DDSimulator(
-                library.random_circuit(4, 60, seed=5), package=package
+                library.random_circuit(4, 60, seed=bench_seed + 5),
+                package=package
             )
             simulator.run_all()
             results.append((tolerance, len(package.complex_table)))

@@ -108,7 +108,7 @@ def test_dense_ghz_runtime(benchmark, num_qubits):
     assert abs(np.linalg.norm(simulator.state) - 1.0) < 1e-9
 
 
-def test_crossover_report(benchmark, report):
+def test_crossover_report(benchmark, report, bench_seed):
     """Who wins where: DD vs dense runtime for GHZ (structured) and random
     (unstructured) circuits."""
     import time
@@ -118,7 +118,8 @@ def test_crossover_report(benchmark, report):
     lines = ["circuit        n    DD [ms]   dense [ms]   winner"]
     for factory, label, sizes in (
         (library.ghz_state, "ghz", (6, 8, 10)),
-        (lambda n: library.random_circuit(n, 4 * n, seed=1), "random", (6, 8, 10)),
+        (lambda n: library.random_circuit(n, 4 * n, seed=bench_seed + 1),
+         "random", (6, 8, 10)),
     ):
         for n in sizes:
             circuit = factory(n)

@@ -26,11 +26,13 @@ import json
 import os
 import sys
 
-SRC_DIR = os.path.abspath(
-    os.path.join(os.path.dirname(__file__), os.pardir, "src")
-)
-if SRC_DIR not in sys.path:
-    sys.path.insert(0, SRC_DIR)
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+SRC_DIR = os.path.abspath(os.path.join(BENCH_DIR, os.pardir, "src"))
+for _extra in (SRC_DIR, BENCH_DIR):
+    if _extra not in sys.path:
+        sys.path.insert(0, _extra)
+
+import _bench_common
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -93,8 +95,12 @@ def tree_rss_bytes() -> int:
 # ----------------------------------------------------------------------
 # the mixed workload
 # ----------------------------------------------------------------------
-def _payload_cycle():
-    """Infinite mixed-request generator: (kind, payload) tuples."""
+def _payload_cycle(seed_base: int = 0):
+    """Infinite mixed-request generator: (kind, payload) tuples.
+
+    ``seed_base`` offsets every circuit seed in the uncached rotation, so
+    ``--seed`` sweeps genuinely different workloads run-over-run.
+    """
     import itertools
 
     from repro.qc import library
@@ -103,7 +109,7 @@ def _payload_cycle():
     qft_compiled = library.qft_compiled(3).to_qasm()
     ghz = library.ghz_state(4).to_qasm()
     uncached = [
-        library.random_circuit(3, 12, seed=seed).to_qasm()
+        library.random_circuit(3, 12, seed=seed_base + seed).to_qasm()
         for seed in range(CIRCUIT_POOL)
     ]
     for index in itertools.count():
@@ -179,6 +185,8 @@ def run_soak_inline(
     requests: int = DEFAULT_REQUESTS,
     budget_nodes: int = 20_000,
     budget_bytes: int = 64 << 20,
+    seed: int = 0,
+    json_out: "str | None" = None,
 ) -> dict:
     """Mixed load against an in-process ServiceApp; returns the result dict."""
     from time import perf_counter
@@ -199,7 +207,7 @@ def run_soak_inline(
     warmup = min(WARMUP_REQUESTS, max(1, requests // 2))
     samples = []
     baseline = None
-    cycle = _payload_cycle()
+    cycle = _payload_cycle(seed)
     start = perf_counter()
     try:
         for index in range(requests):
@@ -225,6 +233,8 @@ def run_soak_inline(
         final=final,
         samples=samples,
         governance=governance,
+        seed=seed,
+        json_out=json_out,
     )
 
 
@@ -234,6 +244,8 @@ def run_soak_http(
     request_deadline: float = 10.0,
     budget_nodes: int = 20_000,
     budget_bytes: int = 64 << 20,
+    seed: int = 0,
+    json_out: "str | None" = None,
 ) -> dict:
     """Wall-clock-bounded soak of a real watchdog-enabled HTTP server."""
     from http.client import HTTPConnection
@@ -256,7 +268,7 @@ def run_soak_http(
     with DDToolServer(config) as server:
         host, port = server.address
         connection = HTTPConnection(host, port, timeout=60)
-        cycle = _payload_cycle()
+        cycle = _payload_cycle(seed)
         start = perf_counter()
         # Baseline after the request-count warmup, or — on a machine too
         # slow to get there — after 60% of the wall budget, so *some*
@@ -287,6 +299,8 @@ def run_soak_http(
         final=final,
         samples=samples,
         governance=governance,
+        seed=seed,
+        json_out=json_out,
     )
 
 
@@ -301,13 +315,15 @@ def _healthz_governance(host: str, port: int) -> dict:
         connection.close()
 
 
-def _result(mode, requests, duration, baseline, final, samples, governance) -> dict:
+def _result(mode, requests, duration, baseline, final, samples, governance,
+            seed=0, json_out=None) -> dict:
     growth_pct = (
         100.0 * (final - baseline) / baseline if baseline else 0.0
     )
     result = {
         "mode": mode,
         "requests": requests,
+        "seed": seed,
         "duration_seconds": round(duration, 3),
         "requests_per_second": round(requests / duration, 1) if duration else 0.0,
         "rss_baseline_bytes": baseline,
@@ -316,11 +332,7 @@ def _result(mode, requests, duration, baseline, final, samples, governance) -> d
         "rss_samples_bytes": samples,
         "governance": governance,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "soak.json"), "w",
-              encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
+    _bench_common.write_json_result("soak", result, json_out=json_out)
     return result
 
 
@@ -357,6 +369,7 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold-pct", type=float,
                         default=DEFAULT_THRESHOLD_PCT,
                         help="maximum tolerated RSS growth after warmup")
+    _bench_common.add_common_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.http:
@@ -366,12 +379,16 @@ def main(argv=None) -> int:
             request_deadline=args.request_deadline,
             budget_nodes=args.budget_nodes,
             budget_bytes=args.budget_bytes,
+            seed=args.seed,
+            json_out=args.json_out,
         )
     else:
         result = run_soak_inline(
             requests=args.requests,
             budget_nodes=args.budget_nodes,
             budget_bytes=args.budget_bytes,
+            seed=args.seed,
+            json_out=args.json_out,
         )
     print(json.dumps(result, indent=2))
     if result["rss_growth_pct"] > args.threshold_pct:

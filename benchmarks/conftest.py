@@ -8,18 +8,52 @@ the run leaves auditable artifacts (referenced by EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-SRC_DIR = os.path.abspath(
-    os.path.join(os.path.dirname(__file__), os.pardir, "src")
-)
-if SRC_DIR not in sys.path:
-    sys.path.insert(0, SRC_DIR)
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+SRC_DIR = os.path.abspath(os.path.join(BENCH_DIR, os.pardir, "src"))
+for extra in (SRC_DIR, BENCH_DIR):
+    if extra not in sys.path:
+        sys.path.insert(0, extra)
+
+import _bench_common
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json-out",
+        default=None,
+        help="directory for JSON result payloads "
+             "(default: benchmarks/results)",
+    )
+    parser.addoption(
+        "--bench-seed",
+        type=int,
+        default=None,
+        help="base seed for randomized benchmarks "
+             "(default: $BENCH_SEED or 0)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_seed(request) -> int:
+    """The base seed shared by every randomized benchmark."""
+    value = request.config.getoption("--bench-seed")
+    return _bench_common.default_seed() if value is None else int(value)
+
+
+@pytest.fixture(scope="session")
+def json_out_dir(request, results_dir) -> str:
+    """Directory receiving the JSON payloads (``--json-out`` or results/)."""
+    override = request.config.getoption("--json-out")
+    if override is None:
+        return results_dir
+    os.makedirs(override, exist_ok=True)
+    return override
 
 
 @pytest.fixture(scope="session")
@@ -29,10 +63,11 @@ def results_dir() -> str:
 
 
 @pytest.fixture
-def report(results_dir):
+def report(results_dir, json_out_dir):
     """Print a titled report block and persist it to results/<name>.txt
-    and a machine-readable results/<name>.json (rows plus a snapshot of
-    the observability default registry at report time)."""
+    and a machine-readable <name>.json (rows plus a snapshot of the
+    observability default registry at report time) under ``--json-out``
+    or benchmarks/results/."""
 
     def _report(name: str, lines) -> None:
         rows = [str(line) for line in lines]
@@ -51,9 +86,9 @@ def report(results_dir):
             "rows": rows,
             "metrics": registry_snapshot(obs.default_registry())["metrics"],
         }
-        with open(os.path.join(results_dir, f"{name}.json"), "w",
-                  encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        _bench_common.write_json_result(
+            name, payload,
+            json_out=os.path.join(json_out_dir, f"{name}.json"),
+        )
 
     return _report

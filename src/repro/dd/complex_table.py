@@ -148,6 +148,14 @@ class ComplexTable:
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
 
+    def entries(self) -> "list[Tuple[Tuple[int, int], complex]]":
+        """Snapshot of ``(bucket key, stored value)`` pairs for audits."""
+        return [
+            (key, value)
+            for key, bucket in self._buckets.items()
+            for value in bucket
+        ]
+
     def clear(self) -> None:
         """Drop all stored values (the special seeds are re-inserted)."""
         self._buckets.clear()

@@ -333,6 +333,11 @@ class ResourceGovernor:
         self.complex_reclaimed_total += stats.complex_reclaimed
         self.compute_entries_dropped_total += dropped
         self.last_stats = stats
+        # Re-verify structural invariants straight after the collection (a
+        # no-op unless the package has sanitizing enabled): a sweep that
+        # purged a live weight representative must surface here, at the GC
+        # that caused it, not at some distant later operation.
+        package._post_gc_sanitize()
         return stats
 
     def _mark(self) -> set:

@@ -22,6 +22,7 @@ Qubit/level convention follows the paper's big-endian notation: level ``n-1``
 
 from __future__ import annotations
 
+import os
 import weakref
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -98,6 +99,13 @@ class DDPackage:
         (:mod:`repro.dd.governance`).  The default budget has no limits:
         ``incref``/``decref``/``gc`` still work (so workers can force a
         collection between jobs), but no automatic collection triggers.
+    sanitize_every:
+        Run the structural sanitizer (:mod:`repro.sanitizer`) every N
+        public operations, raising :class:`~repro.errors.SanitizerError`
+        on the first violation.  ``0`` disables op-boundary sanitizing;
+        ``None`` (the default) reads the ``REPRO_SANITIZE_EVERY``
+        environment variable (unset/invalid means disabled).  While
+        enabled, the sanitizer also runs after every garbage collection.
     """
 
     _OPERATION_NAMES = ("add", "multiply", "kron", "adjoint", "inner_product")
@@ -110,6 +118,7 @@ class DDPackage:
         registry: Optional[MetricsRegistry] = None,
         use_apply_kernels: bool = True,
         budget: Optional[MemoryBudget] = None,
+        sanitize_every: Optional[int] = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.use_apply_kernels = use_apply_kernels
@@ -152,6 +161,23 @@ class DDPackage:
             )
             for name in self._OPERATION_NAMES
         }
+        # Sanitizer state must exist before the governor: `collect()` calls
+        # back into `_post_gc_sanitize()`.
+        if sanitize_every is None:
+            raw = os.environ.get("REPRO_SANITIZE_EVERY", "")
+            try:
+                sanitize_every = int(raw) if raw.strip() else 0
+            except ValueError:
+                sanitize_every = 0
+        self.sanitize_every = max(0, int(sanitize_every))
+        self._sanitize_ticks = 0
+        self.sanitize_runs = 0
+        self.sanitize_violations = 0
+        self.last_sanitize_report = None
+        self._m_sanitize_runs = self.registry.counter("dd_sanitize_runs_total")
+        self._m_sanitize_violations = self.registry.counter(
+            "dd_sanitize_violations_total"
+        )
         self.governor = ResourceGovernor(
             self, budget if budget is not None else MemoryBudget(), self.registry
         )
@@ -863,10 +889,55 @@ class DDPackage:
 
         Runs *before* the operation starts, when no un-marked intermediate
         edges are in flight; a sweep mid-recursion could purge weights held
-        only by local variables and silently degrade canonicity.
+        only by local variables and silently degrade canonicity.  The
+        sanitizer tick shares this boundary for the same reason: between
+        operations every live edge is table-resident, so a violation here
+        is a real invariant break, never an in-flight intermediate.
         """
+        if self.sanitize_every:
+            self._sanitize_ticks += 1
+            if self._sanitize_ticks >= self.sanitize_every:
+                self._sanitize_ticks = 0
+                self.sanitize(raise_on_violation=True)
         if self.governor.should_collect():
             self.governor.collect()
+
+    # ------------------------------------------------------------------
+    # sanitizing
+    # ------------------------------------------------------------------
+    def sanitize(self, raise_on_violation: bool = False):
+        """Verify the package's structural invariants.
+
+        Walks the unique tables, the complex table and the governor's root
+        registry, checking hash-consing canonicity, normalization, weight
+        hygiene and representative uniqueness (see :mod:`repro.sanitizer`).
+        Returns the :class:`~repro.sanitizer.core.SanitizeReport`; with
+        ``raise_on_violation`` a failing report raises
+        :class:`~repro.errors.SanitizerError` instead.
+        """
+        from repro.sanitizer.core import DDSanitizer
+
+        report = DDSanitizer(self).run()
+        self.sanitize_runs += 1
+        self.last_sanitize_report = report
+        self._m_sanitize_runs.inc()
+        if not report.ok:
+            self.sanitize_violations += len(report.violations)
+            self._m_sanitize_violations.inc(len(report.violations))
+            if raise_on_violation:
+                report.raise_if_violations()
+        return report
+
+    def _post_gc_sanitize(self) -> None:
+        """Governor callback: re-verify invariants right after a collection.
+
+        A sweep is the riskiest moment for canonicity (a live weight swept
+        from the complex table lets a later lookup mint a second
+        representative), so while sanitizing is enabled every collection is
+        followed by a full check.
+        """
+        if self.sanitize_every:
+            self.sanitize(raise_on_violation=True)
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -914,4 +985,9 @@ class DDPackage:
                 "hit_ratio": table.hit_ratio,
             }
         result["governance"] = self.governor.stats()
+        result["sanitizer"] = {
+            "every": self.sanitize_every,
+            "runs": self.sanitize_runs,
+            "violations": self.sanitize_violations,
+        }
         return result

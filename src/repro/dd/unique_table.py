@@ -97,6 +97,16 @@ class UniqueTable:
         """
         return iter(self._table.values())
 
+    def audit_entries(self) -> list:
+        """Snapshot of ``(stored key, node)`` pairs for integrity audits.
+
+        The sanitizer recomputes each node's signature and compares it to
+        the stored key: a mismatch means the node was mutated after hash
+        consing (or planted under a bogus key) and canonicity no longer
+        holds for it.
+        """
+        return list(self._table.items())
+
     def clear(self) -> None:
         self._table.clear()
         self.hits = 0

@@ -19,6 +19,18 @@ class DimensionMismatchError(DDError):
     """Two decision diagrams of incompatible qubit counts were combined."""
 
 
+class SanitizerError(DDError):
+    """The DD sanitizer found a structural-invariant violation.
+
+    ``report`` (when available) is the
+    :class:`repro.sanitizer.core.SanitizeReport` listing every violation.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
 class InvalidStateError(DDError):
     """A vector that is not a valid quantum state was supplied or produced."""
 

@@ -51,6 +51,7 @@ _EXPORT_NAMES = {
     ("swap", 0): "swap",
     ("swap", 1): "cswap",
     ("iswap", 0): "iswap",
+    ("iswapdg", 0): "iswapdg",
 }
 
 

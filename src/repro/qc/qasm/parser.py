@@ -697,6 +697,7 @@ _NATIVE_GATES: Dict[str, _Native] = {
     # two-qubit
     "swap": _Native(0, 2, _swap_like("swap")),
     "iswap": _Native(0, 2, _swap_like("iswap")),
+    "iswapdg": _Native(0, 2, _swap_like("iswapdg")),
     "cswap": _Native(0, 3, _swap_like("swap")),
     "rzz": _Native(1, 2, _rzz),
 }

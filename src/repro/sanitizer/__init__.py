@@ -1,0 +1,24 @@
+"""Runtime verification for the DD engine: sanitizer, faults, fuzzing.
+
+- :mod:`repro.sanitizer.core` — :class:`DDSanitizer` walks a package and
+  verifies structural invariants (unique-table canonicity, normalization,
+  complex-table representative uniqueness, refcount/GC-root consistency).
+- :mod:`repro.sanitizer.faults` — seeded fault injection that plants
+  corruptions the sanitizer must detect (and the service must survive).
+- :mod:`repro.sanitizer.metamorphic` — metamorphic fuzzer applying
+  equivalence-preserving circuit rewrites with shrinking counterexamples.
+"""
+
+from repro.sanitizer.core import (
+    DDSanitizer,
+    SanitizeReport,
+    Violation,
+    sanitize_package,
+)
+
+__all__ = [
+    "DDSanitizer",
+    "SanitizeReport",
+    "Violation",
+    "sanitize_package",
+]

@@ -43,6 +43,7 @@ from repro.errors import (
     RateLimitedError,
     ReproError,
     RequestTooLargeError,
+    SanitizerError,
     ServiceError,
     ServiceUnavailableError,
     SessionLimitError,
@@ -71,6 +72,9 @@ _STATUS_BY_ERROR: Tuple[Tuple[type, int], ...] = (
     (BadRequestError, 400),
     (SimulationError, 409),
     (VerificationError, 409),
+    # Detected DD-table corruption: the request cannot be served safely,
+    # but the condition is server-side — 503, not a client error.
+    (SanitizerError, 503),
     (ServiceError, 400),
     (ReproError, 400),
 )
@@ -348,10 +352,15 @@ class ServiceApp:
     def _get_healthz(self, request: Request, _sid: Optional[str]) -> Response:
         report = self.pool.last_report or {}
         pressure = self.pool.pressure_level
-        return Response.json({
-            # Degraded (not down) while workers sit at their memory budget:
-            # the process still serves, it just sheds batch load.
-            "status": "ok" if pressure < 2 else "degraded",
+        sanitize_violations = self.pool.sanitize_violations_seen
+        # Degraded (not down) while workers sit at their memory budget or a
+        # sanitizer run detected table corruption: the process still serves,
+        # it just sheds batch load / warns the operator.
+        healthy = pressure < 2 and sanitize_violations == 0
+        # Load balancers act on the status code, not the body: a degraded
+        # instance answers 503 so traffic drains away from it.
+        return Response.json(status=200 if healthy else 503, payload={
+            "status": "ok" if healthy else "degraded",
             "uptime_seconds": round(time.time() - self._started, 3),
             "sessions": len(self.store),
             "workers": self.pool.workers,
@@ -362,6 +371,7 @@ class ServiceApp:
                 "gc_runs": report.get("gc_runs", 0),
                 "gc_nodes_reclaimed": report.get("gc_nodes_reclaimed", 0),
                 "watchdog_kills": self.pool.watchdog_kills,
+                "sanitize_violations": sanitize_violations,
             },
         })
 

@@ -49,6 +49,7 @@ from repro.errors import (
     BadRequestError,
     JobTimeoutError,
     ServiceError,
+    ServiceUnavailableError,
     TablePressureError,
 )
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
@@ -206,11 +207,22 @@ def _governance_report() -> Dict[str, Any]:
         "gc_runs": governor.runs,
         "gc_nodes_reclaimed": governor.nodes_reclaimed_total,
         "gc_complex_reclaimed": governor.complex_reclaimed_total,
+        "sanitize_runs": package.sanitize_runs,
+        "sanitize_violations": package.sanitize_violations,
     }
 
 
 def _worker_main(conn, max_nodes: int, max_bytes: int) -> None:  # pragma: no cover - child process
     """Worker loop: recv (job, args), run, send (status, payload, report)."""
+    import os
+
+    # Mark this process as a sacrificial worker child and (only when the
+    # operator opted in) expose the chaos-testing fault jobs.
+    os.environ["REPRO_WORKER_CHILD"] = "1"
+    if os.environ.get("REPRO_ENABLE_FAULT_JOBS"):
+        from repro.sanitizer.faults import install_service_faults
+
+        install_service_faults()
     _set_budget(max_nodes, max_bytes)
     _package()  # warm up before signalling readiness
     conn.send(("ready", None, None))
@@ -300,6 +312,9 @@ class WorkerPool:
         self.budget_nodes = int(budget_nodes)
         self.budget_bytes = int(budget_bytes)
         registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        self._registry = registry
+        # Per-kind metrics are created lazily in `_job_metrics`: the job
+        # table is open (chaos-testing fault jobs register extra kinds).
         self._m_jobs = {
             kind: registry.counter("service_jobs_total", {"kind": kind})
             for kind in ("simulate", "verify")
@@ -310,6 +325,8 @@ class WorkerPool:
             )
             for kind in ("simulate", "verify")
         }
+        self._m_sanitize = registry.counter("dd_sanitize_violations_total")
+        self.sanitize_violations_seen = 0
         self._m_timeouts = registry.counter("service_job_timeouts_total")
         self._m_kills = registry.counter("service_watchdog_kills_total")
         self._m_shed = registry.counter("service_pressure_rejections_total")
@@ -371,6 +388,13 @@ class WorkerPool:
         self._m_table_bytes.set(report.get("table_bytes", 0))
         self._m_gc_runs.set_value(report.get("gc_runs", 0))
         self._m_gc_nodes.set_value(report.get("gc_nodes_reclaimed", 0))
+        violations = int(report.get("sanitize_violations", 0) or 0)
+        if violations > self.sanitize_violations_seen:
+            # Sticky by design: detected table corruption is not something
+            # a later clean job un-detects.  `/healthz` degrades until the
+            # operator restarts (or replaces) the service.
+            self.sanitize_violations_seen = violations
+            self._m_sanitize.set_value(violations)
         if report.get("pressure", 0) >= int(PressureLevel.HARD):
             # The worker is still over budget *after* collecting: its live
             # data alone exceeds the budget.  Shed load briefly so clients
@@ -418,8 +442,19 @@ class WorkerPool:
                         self._absorb_report(_governance_report())
             return self._submit_to_worker(kind, args)
         finally:
-            self._m_jobs[kind].inc()
-            self._m_seconds[kind].observe(perf_counter() - start)
+            counter, histogram = self._job_metrics(kind)
+            counter.inc()
+            histogram.observe(perf_counter() - start)
+
+    def _job_metrics(self, kind: str):
+        if kind not in self._m_jobs:
+            self._m_jobs[kind] = self._registry.counter(
+                "service_jobs_total", {"kind": kind}
+            )
+            self._m_seconds[kind] = self._registry.histogram(
+                "service_job_seconds", DEFAULT_TIME_BUCKETS, {"kind": kind}
+            )
+        return self._m_jobs[kind], self._m_seconds[kind]
 
     def _submit_to_worker(self, kind: str, args: tuple) -> Dict[str, Any]:
         # Checkout blocks until a worker frees up — same queueing semantics
@@ -429,7 +464,7 @@ class WorkerPool:
             worker.conn.send((kind, args))
         except (BrokenPipeError, OSError):
             self._respawn_after_kill(worker, "send failed")
-            raise ServiceError("worker was unavailable; please retry")
+            raise ServiceUnavailableError("worker was unavailable; please retry")
         deadline = time.monotonic() + self.request_deadline
         while True:
             remaining = deadline - time.monotonic()
@@ -446,7 +481,10 @@ class WorkerPool:
                 status, payload, report = worker.conn.recv()
             except (EOFError, OSError):
                 self._respawn_after_kill(worker, "worker died")
-                raise ServiceError(f"worker died while running a {kind} job")
+                raise ServiceUnavailableError(
+                    f"worker died while running a {kind} job; it has been "
+                    "replaced — please retry"
+                )
             break
         self._idle.put(worker)
         self._absorb_report(report)

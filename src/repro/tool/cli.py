@@ -119,6 +119,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="use the legacy gate-DD + multiply path instead "
                             "of the direct apply kernels (for comparison)")
 
+    sanitize = commands.add_parser(
+        "sanitize",
+        help="simulate a circuit with invariant checking at every operation "
+             "and report the sanitizer verdict",
+    )
+    sanitize.add_argument("circuit", help="path to a .qasm or .real file")
+    sanitize.add_argument("--seed", type=int, default=0,
+                          help="measurement RNG seed")
+    sanitize.add_argument("--every", type=int, default=1,
+                          help="sanitize every N package operations "
+                               "(default: 1, i.e. after every operation)")
+    sanitize.add_argument("--json-out", metavar="FILE",
+                          help="write the final sanitize report as JSON")
+
     trace = commands.add_parser(
         "trace",
         help="simulate a circuit under the tracer and print the span tree",
@@ -349,6 +363,7 @@ def _cmd_stats(args) -> int:
           f"(peak {simulator.peak_node_count})")
     all_stats = package.stats()
     governance = all_stats.pop("governance", None)
+    sanitizer = all_stats.pop("sanitizer", None)
     print(f"{'table':16s} {'entries':>9s} {'hits':>10s} {'misses':>10s} "
           f"{'hit ratio':>10s}")
     for name, values in all_stats.items():
@@ -361,8 +376,48 @@ def _cmd_stats(args) -> int:
         print("governance:")
         for key, value in governance.items():
             print(f"  {key:24s} {value}")
+    if sanitizer and sanitizer.get("runs"):
+        print()
+        print("sanitizer:")
+        for key, value in sanitizer.items():
+            print(f"  {key:24s} {value}")
     print()
     print(obs.run_report(registry, title=circuit.name))
+    return 0
+
+
+def _cmd_sanitize(args) -> int:
+    import json as _json
+
+    from repro.dd.package import DDPackage
+    from repro.errors import SanitizerError
+    from repro.simulation.simulator import DDSimulator
+
+    circuit = load_circuit(args.circuit)
+    package = DDPackage(sanitize_every=max(1, args.every))
+    simulator = DDSimulator(circuit, package=package, seed=args.seed)
+    violation_report = None
+    try:
+        simulator.run_all()
+    except SanitizerError as error:
+        violation_report = error.report
+    final_report = violation_report or package.sanitize()
+    if args.json_out:
+        payload = dict(final_report.as_dict())
+        payload["circuit"] = circuit.name
+        payload["sanitize_every"] = package.sanitize_every
+        payload["runs"] = package.sanitize_runs
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    print(f"{circuit.name}: {package.sanitize_runs} sanitizer run(s), "
+          f"every {package.sanitize_every} operation(s)")
+    print(final_report.summary())
+    if not final_report.ok:
+        for violation in final_report.violations:
+            print(f"  {violation}")
+        return 1
     return 0
 
 
@@ -481,6 +536,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "synth": _cmd_synth,
         "convert": _cmd_convert,
         "stats": _cmd_stats,
+        "sanitize": _cmd_sanitize,
         "trace": _cmd_trace,
         "bloch": _cmd_bloch,
         "repl": _cmd_repl,

@@ -244,6 +244,7 @@ class InteractiveTool:
         session = self._require_session()
         all_stats = session.simulator.package.stats()
         governance = all_stats.pop("governance", None)
+        sanitizer = all_stats.pop("sanitizer", None)
         lines = []
         for name, values in all_stats.items():
             lines.append(
@@ -255,6 +256,11 @@ class InteractiveTool:
                 f"{key}={value}" for key, value in governance.items()
             )
             lines.append(f"{'governance':16s} {rendered}")
+        if sanitizer and sanitizer.get("runs"):
+            rendered = " ".join(
+                f"{key}={value}" for key, value in sanitizer.items()
+            )
+            lines.append(f"{'sanitizer':16s} {rendered}")
         return "\n".join(lines)
 
     def _quit(self, arguments: List[str]) -> str:

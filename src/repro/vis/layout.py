@@ -82,7 +82,10 @@ def compute_layout(root: Edge, barycenter_passes: int = 3) -> Layout:
                 index_of[node] = position
 
     layout = Layout(layers=ordered_layers)
-    widest = max(len(layer) for layer in ordered_layers)
+    # A scalar DD (root edge pointing straight at the terminal) has no
+    # layers at all; `default=0` and the terminal fallback below keep the
+    # degenerate drawing well-formed instead of raising.
+    widest = max((len(layer) for layer in ordered_layers), default=0)
     total_width = 2 * MARGIN + max(widest - 1, 0) * H_SPACING
     layout.width = total_width
     layout.height = 2 * MARGIN + (len(ordered_layers) + 1) * V_SPACING
@@ -91,7 +94,10 @@ def compute_layout(root: Edge, barycenter_passes: int = 3) -> Layout:
         offset = (total_width - (len(layer) - 1) * H_SPACING) / 2.0
         for position, node in enumerate(layer):
             layout.positions[node] = (offset + position * H_SPACING, y)
-    root_x = layout.positions[root.node][0]
+    if root.node.is_terminal:
+        root_x = total_width / 2.0
+    else:
+        root_x = layout.positions[root.node][0]
     layout.root_anchor = (root_x, MARGIN + V_SPACING * 0.35)
     layout.terminal = (
         total_width / 2.0,

@@ -138,7 +138,9 @@ def dd_to_svg(
         writer.text(anchor_x + 8, (anchor_y + top_y) / 2, pretty_complex(root.weight),
                     size=11, anchor="start")
 
-    uses_terminal = False
+    # A scalar DD's root edge points straight at the terminal, so the
+    # terminal box must be drawn even though no node edge reaches it.
+    uses_terminal = root.node.is_terminal
     for layer in layout.layers:
         for node in layer:
             position = layout.positions[node]

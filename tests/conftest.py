@@ -2,6 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
+# Deterministic test runs: set-iteration order (and anything else keyed on
+# `hash(str)`) must not vary between runs, or seeded fuzz failures stop
+# reproducing.  This takes effect for *subprocesses* the suite launches
+# (CLI tests, service workers); CI additionally exports it for the parent
+# interpreter.
+os.environ.setdefault("PYTHONHASHSEED", "0")
+
 import numpy as np
 import pytest
 

@@ -29,6 +29,11 @@ def _subprocess_env() -> dict:
     env["PYTHONPATH"] = (
         SRC_DIR if not existing else SRC_DIR + os.pathsep + existing
     )
+    # Examples run against a fixed wall-clock budget; an ambient
+    # sanitize-every-op setting (e.g. the CI sanitize job's environment)
+    # would blow the timeout on the density-matrix examples.  Sanitizer
+    # coverage of these code paths lives in the dedicated suites.
+    env.pop("REPRO_SANITIZE_EVERY", None)
     return env
 
 

@@ -1,0 +1,141 @@
+"""Metamorphic fuzzing: equivalence-preserving rewrites never change results.
+
+The fuzzer (:mod:`repro.sanitizer.metamorphic`) generates seeded random
+circuits, applies a semantics-preserving rewrite, and checks the pair with
+the alternating equivalence checker plus identical sampling distributions.
+A deliberately *broken* rewrite must be caught and shrunk to a minimal
+counterexample in the corpus format under ``tests/data/metamorphic_corpus``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.sanitizer import metamorphic as mm
+
+CORPUS_DIR = Path(__file__).parent / "data" / "metamorphic_corpus"
+
+#: CI can rotate the base seed (METAMORPHIC_SEED) to sweep fresh cases
+#: without touching the test code; the default keeps local runs stable.
+BASE_SEED = int(os.environ.get("METAMORPHIC_SEED", "0"))
+
+
+# ----------------------------------------------------------------------
+# the healthy rewrites: hundreds of seeded cases, zero failures
+# ----------------------------------------------------------------------
+
+def test_200_seeded_cases_all_clean():
+    failures = mm.fuzz(200, seed=BASE_SEED, shots=64)
+    # Each describe() embeds the failing seed + rewrite: the assertion
+    # message alone is a complete reproducer.
+    assert not failures, "\n".join(case.describe() for case in failures)
+
+
+@pytest.mark.parametrize("rewrite", sorted(mm.REWRITES))
+def test_each_rewrite_clean_in_isolation(rewrite):
+    failures = mm.fuzz(20, seed=BASE_SEED + 10_000, rewrites=(rewrite,), shots=64)
+    assert not failures, "\n".join(case.describe() for case in failures)
+
+
+def test_clean_with_sanitizer_enabled():
+    """Fuzzing under REPRO_SANITIZE_EVERY-style checking stays clean too."""
+    failures = mm.fuzz(10, seed=BASE_SEED + 20_000, shots=64, sanitize_every=1)
+    assert not failures, "\n".join(case.describe() for case in failures)
+
+
+def test_failure_messages_embed_the_seed():
+    case = mm.CaseResult(seed=4711, rewrite="commute-disjoint", ok=False,
+                         reason="demo")
+    message = case.describe()
+    assert "seed=4711" in message
+    assert "commute-disjoint" in message
+    assert "FAIL" in message
+
+
+# ----------------------------------------------------------------------
+# determinism: the same seed always produces the same case
+# ----------------------------------------------------------------------
+
+def test_generator_is_deterministic():
+    a = mm.random_program(3, 12, seed=99)
+    b = mm.random_program(3, 12, seed=99)
+    assert a.to_qasm() == b.to_qasm()
+    assert a.to_qasm() != mm.random_program(3, 12, seed=100).to_qasm()
+
+
+@pytest.mark.parametrize("rewrite", sorted({**mm.REWRITES, **mm.BROKEN_REWRITES}))
+def test_rewrites_are_deterministic(rewrite):
+    circuit = mm.random_program(3, 10, seed=5)
+    first = mm.apply_rewrite(circuit, rewrite, seed=77)
+    second = mm.apply_rewrite(circuit, rewrite, seed=77)
+    assert first.to_qasm() == second.to_qasm()
+
+
+def test_unknown_rewrite_rejected():
+    circuit = mm.random_program(2, 4, seed=0)
+    with pytest.raises(ValueError, match="unknown rewrite"):
+        mm.apply_rewrite(circuit, "swap-everything", seed=0)
+
+
+# ----------------------------------------------------------------------
+# the planted bug: broken-sign-flip must be caught and shrunk
+# ----------------------------------------------------------------------
+
+def test_broken_sign_flip_is_caught_and_shrunk(tmp_path):
+    failures = mm.fuzz(
+        8, seed=BASE_SEED + 30_000, rewrites=("broken-sign-flip",), shots=64
+    )
+    # The rewrite inserts g(θ)·g(θ) where the inverse belongs — every
+    # single case must fail the equivalence check.
+    assert len(failures) == 8, "\n".join(case.describe() for case in failures)
+    for case in failures:
+        assert "equivalen" in case.reason or "distribution" in case.reason
+        assert case.shrunk is not None
+        # Shrinking strips the original down to (near) nothing: the whole
+        # counterexample is the two inserted gates.
+        assert len(case.transformed) <= 5, case.describe()
+
+    # Saving produces a replayable corpus entry.
+    path = mm.save_counterexample(tmp_path, failures[0])
+    record = json.loads(path.read_text())
+    assert record["format"] == mm.CORPUS_FORMAT
+    assert record["rewrite"] == "broken-sign-flip"
+    assert record["transformed_gates"] <= 5
+    replay = mm.replay_record(record, shots=64)
+    assert not replay.ok
+
+
+# ----------------------------------------------------------------------
+# the committed corpus: every entry still fails (regression archive)
+# ----------------------------------------------------------------------
+
+def test_corpus_directory_has_entries():
+    records = mm.load_corpus(CORPUS_DIR)
+    assert records, f"no corpus entries under {CORPUS_DIR}"
+    for record in records:
+        assert record["format"] == mm.CORPUS_FORMAT
+        assert record["transformed_gates"] <= 5
+
+
+def test_corpus_entries_replay_as_failures():
+    for record in mm.load_corpus(CORPUS_DIR):
+        replay = mm.replay_record(record, shots=64)
+        assert not replay.ok, (
+            f"corpus entry {record['path']} no longer fails — if the "
+            "rewrite was fixed, delete the entry; if the checker regressed, "
+            "this is the bug"
+        )
+
+
+def test_load_corpus_rejects_unknown_format(tmp_path):
+    (tmp_path / "bogus.json").write_text(json.dumps({"format": "nope"}))
+    with pytest.raises(ValueError, match="unknown corpus format"):
+        mm.load_corpus(tmp_path)
+
+
+def test_load_corpus_missing_directory_is_empty(tmp_path):
+    assert mm.load_corpus(tmp_path / "does-not-exist") == []
