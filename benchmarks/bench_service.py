@@ -121,3 +121,84 @@ def test_service_throughput(report):
     rows.append("---")
     rows.append(json.dumps(results, indent=2, sort_keys=True))
     report("service", rows)
+
+
+# ----------------------------------------------------------------------
+# streaming overhead: uncached rps with 0 vs 8 metric-stream subscribers
+# ----------------------------------------------------------------------
+STREAM_SUBSCRIBERS = 8
+STREAM_OVERHEAD_BUDGET = 0.10  # open SSE streams may cost < 10% rps
+
+
+def _attach_metric_streams(server, count, stop):
+    """Open ``count`` /stream/metrics subscribers, each drained by a thread."""
+    connections, threads = [], []
+    host, port = server.address
+    for _ in range(count):
+        connection = HTTPConnection(host, port, timeout=60)
+        connection.request("GET", "/stream/metrics")
+        response = connection.getresponse()
+        assert response.status == 200, response.read()
+        connections.append(connection)
+
+        def drain(resp=response):
+            try:
+                while not stop.is_set():
+                    if not resp.readline():
+                        return
+            except OSError:
+                return
+
+        thread = threading.Thread(target=drain)
+        thread.start()
+        threads.append(thread)
+    return connections, threads
+
+
+def test_streaming_overhead(report):
+    """8 live metric streams must not tax /simulate by more than 10%."""
+    config = ServiceConfig(port=0, workers=4, cache_capacity=1024,
+                           metrics_interval=0.5)
+    rows = [f"subscribers  requests     req/s   p50[ms]   p99[ms]"]
+    with DDToolServer(config) as server:
+        def uncached_payloads():
+            return [
+                [{"qasm": _fresh_qasm(), "shots": 16, "seed": 1}
+                 for _ in range(UNCACHED_PER_CLIENT)]
+                for _ in range(CLIENTS)
+            ]
+
+        _measure(server, uncached_payloads())  # warm up the pool
+        baseline = _measure(server, uncached_payloads())
+
+        stop = threading.Event()
+        connections, threads = _attach_metric_streams(
+            server, STREAM_SUBSCRIBERS, stop
+        )
+        try:
+            streaming = _measure(server, uncached_payloads())
+        finally:
+            stop.set()
+            server.app.events.close()  # wake the blocked stream readers
+            for thread in threads:
+                thread.join(timeout=30)
+            for connection in connections:
+                connection.close()
+
+    for label, stats in ((0, baseline), (STREAM_SUBSCRIBERS, streaming)):
+        rows.append(
+            f"{label:11d}  {stats['requests']:8d}  {stats['rps']:8.1f}  "
+            f"{stats['p50_ms']:8.2f}  {stats['p99_ms']:8.2f}"
+        )
+    overhead = 1.0 - streaming["rps"] / baseline["rps"]
+    rows.append(f"overhead: {100 * overhead:.1f}% "
+                f"(budget {100 * STREAM_OVERHEAD_BUDGET:.0f}%)")
+    rows.append("---")
+    rows.append(json.dumps({
+        "baseline": baseline, "streaming": streaming,
+        "subscribers": STREAM_SUBSCRIBERS, "overhead": overhead,
+    }, indent=2, sort_keys=True))
+    report("service_streaming", rows)
+    assert overhead < STREAM_OVERHEAD_BUDGET, (
+        f"{STREAM_SUBSCRIBERS} metric streams cost {100 * overhead:.1f}% rps"
+    )

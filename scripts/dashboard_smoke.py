@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Loopback smoke test of the SSE streams and the /dashboard page (CI).
+
+Starts a server on an ephemeral port, attaches a metrics-stream client and
+a session-frame client, drives a 3-qubit QFT session to the end (forcing
+one mid-stream reconnect with ``Last-Event-ID``), asserts every frame
+arrived exactly once and in order, fetches ``/dashboard`` and checks the
+page is fully self-contained (no ``http://``/``https://`` references),
+then stops the server with a stream still open to exercise the drain.
+
+Artifacts land in ``benchmarks/results/dashboard_smoke.txt`` and
+``benchmarks/results/dashboard.html`` for upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import urllib.request
+from http.client import HTTPConnection
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.qc import library  # noqa: E402
+from repro.service import DDToolServer, ServiceConfig  # noqa: E402
+
+
+def _request(base, method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    if data:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=60) as response:
+        body = response.read()
+        if response.headers.get_content_type() == "application/json":
+            return response.status, json.loads(body)
+        return response.status, body
+
+
+def _open_stream(server, path, last_event_id=None):
+    host, port = server.address
+    connection = HTTPConnection(host, port, timeout=30)
+    headers = {"Last-Event-ID": str(last_event_id)} if last_event_id else {}
+    connection.request("GET", path, headers=headers)
+    response = connection.getresponse()
+    assert response.status == 200, response.read()
+    assert response.getheader("Content-Type") == "text/event-stream"
+    return connection, response
+
+
+def _read_sse(response):
+    event_id, kind, data_lines = None, None, []
+    while True:
+        raw = response.readline()
+        if not raw:
+            return
+        line = raw.decode().rstrip("\n")
+        if line.startswith(":") or line.startswith("retry:"):
+            continue
+        if line == "":
+            if kind is not None or data_lines:
+                data = json.loads("\n".join(data_lines)) if data_lines else None
+                yield event_id, kind, data
+            event_id, kind, data_lines = None, None, []
+            continue
+        if line.startswith("id: "):
+            event_id = int(line[4:])
+        elif line.startswith("event: "):
+            kind = line[7:]
+        elif line.startswith("data: "):
+            data_lines.append(line[6:])
+
+
+def main() -> int:
+    qft = library.qft(3).to_qasm()
+    steps = []
+
+    config = ServiceConfig(port=0, workers=0, metrics_interval=0.2,
+                           heartbeat_interval=1.0, drain_timeout=10.0)
+    server = DDToolServer(config).start()
+    try:
+        base = server.url
+        steps.append(f"server listening at {base}")
+
+        # A metrics-stream client collecting in the background.
+        metric_kinds = []
+        done = threading.Event()
+
+        def metrics_client():
+            connection, response = _open_stream(server, "/stream/metrics")
+            for _, kind, _ in _read_sse(response):
+                metric_kinds.append(kind)
+                if done.is_set() and "delta" in metric_kinds:
+                    break
+            connection.close()
+
+        watcher = threading.Thread(target=metrics_client)
+        watcher.start()
+
+        status, session = _request(base, "POST", "/sessions", {
+            "kind": "simulation", "qasm": qft, "seed": 0,
+        })
+        assert status == 201, session
+        sid, total = session["session_id"], session["total"]
+        steps.append(f"created session {sid} with {total} operations")
+
+        # Frame stream: read the first two frames, then force a reconnect
+        # with Last-Event-ID and collect the rest — no gaps, no duplicates.
+        connection, response = _open_stream(server, f"/sessions/{sid}/stream")
+        frames, cursor = [], None
+
+        def take_frames(reader, stop_after=None, stop_index=None):
+            nonlocal cursor
+            for event_id, kind, data in reader:
+                if kind != "frame":
+                    continue
+                frames.append(data["index"])
+                cursor = event_id
+                if stop_after is not None and len(frames) >= stop_after:
+                    return
+                if stop_index is not None and data["index"] == stop_index:
+                    return
+
+        stepper = threading.Thread(target=lambda: [
+            _request(base, "POST", f"/sessions/{sid}/step",
+                     {"action": "forward"})
+            for _ in range(total)
+        ])
+        stepper.start()
+        take_frames(_read_sse(response), stop_after=2)
+        connection.close()
+        steps.append(f"read {len(frames)} frames, forcing a reconnect "
+                     f"at event id {cursor}")
+        connection, response = _open_stream(
+            server, f"/sessions/{sid}/stream", last_event_id=cursor
+        )
+        take_frames(_read_sse(response), stop_index=total)
+        connection.close()
+        stepper.join()
+        assert frames == list(range(total + 1)), frames
+        steps.append(f"all {total + 1} frames arrived in order with no "
+                     "duplicates across the reconnect")
+
+        done.set()
+        _request(base, "DELETE", f"/sessions/{sid}")
+        watcher.join(timeout=30)
+        assert not watcher.is_alive(), "metrics client never finished"
+        assert metric_kinds[0] == "snapshot", metric_kinds[:3]
+        assert "delta" in metric_kinds, metric_kinds
+        assert "session.created" in metric_kinds, metric_kinds
+        steps.append("metrics stream delivered snapshot, deltas and "
+                     "lifecycle events")
+
+        status, page = _request(base, "GET", "/dashboard")
+        assert status == 200
+        html = page.decode()
+        assert "http://" not in html and "https://" not in html, \
+            "dashboard must be fully self-contained"
+        assert "EventSource" in html and "/stream/metrics" in html
+        steps.append(f"/dashboard served {len(html)} bytes, fully "
+                     "self-contained (no external references)")
+
+        # Stop with a stream still open: the drain must end it cleanly.
+        connection, response = _open_stream(server, "/stream/metrics")
+        reader = _read_sse(response)
+        assert next(reader)[1] == "snapshot"
+    finally:
+        server.stop()
+    tail = [kind for _, kind, _ in reader]
+    assert tail and tail[-1] == "shutdown", tail
+    connection.close()
+    steps.append("server stop drained the open stream with a shutdown event")
+
+    results_dir = os.path.join(ROOT, "benchmarks", "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "dashboard_smoke.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write("==== dashboard smoke ====\n")
+        handle.write("\n".join(steps) + "\n")
+    with open(os.path.join(results_dir, "dashboard.html"), "w",
+              encoding="utf-8") as handle:
+        handle.write(html)
+    print("\n".join(steps))
+    print("dashboard smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,6 +160,7 @@ class ResourceGovernor:
         package,
         budget: MemoryBudget,
         registry: Optional[MetricsRegistry] = None,
+        event_bus=None,
     ):
         # Weak: the package owns the governor, not vice versa — a strong
         # reference would form a cycle and defer package teardown to the
@@ -180,6 +181,11 @@ class ResourceGovernor:
         self.last_stats: Optional[GcStats] = None
         registry = registry if registry is not None else MetricsRegistry(enabled=False)
         self._registry = registry
+        #: Optional :class:`repro.obs.events.EventBus` receiving one
+        #: ``dd.gc`` event per collection and a ``dd.pressure`` event per
+        #: pressure-tier transition (the dashboard's GC/pressure feed).
+        self.event_bus = event_bus
+        self._last_published_pressure = int(PressureLevel.OK)
         if registry.enabled:
             self._register(registry)
 
@@ -333,12 +339,36 @@ class ResourceGovernor:
         self.complex_reclaimed_total += stats.complex_reclaimed
         self.compute_entries_dropped_total += dropped
         self.last_stats = stats
+        self._publish_collection(stats)
         # Re-verify structural invariants straight after the collection (a
         # no-op unless the package has sanitizing enabled): a sweep that
         # purged a live weight representative must surface here, at the GC
         # that caused it, not at some distant later operation.
         package._post_gc_sanitize()
         return stats
+
+    def _publish_collection(self, stats: GcStats) -> None:
+        """Push this collection (and any pressure transition) onto the bus."""
+        bus = self.event_bus
+        if bus is None:
+            return
+        bus.publish("dd.gc", dict(stats.as_dict(), runs=self.runs))
+        self.publish_pressure()
+
+    def publish_pressure(self) -> None:
+        """Publish a ``dd.pressure`` event if the tier changed since last time."""
+        bus = self.event_bus
+        if bus is None:
+            return
+        level = int(self.pressure())
+        if level != self._last_published_pressure:
+            bus.publish("dd.pressure", {
+                "level": level,
+                "previous": self._last_published_pressure,
+                "table_bytes": self.table_bytes(),
+                "nodes": self.node_count(),
+            })
+            self._last_published_pressure = level
 
     def _mark(self) -> set:
         """Weights that must survive a complex-table sweep.

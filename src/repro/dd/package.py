@@ -106,6 +106,11 @@ class DDPackage:
         ``None`` (the default) reads the ``REPRO_SANITIZE_EVERY``
         environment variable (unset/invalid means disabled).  While
         enabled, the sanitizer also runs after every garbage collection.
+    event_bus:
+        Optional :class:`repro.obs.events.EventBus` onto which the package
+        publishes structured events: ``dd.gc`` per collection,
+        ``dd.pressure`` per pressure-tier transition and ``dd.sanitize``
+        per failing sanitizer run (the live dashboard's state feed).
     """
 
     _OPERATION_NAMES = ("add", "multiply", "kron", "adjoint", "inner_product")
@@ -119,8 +124,13 @@ class DDPackage:
         use_apply_kernels: bool = True,
         budget: Optional[MemoryBudget] = None,
         sanitize_every: Optional[int] = None,
+        event_bus=None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Optional :class:`repro.obs.events.EventBus`: the governor
+        #: publishes GC/pressure events onto it and :meth:`sanitize`
+        #: publishes its verdicts, feeding the service's live streams.
+        self.event_bus = event_bus
         self.use_apply_kernels = use_apply_kernels
         self.complex_table = ComplexTable(tolerance, registry=self.registry)
         self.vector_scheme = vector_scheme
@@ -179,7 +189,10 @@ class DDPackage:
             "dd_sanitize_violations_total"
         )
         self.governor = ResourceGovernor(
-            self, budget if budget is not None else MemoryBudget(), self.registry
+            self,
+            budget if budget is not None else MemoryBudget(),
+            self.registry,
+            event_bus=event_bus,
         )
         # Occupancy is sampled at export time through a weakly-bound
         # collector, so a shared registry never keeps a package alive.
@@ -924,6 +937,13 @@ class DDPackage:
         if not report.ok:
             self.sanitize_violations += len(report.violations)
             self._m_sanitize_violations.inc(len(report.violations))
+            if self.event_bus is not None:
+                self.event_bus.publish("dd.sanitize", {
+                    "ok": False,
+                    "violations": len(report.violations),
+                    "violations_total": self.sanitize_violations,
+                    "checks": sorted({v.check for v in report.violations}),
+                })
             if raise_on_violation:
                 report.raise_if_violations()
         return report

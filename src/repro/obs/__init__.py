@@ -1,16 +1,25 @@
 """repro.obs — the observability subsystem.
 
 Metrics (counters, gauges, fixed-bucket histograms in a
-:class:`MetricsRegistry`), span tracing (:class:`Tracer`, :func:`traced`)
-and exporters (JSON snapshot, Prometheus text exposition, human-readable
-run report).  See ``docs/observability.md`` for the full guide.
+:class:`MetricsRegistry`), span tracing (:class:`Tracer`, :func:`traced`),
+exporters (JSON snapshot + delta, Prometheus text exposition,
+human-readable run report) and the push-based :class:`EventBus` feeding
+the service's SSE streams.  See ``docs/observability.md`` for the full
+guide.
 
 The package-level switch :func:`set_enabled` turns all instrumentation
 created afterwards into no-ops, so the hot paths cost ~nothing when
 observability is off.
 """
 
-from repro.obs.export import registry_snapshot, run_report, to_json, to_prometheus
+from repro.obs.events import Event, EventBus, Subscription
+from repro.obs.export import (
+    registry_snapshot,
+    run_report,
+    snapshot_delta,
+    to_json,
+    to_prometheus,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -24,10 +33,13 @@ from repro.obs.tracing import Span, Tracer, default_tracer, format_span_tree, tr
 
 __all__ = [
     "Counter",
+    "Event",
+    "EventBus",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "Subscription",
     "Tracer",
     "default_registry",
     "default_tracer",
@@ -36,6 +48,7 @@ __all__ = [
     "registry_snapshot",
     "run_report",
     "set_enabled",
+    "snapshot_delta",
     "to_json",
     "to_prometheus",
     "traced",

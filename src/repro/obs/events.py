@@ -1,0 +1,267 @@
+"""In-process event bus — the push half of the observability layer.
+
+The metrics registry answers "what is the state *now*"; this module answers
+"what just *happened*".  Components publish structured :class:`Event`
+values onto an :class:`EventBus` (the resource governor publishes GC runs
+and pressure transitions, the package publishes sanitizer verdicts, the
+service worker pool publishes watchdog kills and load shedding, the
+session store publishes session lifecycle, and the service layer publishes
+per-step session frames) and any number of subscribers consume them — most
+prominently the SSE streaming endpoints behind the live operator dashboard
+(``docs/dashboard.md``).
+
+Design constraints, in order:
+
+* **A slow subscriber must never block a publisher.**  Each subscription
+  owns a bounded ring buffer; when it overflows, the *oldest* queued event
+  is dropped (the client can re-sync from the replay history) and the drop
+  is counted in ``dd_stream_dropped_total``.
+* **Reconnects must be able to resume.**  Events carry process-monotonic
+  integer ids; the bus keeps a bounded replay history, and
+  :meth:`EventBus.subscribe` accepts ``last_event_id`` to replay everything
+  newer that is still remembered (SSE ``Last-Event-ID`` semantics).
+* **Shutdown must unblock everyone.**  :meth:`EventBus.close` marks the bus
+  closed and wakes every blocked :meth:`Subscription.get`, so streaming
+  handlers can drain and say goodbye instead of hanging on SIGTERM.
+
+The bus is transport-free; :meth:`Event.to_sse` renders the standard
+``text/event-stream`` framing used by the service layer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Event", "EventBus", "Subscription"]
+
+
+class Event:
+    """One published occurrence: a monotonic id, a kind, and a data dict."""
+
+    __slots__ = ("id", "kind", "data", "time")
+
+    def __init__(self, event_id: int, kind: str, data: Dict[str, Any], timestamp: float):
+        self.id = event_id
+        self.kind = kind
+        self.data = data
+        self.time = timestamp
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"id": self.id, "kind": self.kind, "time": self.time,
+                "data": self.data}
+
+    def to_sse(self) -> str:
+        """Render the event as one ``text/event-stream`` message.
+
+        The JSON payload is compact and newline-free, so a single ``data:``
+        line always suffices (SSE would otherwise require splitting).
+        """
+        payload = json.dumps(
+            {"time": round(self.time, 6), **self.data},
+            separators=(",", ":"), sort_keys=True, default=str,
+        )
+        return f"id: {self.id}\nevent: {self.kind}\ndata: {payload}\n\n"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Event #{self.id} {self.kind} {self.data}>"
+
+
+class Subscription:
+    """One subscriber's bounded view of a bus (drop-oldest on overflow)."""
+
+    def __init__(self, bus: "EventBus", max_queue: int):
+        self._bus = bus
+        self.max_queue = max(1, int(max_queue))
+        self._queue: Deque[Event] = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+        #: Events this subscription had to drop because the consumer lagged.
+        self.dropped = 0
+
+    @property
+    def closed(self) -> bool:
+        """Whether the bus (or this subscription) has been closed.
+
+        Queued events remain retrievable after closing; :meth:`get` drains
+        them before reporting the end of the stream.
+        """
+        return self._closed
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def _offer(self, event: Event) -> None:
+        """Enqueue ``event``, dropping the oldest entry when full."""
+        with self._lock:
+            if self._closed:
+                return
+            if len(self._queue) >= self.max_queue:
+                self._queue.popleft()
+                self.dropped += 1
+                self._bus._count_drop()
+            self._queue.append(event)
+            self._ready.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Event]:
+        """Next event, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the stream has ended (bus
+        closed and queue drained) — check :attr:`closed` to tell the two
+        apart.
+        """
+        with self._lock:
+            if not self._queue:
+                if self._closed:
+                    return None
+                self._ready.wait(timeout)
+            if self._queue:
+                return self._queue.popleft()
+            return None
+
+    def close(self) -> None:
+        """Detach from the bus and wake any blocked :meth:`get`."""
+        self._bus._detach(self)
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+
+class EventBus:
+    """Publish/subscribe hub with replay history and monotonic event ids.
+
+    ``history`` bounds the replay buffer used for ``last_event_id`` resume;
+    ``max_queue`` is the default per-subscription ring-buffer size.  The
+    optional registry receives ``dd_stream_events_total`` /
+    ``dd_stream_dropped_total`` counters and a ``dd_stream_subscribers``
+    gauge.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        history: int = 1024,
+        max_queue: int = 256,
+    ):
+        self._lock = threading.Lock()
+        self._subscribers: List[Subscription] = []
+        self._history: Deque[Event] = deque(maxlen=max(0, int(history)))
+        self._next_id = 1
+        self._closed = False
+        self.default_max_queue = max(1, int(max_queue))
+        registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        self._m_events = registry.counter("dd_stream_events_total")
+        self._m_dropped = registry.counter("dd_stream_dropped_total")
+        self._m_subscribers = registry.gauge("dd_stream_subscribers")
+
+    def _count_drop(self) -> None:
+        self._m_dropped.inc()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def last_id(self) -> int:
+        """Id of the most recently published event (0 before the first)."""
+        with self._lock:
+            return self._next_id - 1
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(self, kind: str, data: Optional[Dict[str, Any]] = None) -> Optional[Event]:
+        """Publish one event to every subscriber; returns it (None if closed).
+
+        Publishing never blocks on consumers: a full subscription drops its
+        oldest queued event instead.
+        """
+        with self._lock:
+            if self._closed:
+                return None
+            event = Event(self._next_id, kind, dict(data or {}), time.time())
+            self._next_id += 1
+            self._history.append(event)
+            subscribers = list(self._subscribers)
+        self._m_events.inc()
+        for subscription in subscribers:
+            subscription._offer(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # subscribing
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        last_event_id: Optional[int] = None,
+        max_queue: Optional[int] = None,
+    ) -> Subscription:
+        """Attach a subscriber, optionally replaying from the history.
+
+        ``last_event_id`` requests every remembered event with a larger id
+        (pass ``0`` for "everything still in history"); ``None`` starts
+        from now.  Subscribing to a closed bus returns an already-closed
+        subscription (whose replay still works), so late stream requests
+        during shutdown fail soft.
+        """
+        subscription = Subscription(
+            self, max_queue if max_queue is not None else self.default_max_queue
+        )
+        with self._lock:
+            replay = (
+                [event for event in self._history if event.id > last_event_id]
+                if last_event_id is not None
+                else []
+            )
+            if not self._closed:
+                self._subscribers.append(subscription)
+            self._m_subscribers.set(len(self._subscribers))
+        for event in replay:
+            subscription._offer(event)
+        if self._closed:
+            with subscription._lock:
+                subscription._closed = True
+        return subscription
+
+    def _detach(self, subscription: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscription)
+            except ValueError:
+                pass
+            self._m_subscribers.set(len(self._subscribers))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """End the stream: wake all subscribers; further publishes are no-ops.
+
+        Idempotent.  Subscribers still drain their queued events before
+        :meth:`Subscription.get` starts returning ``None`` with
+        :attr:`Subscription.closed` set.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            subscribers = list(self._subscribers)
+            self._subscribers.clear()
+            self._m_subscribers.set(0)
+        for subscription in subscribers:
+            with subscription._lock:
+                subscription._closed = True
+                subscription._ready.notify_all()

@@ -18,7 +18,13 @@ from typing import Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["registry_snapshot", "run_report", "to_json", "to_prometheus"]
+__all__ = [
+    "registry_snapshot",
+    "run_report",
+    "snapshot_delta",
+    "to_json",
+    "to_prometheus",
+]
 
 
 def registry_snapshot(registry: MetricsRegistry) -> Dict[str, object]:
@@ -46,6 +52,49 @@ def registry_snapshot(registry: MetricsRegistry) -> Dict[str, object]:
 def to_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
     """Serialize a registry snapshot as JSON."""
     return json.dumps(registry_snapshot(registry), indent=indent, sort_keys=True)
+
+
+def _metric_key(entry: Dict[str, object]) -> tuple:
+    labels = entry.get("labels") or {}
+    return (entry["name"], tuple(sorted(labels.items())))
+
+
+def snapshot_delta(
+    previous: Dict[str, object], current: Dict[str, object]
+) -> Dict[str, object]:
+    """Diff two :func:`registry_snapshot` dicts down to what changed.
+
+    Streaming ``/metrics`` every couple of seconds must cost O(changes),
+    not O(metrics): a delta contains only instruments whose value moved
+    since ``previous``, and histogram entries carry only the buckets whose
+    cumulative count changed (plus ``count``/``sum``, always).  Instruments
+    absent from ``previous`` appear whole.  Applying a delta is a merge by
+    ``(name, labels)``; ``le`` keys identify histogram buckets.
+
+    The result has the snapshot shape (``{"metrics": [...]}``) so the same
+    consumers can process full snapshots and deltas alike.
+    """
+    before = {_metric_key(entry): entry for entry in previous.get("metrics", [])}
+    changed: List[Dict[str, object]] = []
+    for entry in current.get("metrics", []):
+        old = before.get(_metric_key(entry))
+        if entry.get("type") == "histogram":
+            if old is not None and old.get("count") == entry.get("count") \
+                    and old.get("sum") == entry.get("sum"):
+                continue
+            old_buckets = {
+                bucket["le"]: bucket["count"]
+                for bucket in (old.get("buckets", []) if old else [])
+            }
+            delta_buckets = [
+                bucket
+                for bucket in entry.get("buckets", [])
+                if old_buckets.get(bucket["le"]) != bucket["count"]
+            ]
+            changed.append(dict(entry, buckets=delta_buckets))
+        elif old is None or old.get("value") != entry.get("value"):
+            changed.append(entry)
+    return {"metrics": changed}
 
 
 def _escape_label_value(value: str) -> str:
@@ -154,9 +203,12 @@ def run_report(registry: MetricsRegistry, title: Optional[str] = None) -> str:
         for metric in groups[prefix]:
             label_text = _label_string(metric.labels)
             if metric.kind == "histogram":
+                quantiles = metric.percentiles()
                 lines.append(
                     f"  {metric.name}{label_text}: count={metric.count} "
-                    f"mean={metric.mean:.6g} sum={metric.sum:.6g}"
+                    f"mean={metric.mean:.6g} sum={metric.sum:.6g} "
+                    f"p50={quantiles['p50']:.6g} p95={quantiles['p95']:.6g} "
+                    f"p99={quantiles['p99']:.6g}"
                 )
             else:
                 lines.append(

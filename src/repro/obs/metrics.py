@@ -183,6 +183,28 @@ class Histogram:
         out.append((float("inf"), running + self._bucket_counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the fixed buckets.
+
+        Prometheus ``histogram_quantile`` semantics: find the bucket the
+        target rank falls into and interpolate linearly inside it (the
+        lower edge of the first bucket is 0).  Observations beyond the
+        largest finite bound are clamped to that bound — the histogram
+        cannot know how far into ``+Inf`` they reach.  Returns 0.0 for an
+        empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        return _bucket_quantile(self.bounds, self._bucket_counts, self._count, q)
+
+    def percentiles(self) -> Dict[str, float]:
+        """The dashboard's standard trio: p50/p95/p99 estimates."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def reset(self) -> None:
         self._bucket_counts = [0] * (len(self.bounds) + 1)
         self._sum = 0.0
@@ -193,6 +215,34 @@ class Histogram:
             f"<Histogram {self.name}{self.labels or ''}: "
             f"{self._count} observations, sum {self._sum:.6g}>"
         )
+
+
+def _bucket_quantile(
+    bounds: Tuple[float, ...],
+    bucket_counts: List[int],
+    total: int,
+    q: float,
+) -> float:
+    """Shared quantile interpolation over per-bucket (non-cumulative) counts.
+
+    Module-level so delta-based consumers (the metrics stream diffs two
+    snapshots and wants quantiles of just the *new* observations) can reuse
+    the exact interpolation the :class:`Histogram` uses.
+    """
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    running = 0
+    for index, count in enumerate(bucket_counts[: len(bounds)]):
+        previous = running
+        running += count
+        if running >= rank and count > 0:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index]
+            fraction = (rank - previous) / count
+            return lower + (upper - lower) * fraction
+    # Rank lies in the +Inf bucket: clamp to the largest finite bound.
+    return bounds[-1]
 
 
 class _NullCounter:
@@ -251,6 +301,12 @@ class _NullHistogram:
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         return []
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
 
     def reset(self) -> None:
         pass

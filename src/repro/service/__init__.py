@@ -7,7 +7,9 @@ concurrent clients, plus one-shot batch ``/simulate`` and ``/verify``
 endpoints that run on a pool of worker processes (one
 :class:`~repro.dd.package.DDPackage` per worker) and are memoized in an
 LRU result cache keyed on the canonical circuit digest
-(:func:`repro.qc.hashing.circuit_digest`).
+(:func:`repro.qc.hashing.circuit_digest`).  Live observability rides on
+Server-Sent Events: per-session frame streams, a metrics-delta stream and
+the self-contained ``/dashboard`` page (see ``docs/dashboard.md``).
 
 Layers (all stdlib, no new dependencies):
 
@@ -21,7 +23,13 @@ Layers (all stdlib, no new dependencies):
 See ``docs/service.md`` for the API reference with curl examples.
 """
 
-from repro.service.app import Request, Response, ServiceApp, ServiceConfig
+from repro.service.app import (
+    Request,
+    Response,
+    ServiceApp,
+    ServiceConfig,
+    StreamingResponse,
+)
 from repro.service.cache import ResultCache
 from repro.service.server import DDToolServer, serve
 from repro.service.sessions import SessionHandle, SessionStore
@@ -36,6 +44,7 @@ __all__ = [
     "ServiceConfig",
     "SessionHandle",
     "SessionStore",
+    "StreamingResponse",
     "WorkerPool",
     "serve",
     "simulate_job",

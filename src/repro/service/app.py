@@ -18,10 +18,19 @@ GET    ``/sessions/{id}/text``         current DD as terminal art (text/plain)
 GET    ``/sessions/{id}/counts``       sampled shot histogram
 POST   ``/simulate``                   one-shot batch simulation (cached)
 POST   ``/verify``                     one-shot equivalence check (cached)
+GET    ``/sessions/{id}/stream``       live step frames (text/event-stream)
+GET    ``/stream/metrics``             metric deltas + state (text/event-stream)
+GET    ``/dashboard``                  self-contained live dashboard (HTML)
 GET    ``/metrics``                    Prometheus text exposition
 GET    ``/report``                     human-readable run report (text/plain)
 GET    ``/healthz``                    liveness probe
 ====== =============================== =====================================
+
+Streaming endpoints return a :class:`StreamingResponse` — a lazily
+produced sequence of Server-Sent-Event chunks — instead of a buffered
+:class:`Response`; the HTTP adapter writes them with chunked transfer
+encoding, and the whole SSE machinery stays unit-testable by iterating
+the chunks directly.
 
 Error responses are structured and reuse the :mod:`repro.errors` hierarchy:
 ``{"error": {"type": "ParseError", "message": "...", "status": 400}}``.
@@ -34,7 +43,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import (
     BadRequestError,
@@ -50,7 +59,8 @@ from repro.errors import (
     SimulationError,
     VerificationError,
 )
-from repro.obs.export import run_report, to_prometheus
+from repro.obs.events import EventBus, Subscription
+from repro.obs.export import registry_snapshot, run_report, snapshot_delta, to_prometheus
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
 from repro.qc.qasm.parser import parse_qasm
 from repro.service.cache import ResultCache
@@ -59,7 +69,7 @@ from repro.service.workers import WorkerPool, simulate_job, verify_job
 from repro.tool.session import SimulationSession, VerificationSession
 from repro.vis.style import DDStyle
 
-__all__ = ["Request", "Response", "ServiceApp", "ServiceConfig"]
+__all__ = ["Request", "Response", "ServiceApp", "ServiceConfig", "StreamingResponse"]
 
 _JSON = "application/json"
 _STATUS_BY_ERROR: Tuple[Tuple[type, int], ...] = (
@@ -103,6 +113,17 @@ class ServiceConfig:
     budget_nodes: int = 0
     #: Worker-package memory budget: max estimated table bytes (0 = no limit).
     budget_bytes: int = 0
+    #: Per-subscriber SSE queue depth; a slow consumer beyond it loses the
+    #: *oldest* queued events (counted in ``dd_stream_dropped_total``).
+    stream_queue: int = 256
+    #: Hard cap on concurrently open SSE connections (503 beyond it).
+    max_streams: int = 64
+    #: Events kept per bus for ``Last-Event-ID`` replay after reconnects.
+    stream_history: int = 1024
+    #: Seconds of stream silence before a ``: heartbeat`` comment is sent.
+    heartbeat_interval: float = 10.0
+    #: Seconds between metric-delta emissions on ``/stream/metrics``.
+    metrics_interval: float = 2.0
 
 
 @dataclass
@@ -114,6 +135,9 @@ class Request:
     query: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
     client: str = ""
+    #: Request headers with lower-cased names (``last-event-id`` is the
+    #: only one the app reads; transports may omit the rest).
+    headers: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -141,6 +165,40 @@ class Response:
     @classmethod
     def text(cls, text: str, status: int = 200, content_type: str = "text/plain") -> "Response":
         return cls(status, f"{content_type}; charset=utf-8", text.encode())
+
+
+def _sse_chunk(kind: str, data: Any) -> bytes:
+    """One anonymous (id-less) SSE event — snapshots, deltas, shutdown.
+
+    Bus events carry their own ids via :meth:`Event.to_sse`; per-connection
+    synthetic events must *not*, or a reconnecting client's
+    ``Last-Event-ID`` would point at an id the bus never issued.
+    """
+    return (
+        f"event: {kind}\ndata: {json.dumps(data, separators=(',', ':'))}\n\n"
+    ).encode()
+
+
+@dataclass
+class StreamingResponse:
+    """A response whose body is produced lazily, chunk by chunk.
+
+    The HTTP adapter writes each chunk with chunked transfer encoding and
+    calls :meth:`close` when the stream ends (normally or because the
+    client vanished); ``close`` is idempotent and safe to call even if the
+    chunk iterator was never started.
+    """
+
+    status: int
+    content_type: str
+    chunks: Iterator[bytes]
+    headers: Dict[str, str] = field(default_factory=dict)
+    on_close: Optional[Callable[[], None]] = None
+
+    def close(self) -> None:
+        callback, self.on_close = self.on_close, None
+        if callback is not None:
+            callback()
 
 
 class _RateLimiter:
@@ -176,10 +234,19 @@ class ServiceApp:
     ):
         self.config = config if config is not None else ServiceConfig()
         self.registry = registry if registry is not None else MetricsRegistry(enabled=True)
+        #: App-level bus: session lifecycle, pool pressure/watchdog and
+        #: sanitizer transitions — what ``/stream/metrics`` forwards live.
+        self.events = EventBus(
+            registry=self.registry,
+            history=self.config.stream_history,
+            max_queue=self.config.stream_queue,
+        )
         self.store = SessionStore(
             max_sessions=self.config.max_sessions,
             ttl=self.config.session_ttl,
             registry=self.registry,
+            event_bus=self.events,
+            stream_history=self.config.stream_history,
         )
         self.cache = ResultCache(
             capacity=self.config.cache_capacity, registry=self.registry
@@ -191,6 +258,7 @@ class ServiceApp:
             request_deadline=self.config.request_deadline,
             budget_nodes=self.config.budget_nodes,
             budget_bytes=self.config.budget_bytes,
+            event_bus=self.events,
         )
         self._limiter = (
             _RateLimiter(self.config.rate_limit, self.config.rate_burst)
@@ -201,6 +269,10 @@ class ServiceApp:
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._m_inflight = self.registry.gauge("service_inflight_requests")
+        self._streams = 0
+        self._streams_lock = threading.Lock()
+        self._m_streams = self.registry.gauge("service_streams_open")
+        self._shutting_down = threading.Event()
         # (endpoint, method, status) counters are created on demand; the
         # latency histograms per endpoint too.  Touch the cache counters so
         # they are visible at /metrics from the first scrape.
@@ -217,7 +289,11 @@ class ServiceApp:
         endpoint = "unmatched"
         try:
             handler, endpoint, session_id = self._route(request.method, request.path)
-            if self._limiter is not None and endpoint not in ("/healthz", "/metrics"):
+            # Probes, scrapes and operator views stay reachable under
+            # overload — they are how an operator *sees* the overload.
+            if self._limiter is not None and endpoint not in (
+                "/healthz", "/metrics", "/report"
+            ):
                 if not self._limiter.admit():
                     raise RateLimitedError("request rate limit exceeded")
             if len(request.body) > self.config.max_body_bytes:
@@ -254,7 +330,29 @@ class ServiceApp:
         with self._inflight_lock:
             return self._inflight
 
+    @property
+    def active_streams(self) -> int:
+        """How many SSE connections are currently open."""
+        with self._streams_lock:
+            return self._streams
+
+    def begin_shutdown(self) -> None:
+        """Wake every open SSE stream so connections can drain.
+
+        Publishes a final ``service.shutdown`` event, then closes the
+        app-level bus and every session's frame bus: blocked subscribers
+        wake, the stream generators emit their shutdown notice and end,
+        and :meth:`active_streams` falls to zero.  Idempotent.
+        """
+        if self._shutting_down.is_set():
+            return
+        self._shutting_down.set()
+        self.events.publish("service.shutdown", {"reason": "sigterm"})
+        self.events.close()
+        self.store.close_streams()
+
     def close(self) -> None:
+        self.begin_shutdown()
         self.pool.close()
 
     # ------------------------------------------------------------------
@@ -268,6 +366,7 @@ class ServiceApp:
             ("GET", "healthz"): (self._get_healthz, "/healthz"),
             ("GET", "metrics"): (self._get_metrics, "/metrics"),
             ("GET", "report"): (self._get_report, "/report"),
+            ("GET", "dashboard"): (self._get_dashboard, "/dashboard"),
             ("POST", "sessions"): (self._post_sessions, "/sessions"),
             ("GET", "sessions"): (self._get_sessions, "/sessions"),
             ("POST", "simulate"): (self._post_simulate, "/simulate"),
@@ -277,6 +376,9 @@ class ServiceApp:
             entry = flat.get((method, parts[0]))
             if entry:
                 return entry[0], entry[1], None
+        if len(parts) == 2 and parts[0] == "stream" and parts[1] == "metrics":
+            if method == "GET":
+                return self._get_metrics_stream, "/stream/metrics", None
         if len(parts) == 2 and parts[0] == "sessions":
             if method == "GET":
                 return self._get_session, "/sessions/{id}", parts[1]
@@ -288,6 +390,7 @@ class ServiceApp:
                 ("GET", "svg"): (self._get_svg, "/sessions/{id}/svg"),
                 ("GET", "text"): (self._get_text, "/sessions/{id}/text"),
                 ("GET", "counts"): (self._get_counts, "/sessions/{id}/counts"),
+                ("GET", "stream"): (self._get_session_stream, "/sessions/{id}/stream"),
             }
             entry = sub.get((method, parts[2]))
             if entry:
@@ -382,6 +485,176 @@ class ServiceApp:
         return Response.text(run_report(self.registry, title="qdd-service"))
 
     # ------------------------------------------------------------------
+    # streaming endpoints (SSE)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _last_event_id(request: Request) -> Optional[int]:
+        raw = request.headers.get("last-event-id")
+        if raw is None:
+            # EventSource cannot set headers on the *first* connect, so a
+            # query parameter doubles as the resume cursor for tests and
+            # curl-style clients.
+            raw = request.query.get("last_event_id")
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise BadRequestError("Last-Event-ID must be an integer")
+
+    def _open_stream(self, endpoint: str, subscription: Subscription) -> Callable[[], None]:
+        """Count a stream in (503 at the cap) and return its releaser."""
+        if self._shutting_down.is_set():
+            subscription.close()
+            raise ServiceUnavailableError("the service is shutting down")
+        with self._streams_lock:
+            if self._streams >= self.config.max_streams:
+                subscription.close()
+                raise ServiceUnavailableError(
+                    f"too many open streams (limit {self.config.max_streams}); "
+                    "retry later",
+                    retry_after=1.0,
+                )
+            self._streams += 1
+            self._m_streams.set(self._streams)
+        self.registry.counter(
+            "service_stream_connections_total", {"endpoint": endpoint}
+        ).inc()
+        released = threading.Event()
+
+        def release() -> None:
+            if released.is_set():
+                return
+            released.set()
+            subscription.close()
+            with self._streams_lock:
+                self._streams -= 1
+                self._m_streams.set(self._streams)
+
+        return release
+
+    @staticmethod
+    def _sse_headers() -> Dict[str, str]:
+        return {"Cache-Control": "no-cache", "X-Accel-Buffering": "no"}
+
+    def _get_session_stream(self, request: Request, session_id: str) -> StreamingResponse:
+        handle = self.store.get(session_id)
+        last_id = self._last_event_id(request)
+        # A fresh subscriber replays the full frame history (id 0 = "from
+        # the beginning"); a reconnecting one resumes after its cursor.
+        subscription = handle.events.subscribe(
+            last_event_id=0 if last_id is None else last_id,
+            max_queue=self.config.stream_queue,
+        )
+        release = self._open_stream("/sessions/{id}/stream", subscription)
+        return StreamingResponse(
+            200, "text/event-stream",
+            self._session_stream_chunks(subscription, release),
+            headers=self._sse_headers(), on_close=release,
+        )
+
+    def _session_stream_chunks(
+        self, subscription: Subscription, release: Callable[[], None]
+    ) -> Iterator[bytes]:
+        heartbeat = max(0.05, self.config.heartbeat_interval)
+        try:
+            yield b"retry: 2000\n\n"
+            while True:
+                event = subscription.get(timeout=heartbeat)
+                if event is None:
+                    if subscription.closed:
+                        break
+                    yield b": heartbeat\n\n"
+                    continue
+                yield event.to_sse().encode()
+                if event.kind == "closed":
+                    break
+        finally:
+            release()
+
+    def _get_metrics_stream(self, request: Request, _sid: Optional[str]) -> StreamingResponse:
+        # Deltas are relative to the snapshot sent on *this* connection, so
+        # a reconnect starts from a fresh full snapshot; Last-Event-ID only
+        # resumes the forwarded state events (lifecycle/pressure/sanitize).
+        subscription = self.events.subscribe(
+            last_event_id=self._last_event_id(request),
+            max_queue=self.config.stream_queue,
+        )
+        release = self._open_stream("/stream/metrics", subscription)
+        return StreamingResponse(
+            200, "text/event-stream",
+            self._metrics_stream_chunks(subscription, release),
+            headers=self._sse_headers(), on_close=release,
+        )
+
+    def _metrics_stream_chunks(
+        self, subscription: Subscription, release: Callable[[], None]
+    ) -> Iterator[bytes]:
+        interval = max(0.05, self.config.metrics_interval)
+        heartbeat = max(interval, self.config.heartbeat_interval)
+        try:
+            yield b"retry: 2000\n\n"
+            reference = registry_snapshot(self.registry)
+            yield _sse_chunk("snapshot", reference)
+            last_delta = last_write = time.monotonic()
+            while True:
+                event = subscription.get(timeout=interval)
+                now = time.monotonic()
+                if event is not None:
+                    yield event.to_sse().encode()
+                    last_write = now
+                elif subscription.closed:
+                    yield _sse_chunk("shutdown", {"reason": "server stopping"})
+                    break
+                if now - last_delta >= interval:
+                    current = registry_snapshot(self.registry)
+                    delta = snapshot_delta(reference, current)
+                    if delta["metrics"]:
+                        yield _sse_chunk("delta", delta)
+                        reference = current
+                        last_write = now
+                    last_delta = now
+                if now - last_write >= heartbeat:
+                    yield b": heartbeat\n\n"
+                    last_write = now
+        finally:
+            release()
+
+    def _get_dashboard(self, request: Request, _sid: Optional[str]) -> Response:
+        from repro.vis.dashboard import dashboard_html
+
+        return Response.text(
+            dashboard_html(title="qdd-service dashboard"),
+            content_type="text/html",
+        )
+
+    def _publish_frames(self, handle: SessionHandle) -> None:
+        """Publish any session frames not yet on the handle's bus.
+
+        Called with ``handle.lock`` held.  Backward navigation pops
+        frames; the stream is append-only, so a shrunk list just rewinds
+        the cursor and re-publishes once the session moves forward again.
+        """
+        frames = getattr(handle.session, "frames", None)
+        if frames is None:
+            return
+        if len(frames) < handle.frames_streamed:
+            handle.frames_streamed = len(frames)
+        for index in range(handle.frames_streamed, len(frames)):
+            frame = frames[index]
+            handle.events.publish("frame", {
+                "session_id": handle.session_id,
+                "index": index,
+                "title": frame.title,
+                "description": frame.description,
+                "svg": frame.svg,
+                "text": frame.text,
+                "node_count": frame.node_count,
+                "position": frame.position,
+            })
+        handle.frames_streamed = len(frames)
+
+    # ------------------------------------------------------------------
     # session endpoints
     # ------------------------------------------------------------------
     def _post_sessions(self, request: Request, _sid: Optional[str]) -> Response:
@@ -418,6 +691,7 @@ class ServiceApp:
             )
         handle = self.store.create(kind, factory)
         with handle.lock:
+            self._publish_frames(handle)  # frame 0: the initial state
             return Response.json(self._status_payload(handle), status=201)
 
     def _get_sessions(self, request: Request, _sid: Optional[str]) -> Response:
@@ -458,6 +732,7 @@ class ServiceApp:
             else:
                 self._step_verification(handle.session, action, count)
             handle.touch()
+            self._publish_frames(handle)
             return Response.json(self._status_payload(handle))
 
     @staticmethod
@@ -556,6 +831,11 @@ class ServiceApp:
         with handle.lock:
             counts = handle.session.sample_counts(shots, seed=seed)
             handle.touch()
+            handle.events.publish("counts", {
+                "session_id": handle.session_id,
+                "shots": shots,
+                "counts": counts,
+            })
         return Response.json({"shots": shots, "counts": counts})
 
     # ------------------------------------------------------------------

@@ -23,7 +23,7 @@ from typing import Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.obs.metrics import MetricsRegistry
-from repro.service.app import Request, ServiceApp, ServiceConfig
+from repro.service.app import Request, ServiceApp, ServiceConfig, StreamingResponse
 
 __all__ = ["DDToolServer", "serve"]
 
@@ -61,8 +61,12 @@ class _Handler(BaseHTTPRequestHandler):
             query=dict(parse_qsl(split.query)),
             body=body,
             client=self.client_address[0] if self.client_address else "",
+            headers={name.lower(): value for name, value in self.headers.items()},
         )
         response = app.handle(request)
+        if isinstance(response, StreamingResponse):
+            self._respond_stream(response)
+            return
         self._respond(
             response.status,
             response.content_type,
@@ -88,6 +92,34 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
+
+    def _respond_stream(self, response: StreamingResponse) -> None:
+        """Write a :class:`StreamingResponse` with chunked transfer encoding.
+
+        SSE connections are long-lived and end when the app closes the
+        stream or the client disconnects (detected on write); either way
+        the connection is closed rather than reused — resuming mid-stream
+        on a kept-alive socket has no meaning for ``text/event-stream``.
+        """
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Transfer-Encoding", "chunked")
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        try:
+            for chunk in response.chunks:
+                if not chunk:
+                    continue
+                self.wfile.write(b"%x\r\n" % len(chunk) + chunk + b"\r\n")
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; the finally below releases the slot
+        finally:
+            response.close()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("GET")
@@ -161,6 +193,21 @@ class DDToolServer:
             time.sleep(0.01)
         return self.app.inflight == 0
 
+    def drain_streams(self, timeout: Optional[float] = None) -> bool:
+        """Wake open SSE streams and wait for them to close cleanly.
+
+        Call after the accept loop stopped: :meth:`ServiceApp.begin_shutdown`
+        unblocks every subscriber, the stream generators send their final
+        event, and the connections wind down.  True if none remain.
+        """
+        self.app.begin_shutdown()
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else self.config.drain_timeout
+        )
+        while self.app.active_streams and time.monotonic() < deadline:
+            time.sleep(0.01)
+        return self.app.active_streams == 0
+
     def stop(self, drain: bool = True) -> None:
         """Stop accepting, optionally drain in-flight work, reap the pool."""
         self._httpd.shutdown()
@@ -168,6 +215,7 @@ class DDToolServer:
             self._thread.join(timeout=5.0)
             self._thread = None
         if drain:
+            self.drain_streams()
             self.drain()
         self._httpd.server_close()
         self.app.close()
@@ -204,14 +252,14 @@ def serve(
         f"qdd-service listening on http://{host}:{port} "
         f"({server.config.workers} worker(s), "
         f"{server.config.max_sessions} session slots); "
-        "endpoints: /sessions /simulate /verify /metrics /healthz",
+        "endpoints: /sessions /simulate /verify /metrics /healthz /dashboard",
         file=sys.stderr,
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - no handler installed
         pass
-    drained = server.drain()
+    drained = server.drain_streams() and server.drain()
     server._httpd.server_close()
     server.app.close()
     print(

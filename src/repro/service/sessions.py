@@ -26,6 +26,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import SessionLimitError, SessionNotFoundError
+from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["SessionHandle", "SessionStore"]
@@ -34,7 +35,15 @@ __all__ = ["SessionHandle", "SessionStore"]
 class SessionHandle:
     """One live session plus the serving metadata around it."""
 
-    def __init__(self, session_id: str, kind: str, session: object, clock: Callable[[], float]):
+    def __init__(
+        self,
+        session_id: str,
+        kind: str,
+        session: object,
+        clock: Callable[[], float],
+        registry: Optional[MetricsRegistry] = None,
+        stream_history: int = 1024,
+    ):
         self.session_id = session_id
         self.kind = kind  # "simulation" | "verification"
         self.session = session
@@ -42,6 +51,12 @@ class SessionHandle:
         self._clock = clock
         self.created_at = clock()
         self.last_used = self.created_at
+        #: Per-session frame stream: the app publishes one ``frame`` event
+        #: per navigation step; ``GET /sessions/{id}/stream`` subscribes.
+        #: The history depth bounds `Last-Event-ID` replay after reconnects.
+        self.events = EventBus(registry=registry, history=stream_history)
+        #: How many of ``session.frames`` have been published (app-managed).
+        self.frames_streamed = 0
 
     def touch(self) -> None:
         self.last_used = self._clock()
@@ -49,12 +64,19 @@ class SessionHandle:
     def idle_seconds(self) -> float:
         return self._clock() - self.last_used
 
-    def close(self) -> None:
+    def close(self, reason: str = "closed") -> None:
         """Release the session's engine resources (governor roots etc.).
 
-        Tool sessions expose ``close()``; tolerate foreign session objects
-        (tests register plain stubs) and never let teardown raise.
+        Publishes a final ``closed`` event and ends the frame stream, so
+        attached SSE subscribers terminate when the session expires or is
+        evicted.  Tool sessions expose ``close()``; tolerate foreign
+        session objects (tests register plain stubs) and never let
+        teardown raise.
         """
+        self.events.publish("closed", {
+            "session_id": self.session_id, "reason": reason,
+        })
+        self.events.close()
         closer = getattr(self.session, "close", None)
         if closer is None:
             return
@@ -73,6 +95,8 @@ class SessionStore:
         ttl: float = 600.0,
         registry: Optional[MetricsRegistry] = None,
         clock: Callable[[], float] = time.monotonic,
+        event_bus: Optional[EventBus] = None,
+        stream_history: int = 1024,
     ):
         if max_sessions < 1:
             raise ValueError("the store needs room for at least one session")
@@ -81,7 +105,10 @@ class SessionStore:
         self._clock = clock
         self._sessions: Dict[str, SessionHandle] = {}
         self._lock = threading.Lock()
+        self.event_bus = event_bus
+        self.stream_history = stream_history
         registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        self._registry = registry
         self._m_open = registry.gauge("service_sessions_open")
         self._m_created = registry.counter("service_sessions_created_total")
         self._m_expired = registry.counter("service_sessions_expired_total")
@@ -98,7 +125,10 @@ class SessionStore:
         slow); only registration is synchronized.
         """
         session = factory()
-        handle = SessionHandle(secrets.token_hex(12), kind, session, self._clock)
+        handle = SessionHandle(
+            secrets.token_hex(12), kind, session, self._clock,
+            registry=self._registry, stream_history=self.stream_history,
+        )
         with self._lock:
             self._purge_expired_locked()
             if len(self._sessions) >= self.max_sessions:
@@ -112,6 +142,7 @@ class SessionStore:
             self._sessions[handle.session_id] = handle
             self._m_created.inc()
             self._m_open.set(len(self._sessions))
+        self._publish("session.created", handle)
         return handle
 
     def get(self, session_id: str) -> SessionHandle:
@@ -129,8 +160,9 @@ class SessionStore:
             handle = self._sessions.pop(session_id, None)
             if handle is None:
                 raise SessionNotFoundError(f"no such session: {session_id}")
-            handle.close()
+            handle.close(reason="deleted")
             self._m_open.set(len(self._sessions))
+        self._publish("session.deleted", handle)
 
     def purge_expired(self) -> int:
         with self._lock:
@@ -141,6 +173,18 @@ class SessionStore:
             self._purge_expired_locked()
             return sorted(self._sessions.values(), key=lambda h: h.created_at)
 
+    def close_streams(self) -> None:
+        """End every session's frame stream without closing the sessions.
+
+        Part of graceful shutdown: wakes all blocked SSE subscribers so
+        their connections can drain while the sessions themselves stay
+        usable until process exit.
+        """
+        with self._lock:
+            handles = list(self._sessions.values())
+        for handle in handles:
+            handle.events.close()
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._sessions)
@@ -148,6 +192,15 @@ class SessionStore:
     # ------------------------------------------------------------------
     # internals (store lock held)
     # ------------------------------------------------------------------
+    def _publish(self, kind: str, handle: SessionHandle) -> None:
+        """Announce a lifecycle transition on the app-level event bus."""
+        if self.event_bus is not None:
+            self.event_bus.publish(kind, {
+                "session_id": handle.session_id,
+                "kind": handle.kind,
+                "open": len(self._sessions),
+            })
+
     def _purge_expired_locked(self) -> int:
         if self.ttl <= 0:
             return 0
@@ -158,9 +211,10 @@ class SessionStore:
         ]
         for session_id in expired:
             handle = self._sessions.pop(session_id)
-            handle.close()
+            handle.close(reason="expired")
             handle.lock.release()
             self._m_expired.inc()
+            self._publish("session.expired", handle)
         if expired:
             self._m_open.set(len(self._sessions))
         return len(expired)
@@ -171,10 +225,11 @@ class SessionStore:
             if handle.lock.acquire(blocking=False):
                 try:
                     del self._sessions[handle.session_id]
-                    handle.close()
+                    handle.close(reason="evicted")
                 finally:
                     handle.lock.release()
                 self._m_evicted.inc()
                 self._m_open.set(len(self._sessions))
+                self._publish("session.evicted", handle)
                 return True
         return False

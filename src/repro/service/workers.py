@@ -305,12 +305,15 @@ class WorkerPool:
         request_deadline: float = 0.0,
         budget_nodes: int = 0,
         budget_bytes: int = 0,
+        event_bus=None,
     ):
         self.workers = max(0, int(workers))
         self.job_timeout = job_timeout
         self.request_deadline = request_deadline if request_deadline > 0 else job_timeout
         self.budget_nodes = int(budget_nodes)
         self.budget_bytes = int(budget_bytes)
+        self.event_bus = event_bus
+        self._last_published_pressure = 0
         registry = registry if registry is not None else MetricsRegistry(enabled=False)
         self._registry = registry
         # Per-kind metrics are created lazily in `_job_metrics`: the job
@@ -369,6 +372,9 @@ class WorkerPool:
         worker.kill()
         self.watchdog_kills += 1
         self._m_kills.inc()
+        self._publish("worker.kill", {
+            "reason": reason, "kills_total": self.watchdog_kills,
+        })
         replacement = self._spawn()
         try:
             replacement.wait_ready()
@@ -377,6 +383,10 @@ class WorkerPool:
             raise
         self._idle.put(replacement)
 
+    def _publish(self, kind: str, data: Dict[str, Any]) -> None:
+        if self.event_bus is not None:
+            self.event_bus.publish(kind, data)
+
     def _absorb_report(self, report: Optional[Dict[str, Any]]) -> None:
         """Fold a worker's post-job governance report into pool state."""
         if not report:
@@ -384,10 +394,19 @@ class WorkerPool:
         from repro.dd.governance import PressureLevel
 
         self.last_report = report
-        self._m_pressure.set(report.get("pressure", 0))
+        pressure = int(report.get("pressure", 0) or 0)
+        self._m_pressure.set(pressure)
         self._m_table_bytes.set(report.get("table_bytes", 0))
         self._m_gc_runs.set_value(report.get("gc_runs", 0))
         self._m_gc_nodes.set_value(report.get("gc_nodes_reclaimed", 0))
+        if pressure != self._last_published_pressure:
+            self._publish("pool.pressure", {
+                "level": pressure,
+                "previous": self._last_published_pressure,
+                "table_bytes": report.get("table_bytes", 0),
+                "nodes": report.get("nodes", 0),
+            })
+            self._last_published_pressure = pressure
         violations = int(report.get("sanitize_violations", 0) or 0)
         if violations > self.sanitize_violations_seen:
             # Sticky by design: detected table corruption is not something
@@ -395,7 +414,10 @@ class WorkerPool:
             # operator restarts (or replaces) the service.
             self.sanitize_violations_seen = violations
             self._m_sanitize.set_value(violations)
-        if report.get("pressure", 0) >= int(PressureLevel.HARD):
+            self._publish("pool.sanitize", {
+                "violations_total": violations, "sticky": True,
+            })
+        if pressure >= int(PressureLevel.HARD):
             # The worker is still over budget *after* collecting: its live
             # data alone exceeds the budget.  Shed load briefly so clients
             # back off instead of piling more work onto a saturated table.
@@ -407,6 +429,7 @@ class WorkerPool:
             remaining = self._reject_until - time.monotonic()
         if remaining > 0:
             self._m_shed.inc()
+            self._publish("pool.shed", {"retry_after": max(0.1, round(remaining, 1))})
             raise TablePressureError(
                 "worker decision-diagram tables are at their memory budget; "
                 "retry shortly",

@@ -191,6 +191,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-worker DD table byte budget (estimated) "
                             "before garbage collection kicks in "
                             "(0 = unlimited)")
+    serve.add_argument("--max-streams", type=int, default=64,
+                       help="concurrent SSE connections before 503")
+    serve.add_argument("--stream-queue", type=int, default=256,
+                       help="per-subscriber event buffer; oldest events are "
+                            "dropped (and counted) when a client lags")
+    serve.add_argument("--stream-history", type=int, default=1024,
+                       help="events kept for Last-Event-ID replay")
+    serve.add_argument("--heartbeat-interval", type=float, default=10.0,
+                       help="seconds between SSE keep-alive comments")
+    serve.add_argument("--metrics-interval", type=float, default=2.0,
+                       help="seconds between /stream/metrics delta frames")
     return parser
 
 
@@ -501,6 +512,11 @@ def _cmd_serve(args) -> int:
         request_deadline=args.request_deadline,
         budget_nodes=args.budget_nodes,
         budget_bytes=args.budget_bytes,
+        max_streams=args.max_streams,
+        stream_queue=args.stream_queue,
+        stream_history=args.stream_history,
+        heartbeat_interval=args.heartbeat_interval,
+        metrics_interval=args.metrics_interval,
     )
     return serve(config)
 

@@ -217,6 +217,9 @@ class SimulationSession:
             svg=svg,
             title=f"Step {self.simulator.position} / {len(self.circuit)}",
             description=description,
+            text=self.current_text(),
+            node_count=self.simulator.node_count(),
+            position=self.simulator.position,
         )
 
     def _describe(self, record: StepRecord) -> str:
@@ -424,4 +427,7 @@ class VerificationSession:
                 f"G': {self._right_position}/{len(self._right_gates)}  |  {status}"
             ),
             description=description,
+            text=self.current_text(),
+            node_count=self.node_count,
+            position=self._left_position + self._right_position,
         )

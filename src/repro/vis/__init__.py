@@ -18,7 +18,9 @@ export used by the tool layer.
 
 from repro.vis.array_view import matrix_svg, statevector_svg
 from repro.vis.color import hls_wheel_color, phase_to_color, weight_to_width
+from repro.vis.dashboard import dashboard_html
 from repro.vis.dot import dd_to_dot
+from repro.vis.sparkline import sparkline_points, sparkline_svg
 from repro.vis.style import DDStyle, RenderMode
 from repro.vis.svg import color_wheel_svg, dd_to_svg
 from repro.vis.timeline import span_timeline_svg, timeline_svg
@@ -38,6 +40,7 @@ __all__ = [
     "circuit_to_svg",
     "circuit_to_text",
     "color_wheel_svg",
+    "dashboard_html",
     "dd_to_dot",
     "dd_to_svg",
     "dd_to_text",
@@ -45,6 +48,8 @@ __all__ = [
     "matrix_svg",
     "phase_to_color",
     "span_timeline_svg",
+    "sparkline_points",
+    "sparkline_svg",
     "statevector_svg",
     "timeline_svg",
     "weight_to_width",

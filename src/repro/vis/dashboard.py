@@ -1,0 +1,322 @@
+"""The live operator dashboard served at ``GET /dashboard``.
+
+One self-contained HTML page — no external scripts, styles, fonts or
+images, in the same offline spirit as :mod:`repro.vis.html_export` — that
+subscribes to the service's two SSE streams with inline ``EventSource``
+code:
+
+* ``/stream/metrics`` feeds the metric tiles: a full ``snapshot`` event on
+  connect, ``delta`` events every couple of seconds, and the forwarded
+  state events (session lifecycle, worker-pool pressure, watchdog kills,
+  sanitizer verdicts) in between;
+* ``/sessions/{id}/stream`` feeds one tile per live session with its step
+  frames (SVG, node count, position).
+
+Latency sparklines are drawn client-side with the same slot-centered
+geometry as :mod:`repro.vis.sparkline`; p50/p99 are interpolated from the
+cumulative histogram buckets exactly like
+:func:`repro.obs.metrics.Histogram.quantile` does server-side.  The page
+deliberately contains no absolute URL anywhere (SVG elements are created
+inline, where HTML needs no namespace declaration), so "self-contained"
+is mechanically checkable: the document must not mention ``http://`` or
+``https://``.
+"""
+
+from __future__ import annotations
+
+import html
+
+__all__ = ["dashboard_html"]
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+  body { font-family: Helvetica, Arial, sans-serif; margin: 1.2em; color: #222;
+         background: #fafafa; }
+  h1 { font-size: 1.25em; margin: 0 0 0.2em; }
+  #conn { color: #888; font-size: 0.85em; margin-bottom: 1em; }
+  #conn.down { color: #d62728; font-weight: bold; }
+  .row { display: flex; flex-wrap: wrap; gap: 0.8em; margin-bottom: 1em; }
+  .card { background: #fff; border: 1px solid #ddd; border-radius: 6px;
+          padding: 0.6em 0.9em; min-width: 180px; }
+  .card h2 { font-size: 0.8em; margin: 0 0 0.3em; color: #666;
+             text-transform: uppercase; letter-spacing: 0.05em; }
+  .big { font-size: 1.5em; font-weight: bold; }
+  .ok { color: #2ca02c; } .soft { color: #ff7f0e; } .hard { color: #d62728; }
+  #sanitizer { display: none; background: #fdecea; border: 1px solid #d62728;
+               color: #a02622; padding: 0.6em 0.9em; border-radius: 6px;
+               margin-bottom: 1em; font-weight: bold; }
+  .lat { display: flex; align-items: center; gap: 0.6em; font-size: 0.8em;
+         margin: 0.2em 0; }
+  .lat .ep { width: 11em; overflow: hidden; text-overflow: ellipsis;
+             white-space: nowrap; color: #444; }
+  .lat .num { width: 9em; color: #888; }
+  .tile { background: #fff; border: 1px solid #ddd; border-radius: 6px;
+          padding: 0.6em; width: 320px; }
+  .tile.gone { opacity: 0.45; }
+  .tile h3 { font-size: 0.8em; margin: 0 0 0.3em; font-family: monospace; }
+  .tile .meta { font-size: 0.78em; color: #666; min-height: 1.2em; }
+  .tile .dd { max-height: 240px; overflow: auto; border: 1px solid #eee;
+              margin-top: 0.4em; background: #fff; }
+  .tile .dd svg { max-width: 100%; height: auto; }
+  #log { font-family: monospace; font-size: 0.75em; color: #555;
+         background: #fff; border: 1px solid #ddd; border-radius: 6px;
+         padding: 0.5em 0.8em; max-height: 10em; overflow-y: auto; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<div id="conn">connecting…</div>
+<div id="sanitizer"></div>
+<div class="row">
+  <div class="card"><h2>sessions</h2><div class="big" id="m-sessions">–</div></div>
+  <div class="card"><h2>open streams</h2><div class="big" id="m-streams">–</div></div>
+  <div class="card"><h2>in flight</h2><div class="big" id="m-inflight">–</div></div>
+  <div class="card"><h2>worker pressure</h2><div class="big ok" id="m-pressure">–</div></div>
+  <div class="card"><h2>watchdog kills</h2><div class="big" id="m-kills">–</div></div>
+  <div class="card"><h2>gc runs</h2><div class="big" id="m-gc">–</div></div>
+  <div class="card"><h2>dropped events</h2><div class="big" id="m-dropped">–</div></div>
+</div>
+<div class="card" style="margin-bottom:1em">
+  <h2>request latency p50 / p99 (rolling)</h2>
+  <div id="latency"></div>
+</div>
+<h2 style="font-size:0.9em;color:#666">live sessions</h2>
+<div class="row" id="tiles"></div>
+<h2 style="font-size:0.9em;color:#666">event log</h2>
+<div id="log"></div>
+<script>
+"use strict";
+const metricState = new Map();   // name + labels -> entry
+const latSeries = new Map();     // endpoint -> {p50: [], p99: []}
+const tiles = new Map();         // session id -> {el, source}
+const MAX_POINTS = 60;
+
+function keyOf(entry) {
+  return entry.name + "|" + JSON.stringify(entry.labels || {});
+}
+function applyEntries(entries, replace) {
+  if (replace) metricState.clear();
+  for (let entry of entries) {
+    const key = keyOf(entry);
+    if (entry.type === "histogram" && !replace && metricState.has(key)) {
+      const old = metricState.get(key);
+      const merged = new Map(old.buckets.map(b => [b.le, b.count]));
+      for (const b of entry.buckets) merged.set(b.le, b.count);
+      entry = Object.assign({}, entry, {
+        buckets: Array.from(merged, ([le, count]) => ({le, count}))
+          .sort((a, b) => leNum(a.le) - leNum(b.le)),
+      });
+    }
+    metricState.set(key, entry);
+  }
+}
+function leNum(le) { return le === "+Inf" ? Infinity : Number(le); }
+function scalar(name, labels) {
+  const entry = metricState.get(name + "|" + JSON.stringify(labels || {}));
+  return entry ? entry.value : null;
+}
+// Mirrors Histogram.quantile(): rank walk over cumulative buckets with
+// linear interpolation inside the matching bucket.
+function quantile(buckets, q) {
+  if (!buckets.length) return 0;
+  const total = buckets[buckets.length - 1].count;
+  if (total <= 0) return 0;
+  const rank = q * total;
+  let lower = 0;
+  for (const b of buckets) {
+    const upper = leNum(b.le);
+    if (b.count >= rank) {
+      if (!isFinite(upper)) return lower;
+      const prev = buckets[buckets.indexOf(b) - 1];
+      const below = prev ? prev.count : 0;
+      const inBucket = b.count - below;
+      const frac = inBucket > 0 ? (rank - below) / inBucket : 1;
+      return lower + (upper - lower) * frac;
+    }
+    if (isFinite(upper)) lower = upper;
+  }
+  return lower;
+}
+function sparkPoints(values, width, height, pad) {
+  const w = width - 2 * pad, h = height - 2 * pad;
+  const slot = w / values.length;
+  const top = Math.max(...values, 1e-9);
+  return values.map((v, i) =>
+    (pad + slot * (i + 0.5)).toFixed(1) + "," +
+    (pad + h - h * Math.min(v, top) / top).toFixed(1)).join(" ");
+}
+function sparkline(values, color) {
+  if (!values.length) return "";
+  const pts = sparkPoints(values, 120, 26, 2);
+  return '<svg width="120" height="26" viewBox="0 0 120 26">' +
+    '<polyline points="' + pts + '" fill="none" stroke="' + color +
+    '" stroke-width="1.5"></polyline></svg>';
+}
+function fmtMs(seconds) {
+  return seconds === null || seconds === undefined
+    ? "–" : (seconds * 1e3).toFixed(2) + "ms";
+}
+function refreshLatency() {
+  for (const [key, entry] of metricState) {
+    if (entry.name !== "service_request_seconds") continue;
+    const ep = (entry.labels || {}).endpoint || "?";
+    if (!latSeries.has(ep)) latSeries.set(ep, {p50: [], p99: []});
+    const series = latSeries.get(ep);
+    series.p50.push(quantile(entry.buckets, 0.5));
+    series.p99.push(quantile(entry.buckets, 0.99));
+    if (series.p50.length > MAX_POINTS) { series.p50.shift(); series.p99.shift(); }
+  }
+  const box = document.getElementById("latency");
+  box.innerHTML = "";
+  for (const [ep, series] of Array.from(latSeries).sort()) {
+    const last50 = series.p50[series.p50.length - 1];
+    const last99 = series.p99[series.p99.length - 1];
+    const row = document.createElement("div");
+    row.className = "lat";
+    row.innerHTML = '<span class="ep">' + ep + '</span>' +
+      '<span class="num">' + fmtMs(last50) + " / " + fmtMs(last99) + '</span>' +
+      sparkline(series.p50, "#1f77b4") + sparkline(series.p99, "#d62728");
+    box.appendChild(row);
+  }
+}
+function refreshCards() {
+  const put = (id, v) => {
+    document.getElementById(id).textContent = v === null ? "–" : String(v);
+  };
+  put("m-sessions", scalar("service_sessions_open"));
+  put("m-streams", scalar("service_streams_open"));
+  put("m-inflight", scalar("service_inflight_requests"));
+  put("m-kills", scalar("service_watchdog_kills_total"));
+  put("m-gc", scalar("dd_gc_runs_total"));
+  put("m-dropped", scalar("dd_stream_dropped_total"));
+  setPressure(scalar("service_worker_pressure"));
+  const violations = scalar("dd_sanitize_violations_total");
+  if (violations) showSanitizer(violations);
+}
+function setPressure(level) {
+  const el = document.getElementById("m-pressure");
+  const names = ["OK", "SOFT", "HARD"];
+  const tier = Math.max(0, Math.min(2, Number(level) || 0));
+  el.textContent = names[tier];
+  el.className = "big " + names[tier].toLowerCase();
+}
+function showSanitizer(count) {
+  // Sticky on purpose: detected table corruption stays on screen until
+  // the operator restarts the service, matching /healthz semantics.
+  const banner = document.getElementById("sanitizer");
+  banner.style.display = "block";
+  banner.textContent = "sanitizer: " + count +
+    " violation(s) detected — service is degraded until restarted";
+}
+function logLine(text) {
+  const log = document.getElementById("log");
+  const stamp = new Date().toTimeString().slice(0, 8);
+  const line = document.createElement("div");
+  line.textContent = stamp + "  " + text;
+  log.appendChild(line);
+  while (log.childNodes.length > 200) log.removeChild(log.firstChild);
+  log.scrollTop = log.scrollHeight;
+}
+function addTile(id, kind) {
+  if (tiles.has(id)) return;
+  const el = document.createElement("div");
+  el.className = "tile";
+  el.innerHTML = '<h3>' + id.slice(0, 12) + '… <span style="color:#888">(' +
+    kind + ')</span></h3><div class="meta">waiting for frames…</div>' +
+    '<div class="dd"></div>';
+  document.getElementById("tiles").appendChild(el);
+  const source = new EventSource("/sessions/" + id + "/stream");
+  source.addEventListener("frame", (msg) => {
+    const frame = JSON.parse(msg.data);
+    el.querySelector(".meta").textContent =
+      frame.title + " — " + frame.node_count + " nodes";
+    el.querySelector(".dd").innerHTML = frame.svg;
+  });
+  source.addEventListener("closed", (msg) => {
+    const data = JSON.parse(msg.data);
+    el.classList.add("gone");
+    el.querySelector(".meta").textContent = "session " + data.reason;
+    source.close();
+  });
+  source.onerror = () => { if (el.classList.contains("gone")) source.close(); };
+  tiles.set(id, {el, source});
+}
+function dropTile(id, reason) {
+  const tile = tiles.get(id);
+  if (!tile) return;
+  tile.el.classList.add("gone");
+  tile.el.querySelector(".meta").textContent = "session " + reason;
+  tile.source.close();
+}
+
+const metrics = new EventSource("/stream/metrics");
+const conn = document.getElementById("conn");
+metrics.onopen = () => { conn.textContent = "live"; conn.className = ""; };
+metrics.onerror = () => {
+  conn.textContent = "disconnected — retrying"; conn.className = "down";
+};
+metrics.addEventListener("snapshot", (msg) => {
+  applyEntries(JSON.parse(msg.data).metrics, true);
+  refreshCards(); refreshLatency();
+});
+metrics.addEventListener("delta", (msg) => {
+  applyEntries(JSON.parse(msg.data).metrics, false);
+  refreshCards(); refreshLatency();
+});
+for (const kind of ["session.created", "session.deleted",
+                    "session.expired", "session.evicted"]) {
+  metrics.addEventListener(kind, (msg) => {
+    const data = JSON.parse(msg.data);
+    logLine(kind + " " + data.session_id.slice(0, 12));
+    if (kind === "session.created") addTile(data.session_id, data.kind);
+    else dropTile(data.session_id, kind.split(".")[1]);
+  });
+}
+metrics.addEventListener("pool.pressure", (msg) => {
+  const data = JSON.parse(msg.data);
+  setPressure(data.level);
+  logLine("pool pressure " + data.previous + " -> " + data.level);
+});
+metrics.addEventListener("pool.sanitize", (msg) => {
+  const data = JSON.parse(msg.data);
+  showSanitizer(data.violations_total);
+  logLine("sanitizer violations: " + data.violations_total);
+});
+metrics.addEventListener("dd.sanitize", (msg) => {
+  const data = JSON.parse(msg.data);
+  showSanitizer(data.violations_total);
+  logLine("sanitizer violations: " + data.violations_total);
+});
+metrics.addEventListener("worker.kill", (msg) => {
+  logLine("watchdog kill (" + JSON.parse(msg.data).reason + ")");
+});
+metrics.addEventListener("pool.shed", () => logLine("load shed (pressure)"));
+metrics.addEventListener("dd.gc", (msg) => {
+  const data = JSON.parse(msg.data);
+  logLine("gc run: " + data.nodes_reclaimed + " nodes reclaimed");
+});
+metrics.addEventListener("service.shutdown", () => {
+  conn.textContent = "server shut down"; conn.className = "down";
+  metrics.close();
+  for (const tile of tiles.values()) tile.source.close();
+});
+metrics.addEventListener("shutdown", () => {
+  conn.textContent = "server shut down"; conn.className = "down";
+  metrics.close();
+});
+fetch("/sessions").then(r => r.json()).then(data => {
+  for (const entry of data.sessions) addTile(entry.session_id, entry.kind);
+}).catch(() => {});
+</script>
+</body>
+</html>
+"""
+
+
+def dashboard_html(title: str = "qdd-service dashboard") -> str:
+    """Render the dashboard page (one argument: the page title)."""
+    return _TEMPLATE.replace("__TITLE__", html.escape(title))

@@ -17,11 +17,20 @@ from typing import Sequence
 
 @dataclass(frozen=True)
 class Frame:
-    """One step of a session: a rendered diagram plus commentary."""
+    """One step of a session: a rendered diagram plus commentary.
+
+    ``text``, ``node_count`` and ``position`` ride along for consumers
+    that want more than the SVG — the service's SSE frame stream sends
+    all of them so a dashboard can show terminal art and node counts
+    without re-requesting the session.
+    """
 
     svg: str
     title: str = ""
     description: str = ""
+    text: str = ""
+    node_count: int = 0
+    position: int = 0
 
 
 _TEMPLATE = """<!DOCTYPE html>

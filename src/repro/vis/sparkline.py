@@ -1,0 +1,83 @@
+"""Tiny inline trend charts — the dashboard's latency sparklines.
+
+A sparkline is a word-sized poly-line with no axes: enough to see the
+shape of a metric (flat, rising, spiky) at a glance.  The point-mapping
+helper :func:`sparkline_points` is shared with the full-size timeline
+charts (:mod:`repro.vis.timeline`) so both draw trajectories with the
+same geometry: points are centered in equal-width slots, values scale
+linearly between ``min_value`` and the series maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import VisualizationError
+
+__all__ = ["sparkline_points", "sparkline_svg"]
+
+
+def sparkline_points(
+    values: Sequence[float],
+    width: float,
+    height: float,
+    x_offset: float = 0.0,
+    y_offset: float = 0.0,
+    max_value: Optional[float] = None,
+    min_value: float = 0.0,
+) -> str:
+    """Map a value series onto an SVG ``points`` attribute string.
+
+    Index ``i`` lands at the center of the ``i``-th of ``len(values)``
+    equal slots across ``width``; values are scaled so ``min_value`` sits
+    on the bottom edge and ``max_value`` (default: the series maximum) on
+    the top.  A constant series draws along the bottom edge rather than
+    dividing by zero.
+    """
+    if not values:
+        raise VisualizationError("at least one value is required")
+    slot = width / len(values)
+    top = max(max_value if max_value is not None else max(values), min_value)
+    span = top - min_value
+    base = y_offset + height
+
+    def y(value: float) -> float:
+        if span <= 0:
+            return base
+        clamped = min(max(float(value), min_value), top)
+        return base - height * (clamped - min_value) / span
+
+    return " ".join(
+        f"{x_offset + slot * (index + 0.5):.1f},{y(value):.1f}"
+        for index, value in enumerate(values)
+    )
+
+
+def sparkline_svg(
+    values: Sequence[float],
+    width: float = 120.0,
+    height: float = 28.0,
+    stroke: str = "#1f77b4",
+    title: Optional[str] = None,
+) -> str:
+    """A self-contained word-sized trend chart.
+
+    The last value is emphasized with a dot; ``title`` becomes a hover
+    tooltip.  Padding of one stroke-width keeps extreme points inside the
+    viewport.
+    """
+    pad = 2.0
+    points = sparkline_points(
+        values, width - 2 * pad, height - 2 * pad, x_offset=pad, y_offset=pad
+    )
+    last_x, last_y = points.rsplit(" ", 1)[-1].split(",")
+    tooltip = f"<title>{title}</title>" if title else ""
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">'
+        f"{tooltip}"
+        f'<polyline points="{points}" fill="none" stroke="{stroke}" '
+        f'stroke-width="1.5" stroke-linejoin="round" />'
+        f'<circle cx="{last_x}" cy="{last_y}" r="2" fill="{stroke}" />'
+        f"</svg>"
+    )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import VisualizationError
+from repro.vis.sparkline import sparkline_points
 
 _WIDTH = 560.0
 _HEIGHT = 260.0
@@ -124,10 +125,15 @@ def timeline_svg(
             f"<title>step {index}: {label} — {value_ms:.3f} ms, "
             f"{count} nodes</title></rect>"
         )
-    # Node-count trajectory.
-    points = " ".join(
-        f"{x_center(index):.1f},{y_nodes(count):.1f}"
-        for index, count in enumerate(counts)
+    # Node-count trajectory (same point geometry as the dashboard's
+    # sparklines: slot-centered x, linear y against the series peak).
+    points = sparkline_points(
+        counts,
+        plot_width,
+        plot_height,
+        x_offset=_MARGIN_LEFT,
+        y_offset=_MARGIN_TOP,
+        max_value=peak_nodes,
     )
     parts.append(
         f'<polyline points="{points}" fill="none" stroke="{_LINE_COLOR}" '

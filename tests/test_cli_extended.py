@@ -77,6 +77,16 @@ class TestStats:
         assert "unique_vector" in out
         assert "mult-mv" in out
 
+    def test_stats_reports_latency_percentiles(self, tmp_path, capsys):
+        source = tmp_path / "ghz.qasm"
+        source.write_text(library.ghz_state(4).to_qasm())
+        assert main(["stats", str(source)]) == 0
+        out = capsys.readouterr().out
+        # run_report surfaces p50/p95/p99 for every histogram it prints.
+        assert "p50=" in out
+        assert "p95=" in out
+        assert "p99=" in out
+
 
 class TestBloch:
     def test_bloch_to_stdout(self, tmp_path, capsys):

@@ -1,0 +1,197 @@
+"""Tests for the in-process event bus behind the SSE streams.
+
+Covers monotonic ids, bounded per-subscriber queues with drop-oldest
+semantics (and the ``dd_stream_dropped_total`` counter), Last-Event-ID
+replay, blocking get with timeout, and close-wakes-everyone shutdown.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import EventBus, MetricsRegistry
+
+
+class TestPublishSubscribe:
+    def test_events_carry_monotonic_ids(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        ids = [bus.publish("tick", {"n": n}).id for n in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+        received = [sub.get(timeout=1) for _ in range(5)]
+        assert [event.id for event in received] == ids
+        assert [event.data["n"] for event in received] == list(range(5))
+
+    def test_every_subscriber_sees_every_event(self):
+        bus = EventBus()
+        subs = [bus.subscribe() for _ in range(3)]
+        bus.publish("a")
+        bus.publish("b")
+        for sub in subs:
+            assert [sub.get(timeout=1).kind for _ in range(2)] == ["a", "b"]
+
+    def test_publish_copies_data(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        payload = {"x": 1}
+        bus.publish("k", payload)
+        payload["x"] = 99
+        assert sub.get(timeout=1).data == {"x": 1}
+
+    def test_get_timeout_returns_none_but_not_closed(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        start = time.monotonic()
+        assert sub.get(timeout=0.05) is None
+        assert time.monotonic() - start >= 0.04
+        assert not sub.closed
+
+    def test_blocked_get_wakes_on_publish(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(sub.get(timeout=5))
+        )
+        thread.start()
+        time.sleep(0.05)
+        bus.publish("wake")
+        thread.join(timeout=2)
+        assert not thread.is_alive()
+        assert results[0].kind == "wake"
+
+
+class TestBackpressure:
+    def test_slow_subscriber_drops_oldest(self):
+        registry = MetricsRegistry(enabled=True)
+        bus = EventBus(registry=registry, max_queue=3)
+        sub = bus.subscribe()
+        for n in range(10):
+            bus.publish("tick", {"n": n})
+        # Only the 3 newest remain; the 7 oldest were dropped.
+        kept = [sub.get(timeout=0.1).data["n"] for _ in range(3)]
+        assert kept == [7, 8, 9]
+        assert sub.get(timeout=0.01) is None
+        assert sub.dropped == 7
+        assert registry.counter("dd_stream_dropped_total").value == 7
+
+    def test_drops_are_per_subscriber(self):
+        bus = EventBus(max_queue=2)
+        slow = bus.subscribe()
+        fast = bus.subscribe(max_queue=100)
+        for n in range(5):
+            bus.publish("tick", {"n": n})
+        assert slow.dropped == 3
+        assert fast.dropped == 0
+        assert fast.pending == 5
+
+
+class TestReplay:
+    def test_zero_replays_full_history(self):
+        bus = EventBus(history=16)
+        bus.publish("a")
+        bus.publish("b")
+        sub = bus.subscribe(last_event_id=0)
+        assert [sub.get(timeout=1).kind for _ in range(2)] == ["a", "b"]
+
+    def test_resume_after_cursor_without_duplicates(self):
+        bus = EventBus()
+        for n in range(6):
+            bus.publish("tick", {"n": n})
+        sub = bus.subscribe(last_event_id=4)
+        replayed = [sub.get(timeout=1).id for _ in range(2)]
+        assert replayed == [5, 6]
+        assert sub.get(timeout=0.01) is None
+
+    def test_none_starts_from_now(self):
+        bus = EventBus()
+        bus.publish("old")
+        sub = bus.subscribe()
+        bus.publish("new")
+        assert sub.get(timeout=1).kind == "new"
+        assert sub.get(timeout=0.01) is None
+
+    def test_history_is_bounded(self):
+        bus = EventBus(history=3)
+        for n in range(10):
+            bus.publish("tick", {"n": n})
+        sub = bus.subscribe(last_event_id=0)
+        assert [sub.get(timeout=1).data["n"] for _ in range(3)] == [7, 8, 9]
+
+
+class TestShutdown:
+    def test_close_wakes_blocked_subscribers(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(sub.get(timeout=5))
+        )
+        thread.start()
+        time.sleep(0.05)
+        bus.close()
+        thread.join(timeout=2)
+        assert not thread.is_alive()
+        assert results == [None]
+        assert sub.closed
+
+    def test_queued_events_drain_after_close(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.publish("pending")
+        bus.close()
+        event = sub.get(timeout=1)
+        assert event is not None and event.kind == "pending"
+        assert sub.get(timeout=0.01) is None
+
+    def test_publish_after_close_is_noop(self):
+        bus = EventBus()
+        bus.close()
+        assert bus.publish("late") is None
+        assert bus.last_id == 0
+
+    def test_subscribe_after_close_returns_closed_subscription(self):
+        bus = EventBus()
+        bus.publish("before")
+        bus.close()
+        sub = bus.subscribe(last_event_id=0)
+        assert sub.closed
+        assert sub.get(timeout=0.1).kind == "before"  # replay still works
+        assert sub.get(timeout=0.01) is None
+
+    def test_close_is_idempotent(self):
+        bus = EventBus()
+        bus.close()
+        bus.close()
+        assert bus.closed
+
+    def test_detached_subscription_stops_receiving(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        sub.close()
+        bus.publish("after")
+        assert sub.get(timeout=0.01) is None
+        assert bus.subscriber_count == 0
+
+
+class TestSseFraming:
+    def test_to_sse_has_id_event_and_single_data_line(self):
+        bus = EventBus()
+        event = bus.publish("frame", {"svg": "<svg/>", "n": 1})
+        text = event.to_sse()
+        lines = text.split("\n")
+        assert lines[0] == f"id: {event.id}"
+        assert lines[1] == "event: frame"
+        assert lines[2].startswith("data: {")
+        assert text.endswith("\n\n")
+        assert sum(1 for line in lines if line.startswith("data:")) == 1
+
+    def test_subscriber_gauge_tracks_attach_detach(self):
+        registry = MetricsRegistry(enabled=True)
+        bus = EventBus(registry=registry)
+        gauge = registry.gauge("dd_stream_subscribers")
+        sub = bus.subscribe()
+        assert gauge.value == 1
+        sub.close()
+        assert gauge.value == 0

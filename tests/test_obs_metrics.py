@@ -370,3 +370,171 @@ def test_default_count_buckets_cover_paper_scale():
     # Ex. 12's 9- and 21-node peaks must land in distinct finite buckets.
     assert any(b >= 9 for b in DEFAULT_COUNT_BUCKETS)
     assert not math.isinf(DEFAULT_COUNT_BUCKETS[-1])
+
+
+class TestHistogramQuantiles:
+    """Interpolated p50/p95/p99 estimates from fixed buckets."""
+
+    def test_empty_histogram_is_zero(self):
+        hist = Histogram("h", buckets=(1, 2, 4))
+        assert hist.quantile(0.5) == 0.0
+        assert hist.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_quantile_range_is_validated(self):
+        hist = Histogram("h", buckets=(1,))
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
+    def test_uniform_fill_interpolates_linearly(self):
+        hist = Histogram("h", buckets=(10, 20, 30, 40))
+        for value in range(40):  # 10 observations per bucket
+            hist.observe(value + 0.5)
+        # The median rank (20 of 40) falls exactly at the end of the
+        # second bucket under linear interpolation.
+        assert hist.quantile(0.5) == pytest.approx(20.0)
+        assert hist.quantile(0.25) == pytest.approx(10.0)
+        # p99: rank 39.6 of 40 -> 9.6/10 through the (30, 40] bucket.
+        assert hist.quantile(0.99) == pytest.approx(39.6)
+
+    def test_overflow_ranks_clamp_to_last_finite_bound(self):
+        hist = Histogram("h", buckets=(1, 2))
+        for _ in range(10):
+            hist.observe(100.0)  # everything in the +Inf bucket
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(0.99) == 2.0
+
+    def test_percentiles_are_monotonic(self):
+        hist = Histogram("h", buckets=(0.001, 0.01, 0.1, 1.0))
+        for value in (0.0005, 0.002, 0.003, 0.05, 0.02, 0.5, 2.0):
+            hist.observe(value)
+        p = hist.percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
+    def test_run_report_includes_percentiles(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("svc_seconds", (0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        report = run_report(registry)
+        assert "p50=" in report and "p95=" in report and "p99=" in report
+
+    def test_null_histogram_has_percentiles(self):
+        registry = MetricsRegistry(enabled=False)
+        hist = registry.histogram("off_seconds", (1.0,))
+        assert hist.quantile(0.5) == 0.0
+        assert hist.percentiles()["p99"] == 0.0
+
+
+class TestPrometheusExpositionRules:
+    """promtool-style checks of the text exposition format.
+
+    These encode the rules `promtool check metrics` enforces for
+    histograms: an explicit `+Inf` bucket, cumulative bucket counts, the
+    `+Inf` bucket equal to `_count`, and exactly one TYPE line per metric
+    name.
+    """
+
+    @staticmethod
+    def _histogram_lines(text, name):
+        buckets, total, summed = [], None, None
+        for line in text.splitlines():
+            if line.startswith(f"{name}_bucket"):
+                le = line.split('le="', 1)[1].split('"', 1)[0]
+                buckets.append((le, float(line.rsplit(" ", 1)[1])))
+            elif line.startswith(f"{name}_count"):
+                total = float(line.rsplit(" ", 1)[1])
+            elif line.startswith(f"{name}_sum"):
+                summed = float(line.rsplit(" ", 1)[1])
+        return buckets, total, summed
+
+    def test_histogram_has_explicit_inf_bucket_equal_to_count(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("rule_seconds", (0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        buckets, total, summed = self._histogram_lines(
+            to_prometheus(registry), "rule_seconds"
+        )
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == total == 3
+        assert summed == pytest.approx(5.55)
+
+    def test_histogram_buckets_are_cumulative_and_sorted(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("cumu_seconds", (0.1, 1.0, 10.0))
+        for value in (0.05, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        buckets, _, _ = self._histogram_lines(
+            to_prometheus(registry), "cumu_seconds"
+        )
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)  # cumulative => non-decreasing
+        assert counts == [2, 3, 4, 4]
+        bounds = [float(le.replace("+Inf", "inf")) for le, _ in buckets]
+        assert bounds == sorted(bounds)
+
+    def test_le_boundary_is_inclusive(self):
+        # Prometheus `le` is <=: an observation exactly on a bound counts
+        # into that bound's bucket.
+        registry = MetricsRegistry(enabled=True)
+        registry.histogram("edge_seconds", (1.0, 2.0)).observe(1.0)
+        buckets, _, _ = self._histogram_lines(
+            to_prometheus(registry), "edge_seconds"
+        )
+        assert buckets[0] == ("1", 1.0)
+
+    def test_exactly_one_type_line_per_metric_name(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("multi_total", {"kind": "a"}).inc()
+        registry.counter("multi_total", {"kind": "b"}).inc()
+        text = to_prometheus(registry)
+        assert text.count("# TYPE multi_total counter") == 1
+
+
+class TestSnapshotDelta:
+    def test_unchanged_registry_yields_empty_delta(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("c_total").inc()
+        before = registry_snapshot(registry)
+        after = registry_snapshot(registry)
+        assert obs.snapshot_delta(before, after) == {"metrics": []}
+
+    def test_only_changed_scalars_appear(self):
+        registry = MetricsRegistry(enabled=True)
+        changed = registry.counter("changed_total")
+        registry.counter("steady_total").inc()
+        before = registry_snapshot(registry)
+        changed.inc()
+        delta = obs.snapshot_delta(before, registry_snapshot(registry))
+        assert [m["name"] for m in delta["metrics"]] == ["changed_total"]
+
+    def test_histogram_delta_carries_only_changed_buckets(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("d_seconds", (0.1, 1.0, 10.0))
+        hist.observe(0.05)
+        before = registry_snapshot(registry)
+        hist.observe(5.0)  # lands in the (1.0, 10.0] bucket
+        delta = obs.snapshot_delta(before, registry_snapshot(registry))
+        [entry] = delta["metrics"]
+        assert entry["count"] == 2
+        changed_les = {bucket["le"] for bucket in entry["buckets"]}
+        # Cumulative counts: only the 10.0 and +Inf buckets moved.
+        assert changed_les == {10.0, "+Inf"}
+
+    def test_new_instruments_appear_whole(self):
+        registry = MetricsRegistry(enabled=True)
+        before = registry_snapshot(registry)
+        registry.counter("late_total").inc()
+        delta = obs.snapshot_delta(before, registry_snapshot(registry))
+        assert [m["name"] for m in delta["metrics"]] == ["late_total"]
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry(enabled=True)
+        a = registry.counter("lbl_total", {"kind": "a"})
+        registry.counter("lbl_total", {"kind": "b"}).inc()
+        before = registry_snapshot(registry)
+        a.inc()
+        delta = obs.snapshot_delta(before, registry_snapshot(registry))
+        assert [m["labels"] for m in delta["metrics"]] == [{"kind": "a"}]

@@ -1,0 +1,525 @@
+"""Tests for the SSE streaming layer and the live dashboard.
+
+In-process tests drive :class:`ServiceApp` directly (a
+:class:`StreamingResponse` is just an iterator of SSE chunks), covering
+replay, Last-Event-ID resume, slow-subscriber drop-oldest, session
+expiry/eviction ending streams, the stream cap, and shutdown drain.  The
+loopback test at the bottom is the acceptance scenario: one session driven
+to completion under 9 concurrent SSE subscribers (6 frame streams + 3
+metric streams), every frame subscriber forcing one reconnect and still
+receiving every step frame in order with zero duplicates.
+"""
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.qc import library
+from repro.service import DDToolServer, ServiceConfig, StreamingResponse
+from repro.service.app import Request, ServiceApp
+
+GHZ = library.ghz_state(2).to_qasm()
+QFT = library.qft(3).to_qasm()
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def make_app(**overrides):
+    defaults = dict(
+        workers=0, metrics_interval=0.05, heartbeat_interval=0.1,
+    )
+    defaults.update(overrides)
+    return ServiceApp(ServiceConfig(**defaults))
+
+
+def post(app, path, payload):
+    return app.handle(Request("POST", path, body=json.dumps(payload).encode()))
+
+
+def parse_sse(chunk):
+    """One SSE chunk -> (id or None, event or None, data dict or None)."""
+    event_id, kind, data = None, None, None
+    for line in chunk.decode().splitlines():
+        if line.startswith("id: "):
+            event_id = int(line[4:])
+        elif line.startswith("event: "):
+            kind = line[7:]
+        elif line.startswith("data: "):
+            data = json.loads(line[6:])
+    return event_id, kind, data
+
+
+def collect(iterator, count, skip_comments=True, limit=200):
+    """Pull ``count`` parsed SSE events (skipping heartbeats/retry hints)."""
+    events = []
+    for _ in range(limit):
+        chunk = next(iterator)
+        if skip_comments and (chunk.startswith(b":") or chunk.startswith(b"retry")):
+            continue
+        events.append(parse_sse(chunk))
+        if len(events) == count:
+            return events
+    raise AssertionError(f"only {len(events)} of {count} events arrived")
+
+
+def drain(iterator):
+    return list(iterator)
+
+
+# ----------------------------------------------------------------------
+# session frame streams (in-process)
+# ----------------------------------------------------------------------
+class TestSessionStream:
+    def test_fresh_subscriber_replays_all_frames_in_order(self):
+        app = make_app()
+        try:
+            created = json.loads(post(app, "/sessions", {
+                "kind": "simulation", "qasm": GHZ,
+            }).body)
+            sid = created["session_id"]
+            post(app, f"/sessions/{sid}/step", {"action": "to_end"})
+            stream = app.handle(Request("GET", f"/sessions/{sid}/stream"))
+            assert isinstance(stream, StreamingResponse)
+            assert stream.content_type == "text/event-stream"
+            events = collect(stream.chunks, created["total"] + 1)
+            assert [kind for _, kind, _ in events] == ["frame"] * (created["total"] + 1)
+            assert [data["index"] for _, _, data in events] == list(
+                range(created["total"] + 1)
+            )
+            ids = [event_id for event_id, _, _ in events]
+            assert ids == sorted(ids)
+            first = events[0][2]
+            assert first["svg"].startswith("<svg") and first["node_count"] >= 1
+            assert first["text"]
+            stream.close()
+        finally:
+            app.close()
+
+    def test_last_event_id_resumes_without_duplicates(self):
+        app = make_app()
+        try:
+            created = json.loads(post(app, "/sessions", {
+                "kind": "simulation", "qasm": GHZ,
+            }).body)
+            sid = created["session_id"]
+            post(app, f"/sessions/{sid}/step", {"action": "forward"})
+            first = app.handle(Request("GET", f"/sessions/{sid}/stream"))
+            seen = collect(first.chunks, 2)
+            first.close()  # client vanishes mid-stream
+            cursor = seen[-1][0]
+            post(app, f"/sessions/{sid}/step", {"action": "to_end"})
+            second = app.handle(Request(
+                "GET", f"/sessions/{sid}/stream",
+                headers={"last-event-id": str(cursor)},
+            ))
+            rest = collect(second.chunks, created["total"] + 1 - len(seen))
+            indices = [d["index"] for _, _, d in seen + rest]
+            assert indices == list(range(created["total"] + 1))
+            assert len(set(e[0] for e in seen + rest)) == len(indices)
+            second.close()
+        finally:
+            app.close()
+
+    def test_bad_last_event_id_is_400(self):
+        app = make_app()
+        try:
+            created = json.loads(post(app, "/sessions", {
+                "kind": "simulation", "qasm": GHZ,
+            }).body)
+            response = app.handle(Request(
+                "GET", f"/sessions/{created['session_id']}/stream",
+                headers={"last-event-id": "banana"},
+            ))
+            assert response.status == 400
+        finally:
+            app.close()
+
+    def test_slow_subscriber_drops_oldest_and_counts(self):
+        app = make_app(stream_queue=4)
+        try:
+            created = json.loads(post(app, "/sessions", {
+                "kind": "simulation", "qasm": QFT,
+            }).body)
+            sid = created["session_id"]
+            stream = app.handle(Request("GET", f"/sessions/{sid}/stream"))
+            # Never consume while the session races ahead: the per-
+            # subscriber ring (4 slots) must shed the *oldest* frames.
+            post(app, f"/sessions/{sid}/step", {"action": "to_end"})
+            total_frames = created["total"] + 1
+            assert total_frames > 4
+            events = collect(stream.chunks, 4, limit=20)
+            indices = [d["index"] for _, _, d in events]
+            assert indices == list(range(total_frames - 4, total_frames))
+            dropped = app.registry.counter("dd_stream_dropped_total").value
+            assert dropped == total_frames - 4
+            stream.close()
+        finally:
+            app.close()
+
+    def test_stream_ends_when_session_deleted(self):
+        app = make_app()
+        try:
+            created = json.loads(post(app, "/sessions", {
+                "kind": "simulation", "qasm": GHZ,
+            }).body)
+            sid = created["session_id"]
+            stream = app.handle(Request("GET", f"/sessions/{sid}/stream"))
+            collect(stream.chunks, 1)
+            app.handle(Request("DELETE", f"/sessions/{sid}"))
+            tail = [parse_sse(c) for c in drain(stream.chunks)
+                    if not c.startswith(b":")]
+            assert tail[-1][1] == "closed"
+            assert tail[-1][2]["reason"] == "deleted"
+            assert app.active_streams == 0
+        finally:
+            app.close()
+
+    def test_stream_ends_when_session_expires(self):
+        app = make_app(session_ttl=0.15)
+        try:
+            created = json.loads(post(app, "/sessions", {
+                "kind": "simulation", "qasm": GHZ,
+            }).body)
+            stream = app.handle(
+                Request("GET", f"/sessions/{created['session_id']}/stream")
+            )
+            collect(stream.chunks, 1)
+            time.sleep(0.2)
+            app.handle(Request("GET", "/sessions"))  # triggers the purge
+            tail = [parse_sse(c) for c in drain(stream.chunks)
+                    if not c.startswith(b":")]
+            assert tail[-1][1] == "closed"
+            assert tail[-1][2]["reason"] == "expired"
+        finally:
+            app.close()
+
+    def test_stream_ends_when_session_evicted(self):
+        app = make_app(max_sessions=1)
+        try:
+            created = json.loads(post(app, "/sessions", {
+                "kind": "simulation", "qasm": GHZ,
+            }).body)
+            stream = app.handle(
+                Request("GET", f"/sessions/{created['session_id']}/stream")
+            )
+            collect(stream.chunks, 1)
+            post(app, "/sessions", {"kind": "simulation", "qasm": GHZ})
+            tail = [parse_sse(c) for c in drain(stream.chunks)
+                    if not c.startswith(b":")]
+            assert tail[-1][1] == "closed"
+            assert tail[-1][2]["reason"] == "evicted"
+        finally:
+            app.close()
+
+    def test_stream_cap_returns_503(self):
+        app = make_app(max_streams=2)
+        try:
+            created = json.loads(post(app, "/sessions", {
+                "kind": "simulation", "qasm": GHZ,
+            }).body)
+            sid = created["session_id"]
+            streams = [
+                app.handle(Request("GET", f"/sessions/{sid}/stream"))
+                for _ in range(2)
+            ]
+            rejected = app.handle(Request("GET", f"/sessions/{sid}/stream"))
+            assert rejected.status == 503
+            assert "Retry-After" in rejected.headers
+            streams[0].close()
+            accepted = app.handle(Request("GET", f"/sessions/{sid}/stream"))
+            assert isinstance(accepted, StreamingResponse)
+            for stream in streams[1:] + [accepted]:
+                stream.close()
+        finally:
+            app.close()
+
+    def test_unknown_session_is_404(self):
+        app = make_app()
+        try:
+            assert app.handle(
+                Request("GET", "/sessions/deadbeef/stream")
+            ).status == 404
+        finally:
+            app.close()
+
+
+# ----------------------------------------------------------------------
+# metrics stream (in-process)
+# ----------------------------------------------------------------------
+class TestMetricsStream:
+    def test_snapshot_then_delta(self):
+        app = make_app()
+        try:
+            stream = app.handle(Request("GET", "/stream/metrics"))
+            [(_, kind, snapshot)] = collect(stream.chunks, 1)
+            assert kind == "snapshot"
+            names = {m["name"] for m in snapshot["metrics"]}
+            assert "service_requests_total" in names
+            post(app, "/sessions", {"kind": "simulation", "qasm": GHZ})
+            events = collect(stream.chunks, 2, limit=40)
+            kinds = [k for _, k, _ in events]
+            assert "session.created" in kinds
+            assert "delta" in kinds
+            delta = next(d for _, k, d in events if k == "delta")
+            assert delta["metrics"], "delta must carry the changed metrics"
+            stream.close()
+        finally:
+            app.close()
+
+    def test_forwarded_bus_events_carry_ids_but_deltas_do_not(self):
+        app = make_app()
+        try:
+            stream = app.handle(Request("GET", "/stream/metrics"))
+            collect(stream.chunks, 1)  # snapshot: synthetic, no id
+            post(app, "/sessions", {"kind": "simulation", "qasm": GHZ})
+            events = collect(stream.chunks, 2, limit=40)
+            for event_id, kind, _ in events:
+                if kind in ("delta", "snapshot"):
+                    assert event_id is None
+                else:
+                    assert event_id is not None
+            stream.close()
+        finally:
+            app.close()
+
+    def test_shutdown_drains_all_streams(self):
+        app = make_app()
+        try:
+            created = json.loads(post(app, "/sessions", {
+                "kind": "simulation", "qasm": GHZ,
+            }).body)
+            metrics = app.handle(Request("GET", "/stream/metrics"))
+            frames = app.handle(
+                Request("GET", f"/sessions/{created['session_id']}/stream")
+            )
+            collect(metrics.chunks, 1)
+            collect(frames.chunks, 1)
+            assert app.active_streams == 2
+            app.begin_shutdown()
+            metric_tail = [parse_sse(c) for c in drain(metrics.chunks)
+                           if not c.startswith(b":")]
+            assert metric_tail[-1][1] == "shutdown"
+            drain(frames.chunks)
+            assert app.active_streams == 0
+            late = app.handle(Request("GET", "/stream/metrics"))
+            assert late.status == 503
+        finally:
+            app.close()
+
+    def test_streams_open_gauge_tracks_connections(self):
+        app = make_app()
+        try:
+            gauge = app.registry.gauge("service_streams_open")
+            stream = app.handle(Request("GET", "/stream/metrics"))
+            assert gauge.value == 1
+            stream.close()
+            assert gauge.value == 0
+        finally:
+            app.close()
+
+
+# ----------------------------------------------------------------------
+# satellites: rate-limit exemption, dashboard page
+# ----------------------------------------------------------------------
+class TestOperatorEndpoints:
+    def test_report_is_exempt_from_rate_limiting(self):
+        app = make_app(rate_limit=0.0001, rate_burst=1)
+        try:
+            assert app.handle(Request("GET", "/sessions")).status == 200
+            assert app.handle(Request("GET", "/sessions")).status == 429
+            for path in ("/report", "/healthz", "/metrics"):
+                assert app.handle(Request("GET", path)).status == 200, path
+        finally:
+            app.close()
+
+    def test_dashboard_is_self_contained_html(self):
+        app = make_app()
+        try:
+            response = app.handle(Request("GET", "/dashboard"))
+            assert response.status == 200
+            assert response.content_type.startswith("text/html")
+            page = response.body.decode()
+            assert "http://" not in page and "https://" not in page
+            assert "EventSource" in page
+            assert "/stream/metrics" in page
+            assert "/stream" in page and "dashboard" in page.lower()
+        finally:
+            app.close()
+
+
+# ----------------------------------------------------------------------
+# acceptance: loopback e2e with concurrent subscribers and reconnects
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    config = ServiceConfig(
+        host="127.0.0.1", port=0, workers=0, metrics_interval=0.05,
+        heartbeat_interval=0.5, drain_timeout=5.0,
+    )
+    instance = DDToolServer(config).start()
+    yield instance
+    instance.stop()
+
+
+def _open_stream(server, path, last_event_id=None):
+    host, port = server.address
+    connection = HTTPConnection(host, port, timeout=10)
+    headers = {}
+    if last_event_id is not None:
+        headers["Last-Event-ID"] = str(last_event_id)
+    connection.request("GET", path, headers=headers)
+    response = connection.getresponse()
+    assert response.status == 200, response.read()
+    return connection, response
+
+
+def _read_sse(response):
+    """Yield (id, event, data) triples; heartbeats are skipped."""
+    event_id, kind, data_lines = None, None, []
+    while True:
+        raw = response.readline()
+        if not raw:
+            return
+        line = raw.decode().rstrip("\n")
+        if line.startswith(":") or line.startswith("retry:"):
+            continue
+        if line == "":
+            if kind is not None or data_lines:
+                data = json.loads("\n".join(data_lines)) if data_lines else None
+                yield event_id, kind, data
+            event_id, kind, data_lines = None, None, []
+            continue
+        if line.startswith("id: "):
+            event_id = int(line[4:])
+        elif line.startswith("event: "):
+            kind = line[7:]
+        elif line.startswith("data: "):
+            data_lines.append(line[6:])
+
+
+def _frame_subscriber(server, sid, total, out, errors):
+    """Collect every frame, forcing one reconnect partway through."""
+    try:
+        frames = []
+        connection, response = _open_stream(server, f"/sessions/{sid}/stream")
+        cursor = None
+        for event_id, kind, data in _read_sse(response):
+            if kind != "frame":
+                continue
+            frames.append(data["index"])
+            cursor = event_id
+            if len(frames) == 2:
+                break
+        connection.close()  # the forced reconnect
+        connection, response = _open_stream(
+            server, f"/sessions/{sid}/stream", last_event_id=cursor
+        )
+        for _, kind, data in _read_sse(response):
+            if kind == "frame":
+                frames.append(data["index"])
+                if data["index"] == total:
+                    break
+            elif kind == "closed":
+                break
+        connection.close()
+        out.append(frames)
+    except Exception as error:  # noqa: BLE001 - surfaced by the assertion
+        errors.append(error)
+
+
+def _metrics_subscriber(server, done, out, errors):
+    try:
+        kinds = []
+        connection, response = _open_stream(server, "/stream/metrics")
+        for _, kind, _ in _read_sse(response):
+            kinds.append(kind)
+            if done.is_set() and "delta" in kinds:
+                break
+        connection.close()
+        out.append(kinds)
+    except Exception as error:  # noqa: BLE001
+        errors.append(error)
+
+
+def test_e2e_session_completion_under_concurrent_subscribers(server):
+    host, port = server.address
+    control = HTTPConnection(host, port, timeout=30)
+    control.request("POST", "/sessions", body=json.dumps({
+        "kind": "simulation", "qasm": QFT,
+    }), headers={"Content-Type": "application/json"})
+    created = json.loads(control.getresponse().read())
+    sid, total = created["session_id"], created["total"]
+    assert total >= 4
+
+    frame_results, metric_results, errors = [], [], []
+    done = threading.Event()
+    threads = [
+        threading.Thread(
+            target=_frame_subscriber,
+            args=(server, sid, total, frame_results, errors),
+        )
+        for _ in range(6)
+    ] + [
+        threading.Thread(
+            target=_metrics_subscriber,
+            args=(server, done, metric_results, errors),
+        )
+        for _ in range(3)
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.2)  # let every subscriber attach before stepping
+
+    # Drive the session to completion, one operation at a time.
+    for _ in range(total):
+        control.request("POST", f"/sessions/{sid}/step", body=json.dumps({
+            "action": "forward",
+        }), headers={"Content-Type": "application/json"})
+        response = control.getresponse()
+        assert response.status == 200, response.read()
+        response.read()
+        time.sleep(0.02)
+    done.set()
+
+    for thread in threads:
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "a subscriber never finished"
+    assert not errors, errors
+
+    # Every frame subscriber saw every frame exactly once, in order,
+    # despite its forced reconnect.
+    assert len(frame_results) == 6
+    for frames in frame_results:
+        assert frames == list(range(total + 1))
+    # Every metrics subscriber got the initial snapshot and live deltas.
+    assert len(metric_results) == 3
+    for kinds in metric_results:
+        assert kinds[0] == "snapshot"
+        assert "delta" in kinds
+
+    control.request("DELETE", f"/sessions/{sid}")
+    control.getresponse().read()
+    control.close()
+
+
+def test_server_stop_drains_open_streams(server_factory=None):
+    config = ServiceConfig(
+        host="127.0.0.1", port=0, workers=0, metrics_interval=0.05,
+        heartbeat_interval=0.2, drain_timeout=5.0,
+    )
+    instance = DDToolServer(config).start()
+    connection, response = _open_stream(instance, "/stream/metrics")
+    reader = _read_sse(response)
+    assert next(reader)[1] == "snapshot"
+    start = time.monotonic()
+    instance.stop()
+    elapsed = time.monotonic() - start
+    assert elapsed < config.drain_timeout, "stop() waited for the drain timeout"
+    tail = list(reader)
+    assert tail and tail[-1][1] == "shutdown"
+    connection.close()
+    assert instance.app.active_streams == 0
