@@ -24,10 +24,18 @@ from repro.dd.node import MatrixNode, Node, TERMINAL, VectorNode
 from repro.dd.normalization import NormalizationScheme
 from repro.dd.expectation import expectation_hamiltonian, expectation_pauli, pauli_string_dd
 from repro.dd.package import DDPackage
+from repro.dd.pool import NodePool, PooledUniqueTable, WeightPool
+from repro.dd.pooled import PooledEngine, PooledMatrixNode, PooledVectorNode
 
 __all__ = [
     "ComplexTable",
     "DDPackage",
+    "NodePool",
+    "PooledEngine",
+    "PooledMatrixNode",
+    "PooledUniqueTable",
+    "PooledVectorNode",
+    "WeightPool",
     "GcStats",
     "MemoryBudget",
     "PressureLevel",

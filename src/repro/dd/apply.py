@@ -54,6 +54,7 @@ import numpy as np
 from repro.dd.complex_table import ComplexTable
 from repro.dd.edge import Edge, ZERO_EDGE
 from repro.dd.node import MatrixNode, Node, VectorNode
+from repro.dd.pooled import PooledApplyKernel
 from repro.errors import DDError
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS
 
@@ -74,6 +75,9 @@ _X_MATRIX = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
 _S_MATRIX = np.array([[1.0, 0.0], [0.0, 1j]], dtype=complex)
 _SDG_MATRIX = np.array([[1.0, 0.0], [0.0, -1j]], dtype=complex)
 _Z_MATRIX = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+for _constant in (_X_MATRIX, _S_MATRIX, _SDG_MATRIX, _Z_MATRIX):
+    _constant.setflags(write=False)
+del _constant
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +309,39 @@ class _ApplyKernel:
 # ----------------------------------------------------------------------
 # public vector-DD API
 # ----------------------------------------------------------------------
+def _make_kernel(package, mode, matrix, target, controls):
+    """Build the kernel matching the package's storage backend.
+
+    Both kernels share recursion structure, shortcuts and arithmetic, so
+    the two backends stay bit-identical (the differential suite's check).
+    """
+    engine = getattr(package, "_pooled", None)
+    if engine is None:
+        return _ApplyKernel(package, mode, matrix, target, controls)
+    if type(matrix) is np.ndarray and not matrix.flags.writeable:
+        # An immutable (interned gate-library) matrix can be keyed by
+        # identity; the cache entry pins it so its id stays valid.
+        key = (mode, id(matrix), int(target), tuple(sorted(controls.items())))
+    else:
+        matrix = np.asarray(matrix, dtype=complex)
+        key = (
+            mode, matrix.tobytes(), int(target), tuple(sorted(controls.items()))
+        )
+    generation = engine.weights.generation
+    hit = engine._kernel_cache.get(key)
+    if hit is not None:
+        kernel, built_at, _pinned = hit
+        # A mint-stable canonicalization is valid forever; a snapped one
+        # only while no new representative has appeared since it was built
+        # (mirrors the weight-memo invalidation rule).
+        if kernel.cacheable or built_at == generation:
+            return kernel
+    kernel = PooledApplyKernel(package, mode, matrix, target, controls)
+    if kernel.cacheable or engine.weights.generation == generation:
+        engine._kernel_cache[key] = (kernel, generation, matrix)
+    return kernel
+
+
 def _control_map(
     controls: Sequence[int], negative_controls: Sequence[int]
 ) -> Dict[int, int]:
@@ -335,7 +372,7 @@ def apply_controlled(
 ) -> Edge:
     """Apply a (multi-)controlled single-qubit gate directly to a vector DD."""
     package._maybe_gc()
-    kernel = _ApplyKernel(
+    kernel = _make_kernel(
         package, "v", matrix, target, _control_map(controls, negative_controls)
     )
     if not package._obs_on:
@@ -364,10 +401,10 @@ def apply_swap(
         raise DDError("SWAP needs two distinct lines")
     package._maybe_gc()
     start = perf_counter() if package._obs_on else None
-    outer = _ApplyKernel(package, "v", _X_MATRIX, line_a, {line_b: 1})
+    outer = _make_kernel(package, "v", _X_MATRIX, line_a, {line_b: 1})
     mapping = _control_map(controls, negative_controls)
     mapping[line_a] = 1
-    inner = _ApplyKernel(package, "v", _X_MATRIX, line_b, mapping)
+    inner = _make_kernel(package, "v", _X_MATRIX, line_b, mapping)
     result = outer.run(inner.run(outer.run(state)))
     if start is not None:
         _observe(package, "swap", start)
@@ -394,7 +431,7 @@ def apply_operation(package, state: Edge, operation, num_qubits: int):
     Returns the new state edge, or ``None`` when the operation has no
     direct kernel (the caller falls back to the matrix path).
     """
-    matrix = operation.matrix()
+    matrix = operation.matrix_readonly()
     targets = operation.targets
     if matrix.shape == (2, 2):
         return apply_controlled(
@@ -419,7 +456,7 @@ def apply_operation(package, state: Edge, operation, num_qubits: int):
         sign = 1 if operation.gate == "iswap" else -1
         result = state
         for gate_matrix, target, ctrls in _iswap_stages(targets, sign):
-            result = _ApplyKernel(package, "v", gate_matrix, target, ctrls).run(result)
+            result = _make_kernel(package, "v", gate_matrix, target, ctrls).run(result)
         result = apply_swap(package, result, targets[0], targets[1])
         if start is not None:
             _observe(package, "swap", start)
@@ -439,10 +476,10 @@ def apply_operation_matrix(
         raise DDError(f"side must be 'left' or 'right', got {side!r}")
     package._maybe_gc()
     mode = "ml" if side == "left" else "mr"
-    matrix = operation.matrix()
+    matrix = operation.matrix_readonly()
     targets = operation.targets
     if matrix.shape == (2, 2):
-        kernel = _ApplyKernel(
+        kernel = _make_kernel(
             package,
             mode,
             matrix,
@@ -471,7 +508,7 @@ def apply_operation_matrix(
         ordered = tuple(reversed(stages))
     result = operand
     for gate_matrix, target, ctrls in ordered:
-        result = _ApplyKernel(package, mode, gate_matrix, target, ctrls).run(result)
+        result = _make_kernel(package, mode, gate_matrix, target, ctrls).run(result)
     if start is not None:
         _observe(package, "swap", start)
     return result

@@ -82,7 +82,17 @@ class ComputeTable:
         return len(self._table)
 
     def clear(self) -> None:
+        """Empty the table and reset the hit/miss statistics.
+
+        The counters describe the *current* table contents — after a HARD
+        collection empties it, a stale pre-collection ratio would
+        misrepresent cache effectiveness in ``stats()`` and ``/metrics``
+        until enough fresh traffic drowned it out.  Evictions stay
+        cumulative (they count capacity events over the table's lifetime).
+        """
         self._table.clear()
+        self.hits = 0
+        self.misses = 0
 
     def shrink(self, fraction: float = 0.5) -> int:
         """Drop the oldest ``fraction`` of entries; return how many.
@@ -91,7 +101,9 @@ class ComputeTable:
         entries are the least likely to be hit again.  Used by the resource
         governor's SOFT pressure tier, where dropping cached results also
         releases the strong node references that pin otherwise dead
-        diagrams in the weak unique tables.
+        diagrams in the weak unique tables.  Like :meth:`clear`, a shrink
+        that actually drops entries resets the hit/miss statistics so the
+        reported ratio describes the surviving table.
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
@@ -101,10 +113,13 @@ class ComputeTable:
         if drop >= len(self._table):
             dropped = len(self._table)
             self._table.clear()
-            return dropped
-        for key in list(self._table)[:drop]:
-            del self._table[key]
-        return drop
+        else:
+            for key in list(self._table)[:drop]:
+                del self._table[key]
+            dropped = drop
+        self.hits = 0
+        self.misses = 0
+        return dropped
 
     @property
     def hit_ratio(self) -> float:

@@ -259,10 +259,24 @@ class ResourceGovernor:
         return sum(len(table) for table in self.package._compute_tables())
 
     def table_bytes(self) -> int:
-        """Estimated resident bytes of all tables (coarse, see constants)."""
+        """Resident bytes of all tables.
+
+        Pooled storage reports the *actual* byte size of its flat index
+        arrays (node pools, unique-table slots, weight components); the
+        value-level complex buckets and the compute tables remain coarse
+        per-entry estimates, as does everything on the object backend.
+        """
+        package = self.package
+        engine = getattr(package, "_pooled", None)
+        if engine is not None:
+            return (
+                engine.table_bytes()
+                + len(package.complex_table) * COMPLEX_ENTRY_BYTES_ESTIMATE
+                + self.compute_entry_count() * COMPUTE_ENTRY_BYTES_ESTIMATE
+            )
         return (
             self.node_count() * NODE_BYTES_ESTIMATE
-            + len(self.package.complex_table) * COMPLEX_ENTRY_BYTES_ESTIMATE
+            + len(package.complex_table) * COMPLEX_ENTRY_BYTES_ESTIMATE
             + self.compute_entry_count() * COMPUTE_ENTRY_BYTES_ESTIMATE
         )
 
@@ -326,10 +340,18 @@ class ResourceGovernor:
             for table in package._compute_tables():
                 dropped += len(table)
                 table.clear()
-            # Dropping the compute tables releases the strong references
-            # that pinned dead nodes; the weak unique tables shed them
-            # immediately (CPython refcounting; diagrams are acyclic).
-            package.complex_table.sweep(self._mark())
+            engine = getattr(package, "_pooled", None)
+            if engine is not None:
+                # Index-keyed caches are empty now, so the engine may free
+                # and recycle pool slots: mark every Python-reachable view
+                # and refcounted root, sweep the rest, rebuild the unique
+                # tables tombstone-free, then sweep orphaned weight indices.
+                engine.sweep(self._live_roots())
+            else:
+                # Dropping the compute tables releases the strong references
+                # that pinned dead nodes; the weak unique tables shed them
+                # immediately (CPython refcounting; diagrams are acyclic).
+                package.complex_table.sweep(self._mark())
         stats.compute_entries_dropped = dropped
         stats.nodes_after = self.node_count()
         stats.complex_after = len(package.complex_table)
@@ -383,15 +405,23 @@ class ResourceGovernor:
             for node in table.live_nodes():
                 for edge in node.edges:
                     marked.add(edge.weight)
+        for _node, weight in self._live_roots():
+            marked.add(weight)
+        return marked
+
+    def _live_roots(self) -> List[Tuple[object, complex]]:
+        """Live ``(node, weight)`` root pairs; purges dead registry entries."""
+        roots = []
         dead = []
         for key, (ref, _count) in self._roots.items():
-            if ref() is None:
+            node = ref()
+            if node is None:
                 dead.append(key)
             else:
-                marked.add(key[1])
+                roots.append((node, key[1]))
         for key in dead:
             del self._roots[key]
-        return marked
+        return roots
 
     # ------------------------------------------------------------------
     # reporting

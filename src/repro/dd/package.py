@@ -35,6 +35,8 @@ from repro.dd.edge import Edge, ONE_EDGE, ZERO_EDGE
 from repro.dd.governance import GcStats, MemoryBudget, ResourceGovernor
 from repro.dd.node import MatrixNode, Node, TERMINAL, VectorNode
 from repro.dd.normalization import NormalizationScheme, normalize
+from repro.dd.pool import WeightPool
+from repro.dd.pooled import MATRIX, PooledEngine, PooledUniqueAdapter, VECTOR
 from repro.dd.unique_table import UniqueTable
 from repro.errors import DDError, DimensionMismatchError, InvalidStateError
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
@@ -111,6 +113,15 @@ class DDPackage:
         publishes structured events: ``dd.gc`` per collection,
         ``dd.pressure`` per pressure-tier transition and ``dd.sanitize``
         per failing sanitizer run (the live dashboard's state feed).
+    storage:
+        DD storage backend.  ``"pooled"`` (the default) keeps nodes in
+        flat index arrays behind an open-addressed unique table
+        (:mod:`repro.dd.pooled`); ``"object"`` is the legacy one-heap-
+        object-per-node core, retained as the differential-testing oracle.
+        Both backends produce byte-for-byte identical canonical weights
+        and isomorphic diagrams.  ``None`` reads the ``REPRO_DD_STORAGE``
+        environment variable (unset means pooled).  Diagrams must never
+        be mixed across packages, and hence across backends.
     """
 
     _OPERATION_NAMES = ("add", "multiply", "kron", "adjoint", "inner_product")
@@ -125,6 +136,7 @@ class DDPackage:
         budget: Optional[MemoryBudget] = None,
         sanitize_every: Optional[int] = None,
         event_bus=None,
+        storage: Optional[str] = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         #: Optional :class:`repro.obs.events.EventBus`: the governor
@@ -132,14 +144,16 @@ class DDPackage:
         #: publishes its verdicts, feeding the service's live streams.
         self.event_bus = event_bus
         self.use_apply_kernels = use_apply_kernels
-        self.complex_table = ComplexTable(tolerance, registry=self.registry)
+        if storage is None:
+            storage = os.environ.get("REPRO_DD_STORAGE", "").strip() or "pooled"
+        if storage not in ("pooled", "object"):
+            raise DDError(f"unknown DD storage backend {storage!r}")
+        self.storage = storage
+        if storage == "pooled":
+            self.complex_table = WeightPool(tolerance, registry=self.registry)
+        else:
+            self.complex_table = ComplexTable(tolerance, registry=self.registry)
         self.vector_scheme = vector_scheme
-        self._vector_unique = UniqueTable(
-            VectorNode, registry=self.registry, kind="vector"
-        )
-        self._matrix_unique = UniqueTable(
-            MatrixNode, registry=self.registry, kind="matrix"
-        )
         self._add_cache = ComputeTable("add", cache_capacity, registry=self.registry)
         self._mult_mv_cache = ComputeTable(
             "mult-mv", cache_capacity, registry=self.registry
@@ -157,6 +171,34 @@ class DDPackage:
         self._apply_cache = ComputeTable(
             "apply", cache_capacity, registry=self.registry
         )
+        if storage == "pooled":
+            self._pooled = PooledEngine(
+                self.complex_table,
+                vector_scheme,
+                {
+                    "add": self._add_cache,
+                    "mult-mv": self._mult_mv_cache,
+                    "mult-mm": self._mult_mm_cache,
+                    "kron": self._kron_cache,
+                    "adjoint": self._adjoint_cache,
+                    "inner": self._inner_cache,
+                    "apply": self._apply_cache,
+                },
+            )
+            self._vector_unique = PooledUniqueAdapter(
+                self._pooled, "vector", registry=self.registry
+            )
+            self._matrix_unique = PooledUniqueAdapter(
+                self._pooled, "matrix", registry=self.registry
+            )
+        else:
+            self._pooled = None
+            self._vector_unique = UniqueTable(
+                VectorNode, registry=self.registry, kind="vector"
+            )
+            self._matrix_unique = UniqueTable(
+                MatrixNode, registry=self.registry, kind="matrix"
+            )
         # Operation counters/timers cover only the *public* entry points;
         # the recursive workers below them stay uninstrumented so the hot
         # recursion pays nothing.
@@ -232,6 +274,8 @@ class DDPackage:
         """
         if var < 0:
             raise DDError("vector nodes require a non-negative level")
+        if self._pooled is not None:
+            return self._pooled.make_node_public(VECTOR, var, edges)
         factor, normalized = normalize(edges, self.complex_table, self.vector_scheme)
         if factor == ComplexTable.ZERO:
             return ZERO_EDGE
@@ -242,6 +286,8 @@ class DDPackage:
         """Create (or reuse) a normalized matrix node; returns its edge."""
         if var < 0:
             raise DDError("matrix nodes require a non-negative level")
+        if self._pooled is not None:
+            return self._pooled.make_node_public(MATRIX, var, edges)
         factor, normalized = normalize(
             edges, self.complex_table, NormalizationScheme.MAX_MAGNITUDE
         )
@@ -451,6 +497,17 @@ class DDPackage:
             return right
         if right.is_zero:
             return left
+        engine = self._pooled
+        if engine is not None:
+            lt, rt = left.node.is_terminal, right.node.is_terminal
+            if not lt and not rt and type(left.node) is not type(right.node):
+                raise DDError("cannot add a vector DD and a matrix DD")
+            probe = right.node if lt else left.node
+            kind = MATRIX if isinstance(probe, MatrixNode) else VECTOR
+            return engine.to_edge(
+                kind,
+                engine.add(kind, engine.from_edge(left), engine.from_edge(right)),
+            )
         if left.node.is_terminal and right.node.is_terminal:
             total = left.weight + right.weight
             if self.complex_table.is_zero(total):
@@ -510,6 +567,14 @@ class DDPackage:
     def _multiply_mv(self, m_edge: Edge, v_edge: Edge) -> Edge:
         if m_edge.is_zero or v_edge.is_zero:
             return ZERO_EDGE
+        engine = self._pooled
+        if engine is not None:
+            return engine.to_edge(
+                VECTOR,
+                engine.multiply_mv(
+                    engine.from_edge(m_edge), engine.from_edge(v_edge)
+                ),
+            )
         factor = self.complex_table.lookup(m_edge.weight * v_edge.weight)
         if m_edge.node.is_terminal and v_edge.node.is_terminal:
             return Edge(TERMINAL, factor)
@@ -535,6 +600,14 @@ class DDPackage:
     def _multiply_mm(self, a_edge: Edge, b_edge: Edge) -> Edge:
         if a_edge.is_zero or b_edge.is_zero:
             return ZERO_EDGE
+        engine = self._pooled
+        if engine is not None:
+            return engine.to_edge(
+                MATRIX,
+                engine.multiply_mm(
+                    engine.from_edge(a_edge), engine.from_edge(b_edge)
+                ),
+            )
         factor = self.complex_table.lookup(a_edge.weight * b_edge.weight)
         if a_edge.node.is_terminal and b_edge.node.is_terminal:
             return Edge(TERMINAL, factor)
@@ -586,6 +659,14 @@ class DDPackage:
             and type(top.node) is not type(bottom.node)
         ):
             raise DDError("cannot tensor a vector DD with a matrix DD")
+        engine = self._pooled
+        if engine is not None:
+            probe = bottom.node if top.node.is_terminal else top.node
+            kind = MATRIX if isinstance(probe, MatrixNode) else VECTOR
+            return engine.to_edge(
+                kind,
+                engine.kron(kind, engine.from_edge(top), engine.from_edge(bottom)),
+            )
         factor = self.complex_table.lookup(top.weight * bottom.weight)
         result = self._kron_nodes(top.node, bottom.node)
         return result.scaled(factor, self.complex_table)
@@ -678,6 +759,13 @@ class DDPackage:
     def _adjoint(self, operation: Edge) -> Edge:
         if operation.is_zero:
             return ZERO_EDGE
+        engine = self._pooled
+        if engine is not None:
+            if not operation.node.is_terminal and not isinstance(
+                operation.node, MatrixNode
+            ):
+                raise DDError("adjoint is only defined for matrix DDs")
+            return engine.to_edge(MATRIX, engine.adjoint(engine.from_edge(operation)))
         weight = self.complex_table.lookup(operation.weight.conjugate())
         result = self._adjoint_node(operation.node)
         return result.scaled(weight, self.complex_table)
@@ -705,13 +793,16 @@ class DDPackage:
         """Number of qubits of a (non-zero) DD rooted at ``edge``."""
         return edge.node.var + 1
 
-    @staticmethod
-    def node_count(edge: Edge) -> int:
+    def node_count(self, edge: Edge) -> int:
         """Number of non-terminal nodes reachable from ``edge``.
 
         The terminal is not counted, following the paper's convention
         (Ex. 6: the Bell-state DD "consists of 3 nodes").
         """
+        if self._pooled is not None and not edge.node.is_terminal:
+            node = edge.node
+            if getattr(node, "_engine", None) is self._pooled:
+                return self._pooled.count_nodes(node._KIND, node._index)
         seen = set()
         stack = [edge.node]
         while stack:
@@ -828,6 +919,14 @@ class DDPackage:
         if isinstance(left.node, MatrixNode) or isinstance(right.node, MatrixNode):
             raise DDError("the inner product is defined on vector DDs")
         factor = left.weight.conjugate() * right.weight
+        engine = self._pooled
+        if engine is not None:
+            return self.complex_table.lookup(
+                factor
+                * engine.inner_nodes(
+                    engine.node_index(left.node), engine.node_index(right.node)
+                )
+            )
         return self.complex_table.lookup(
             factor * self._inner_nodes(left.node, right.node)
         )
@@ -966,6 +1065,8 @@ class DDPackage:
         """Drop all memoized operation results (unique tables are kept)."""
         for table in self._compute_tables():
             table.clear()
+        if self._pooled is not None:
+            self._pooled.clear_memos()
 
     def _compute_tables(self) -> Tuple[ComputeTable, ...]:
         return (
@@ -1005,6 +1106,11 @@ class DDPackage:
                 "hit_ratio": table.hit_ratio,
             }
         result["governance"] = self.governor.stats()
+        result["storage"] = (
+            {"backend": self.storage}
+            if self._pooled is None
+            else {"backend": self.storage, **self._pooled.stats()}
+        )
         result["sanitizer"] = {
             "every": self.sanitize_every,
             "runs": self.sanitize_runs,

@@ -1,0 +1,1303 @@
+"""The pooled (index-based) DD engine behind :class:`~repro.dd.package.DDPackage`.
+
+The engine keeps every node in a :class:`~repro.dd.pool.NodePool` and every
+edge weight in a :class:`~repro.dd.pool.WeightPool`; the hot recursions
+(addition, multiplication, tensor products, the direct apply kernels) pass
+``(node_index, weight_index)`` integer pairs and never allocate node or edge
+objects.  Each operation mirrors its object-backend counterpart *line by
+line* — same arithmetic, same operand ordering, same complex-table lookup
+sequence — so both backends produce byte-for-byte identical canonical
+weights and isomorphic diagrams (the differential suite's contract).
+
+At the package boundary the engine hands out lightweight *views*
+(:class:`PooledVectorNode` / :class:`PooledMatrixNode`): real
+``VectorNode``/``MatrixNode`` subclasses whose ``edges`` tuple is
+materialized lazily from the pool arrays.  Views keep ``isinstance`` checks,
+serialization, visualization and the sanitizer working unchanged, and they
+double as GC roots: a diagram is live exactly while some view of it is
+reachable from Python (mirroring the object backend's weak-table semantics,
+where ordinary references govern liveness).
+
+Index invariants (enforced by the sanitizer's ``pool-*`` checks):
+
+* every live node's successor indices point at live slots (or the terminal),
+* every live node's weight indices point at live weight-pool entries,
+* the free-list holds exactly the freed slots, each once,
+* every live node is reachable through its own unique-table probe chain.
+
+All index-keyed memoization (the shared compute tables, the interned gate
+ids) is cleared *before* a sweep frees any index — a stale index key would
+otherwise alias a recycled slot.
+"""
+
+from __future__ import annotations
+
+import cmath
+import itertools
+import math
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dd.complex_table import ComplexTable
+from repro.dd.edge import Edge, ZERO_EDGE
+from repro.dd.node import MatrixNode, Node, TERMINAL, VectorNode
+from repro.dd.normalization import NormalizationScheme, normalize
+from repro.dd.pool import (
+    FREED_VAR,
+    NodePool,
+    PooledUniqueTable,
+    TERMINAL_INDEX,
+    WeightPool,
+)
+from repro.errors import DDError, DimensionMismatchError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "PooledEngine",
+    "PooledVectorNode",
+    "PooledMatrixNode",
+    "PooledUniqueAdapter",
+    "PooledApplyKernel",
+]
+
+#: Index-pair edges for the two special shapes.
+ZERO_E = (TERMINAL_INDEX, WeightPool.ZERO_INDEX)
+ONE_E = (TERMINAL_INDEX, WeightPool.ONE_INDEX)
+
+VECTOR, MATRIX = 0, 1
+
+
+# ----------------------------------------------------------------------
+# views
+# ----------------------------------------------------------------------
+class _PooledViewMixin:
+    """Shared plumbing for pooled node views.
+
+    Views bypass ``Node.__init__``: ``var``/``uid`` are copied from the pool
+    (the uid is the pool's creation-order stamp — stable across view
+    re-materialization, unique per allocation) and ``edges`` is a property
+    that builds the successor tuple from the pool arrays on demand.  The
+    ``edges`` *setter* stores an override used by fault injection to model
+    post-consing mutation; the sanitizer compares the override against the
+    pool-derived signature, exactly as the object backend compares a mutated
+    node against its stored table key.
+    """
+
+    __slots__ = ()
+
+    def _init_view(self, engine: "PooledEngine", index: int) -> None:
+        pool = engine.vpool if self._KIND == VECTOR else engine.mpool
+        self.var = pool.var[index]
+        self.uid = pool.order[index]
+        self._engine = engine
+        self._index = index
+        self._edges_override = None
+
+    @property
+    def edges(self):
+        override = self._edges_override
+        if override is not None:
+            return override
+        return self._engine.view_edges(self._KIND, self._index)
+
+    @edges.setter
+    def edges(self, value):
+        self._edges_override = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = type(self).__name__
+        return f"<{kind} q{self.var} #{self.uid} @{self._index}>"
+
+
+class PooledVectorNode(_PooledViewMixin, VectorNode):
+    """View of a pooled vector node (a real :class:`VectorNode`)."""
+
+    __slots__ = ("_engine", "_index", "_edges_override")
+    _KIND = VECTOR
+
+    def __init__(self, engine: "PooledEngine", index: int):
+        self._init_view(engine, index)
+
+
+class PooledMatrixNode(_PooledViewMixin, MatrixNode):
+    """View of a pooled matrix node (a real :class:`MatrixNode`)."""
+
+    __slots__ = ("_engine", "_index", "_edges_override")
+    _KIND = MATRIX
+
+    def __init__(self, engine: "PooledEngine", index: int):
+        self._init_view(engine, index)
+
+
+# ----------------------------------------------------------------------
+# unique-table adapter
+# ----------------------------------------------------------------------
+class PooledUniqueAdapter:
+    """Object-API facade over one pooled unique table.
+
+    Exposes the :class:`~repro.dd.unique_table.UniqueTable` surface the
+    rest of the package relies on — ``len``, ``hits``/``misses``,
+    ``live_nodes``, ``audit_entries``, ``get_or_create`` — backed by the
+    open-addressed table and the node pool.  ``audit_entries`` rebuilds the
+    stored signature from the *pool arrays* while the paired view reports
+    its (possibly fault-overridden) ``edges``, so the sanitizer's
+    ``unique-key`` comparison retains its mutation-detection power.
+    """
+
+    def __init__(
+        self,
+        engine: "PooledEngine",
+        kind: str,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self._engine = engine
+        self.kind = kind
+        self._kindbit = VECTOR if kind == "vector" else MATRIX
+        if registry is not None and registry.enabled:
+            self._register(registry, {"kind": kind})
+
+    def _register(self, registry: MetricsRegistry, labels: dict) -> None:
+        hits = registry.counter("dd_unique_table_hits_total", labels)
+        misses = registry.counter("dd_unique_table_misses_total", labels)
+        ref = weakref.ref(self)
+
+        def sync() -> None:
+            adapter = ref()
+            if adapter is not None:
+                hits.set_value(adapter.hits)
+                misses.set_value(adapter.misses)
+
+        registry.add_collector(sync)
+
+    @property
+    def _raw(self) -> PooledUniqueTable:
+        return (
+            self._engine._vunique
+            if self._kindbit == VECTOR
+            else self._engine._munique
+        )
+
+    @property
+    def _pool(self) -> NodePool:
+        return self._engine.vpool if self._kindbit == VECTOR else self._engine.mpool
+
+    @property
+    def hits(self) -> int:
+        return self._raw.hits
+
+    @property
+    def misses(self) -> int:
+        return self._raw.misses
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def live_nodes(self):
+        engine = self._engine
+        kind = self._kindbit
+        return iter([engine.view(kind, index) for index in self._pool.live_indices()])
+
+    def audit_entries(self) -> list:
+        engine = self._engine
+        kind = self._kindbit
+        pool = self._pool
+        weights = engine.weights
+        entries = []
+        for index in self._raw.iter_indices():
+            if pool.var[index] == FREED_VAR:
+                continue  # dangling table slot; flagged by the pool checks
+            signature = (pool.var[index],) + tuple(
+                (
+                    TERMINAL.uid if succ < 0 else pool.order[succ],
+                    weights.value(wsucc),
+                )
+                for succ, wsucc in pool.edges_of(index)
+            )
+            entries.append((signature, engine.view(kind, index)))
+        return entries
+
+    def get_or_create(self, var: int, edges: Tuple[Edge, ...]) -> Node:
+        """Raw consing entry (compat API; weights are canonicalized)."""
+        for edge in edges:
+            weight = edge.weight
+            real, imag = weight.real, weight.imag
+            if not (real == real and imag == imag and abs(real) != float("inf")
+                    and abs(imag) != float("inf")):
+                raise DDError(
+                    f"non-finite edge weight {weight!r} at level {var}"
+                )
+        engine = self._engine
+        pool = self._pool
+        if len(edges) != pool.arity:
+            noun = "two" if pool.arity == 2 else "four"
+            kind = "vector" if pool.arity == 2 else "matrix"
+            raise ValueError(f"{kind} nodes have exactly {noun} successors")
+        successors = [engine.node_index(edge.node) for edge in edges]
+        weights = [engine.weights.lookup_index(edge.weight) for edge in edges]
+        index = engine._cons(self._kindbit, var, successors, weights)
+        return engine.view(self._kindbit, index)
+
+    def clear(self) -> None:
+        """Drop the consing table (pool slots are reclaimed at the next sweep)."""
+        self._raw.clear()
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class PooledEngine:
+    """Index-based DD operations over pooled storage.
+
+    Owns the node pools, the open-addressed unique tables and the view
+    caches; shares the package's :class:`WeightPool` and compute tables so
+    statistics, governance accounting and cache eviction behave identically
+    to the object backend.
+    """
+
+    def __init__(
+        self,
+        weights: WeightPool,
+        vector_scheme: NormalizationScheme,
+        caches: Dict[str, object],
+    ):
+        self.weights = weights
+        self.vector_scheme = vector_scheme
+        self.vpool = NodePool(2)
+        self.mpool = NodePool(4)
+        self._vunique = PooledUniqueTable(self.vpool)
+        self._munique = PooledUniqueTable(self.mpool)
+        self._order = itertools.count(1)  # 0 is the terminal's uid
+        self._add_cache = caches["add"]
+        self._mult_mv_cache = caches["mult-mv"]
+        self._mult_mm_cache = caches["mult-mm"]
+        self._kron_cache = caches["kron"]
+        self._adjoint_cache = caches["adjoint"]
+        self._inner_cache = caches["inner"]
+        self._apply_cache = caches["apply"]
+        self._views: Tuple[weakref.WeakValueDictionary, weakref.WeakValueDictionary] = (
+            weakref.WeakValueDictionary(),
+            weakref.WeakValueDictionary(),
+        )
+        # Interned gate operations: op-key tuple -> small integer, so apply
+        # cache keys are two-int tuples instead of nested tuples.
+        self._gate_ids: Dict[tuple, int] = {}
+        # Index-keyed weight-arithmetic memos (the complex operation
+        # caches of arXiv:1911.12691): between mutations of the weight
+        # table a repeated product/quotient/sum — or a whole normalization
+        # of a repeated weight combination — resolves with one dict probe
+        # instead of complex arithmetic plus a bucket search.
+        #
+        # Soundness: ``lookup`` snaps a raw value to the *nearest* stored
+        # representative, so its result can change when a new
+        # representative is minted closer to the raw value.  The memos are
+        # therefore valid only for one ``weights.generation`` — every
+        # helper clears them when the generation has moved, which keeps
+        # the pooled backend's arithmetic bit-for-bit the object
+        # backend's (the object backend re-resolves every lookup).
+        # A result is *stable* when the raw value resolved at distance
+        # zero (bit-identical to its representative, or canonically zero):
+        # no later mint can ever resolve it differently, so those entries
+        # survive generation bumps.  Tolerance-snapped results (distance
+        # > 0) go into the fragile dicts and are dropped whenever the
+        # generation moves.
+        # Constructed apply kernels, reused across gate applications when
+        # their canonicalization is mint-stable (kernel.cacheable).
+        self._kernel_cache: Dict[tuple, object] = {}
+        self._wmul_stable: Dict[Tuple[int, int], int] = {}
+        self._wdiv_stable: Dict[Tuple[int, int], int] = {}
+        self._wadd_stable: Dict[Tuple[int, int], int] = {}
+        self._norm_stable: Dict[tuple, tuple] = {}
+        self._wmul: Dict[Tuple[int, int], int] = {}
+        self._wdiv: Dict[Tuple[int, int], int] = {}
+        self._wadd: Dict[Tuple[int, int], int] = {}
+        self._norm_memo: Dict[tuple, tuple] = {}
+        self._memo_generation = self.weights.generation
+
+    _WEIGHT_MEMO_CAP = 1 << 17
+
+    # ------------------------------------------------------------------
+    # weight arithmetic memos
+    # ------------------------------------------------------------------
+    def _sync_weight_memos(self) -> int:
+        """Clear the fragile memos if the weight table mutated."""
+        generation = self.weights.generation
+        if self._memo_generation != generation:
+            self._wmul.clear()
+            self._wdiv.clear()
+            self._wadd.clear()
+            self._norm_memo.clear()
+            self._memo_generation = generation
+        return generation
+
+    def _memo_store(
+        self, stable: dict, fragile: dict, key, widx: int, raw: complex,
+        generation: int,
+    ) -> None:
+        """File ``key -> widx`` under the right lifetime.
+
+        Distance-zero results (``values[widx] == raw``, including the
+        canonical zero) can never be beaten by a later mint and live in
+        the stable dict.  Snapped results are valid only while no new
+        representative appears: they go into the fragile dict — unless
+        this very lookup minted (generation moved), in which case every
+        fragile entry may already be stale and is dropped.
+        """
+        weights = self.weights
+        if widx == 0 or weights._values[widx] == raw:
+            if len(stable) >= self._WEIGHT_MEMO_CAP:
+                stable.clear()
+            stable[key] = widx
+            if weights.generation != generation:
+                self._sync_weight_memos()
+            return
+        if weights.generation != generation:
+            self._sync_weight_memos()
+        elif len(fragile) >= self._WEIGHT_MEMO_CAP:
+            fragile.clear()
+        fragile[key] = widx
+
+    def _mul_index(self, a: int, b: int) -> int:
+        """Index of ``values[a] * values[b]`` (commutative, ordered key)."""
+        if a == 1:
+            return b
+        if b == 1:
+            return a
+        key = (a, b) if a <= b else (b, a)
+        widx = self._wmul_stable.get(key)
+        if widx is not None:
+            return widx
+        generation = self._sync_weight_memos()
+        widx = self._wmul.get(key)
+        if widx is None:
+            weights = self.weights
+            raw = weights._values[a] * weights._values[b]
+            widx = weights.lookup_index(raw)
+            self._memo_store(
+                self._wmul_stable, self._wmul, key, widx, raw, generation
+            )
+        return widx
+
+    def _div_index(self, a: int, b: int) -> int:
+        """Index of ``values[a] / values[b]``."""
+        if b == 1:
+            return a
+        key = (a, b)
+        widx = self._wdiv_stable.get(key)
+        if widx is not None:
+            return widx
+        generation = self._sync_weight_memos()
+        widx = self._wdiv.get(key)
+        if widx is None:
+            weights = self.weights
+            raw = weights._values[a] / weights._values[b]
+            widx = weights.lookup_index(raw)
+            self._memo_store(
+                self._wdiv_stable, self._wdiv, key, widx, raw, generation
+            )
+        return widx
+
+    def _add_index(self, a: int, b: int) -> int:
+        """Index of ``values[a] + values[b]`` (0 when the sum is zero)."""
+        key = (a, b) if a <= b else (b, a)
+        widx = self._wadd_stable.get(key)
+        if widx is not None:
+            return widx
+        generation = self._sync_weight_memos()
+        widx = self._wadd.get(key)
+        if widx is None:
+            weights = self.weights
+            raw = weights._values[a] + weights._values[b]
+            widx = 0 if weights.is_zero(raw) else weights.lookup_index(raw)
+            self._memo_store(
+                self._wadd_stable, self._wadd, key, widx, raw, generation
+            )
+        return widx
+
+    # ------------------------------------------------------------------
+    # views and edge conversion
+    # ------------------------------------------------------------------
+    def view(self, kind: int, index: int) -> Node:
+        if index < 0:
+            return TERMINAL
+        cache = self._views[kind]
+        node = cache.get(index)
+        if node is None:
+            node = (
+                PooledVectorNode(self, index)
+                if kind == VECTOR
+                else PooledMatrixNode(self, index)
+            )
+            cache[index] = node
+        return node
+
+    def view_edges(self, kind: int, index: int) -> Tuple[Edge, ...]:
+        pool = self.vpool if kind == VECTOR else self.mpool
+        value = self.weights.value
+        return tuple(
+            Edge(self.view(kind, succ), value(wsucc))
+            for succ, wsucc in pool.edges_of(index)
+        )
+
+    def node_index(self, node: Node) -> int:
+        if node.var < 0:
+            return TERMINAL_INDEX
+        index = getattr(node, "_index", None)
+        if index is None or getattr(node, "_engine", None) is not self:
+            raise DDError(
+                "node does not belong to this package's pooled storage"
+            )
+        return index
+
+    def to_edge(self, kind: int, edge: Tuple[int, int]) -> Edge:
+        index, widx = edge
+        if widx == 0:
+            return ZERO_EDGE
+        return Edge(self.view(kind, index), self.weights._values[widx])
+
+    def from_edge(self, edge: Edge) -> Tuple[int, int]:
+        return (
+            self.node_index(edge.node),
+            self.weights.lookup_index(edge.weight),
+        )
+
+    def var_of(self, kind: int, index: int) -> int:
+        if index < 0:
+            return -1
+        pool = self.vpool if kind == VECTOR else self.mpool
+        return pool.var[index]
+
+    def count_nodes(self, kind: int, index: int) -> int:
+        """Reachable non-terminal node count, walked on the flat arrays."""
+        if index < 0:
+            return 0
+        pool = self.vpool if kind == VECTOR else self.mpool
+        succ = pool.succ
+        arity = pool.arity
+        seen = {index}
+        stack = [index]
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            base = pop() * arity
+            for k in range(base, base + arity):
+                # Mirror the object walk: any stored successor counts,
+                # even under a (theoretical) zero weight.
+                child = succ[k]
+                if child >= 0 and child not in seen:
+                    seen.add(child)
+                    push(child)
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # weight arithmetic (index level)
+    # ------------------------------------------------------------------
+    def scale(self, edge: Tuple[int, int], factor: int) -> Tuple[int, int]:
+        """Mirror of :meth:`Edge.scaled` on index pairs."""
+        if factor == 1:
+            return edge
+        widx = self._mul_index(edge[1], factor)
+        if widx == 0:
+            return ZERO_E
+        return (edge[0], widx)
+
+    # ------------------------------------------------------------------
+    # node creation (normalizing constructor)
+    # ------------------------------------------------------------------
+    def _cons(
+        self, kind: int, var: int, successors: Sequence[int], wsuccs: Sequence[int]
+    ) -> int:
+        """Hash-cons a node with already-normalized successors."""
+        unique = self._vunique if kind == VECTOR else self._munique
+        slot, found = unique.find_slot(var, successors, wsuccs)
+        if found >= 0:
+            unique.hits += 1
+            return found
+        unique.misses += 1
+        pool = self.vpool if kind == VECTOR else self.mpool
+        index = pool.alloc(var, successors, wsuccs, next(self._order))
+        unique.insert_at(slot, index)
+        return index
+
+    def make_node_values(
+        self, kind: int, var: int, value_edges: Tuple[Edge, ...]
+    ) -> Tuple[int, int]:
+        """Normalize + cons from ``Edge(node_index, raw_weight)`` tuples.
+
+        Runs the *same* :func:`~repro.dd.normalization.normalize` as the
+        object backend (the ``node`` field of the throwaway edges is an
+        integer pool index, which normalization carries through untouched),
+        so factor extraction and canonicalization are bit-identical.
+        """
+        scheme = (
+            self.vector_scheme if kind == VECTOR else NormalizationScheme.MAX_MAGNITUDE
+        )
+        factor, normalized = normalize(value_edges, self.weights, scheme)
+        if factor == ComplexTable.ZERO:
+            return ZERO_E
+        exact = self.weights._exact
+        successors = []
+        wsuccs = []
+        for edge in normalized:
+            node = edge.node
+            successors.append(node if isinstance(node, int) else TERMINAL_INDEX)
+            weight = edge.weight
+            wsuccs.append(0 if weight == ComplexTable.ZERO else exact[weight])
+        index = self._cons(kind, var, successors, wsuccs)
+        if kind == VECTOR:
+            # The L2 factor was canonicalized inside normalization.
+            return (index, exact[factor])
+        return (index, self.weights.lookup_index(factor))
+
+    def make_node(
+        self, kind: int, var: int, edges: Sequence[Tuple[int, int]]
+    ) -> Tuple[int, int]:
+        """Normalize + cons from index-pair edges (the hot-path entry).
+
+        Inlines :func:`~repro.dd.normalization.normalize` on the index
+        pairs — the identical floating-point operations in the identical
+        order (``_clean_edges`` is the identity here: pool indices only
+        exist for finite canonical values, and the only sub-tolerance
+        canonical value is the zero at index 0), so the result is
+        bit-for-bit what :meth:`make_node_values` would have produced,
+        without materializing throwaway edge tuples.
+        """
+        weights = self.weights
+        if kind == VECTOR and self.vector_scheme is NormalizationScheme.L2:
+            (n0, w0), (n1, w1) = edges
+            if w0 == 0 and w1 == 0:
+                return ZERO_E
+            # Normalization depends only on the weight pair, so a repeated
+            # pair replays its canonical decomposition from the memo; the
+            # successors are carried through unchanged (a zero input edge
+            # points at the terminal, mirroring _clean_edges).
+            hit = self._norm_stable.get((w0, w1))
+            if hit is None:
+                generation = self._sync_weight_memos()
+                hit = self._norm_memo.get((w0, w1))
+            if hit is None:
+                values = weights._values
+                if w0 == 0:
+                    v1 = values[w1]
+                    # sum() over the cleaned pair: 0 + 0.0 + |v1|**2.
+                    norm = math.sqrt(0.0 + abs(v1) ** 2)
+                    raw_factor = cmath.rect(norm, cmath.phase(v1))
+                    factor = weights.lookup(raw_factor)
+                    nw0 = 0
+                    raw0 = complex(abs(v1) / norm, 0.0)
+                    nw1 = weights.lookup_index(raw0)
+                    stable = factor == raw_factor and values[nw1] == raw0
+                elif w1 == 0:
+                    v0 = values[w0]
+                    norm = math.sqrt(0.0 + abs(v0) ** 2)
+                    raw_factor = cmath.rect(norm, cmath.phase(v0))
+                    factor = weights.lookup(raw_factor)
+                    raw0 = complex(abs(v0) / norm, 0.0)
+                    nw0 = weights.lookup_index(raw0)
+                    nw1 = 0
+                    stable = factor == raw_factor and values[nw0] == raw0
+                else:
+                    v0 = values[w0]
+                    v1 = values[w1]
+                    norm = math.sqrt(abs(v0) ** 2 + abs(v1) ** 2)
+                    raw_factor = cmath.rect(norm, cmath.phase(v0))
+                    factor = weights.lookup(raw_factor)
+                    raw0 = complex(abs(v0) / norm, 0.0)
+                    nw0 = weights.lookup_index(raw0)
+                    # A normalized weight may collapse to zero (index 0);
+                    # the successor is kept either way, mirroring
+                    # make_node_values.
+                    raw1 = v1 / factor
+                    nw1 = weights.lookup_index(raw1)
+                    stable = (
+                        factor == raw_factor
+                        and values[nw0] == raw0
+                        and (nw1 == 0 or values[nw1] == raw1)
+                    )
+                hit = (weights._exact[factor], nw0, nw1)
+                if stable:
+                    # Every component resolved at distance zero: no later
+                    # mint can change this decomposition.
+                    if len(self._norm_stable) >= self._WEIGHT_MEMO_CAP:
+                        self._norm_stable.clear()
+                    self._norm_stable[(w0, w1)] = hit
+                    if weights.generation != generation:
+                        self._sync_weight_memos()
+                elif weights.generation == generation:
+                    memo = self._norm_memo
+                    if len(memo) >= self._WEIGHT_MEMO_CAP:
+                        memo.clear()
+                    memo[(w0, w1)] = hit
+                else:
+                    # A mid-normalization mint: an earlier lookup of the
+                    # same pair might now resolve differently — recompute
+                    # next time instead of memoizing.
+                    self._sync_weight_memos()
+            factor_index, nw0, nw1 = hit
+            index = self._cons(
+                kind,
+                var,
+                (n0 if w0 else TERMINAL_INDEX, n1 if w1 else TERMINAL_INDEX),
+                (nw0, nw1),
+            )
+            return (index, factor_index)
+        # MAX_MAGNITUDE (matrix nodes; vector nodes under that scheme).
+        key = (kind,) + tuple(w for _n, w in edges)
+        hit = self._norm_stable.get(key)
+        if hit is None:
+            generation = self._sync_weight_memos()
+            hit = self._norm_memo.get(key)
+        if hit is None:
+            values = weights._values
+            vals = [values[w] for _n, w in edges]
+            magnitudes = [abs(v) for v in vals]
+            maximum = max(magnitudes)
+            if maximum == 0.0:
+                return ZERO_E
+            threshold = maximum - weights.tolerance
+            pivot = next(
+                k for k, magnitude in enumerate(magnitudes) if magnitude >= threshold
+            )
+            factor = vals[pivot]
+            lookup_index = weights.lookup_index
+            stable = True
+            wsuccs = []
+            for k, (_n, w) in enumerate(edges):
+                if w == 0:
+                    wsuccs.append(0)
+                elif k == pivot:
+                    wsuccs.append(WeightPool.ONE_INDEX)
+                else:
+                    raw = vals[k] / factor
+                    widx = lookup_index(raw)
+                    if widx != 0 and values[widx] != raw:
+                        stable = False
+                    wsuccs.append(widx)
+            # The pivot weight is already canonical, so its lookup always
+            # resolves at distance zero.
+            hit = (lookup_index(factor), tuple(wsuccs))
+            if stable:
+                if len(self._norm_stable) >= self._WEIGHT_MEMO_CAP:
+                    self._norm_stable.clear()
+                self._norm_stable[key] = hit
+                if weights.generation != generation:
+                    self._sync_weight_memos()
+            elif weights.generation == generation:
+                memo = self._norm_memo
+                if len(memo) >= self._WEIGHT_MEMO_CAP:
+                    memo.clear()
+                memo[key] = hit
+            else:
+                self._sync_weight_memos()
+        factor_index, wsuccs = hit
+        successors = tuple(
+            n if w else TERMINAL_INDEX for n, w in edges
+        )
+        index = self._cons(kind, var, successors, wsuccs)
+        return (index, factor_index)
+
+    def make_node_public(self, kind: int, var: int, edges: Sequence[Edge]) -> Edge:
+        """Package-boundary constructor taking ordinary edge objects."""
+        arity = 2 if kind == VECTOR else 4
+        if len(edges) != arity:
+            noun = "two" if arity == 2 else "four"
+            name = "vector" if arity == 2 else "matrix"
+            raise ValueError(f"{name} nodes have exactly {noun} successors")
+        converted = tuple(
+            Edge(self.node_index(edge.node), edge.weight) for edge in edges
+        )
+        return self.to_edge(kind, self.make_node_values(kind, var, converted))
+
+    # ------------------------------------------------------------------
+    # arithmetic (index level; each mirrors the object backend)
+    # ------------------------------------------------------------------
+    def add(
+        self, kind: int, left: Tuple[int, int], right: Tuple[int, int]
+    ) -> Tuple[int, int]:
+        ln, lw = left
+        rn, rw = right
+        if lw == 0:
+            return right
+        if rw == 0:
+            return left
+        if ln < 0 and rn < 0:
+            total = self._add_index(lw, rw)
+            if total == 0:
+                return ZERO_E
+            return (TERMINAL_INDEX, total)
+        pool = self.vpool if kind == VECTOR else self.mpool
+        lvar = pool.var[ln] if ln >= 0 else -1
+        rvar = pool.var[rn] if rn >= 0 else -1
+        if lvar != rvar:
+            raise DimensionMismatchError(
+                f"cannot add DDs at levels {lvar} and {rvar}"
+            )
+        # Addition is commutative: order operands for better cache reuse
+        # (creation-order stamps mirror the object backend's uid ordering).
+        order = pool.order
+        if order[rn] < order[ln]:
+            ln, lw, rn, rw = rn, rw, ln, lw
+        # Factor the left weight out: l + r = w_l * (l/w_l + r/w_l).
+        ratio = self._div_index(rw, lw)
+        key = (kind, ln, rn, ratio)
+        cache = self._add_cache
+        cached = cache.lookup(key)
+        if cached is None:
+            arity = pool.arity
+            succ, wsucc = pool.succ, pool.wsucc
+            lbase = ln * arity
+            rbase = rn * arity
+            children = [
+                self.add(
+                    kind,
+                    (succ[lbase + k], wsucc[lbase + k]),
+                    self.scale((succ[rbase + k], wsucc[rbase + k]), ratio),
+                )
+                for k in range(arity)
+            ]
+            cached = self.make_node(kind, lvar, children)
+            cache.insert(key, cached)
+        return self.scale(cached, lw)
+
+    def multiply_mv(
+        self, m_edge: Tuple[int, int], v_edge: Tuple[int, int]
+    ) -> Tuple[int, int]:
+        mn, mw = m_edge
+        vn, vw = v_edge
+        if mw == 0 or vw == 0:
+            return ZERO_E
+        factor = self._mul_index(mw, vw)
+        if mn < 0 and vn < 0:
+            return (TERMINAL_INDEX, factor)
+        mvar = self.mpool.var[mn] if mn >= 0 else -1
+        vvar = self.vpool.var[vn] if vn >= 0 else -1
+        if mvar != vvar:
+            raise DimensionMismatchError(
+                f"matrix level {mvar} does not match vector level {vvar}"
+            )
+        key = (mn, vn)
+        cache = self._mult_mv_cache
+        cached = cache.lookup(key)
+        if cached is None:
+            msucc, mwsucc = self.mpool.succ, self.mpool.wsucc
+            vsucc, vwsucc = self.vpool.succ, self.vpool.wsucc
+            mbase = mn * 4
+            vbase = vn * 2
+            v0 = (vsucc[vbase], vwsucc[vbase])
+            v1 = (vsucc[vbase + 1], vwsucc[vbase + 1])
+            children = [
+                self.add(
+                    VECTOR,
+                    self.multiply_mv(
+                        (msucc[mbase + 2 * i], mwsucc[mbase + 2 * i]), v0
+                    ),
+                    self.multiply_mv(
+                        (msucc[mbase + 2 * i + 1], mwsucc[mbase + 2 * i + 1]), v1
+                    ),
+                )
+                for i in (0, 1)
+            ]
+            cached = self.make_node(VECTOR, mvar, children)
+            cache.insert(key, cached)
+        return self.scale(cached, factor)
+
+    def multiply_mm(
+        self, a_edge: Tuple[int, int], b_edge: Tuple[int, int]
+    ) -> Tuple[int, int]:
+        an, aw = a_edge
+        bn, bw = b_edge
+        if aw == 0 or bw == 0:
+            return ZERO_E
+        factor = self._mul_index(aw, bw)
+        if an < 0 and bn < 0:
+            return (TERMINAL_INDEX, factor)
+        avar = self.mpool.var[an] if an >= 0 else -1
+        bvar = self.mpool.var[bn] if bn >= 0 else -1
+        if avar != bvar:
+            raise DimensionMismatchError(
+                f"cannot multiply matrix DDs at levels {avar} and {bvar}"
+            )
+        key = (an, bn)
+        cache = self._mult_mm_cache
+        cached = cache.lookup(key)
+        if cached is None:
+            succ, wsucc = self.mpool.succ, self.mpool.wsucc
+            abase = an * 4
+            bbase = bn * 4
+            children = []
+            for i in (0, 1):
+                for j in (0, 1):
+                    children.append(
+                        self.add(
+                            MATRIX,
+                            self.multiply_mm(
+                                (succ[abase + 2 * i], wsucc[abase + 2 * i]),
+                                (succ[bbase + j], wsucc[bbase + j]),
+                            ),
+                            self.multiply_mm(
+                                (succ[abase + 2 * i + 1], wsucc[abase + 2 * i + 1]),
+                                (succ[bbase + 2 + j], wsucc[bbase + 2 + j]),
+                            ),
+                        )
+                    )
+            cached = self.make_node(MATRIX, avar, children)
+            cache.insert(key, cached)
+        return self.scale(cached, factor)
+
+    def kron(
+        self, kind: int, top: Tuple[int, int], bottom: Tuple[int, int]
+    ) -> Tuple[int, int]:
+        if top[1] == 0 or bottom[1] == 0:
+            return ZERO_E
+        factor = self._mul_index(top[1], bottom[1])
+        result = self.kron_nodes(kind, top[0], bottom[0])
+        return self.scale(result, factor)
+
+    def kron_nodes(self, kind: int, top: int, bottom: int) -> Tuple[int, int]:
+        if top < 0:
+            return (bottom, 1)
+        key = (kind, top, bottom)
+        cache = self._kron_cache
+        cached = cache.lookup(key)
+        if cached is None:
+            pool = self.vpool if kind == VECTOR else self.mpool
+            shift = (pool.var[bottom] if bottom >= 0 else -1) + 1
+            children = []
+            for succ, wsucc in pool.edges_of(top):
+                if wsucc == 0:
+                    children.append(ZERO_E)
+                else:
+                    sub = self.kron_nodes(kind, succ, bottom)
+                    children.append(self.scale(sub, wsucc))
+            cached = self.make_node(kind, pool.var[top] + shift, children)
+            cache.insert(key, cached)
+        return cached
+
+    def adjoint(self, operation: Tuple[int, int]) -> Tuple[int, int]:
+        if operation[1] == 0:
+            return ZERO_E
+        weights = self.weights
+        weight = weights.lookup_index(weights._values[operation[1]].conjugate())
+        result = self.adjoint_node(operation[0])
+        return self.scale(result, weight)
+
+    def adjoint_node(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            return ONE_E
+        cached = self._adjoint_cache.lookup(index)
+        if cached is None:
+            succ, wsucc = self.mpool.succ, self.mpool.wsucc
+            base = index * 4
+            transposed = (base, base + 2, base + 1, base + 3)
+            children = [
+                self.adjoint((succ[offset], wsucc[offset])) for offset in transposed
+            ]
+            cached = self.make_node(MATRIX, self.mpool.var[index], children)
+            self._adjoint_cache.insert(index, cached)
+        return cached
+
+    def inner_nodes(self, left: int, right: int) -> complex:
+        if left < 0 and right < 0:
+            return complex(1.0, 0.0)
+        pool = self.vpool
+        lvar = pool.var[left] if left >= 0 else -1
+        rvar = pool.var[right] if right >= 0 else -1
+        if lvar != rvar:
+            raise DimensionMismatchError(
+                f"inner product of DDs at levels {lvar} and {rvar}"
+            )
+        key = (left, right)
+        cached = self._inner_cache.lookup(key)
+        if cached is None:
+            values = self.weights._values
+            succ, wsucc = pool.succ, pool.wsucc
+            lbase = left * 2
+            rbase = right * 2
+            total = complex(0.0, 0.0)
+            for index in (0, 1):
+                lww = wsucc[lbase + index]
+                rww = wsucc[rbase + index]
+                if lww == 0 or rww == 0:
+                    continue
+                total += (
+                    values[lww].conjugate()
+                    * values[rww]
+                    * self.inner_nodes(succ[lbase + index], succ[rbase + index])
+                )
+            cached = total
+            self._inner_cache.insert(key, cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def clear_memos(self) -> None:
+        """Drop engine-private memoization (the interned gate ids).
+
+        The shared compute tables are cleared by the package; this hook
+        exists so ``clear_caches``/HARD collections also reset state whose
+        keys embed canonical weight values.  The weight-arithmetic memos
+        are keyed on (and resolve to) weight indices, so they MUST be
+        dropped before any sweep can recycle an index.
+        """
+        self._gate_ids.clear()
+        self._kernel_cache.clear()
+        self._wmul.clear()
+        self._wdiv.clear()
+        self._wadd.clear()
+        self._norm_memo.clear()
+        self._wmul_stable.clear()
+        self._wdiv_stable.clear()
+        self._wadd_stable.clear()
+        self._norm_stable.clear()
+
+    def gate_id(self, op_key: tuple) -> int:
+        """Intern an apply-kernel operation key to a small integer."""
+        gate_id = self._gate_ids.get(op_key)
+        if gate_id is None:
+            gate_id = len(self._gate_ids)
+            self._gate_ids[op_key] = gate_id
+        return gate_id
+
+    def sweep(self, roots: Sequence[Tuple[Node, complex]]) -> Tuple[int, int]:
+        """Mark-and-sweep the pools; returns ``(nodes_freed, weights_freed)``.
+
+        Mark roots are every live view (any Python-reachable diagram) plus
+        the governor's reference-counted root edges.  Must run only after
+        every index-keyed cache has been cleared — freed indices are
+        recycled by later allocations.
+        """
+        self.clear_memos()
+        marked: Tuple[set, set] = (set(), set())
+        stack: List[Tuple[int, int]] = []
+        for kind in (VECTOR, MATRIX):
+            for view in list(self._views[kind].values()):
+                stack.append((kind, view._index))
+        for node, _weight in roots:
+            index = getattr(node, "_index", None)
+            if index is not None and getattr(node, "_engine", None) is self:
+                stack.append((node._KIND, index))
+        pools = (self.vpool, self.mpool)
+        while stack:
+            kind, index = stack.pop()
+            if index < 0 or index in marked[kind]:
+                continue
+            marked[kind].add(index)
+            pool = pools[kind]
+            base = index * pool.arity
+            for offset in range(pool.arity):
+                child = pool.succ[base + offset]
+                if child >= 0 and child not in marked[kind]:
+                    stack.append((kind, child))
+        nodes_freed = 0
+        marked_weights: set = set()
+        for kind in (VECTOR, MATRIX):
+            pool = pools[kind]
+            live = marked[kind]
+            for index in pool.live_indices():
+                if index in live:
+                    base = index * pool.arity
+                    for offset in range(pool.arity):
+                        marked_weights.add(pool.wsucc[base + offset])
+                else:
+                    pool.free(index)
+                    nodes_freed += 1
+            unique = self._vunique if kind == VECTOR else self._munique
+            unique.rebuild(sorted(live))
+        exact = self.weights._exact
+        for _node, weight in roots:
+            widx = exact.get(weight)
+            if widx is not None:
+                marked_weights.add(widx)
+        weights_freed = self.weights.sweep_indices(marked_weights)
+        return nodes_freed, weights_freed
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def table_bytes(self) -> int:
+        """Actual resident bytes of the flat index arrays."""
+        return (
+            self.vpool.array_bytes()
+            + self.mpool.array_bytes()
+            + self._vunique.array_bytes()
+            + self._munique.array_bytes()
+            + self.weights.index_bytes()
+        )
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "pooled": 1,
+            "vector_slots": self.vpool.slot_count,
+            "vector_live": self.vpool.live_count,
+            "vector_free": len(self.vpool.free_list),
+            "matrix_slots": self.mpool.slot_count,
+            "matrix_live": self.mpool.live_count,
+            "matrix_free": len(self.mpool.free_list),
+            "weight_slots": self.weights.slot_count,
+            "weight_free": len(self.weights._free),
+            "unique_capacity": self._vunique.capacity + self._munique.capacity,
+            "gate_ids": len(self._gate_ids),
+            "array_bytes": self.table_bytes(),
+        }
+
+    # ------------------------------------------------------------------
+    # fault-injection support
+    # ------------------------------------------------------------------
+    def clone_node_for_fault(self, view: Node) -> int:
+        """Allocate a structural clone bypassing hash consing (test-only).
+
+        Plants the aliasing corruption the ``alias-unique-entry`` fault
+        models: two live pool nodes with the same signature, both reachable
+        through the unique table's probe chains.
+        """
+        kind = view._KIND
+        pool = self.vpool if kind == VECTOR else self.mpool
+        unique = self._vunique if kind == VECTOR else self._munique
+        index = view._index
+        base = index * pool.arity
+        var = pool.var[index]
+        successors = list(pool.succ[base : base + pool.arity])
+        wsuccs = list(pool.wsucc[base : base + pool.arity])
+        clone = pool.alloc(var, successors, wsuccs, next(self._order))
+        slot = unique._hash(var, successors, wsuccs) & unique._mask
+        while unique._slots[slot] >= 0:
+            slot = (slot + 1) & unique._mask
+        unique.insert_at(slot, clone)
+        return clone
+
+
+# ----------------------------------------------------------------------
+# direct gate application on pooled storage
+# ----------------------------------------------------------------------
+class PooledApplyKernel:
+    """Index-level mirror of :class:`repro.dd.apply._ApplyKernel`.
+
+    Same recursion, same shortcuts (diagonal / antidiagonal / controlled /
+    projector chain), same arithmetic on the same canonical values — but
+    operating on ``(node_index, weight_index)`` pairs, with the apply-cache
+    keyed ``(interned gate id, node index)`` so repeated gates hash two
+    small integers instead of a nested unitary tuple.
+    """
+
+    __slots__ = (
+        "engine", "weights", "pool", "cache", "mode", "kind",
+        "u", "u_val", "target", "controls", "low", "below", "below_map",
+        "below_low", "op_id", "proj_id", "kernel", "cacheable",
+    )
+
+    def __init__(
+        self,
+        package,
+        mode: str,
+        matrix,
+        target: int,
+        controls: Dict[int, int],
+    ):
+        import numpy as np
+
+        engine = package._pooled
+        self.engine = engine
+        self.weights = engine.weights
+        self.mode = mode
+        self.kind = VECTOR if mode == "v" else MATRIX
+        self.pool = engine.vpool if mode == "v" else engine.mpool
+        self.cache = engine._apply_cache
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (2, 2):
+            raise DDError(f"expected a 2x2 matrix, got shape {matrix.shape}")
+        if mode == "mr":
+            matrix = matrix.T
+        raw_values = tuple(complex(matrix[i, j]) for i in (0, 1) for j in (0, 1))
+        self.u_val = tuple(self._canonical_value(value) for value in raw_values)
+        exact = self.weights._exact
+        self.u = tuple(
+            0 if value == ComplexTable.ZERO else exact[value] for value in self.u_val
+        )
+        # Reusable across applications iff every matrix entry resolved at
+        # distance zero (canonically zero, or bit-identical to its
+        # representative): a later mint can then never change the
+        # canonicalization, so a fresh construction would be identical.
+        is_zero = self.weights.is_zero
+        self.cacheable = all(
+            is_zero(raw) or canonical == raw
+            for raw, canonical in zip(raw_values, self.u_val)
+        )
+        self.target = target
+        self.controls = dict(controls)
+        for line, bit in self.controls.items():
+            if line == target:
+                raise DDError("target and control lines must be distinct")
+            if bit not in (0, 1):
+                raise DDError(f"control value must be 0 or 1, got {bit!r}")
+        levels = [target, *self.controls]
+        self.low = min(levels)
+        self.below = tuple(
+            sorted((line, bit) for line, bit in self.controls.items() if line < target)
+        )
+        self.below_map = dict(self.below)
+        self.below_low = self.below[0][0] if self.below else target
+        ctrl_key = tuple(sorted(self.controls.items()))
+        self.op_id = engine.gate_id(("apply", mode, self.u_val, target, ctrl_key))
+        self.proj_id = engine.gate_id(("proj", mode, self.below))
+        if self.controls:
+            self.kernel = "controlled"
+        elif self.u_val[1] == ComplexTable.ZERO and self.u_val[2] == ComplexTable.ZERO:
+            self.kernel = "diagonal"
+        elif self.u_val[0] == ComplexTable.ZERO and self.u_val[3] == ComplexTable.ZERO:
+            self.kernel = "antidiagonal"
+        else:
+            self.kernel = "generic"
+
+    def _canonical_value(self, value: complex) -> complex:
+        value = complex(value)
+        if self.weights.is_zero(value):
+            return ComplexTable.ZERO
+        return self.weights.lookup(value)
+
+    def _canonical_index(self, value: complex) -> int:
+        value = complex(value)
+        if self.weights.is_zero(value):
+            return 0
+        return self.weights.lookup_index(value)
+
+    # -- entry -----------------------------------------------------------
+    def run(self, root: Edge) -> Edge:
+        if root.is_zero:
+            return ZERO_EDGE
+        node = root.node
+        expected = VectorNode if self.mode == "v" else MatrixNode
+        if node.is_terminal or not isinstance(node, expected):
+            kind = "vector" if self.mode == "v" else "matrix"
+            raise DDError(f"apply kernels need a non-trivial {kind} DD root")
+        if node.var < self.target or (self.controls and node.var < max(self.controls)):
+            raise DDError(
+                f"gate lines exceed the DD's qubit range (root level {node.var})"
+            )
+        engine = self.engine
+        index = engine.node_index(node)
+        widx = self.weights.lookup_index(root.weight)
+        return engine.to_edge(self.kind, engine.scale(self._rec(index), widx))
+
+    # -- recursion over untouched upper levels ---------------------------
+    def _rec(self, index: int) -> Tuple[int, int]:
+        if index < 0 or self.pool.var[index] < self.low:
+            # Everything the gate touches lies above: the subtree (possibly
+            # the terminal) is shared unchanged.
+            return (index, 1)
+        key = (self.op_id, index)
+        cache = self.cache
+        cached = cache.lookup(key)
+        if cached is None:
+            cached = self._expand(index)
+            cache.insert(key, cached)
+        return cached
+
+    def _rec_edge(self, edge: Tuple[int, int]) -> Tuple[int, int]:
+        if edge[1] == 0:
+            return ZERO_E
+        return self.engine.scale(self._rec(edge[0]), edge[1])
+
+    def _expand(self, index: int) -> Tuple[int, int]:
+        var = self.pool.var[index]
+        pairs = self._pairs(index)
+        if var == self.target:
+            new_pairs = [self._apply_target(pair) for pair in pairs]
+        else:
+            bit = self.controls.get(var)
+            if bit is None:
+                # A line between the gate's lines: descend on both branches.
+                new_pairs = [
+                    tuple(self._rec_edge(child) for child in pair) for pair in pairs
+                ]
+            else:
+                # Control above the (remaining) gate lines: the active branch
+                # continues, the inactive branch is shared unchanged.
+                new_pairs = []
+                for pair in pairs:
+                    updated = list(pair)
+                    updated[bit] = self._rec_edge(pair[bit])
+                    new_pairs.append(tuple(updated))
+        return self._make(var, new_pairs)
+
+    # -- the target level -----------------------------------------------
+    def _apply_target(self, pair):
+        u00, u01, u10, u11 = self.u
+        c0, c1 = pair
+        engine = self.engine
+        scale = engine.scale
+        kind = self.kind
+        if self.below:
+            # Controls below the target: CU = I + P (U - I), with the
+            # projector chain P applied to the subtrees first.
+            add = engine.add
+            d00 = self._canonical_index(self.u_val[0] - 1.0)
+            d11 = self._canonical_index(self.u_val[3] - 1.0)
+            p0 = self._proj_edge(c0)
+            p1 = self._proj_edge(c1)
+            new0 = add(kind, c0, add(kind, scale(p0, d00), scale(p1, u01)))
+            new1 = add(kind, c1, add(kind, scale(p0, u10), scale(p1, d11)))
+            return (new0, new1)
+        if self.u_val[1] == ComplexTable.ZERO and self.u_val[2] == ComplexTable.ZERO:
+            # Diagonal shortcut: only the edge weights change.
+            return (scale(c0, u00), scale(c1, u11))
+        if self.u_val[0] == ComplexTable.ZERO and self.u_val[3] == ComplexTable.ZERO:
+            # Anti-diagonal shortcut (X/Y): swap the successors.
+            return (scale(c1, u01), scale(c0, u10))
+        add = engine.add
+        new0 = add(kind, scale(c0, u00), scale(c1, u01))
+        new1 = add(kind, scale(c0, u10), scale(c1, u11))
+        return (new0, new1)
+
+    # -- projector chain for controls below the target -------------------
+    def _proj_edge(self, edge: Tuple[int, int]) -> Tuple[int, int]:
+        if edge[1] == 0:
+            return ZERO_E
+        return self.engine.scale(self._proj(edge[0]), edge[1])
+
+    def _proj(self, index: int) -> Tuple[int, int]:
+        if index < 0 or self.pool.var[index] < self.below_low:
+            return (index, 1)
+        key = (self.proj_id, index)
+        cache = self.cache
+        cached = cache.lookup(key)
+        if cached is None:
+            var = self.pool.var[index]
+            pairs = self._pairs(index)
+            bit = self.below_map.get(var)
+            new_pairs = []
+            for pair in pairs:
+                if bit is None:
+                    new_pairs.append(tuple(self._proj_edge(child) for child in pair))
+                else:
+                    updated = [ZERO_E, ZERO_E]
+                    updated[bit] = self._proj_edge(pair[bit])
+                    new_pairs.append(tuple(updated))
+            cached = self._make(var, new_pairs)
+            cache.insert(key, cached)
+        return cached
+
+    # -- mode-dependent successor layout ---------------------------------
+    def _pairs(self, index: int):
+        """Successors grouped into 2-vectors along the gate's active index."""
+        pool = self.pool
+        base = index * pool.arity
+        succ, wsucc = pool.succ, pool.wsucc
+        edges = [
+            (succ[base + k], wsucc[base + k]) for k in range(pool.arity)
+        ]
+        if self.mode == "v":
+            return (tuple(edges),)
+        if self.mode == "ml":
+            # Row pairs per column j: (U_0j, U_1j).
+            return ((edges[0], edges[2]), (edges[1], edges[3]))
+        # "mr": column pairs per row i: (U_i0, U_i1).
+        return ((edges[0], edges[1]), (edges[2], edges[3]))
+
+    def _make(self, var: int, new_pairs) -> Tuple[int, int]:
+        if self.mode == "v":
+            return self.engine.make_node(VECTOR, var, new_pairs[0])
+        if self.mode == "ml":
+            (e00, e10), (e01, e11) = new_pairs
+        else:
+            (e00, e01), (e10, e11) = new_pairs
+        return self.engine.make_node(MATRIX, var, (e00, e01, e10, e11))

@@ -49,7 +49,7 @@ def gate_to_dd(package: DDPackage, operation: GateOp, num_qubits: int) -> Edge:
 
 
 def _build_gate_dd(package: DDPackage, operation: GateOp, num_qubits: int) -> Edge:
-    matrix = operation.matrix()
+    matrix = operation.matrix_readonly()
     targets = operation.targets
     if matrix.shape == (2, 2):
         if operation.num_controls == 0:

@@ -145,28 +145,57 @@ def gate_signature(name: str) -> Tuple[int, int]:
 
 def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
     """The unitary matrix of a base gate (2x2 or 4x4)."""
+    return gate_matrix_readonly(name, params).copy()
+
+
+#: Interned gate matrices: building (and re-canonicalizing) the same phase
+#: matrix on every application dominates steady-state gate dispatch.
+_MATRIX_CACHE: dict = {}
+
+
+def gate_matrix_readonly(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Like :func:`gate_matrix`, but a shared write-protected instance.
+
+    Callers must not mutate the result; the hot gate-application path uses
+    this to skip rebuilding the matrix of a repeated gate.
+    """
+    if type(params) is tuple:
+        # Cached keys were validated when first built, so a hit needs no
+        # re-validation (GateOp always passes its normalized float tuple).
+        cached = _MATRIX_CACHE.get((name, params))
+        if cached is not None:
+            return cached
     num_params, _ = gate_signature(name)
     params = tuple(float(value) for value in params)
     if len(params) != num_params:
         raise GateError(
             f"gate {name!r} takes {num_params} parameter(s), got {len(params)}"
         )
+    cached = _MATRIX_CACHE.get((name, params))
+    if cached is not None:
+        return cached
     fixed = _FIXED_MATRICES.get(name)
     if fixed is not None:
-        return fixed.copy()
-    if name == "rx":
-        return _rx(params[0])
-    if name == "ry":
-        return _ry(params[0])
-    if name == "rz":
-        return _rz(params[0])
-    if name in ("p", "u1"):
-        return _phase(params[0])
-    if name == "u2":
-        return _u2(params[0], params[1])
-    if name in ("u3", "u"):
-        return _u3(params[0], params[1], params[2])
-    raise GateError(f"unknown gate {name!r}")  # pragma: no cover - guarded above
+        matrix = fixed.copy()
+    elif name == "rx":
+        matrix = _rx(params[0])
+    elif name == "ry":
+        matrix = _ry(params[0])
+    elif name == "rz":
+        matrix = _rz(params[0])
+    elif name in ("p", "u1"):
+        matrix = _phase(params[0])
+    elif name == "u2":
+        matrix = _u2(params[0], params[1])
+    elif name in ("u3", "u"):
+        matrix = _u3(params[0], params[1], params[2])
+    else:  # pragma: no cover - guarded by gate_signature above
+        raise GateError(f"unknown gate {name!r}")
+    matrix.setflags(write=False)
+    if len(_MATRIX_CACHE) > 4096:
+        _MATRIX_CACHE.clear()
+    _MATRIX_CACHE[(name, params)] = matrix
+    return matrix
 
 
 def inverse_gate(name: str, params: Sequence[float] = ()) -> Tuple[str, Tuple[float, ...]]:

@@ -91,6 +91,10 @@ class GateOp(Operation):
         """The base gate's (local) unitary matrix, controls excluded."""
         return gate_library.gate_matrix(self.gate, self.params)
 
+    def matrix_readonly(self):
+        """Shared write-protected gate matrix for hot read-only paths."""
+        return gate_library.gate_matrix_readonly(self.gate, self.params)
+
     def inverse(self) -> "GateOp":
         """The inverse gate (same lines, inverted base gate)."""
         if self.condition is not None:

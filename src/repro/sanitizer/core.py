@@ -47,6 +47,14 @@ Invariant families
     registered root has a positive count, and a live root's weight still
     has its exact representative in the complex table (a sweep that
     purged it would let a later lookup mint a *different* representative).
+
+``pool-*``
+    Pooled-storage index integrity (``storage="pooled"`` only): every live
+    node's successor indices point at live pool slots (never into the
+    free-list), every weight index points at a live weight-pool entry,
+    the free-list holds exactly the freed slots with no duplicates, and
+    every live node is reachable through its own unique-table probe chain
+    (open addressing never strands a live entry).
 """
 
 from __future__ import annotations
@@ -171,6 +179,7 @@ class DDSanitizer:
         )
         self._check_complex_table(report)
         self._check_roots(report)
+        self._check_pools(report)
         report.duration_seconds = perf_counter() - start
         return report
 
@@ -411,6 +420,78 @@ class DDSanitizer:
                     "complex table (swept while still referenced)",
                     where,
                 ))
+
+
+    # ------------------------------------------------------------------
+    # pooled storage: index integrity
+    # ------------------------------------------------------------------
+    def _check_pools(self, report: SanitizeReport) -> None:
+        engine = getattr(self.package, "_pooled", None)
+        if engine is None:
+            return
+        from repro.dd.pool import FREED_VAR, TERMINAL_INDEX
+
+        weights = engine.weights
+        for kind, pool, unique in (
+            ("vector", engine.vpool, engine._vunique),
+            ("matrix", engine.mpool, engine._munique),
+        ):
+            free = set(pool.free_list)
+            if len(free) != len(pool.free_list):
+                report.violations.append(Violation(
+                    "pool-free-list",
+                    "free-list contains duplicate slot indices",
+                    f"{kind} pool",
+                ))
+            for index in pool.free_list:
+                if not 0 <= index < pool.slot_count:
+                    report.violations.append(Violation(
+                        "pool-free-list",
+                        f"free-list index {index} out of range "
+                        f"(0..{pool.slot_count - 1})",
+                        f"{kind} pool",
+                    ))
+                elif pool.var[index] != FREED_VAR:
+                    report.violations.append(Violation(
+                        "pool-free-list",
+                        f"free-list slot @{index} aliases a live node "
+                        f"(q{pool.var[index]})",
+                        f"{kind} pool",
+                    ))
+            for index in range(pool.slot_count):
+                freed_mark = pool.var[index] == FREED_VAR
+                if freed_mark or index in free:
+                    if freed_mark != (index in free):
+                        report.violations.append(Violation(
+                            "pool-free-list",
+                            f"slot @{index} freed-marker/free-list mismatch",
+                            f"{kind} pool",
+                        ))
+                    continue
+                location = f"{kind} pool node @{index} (q{pool.var[index]})"
+                for offset, (succ, wsucc) in enumerate(pool.edges_of(index)):
+                    where = f"{location} edge {offset}"
+                    if succ != TERMINAL_INDEX and not pool.is_live(succ):
+                        report.violations.append(Violation(
+                            "pool-dangling-successor",
+                            f"successor index {succ} points at a freed or "
+                            "out-of-range pool slot",
+                            where,
+                        ))
+                    if not weights.index_is_live(wsucc):
+                        report.violations.append(Violation(
+                            "pool-stale-weight",
+                            f"weight index {wsucc} points at a freed or "
+                            "out-of-range weight-pool entry",
+                            where,
+                        ))
+                if not unique.contains_index(index):
+                    report.violations.append(Violation(
+                        "pool-probe-chain",
+                        "live node is not reachable through its own "
+                        "unique-table probe chain",
+                        location,
+                    ))
 
 
 def sanitize_package(

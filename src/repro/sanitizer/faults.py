@@ -9,17 +9,25 @@ detected by its expected check and that a clean package stays clean.
 
 Fault classes and the check expected to fire:
 
-==========================  =============================================
-fault                       detected by
-==========================  =============================================
-``perturb-weight``          ``unique-key`` (node mutated after consing)
-``alias-unique-entry``      ``unique-duplicate`` (two nodes, one signature)
-``skew-refcount``           ``root-count`` (refcount drops to zero early)
-``orphan-root-weight``      ``root-weight-missing`` (rep swept while live)
-``unclamp-near-zero``       ``weight-near-zero`` (sub-tolerance weight)
-``poison-nonfinite``        ``weight-nonfinite`` (NaN amplitude)
-``duplicate-complex-rep``   ``complex-duplicate`` (two reps in one ball)
-==========================  =============================================
+=============================  ===========================================
+fault                          detected by
+=============================  ===========================================
+``perturb-weight``             ``unique-key`` (node mutated after consing)
+``alias-unique-entry``         ``unique-duplicate`` (two nodes, one
+                               signature)
+``skew-refcount``              ``root-count`` (refcount drops to zero
+                               early)
+``orphan-root-weight``         ``root-weight-missing`` (rep swept while
+                               live)
+``unclamp-near-zero``          ``weight-near-zero`` (sub-tolerance weight)
+``poison-nonfinite``           ``weight-nonfinite`` (NaN amplitude)
+``duplicate-complex-rep``      ``complex-duplicate`` (two reps in one
+                               ball)
+``pooled-dangling-successor``  ``pool-dangling-successor`` (edge index
+                               into the free-list; pooled storage only)
+``pooled-stale-weight``        ``pool-stale-weight`` (weight slot freed
+                               under a live edge; pooled storage only)
+=============================  ===========================================
 
 The module also provides worker-pool *fault jobs* (crash, hang, corrupt)
 used to verify that the service degrades gracefully: crashes surface as
@@ -58,6 +66,8 @@ FAULT_CLASSES: Dict[str, str] = {
     "unclamp-near-zero": "unclamp_near_zero",
     "poison-nonfinite": "poison_nonfinite",
     "duplicate-complex-rep": "duplicate_complex_rep",
+    "pooled-dangling-successor": "pooled_dangling_successor",
+    "pooled-stale-weight": "pooled_stale_weight",
 }
 
 #: Fault-class name -> sanitizer check id that must fire.
@@ -69,6 +79,8 @@ EXPECTED_CHECKS: Dict[str, str] = {
     "unclamp-near-zero": "weight-near-zero",
     "poison-nonfinite": "weight-nonfinite",
     "duplicate-complex-rep": "complex-duplicate",
+    "pooled-dangling-successor": "pool-dangling-successor",
+    "pooled-stale-weight": "pool-stale-weight",
 }
 
 
@@ -128,6 +140,10 @@ class FaultInjector:
         edges = list(node.edges)
         edges[index] = Edge(edges[index].node, weight)
         node.edges = tuple(edges)
+        # Pooled views are weakly cached per index: pin the mutated view so
+        # the sanitizer sees *this* object (with its edge override) rather
+        # than a freshly minted, uncorrupted view of the same pool slot.
+        self._pinned.append(node)
 
     def _live_roots(self) -> List[Tuple[Tuple[int, complex], list]]:
         roots = [
@@ -162,6 +178,14 @@ class FaultInjector:
         would produce.  The clone is pinned so the weak table keeps it.
         """
         table, _key, node = self._pick_entry()
+        engine = getattr(self.package, "_pooled", None)
+        if engine is not None:
+            clone_index = engine.clone_node_for_fault(node)
+            return {
+                "fault": "alias-unique-entry",
+                "node": node.uid,
+                "clone": clone_index,
+            }
         clone = type(node)(node.var, node.edges)
         self._pinned.append(clone)
         alias_key = _signature(node.var, node.edges) + ("alias",)
@@ -233,6 +257,86 @@ class FaultInjector:
             "fault": "duplicate-complex-rep",
             "value": repr(value),
             "shadow": repr(shadow),
+        }
+
+    # ------------------------------------------------------------------
+    # pooled-storage fault classes
+    # ------------------------------------------------------------------
+    def _pooled_engine(self):
+        engine = getattr(self.package, "_pooled", None)
+        if engine is None:
+            raise DDError(
+                "pooled fault classes require DDPackage(storage='pooled')"
+            )
+        return engine
+
+    def pooled_dangling_successor(self) -> Dict[str, Any]:
+        """Free a pool slot that a live node still points at.
+
+        Models an over-eager mark-and-sweep: the successor's slot lands on
+        the free-list (and may be recycled into an unrelated node) while
+        parents still hold its index.
+        """
+        from repro.dd.pooled import MATRIX, VECTOR
+
+        engine = self._pooled_engine()
+        candidates = []
+        for kind, pool in ((VECTOR, engine.vpool), (MATRIX, engine.mpool)):
+            for index in pool.live_indices():
+                for offset, (succ, _wsucc) in enumerate(pool.edges_of(index)):
+                    if succ >= 0:
+                        candidates.append((kind, index, offset, succ))
+        if not candidates:
+            raise DDError(
+                "fault injection needs a live node with a non-terminal successor"
+            )
+        kind, parent, offset, succ = self.rng.choice(sorted(candidates))
+        pool = engine.vpool if kind == VECTOR else engine.mpool
+        pool.free(succ)
+        return {
+            "fault": "pooled-dangling-successor",
+            "kind": "vector" if kind == VECTOR else "matrix",
+            "parent": parent,
+            "edge": offset,
+            "freed": succ,
+        }
+
+    def pooled_stale_weight(self) -> Dict[str, Any]:
+        """Free a weight-pool slot that a live edge still indexes.
+
+        Mirrors exactly what :meth:`WeightPool.sweep_indices` does to a
+        genuinely dead weight — exact-dict and bucket removal, value slot
+        poisoned, index pushed to the free-list — but against a weight
+        that is still referenced, modelling a mark phase that missed it.
+        """
+        from repro.dd.pooled import MATRIX, VECTOR
+
+        engine = self._pooled_engine()
+        weights = engine.weights
+        referenced = set()
+        for pool in (engine.vpool, engine.mpool):
+            for index in pool.live_indices():
+                for _succ, wsucc in pool.edges_of(index):
+                    if wsucc >= weights._seed_count:
+                        referenced.add(wsucc)
+        if not referenced:
+            raise DDError(
+                "fault injection needs a live edge with a non-seed weight"
+            )
+        target = self.rng.choice(sorted(referenced))
+        value = weights._values[target]
+        del weights._exact[value]
+        bucket = weights._buckets.get(weights._key(value))
+        if bucket and value in bucket:
+            bucket.remove(value)
+        weights._values[target] = None
+        weights._re[target] = float("nan")
+        weights._im[target] = float("nan")
+        weights._free.append(target)
+        return {
+            "fault": "pooled-stale-weight",
+            "weight_index": target,
+            "value": repr(value),
         }
 
     # ------------------------------------------------------------------

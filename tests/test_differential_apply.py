@@ -1,15 +1,19 @@
-"""Differential fuzzer: apply kernels vs. matrix path vs. dense reference.
+"""Differential fuzzer: storage backends vs. matrix path vs. dense reference.
 
 Every seeded random circuit (1-6 qubits; mixed single-qubit, controlled,
-multi-controlled and two-qubit gates; no measurements) is executed three
+multi-controlled and two-qubit gates; no measurements) is executed four
 ways:
 
-* the direct apply kernels (``use_apply_kernels=True``, the default);
+* the direct apply kernels on **pooled** index storage (the default);
+* the direct apply kernels on **object** storage (the storage oracle —
+  the two backends run the same arithmetic in the same order, so their
+  statevectors must agree *bit for bit*, not merely within tolerance);
 * the legacy matrix-DD path (gate DD + multiply), the structural oracle;
 * the dense statevector simulator of :mod:`repro.simulation.statevector`,
   the independent numerical oracle.
 
-All three must agree amplitude-by-amplitude to ``1e-10``.
+Kernel/matrix/dense must agree amplitude-by-amplitude to ``1e-10``;
+pooled/object must be byte-identical and build identically sized DDs.
 
 The base seed rotates in CI (``DIFFERENTIAL_SEED`` environment variable,
 derived from the run number and echoed into the log); locally it defaults
@@ -134,14 +138,17 @@ def _case_circuit(case: int) -> QuantumCircuit:
 @pytest.mark.parametrize("case", range(NUM_CASES))
 def test_three_way_amplitude_agreement(case):
     circuit = _case_circuit(case)
-    kernel_sim = DDSimulator(circuit, use_apply_kernels=True)
+    kernel_sim = DDSimulator(circuit, use_apply_kernels=True, storage="pooled")
     kernel_sim.run_all()
+    object_sim = DDSimulator(circuit, use_apply_kernels=True, storage="object")
+    object_sim.run_all()
     matrix_sim = DDSimulator(circuit, use_apply_kernels=False)
     matrix_sim.run_all()
     dense = StatevectorSimulator(circuit)
     dense.run()
 
     kernel_vector = kernel_sim.statevector()
+    object_vector = object_sim.statevector()
     matrix_vector = matrix_sim.statevector()
     label = f"case {case} (base seed {BASE_SEED}): {circuit.name}"
     assert np.abs(kernel_vector - dense.state).max() < TOLERANCE, (
@@ -153,8 +160,17 @@ def test_three_way_amplitude_agreement(case):
     assert np.abs(kernel_vector - matrix_vector).max() < TOLERANCE, (
         f"{label}: kernel path deviates from the matrix path"
     )
+    # Storage oracle: pooled and object run the same arithmetic in the
+    # same order — byte-identical amplitudes, identically sized DDs.
+    assert np.array_equal(kernel_vector, object_vector), (
+        f"{label}: pooled storage is not bit-exact against object storage"
+    )
+    assert kernel_sim.node_count() == object_sim.node_count(), (
+        f"{label}: storage backends disagree on the final DD size"
+    )
     # The kernel path never constructs an operation DD.
     assert kernel_sim.package._matrix_unique.misses == 0
+    assert object_sim.package._matrix_unique.misses == 0
 
 
 def test_fuzzer_covers_every_kernel():

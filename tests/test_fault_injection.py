@@ -36,9 +36,9 @@ from repro.service import Request, ServiceApp, ServiceConfig
 from repro.service import workers as service_workers
 
 
-def _seeded_package() -> DDPackage:
+def _seeded_package(storage: str = None) -> DDPackage:
     """A package with live nodes, complex entries and GC roots to corrupt."""
-    package = DDPackage()
+    package = DDPackage(storage=storage)
     state = package.from_state_vector([0.5, 0.5j, -0.5, 0.5])
     package.incref(state)
     # A second root with a non-trivial weight, so root-targeting faults
@@ -47,10 +47,19 @@ def _seeded_package() -> DDPackage:
 
     scaled = Edge(state.node, package.complex_table.lookup(0.5 + 0.5j))
     package.incref(scaled)
+    # A state whose edge weights are NOT pre-seeded specials (0.6/0.8 are
+    # no one's seed), so weight-targeting pooled faults always have a
+    # non-seed candidate.
+    skew = package.from_state_vector([0.6, 0.8j, 0.0, 0.0])
+    package.incref(skew)
     # GC roots hold weak references; pin the edges so the nodes stay live
     # for the duration of the test.
-    package._test_pin = (state, scaled)
+    package._test_pin = (state, scaled, skew)
     return package
+
+
+#: Fault classes that only make sense against pooled index storage.
+_POOLED_ONLY = {"pooled-dangling-successor", "pooled-stale-weight"}
 
 
 # ----------------------------------------------------------------------
@@ -100,15 +109,35 @@ class TestFaultDetection:
         report = package.sanitize()
         assert "complex-duplicate" in report.checks_failed, report.summary()
 
+    def test_pooled_dangling_successor_detected(self):
+        package = _seeded_package(storage="pooled")
+        inject_fault(package, "pooled-dangling-successor", seed=0)
+        report = package.sanitize()
+        assert "pool-dangling-successor" in report.checks_failed, report.summary()
+
+    def test_pooled_stale_weight_detected(self):
+        package = _seeded_package(storage="pooled")
+        inject_fault(package, "pooled-stale-weight", seed=0)
+        report = package.sanitize()
+        assert "pool-stale-weight" in report.checks_failed, report.summary()
+
+    @pytest.mark.parametrize("fault", sorted(_POOLED_ONLY))
+    def test_pooled_faults_refused_on_object_storage(self, fault):
+        with pytest.raises(DDError, match="pooled"):
+            inject_fault(_seeded_package(storage="object"), fault, seed=0)
+
+    @pytest.mark.parametrize("storage", ["pooled", "object"])
     @pytest.mark.parametrize("fault", sorted(FAULT_CLASSES))
     @pytest.mark.parametrize("seed", [1, 7, 42, 12345])
-    def test_detected_across_seeds(self, fault, seed):
+    def test_detected_across_seeds(self, fault, seed, storage):
         """No fault class escapes detection, whatever the seed picks."""
-        package = _seeded_package()
+        if storage == "object" and fault in _POOLED_ONLY:
+            pytest.skip("fault class targets pooled storage only")
+        package = _seeded_package(storage=storage)
         inject_fault(package, fault, seed=seed)
         report = package.sanitize()
         assert EXPECTED_CHECKS[fault] in report.checks_failed, (
-            f"{fault} (seed={seed}) missed: {report.summary()}"
+            f"{fault} (seed={seed}, {storage}) missed: {report.summary()}"
         )
 
     @pytest.mark.parametrize("fault", sorted(FAULT_CLASSES))
@@ -119,10 +148,13 @@ class TestFaultDetection:
         so compare the injection details modulo identity fields.
         """
         identity_keys = {"node", "clone", "uid", "root"}
+        # Pooled-only faults need the pooled backend regardless of the
+        # process-wide REPRO_DD_STORAGE default (the storage-matrix CI leg).
+        storage = "pooled" if fault in _POOLED_ONLY else None
         details = []
         checks = []
         for _ in range(2):
-            package = _seeded_package()
+            package = _seeded_package(storage=storage)
             detail = inject_fault(package, fault, seed=99)
             details.append(
                 {k: v for k, v in detail.items() if k not in identity_keys}

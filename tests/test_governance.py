@@ -290,3 +290,38 @@ class TestGovernorLifecycle:
         stats = package.governor.collect(level=PressureLevel.SOFT, force=True)
         assert stats.compute_entries_dropped >= 0
         assert package.governor.compute_entry_count() <= entries_before
+
+    @pytest.mark.parametrize("storage", ["pooled", "object"])
+    def test_hard_collection_resets_compute_table_hit_ratios(self, storage):
+        """After a HARD collection empties the compute tables, their
+        hit/miss counters must restart from zero — otherwise ``stats()``
+        and ``/metrics`` report a stale pre-collection ratio against an
+        empty table (ISSUE 7, satellite 4)."""
+        package = DDPackage(storage=storage)
+        simulator = DDSimulator(library.qft(4), package=package)
+        simulator.run_all()
+        tables = list(package._compute_tables())
+        assert any(t.hits + t.misses > 0 for t in tables)
+        package.governor.collect(level=PressureLevel.HARD, force=True)
+        for table in tables:
+            assert table.hits == 0, table.name
+            assert table.misses == 0, table.name
+        # ...and the table really is empty, so the zeroed ratio is honest.
+        assert package.governor.compute_entry_count() == 0
+
+    def test_shrink_that_drops_entries_resets_counters(self):
+        from repro.dd.compute_table import ComputeTable
+
+        table = ComputeTable("t", capacity=64)
+        for index in range(10):
+            table.insert(index, index)
+            table.lookup(index)
+        assert table.hits == 10
+        dropped = table.shrink(0.5)
+        assert dropped == 5
+        assert table.hits == 0 and table.misses == 0
+        # A shrink that drops nothing keeps the (fresh) counters intact.
+        table.lookup(9)
+        empty = ComputeTable("e", capacity=64)
+        assert empty.shrink(0.5) == 0
+        assert table.hits + table.misses == 1

@@ -50,12 +50,14 @@ def _circuit(name: str):
     }[name]()
 
 
-def compute_payload(use_apply_kernels: bool) -> dict:
+def compute_payload(use_apply_kernels: bool, storage: str = None) -> dict:
     """Everything the golden file freezes, computed on one execution path."""
     payload: dict = {"simulation": {}}
     for name in _SIMULATED:
         circuit = _circuit(name)
-        simulator = DDSimulator(circuit, use_apply_kernels=use_apply_kernels)
+        simulator = DDSimulator(
+            circuit, use_apply_kernels=use_apply_kernels, storage=storage
+        )
         simulator.run_all()
         amplitudes = [
             repr(simulator.package.amplitude(simulator.state, index,
@@ -67,14 +69,14 @@ def compute_payload(use_apply_kernels: bool) -> dict:
             "peak_node_count": simulator.peak_node_count,
             "amplitudes": amplitudes,
         }
-    package = DDPackage(use_apply_kernels=use_apply_kernels)
+    package = DDPackage(use_apply_kernels=use_apply_kernels, storage=storage)
     functionality = circuit_to_dd(package, library.qft(3))
     payload["qft3_functionality_nodes"] = package.node_count(functionality)
     alternating = check_equivalence_alternating(
         library.qft(3),
         library.qft_compiled(3),
         strategy=ApplicationStrategy.COMPILATION_FLOW,
-        package=DDPackage(use_apply_kernels=use_apply_kernels),
+        package=DDPackage(use_apply_kernels=use_apply_kernels, storage=storage),
     )
     construct = check_equivalence_construct(
         library.qft(3), library.qft_compiled(3)

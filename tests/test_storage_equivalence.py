@@ -1,0 +1,142 @@
+"""Storage-backend equivalence: pooled must be indistinguishable from object.
+
+The pooled backend (ISSUE 7) re-implements the hot core on flat integer
+arrays, but it mirrors the object backend's arithmetic operation for
+operation — so everything observable must match **exactly**, not merely
+within tolerance:
+
+* the golden paper payload (``tests/data/golden_paper.json``) byte for
+  byte, on both gate-application paths;
+* node counts and serialized DD structure (canonical weights included)
+  for representative circuits;
+* the canonical weight set each backend's complex table converges to;
+* matrix-path products and functionality DDs, not just state simulation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dd.package import DDPackage
+from repro.dd.serialize import dd_to_dict
+from repro.qc import library
+from repro.qc.dd_builder import circuit_to_dd
+from repro.simulation.simulator import DDSimulator
+
+from tests.test_paper_examples_golden import (
+    GOLDEN_PATH,
+    _serialize,
+    compute_payload,
+)
+
+STORAGES = ["object", "pooled"]
+
+_CIRCUITS = {
+    "bell": library.bell_pair,
+    "ghz5": lambda: library.ghz_state(5),
+    "qft4": lambda: library.qft(4),
+    "grover3": lambda: library.grover(3, marked=5),
+}
+
+
+def _run(name: str, storage: str, use_apply_kernels: bool = True):
+    simulator = DDSimulator(
+        _CIRCUITS[name](), use_apply_kernels=use_apply_kernels, storage=storage
+    )
+    simulator.run_all()
+    return simulator
+
+
+@pytest.mark.parametrize("use_apply_kernels", [True, False],
+                         ids=["apply-kernels", "matrix-path"])
+@pytest.mark.parametrize("storage", STORAGES)
+def test_golden_payload_reproduced_by_both_backends(storage, use_apply_kernels):
+    """Every (storage, path) combination reproduces the golden file
+    byte for byte — four independent executions, one truth."""
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        golden = handle.read()
+    assert _serialize(compute_payload(use_apply_kernels, storage=storage)) == golden
+
+
+@pytest.mark.parametrize("name", sorted(_CIRCUITS))
+def test_statevectors_bit_exact_across_backends(name):
+    object_sim = _run(name, "object")
+    pooled_sim = _run(name, "pooled")
+    assert np.array_equal(object_sim.statevector(), pooled_sim.statevector())
+    assert object_sim.node_count() == pooled_sim.node_count()
+    assert object_sim.peak_node_count == pooled_sim.peak_node_count
+
+
+@pytest.mark.parametrize("name", sorted(_CIRCUITS))
+def test_serialized_structure_identical(name):
+    """The serialized DDs — topology plus canonical weights — agree
+    exactly, so equality extends below the statevector to every edge."""
+    serialized = {}
+    for storage in STORAGES:
+        simulator = _run(name, storage)
+        serialized[storage] = json.dumps(
+            dd_to_dict(simulator.package, simulator.state), sort_keys=True
+        )
+    assert serialized["object"] == serialized["pooled"]
+
+
+@pytest.mark.parametrize("name", ["qft4", "ghz5"])
+def test_functionality_dds_identical(name):
+    """Matrix DDs (the 4-successor pool) agree structurally as well."""
+    serialized = {}
+    for storage in STORAGES:
+        package = DDPackage(storage=storage)
+        functionality = circuit_to_dd(package, _CIRCUITS[name]())
+        serialized[storage] = json.dumps(
+            dd_to_dict(package, functionality), sort_keys=True
+        )
+    assert serialized["object"] == serialized["pooled"]
+
+
+def test_canonical_weight_sets_identical():
+    """Both complex tables converge to the same canonical representatives
+    (same values, bit for bit) after identical workloads."""
+    reprs = {}
+    for storage in STORAGES:
+        simulator = _run("qft4", storage)
+        table = simulator.package.complex_table
+        reprs[storage] = sorted(
+            (value.real, value.imag) for _key, value in table.entries()
+        )
+    assert reprs["object"] == reprs["pooled"]
+
+
+def test_unique_table_entry_counts_match():
+    for name in sorted(_CIRCUITS):
+        object_sim = _run(name, "object")
+        pooled_sim = _run(name, "pooled")
+        for stat in ("unique_vector",):
+            assert (
+                object_sim.package.stats()[stat]["entries"]
+                == pooled_sim.package.stats()[stat]["entries"]
+            ), f"{name}: {stat} diverges between backends"
+
+
+def test_pooled_survives_gc_with_bit_exact_state():
+    """A forced HARD collection on the pooled backend must not perturb a
+    single amplitude of the live state."""
+    object_sim = _run("qft4", "object")
+    pooled_sim = _run("qft4", "pooled")
+    before = pooled_sim.statevector()
+    stats = pooled_sim.package.gc(force=True)
+    assert stats.nodes_after <= stats.nodes_before
+    after = pooled_sim.statevector()
+    assert np.array_equal(before, after)
+    assert np.array_equal(after, object_sim.statevector())
+
+
+def test_env_variable_selects_default_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_DD_STORAGE", "object")
+    assert DDPackage().storage == "object"
+    monkeypatch.setenv("REPRO_DD_STORAGE", "pooled")
+    assert DDPackage().storage == "pooled"
+    monkeypatch.delenv("REPRO_DD_STORAGE")
+    assert DDPackage().storage == "pooled"
