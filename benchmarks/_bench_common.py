@@ -63,3 +63,58 @@ def write_json_result(
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+# ----------------------------------------------------------------------
+# campaign-backed benchmarks
+# ----------------------------------------------------------------------
+
+#: Where the declarative sweep specs live (``benchmarks/campaigns/``).
+CAMPAIGNS_DIR = os.path.join(os.path.dirname(__file__), "campaigns")
+
+
+def run_campaign_spec(
+    spec_file: str, seed_offset: int = 0, out_root: Optional[str] = None
+) -> Dict[str, Any]:
+    """Run one of the committed campaign specs and return its artifact.
+
+    The benchmark sweeps (scaling / ablation / variable order) are
+    declared in ``benchmarks/campaigns/*.json`` and executed through the
+    campaign runner; the pytest benches only assert over the returned
+    artifact.  ``seed_offset`` threads ``--bench-seed`` / ``$BENCH_SEED``
+    into every cell of the sweep.
+    """
+    from repro.campaign import load_spec, run_campaign
+
+    spec = load_spec(os.path.join(CAMPAIGNS_DIR, spec_file))
+    out_dir = os.path.join(
+        out_root or RESULTS_DIR, "campaigns", spec.name
+    )
+    return run_campaign(
+        spec, out_dir, seed_offset=seed_offset, fresh=True
+    )
+
+
+def artifact_cells(
+    artifact: Dict[str, Any],
+    label: Optional[str] = None,
+    package: Optional[str] = None,
+) -> Dict[int, Dict[str, Any]]:
+    """Index an artifact's ``ok`` cells by circuit size for one series.
+
+    Raises if a matching cell is not ``ok`` — benchmark assertions should
+    fail loudly on a crashed/timed-out cell, not silently skip it.
+    """
+    selected: Dict[int, Dict[str, Any]] = {}
+    for cell_id, entry in artifact["cells"].items():
+        coords = entry["coordinates"]
+        if label is not None and coords["label"] != label:
+            continue
+        if package is not None and coords["package"] != package:
+            continue
+        if entry["status"] != "ok":
+            raise AssertionError(
+                f"campaign cell {cell_id} is {entry['status']}: {entry['error']}"
+            )
+        selected[coords["size"]] = entry
+    return selected

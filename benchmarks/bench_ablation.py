@@ -1,43 +1,46 @@
 """Ablations for the design choices DESIGN.md calls out.
 
-1. Vector normalization scheme: the L2 scheme (paper footnote 3) makes
-   sampling a local coin flip per node; max-magnitude needs subtree-norm
-   computations.
-2. Compute-table memoization: warm versus cold multiplication.
-3. Structural sharing: unique-table node counts versus the size of the
-   plain decomposition tree.
+The package-option sweep (normalization scheme, structural sharing,
+complex tolerance) is declared once in ``benchmarks/campaigns/ablation.json``
+and executed through the campaign runner; the tests assert over the
+aggregated artifact.  Only the compute-table memoization ablation remains
+a hand-rolled micro-benchmark — warm-vs-cold cache timing needs the
+``benchmark`` fixture around a single in-process call, which a campaign
+cell (cold package per cell, by design) cannot express.
 """
 
-import numpy as np
 import pytest
 
-from repro.dd import DDPackage, NormalizationScheme
-from repro.dd import sampling
+from repro.dd import DDPackage
 from repro.qc import library
 from repro.qc.dd_builder import circuit_to_dd
-from repro.simulation import DDSimulator
+
+import _bench_common
 
 
-def _ghz_state(package, num_qubits):
-    simulator = DDSimulator(
-        library.ghz_state(num_qubits), package=package, seed=0
+@pytest.fixture(scope="module")
+def ablation_artifact(bench_seed):
+    return _bench_common.run_campaign_spec(
+        "ablation.json", seed_offset=bench_seed
     )
-    simulator.run_all()
-    return simulator.state
 
 
-@pytest.mark.parametrize("scheme", list(NormalizationScheme))
-def test_ablation_sampling_scheme(benchmark, scheme, report):
-    """Sampling 500 shots from a 16-qubit GHZ state under both schemes."""
-    package = DDPackage(vector_scheme=scheme)
-    state = _ghz_state(package, 16)
-    rng = np.random.default_rng(3)
+@pytest.mark.parametrize("package_label", ["l2-default", "max-magnitude"])
+def test_ablation_sampling_scheme(ablation_artifact, package_label, report):
+    """Sampling 500 shots from a 16-qubit GHZ state under both schemes.
 
-    counts = benchmark(sampling.sample_counts, package, state, 500, rng)
+    The L2 scheme (paper footnote 3) makes sampling a local coin flip per
+    node; max-magnitude needs subtree-norm computations.  Both must agree
+    on the physics: GHZ collapses to all-zeros or all-ones only.
+    """
+    cells = _bench_common.artifact_cells(
+        ablation_artifact, label="ghz", package=package_label
+    )
+    counts = cells[16]["counts"]
     assert set(counts) == {"0" * 16, "1" * 16}
     report(
-        f"ablation_sampling_{scheme.value}",
-        [f"scheme: {scheme.value}; 500 shots from GHZ(16): "
+        f"ablation_sampling_{package_label}",
+        [f"package: {package_label}; 500 shots from GHZ(16): "
          f"{dict(sorted(counts.items()))}"],
     )
 
@@ -72,25 +75,20 @@ def test_ablation_multiply_cold_cache(benchmark):
     assert not result.is_zero
 
 
-def test_ablation_sharing(benchmark, report):
+def test_ablation_sharing(ablation_artifact, report):
     """Unique-table sharing versus the raw decomposition-tree size.
 
     Without hash consing, the recursive sub-vector decomposition of
     Sec. III-A would materialize a full binary tree of 2^n - 1 internal
     nodes; sharing collapses repeated sub-vectors.
     """
-
-    def build():
-        rows = []
-        for n in (4, 8, 12):
-            package = DDPackage()
-            state = _ghz_state(package, n)
-            shared = package.node_count(state)
-            tree = 2**n - 1
-            rows.append((n, shared, tree))
-        return rows
-
-    rows = benchmark(build)
+    cells = _bench_common.artifact_cells(
+        ablation_artifact, label="ghz", package="l2-default"
+    )
+    rows = [
+        (n, cells[n]["metrics"]["final_nodes"], 2**n - 1)
+        for n in (4, 8, 12)
+    ]
     for n, shared, tree in rows:
         assert shared < tree
     report(
@@ -100,33 +98,24 @@ def test_ablation_sharing(benchmark, report):
     )
 
 
-def test_ablation_tolerance_effect(benchmark, report, bench_seed):
+def test_ablation_tolerance_effect(ablation_artifact, report):
     """A too-small complex tolerance breaks node sharing after arithmetic.
 
     With the default tolerance, applying H twice returns exactly the
     canonical |0> node; with an extremely tight tolerance, rounding noise
     can create near-duplicate weights (more complex-table entries).
     """
-
-    def run():
-        results = []
-        for tolerance in (1e-10, 1e-15):
-            package = DDPackage(tolerance=tolerance)
-            simulator = DDSimulator(
-                library.random_circuit(4, 60, seed=bench_seed + 5),
-                package=package
-            )
-            simulator.run_all()
-            results.append((tolerance, len(package.complex_table)))
-        return results
-
-    results = benchmark(run)
-    (loose_tol, loose_entries), (tight_tol, tight_entries) = results
-    assert loose_entries <= tight_entries
+    loose = _bench_common.artifact_cells(
+        ablation_artifact, label="random", package="l2-default"
+    )[4]["metrics"]["complex_entries"]
+    tight = _bench_common.artifact_cells(
+        ablation_artifact, label="random", package="tight-tol"
+    )[4]["metrics"]["complex_entries"]
+    assert loose <= tight
     report(
         "ablation_tolerance",
         [
-            f"tolerance {loose_tol:g}: {loose_entries} complex-table entries",
-            f"tolerance {tight_tol:g}: {tight_entries} complex-table entries",
+            f"default tolerance: {loose} complex-table entries",
+            f"tolerance 1e-15: {tight} complex-table entries",
         ],
     )

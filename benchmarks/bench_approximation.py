@@ -33,16 +33,16 @@ def _random(package, num_qubits, seed=1):
     return package.from_state_vector(vector)
 
 
-def test_tradeoff_curves(benchmark, report):
+def test_tradeoff_curves(benchmark, report, bench_seed):
     def build():
         rows = []
         package = DDPackage()
         ghz_sim = DDSimulator(library.ghz_state(10), package=package)
         ghz_sim.run_all()
         states = {
-            "spiky(10)": _spiky(package, 10),
+            "spiky(10)": _spiky(package, 10, seed=bench_seed),
             "ghz(10)": ghz_sim.state,
-            "random(10)": _random(package, 10),
+            "random(10)": _random(package, 10, seed=bench_seed + 1),
         }
         for label, state in states.items():
             for threshold in (1e-5, 1e-4, 1e-3):
@@ -74,16 +74,16 @@ def test_tradeoff_curves(benchmark, report):
 
 
 @pytest.mark.parametrize("num_qubits", [8, 10, 12])
-def test_prune_runtime(benchmark, num_qubits):
+def test_prune_runtime(benchmark, num_qubits, bench_seed):
     package = DDPackage()
-    state = _spiky(package, num_qubits)
+    state = _spiky(package, num_qubits, seed=bench_seed)
     result = benchmark(prune_small_branches, package, state, 1e-4)
     assert result.fidelity > 0.75
 
 
-def test_prune_to_size_budgeted(benchmark, report):
+def test_prune_to_size_budgeted(benchmark, report, bench_seed):
     package = DDPackage()
-    state = _spiky(package, 10)
+    state = _spiky(package, 10, seed=bench_seed)
 
     result = benchmark(prune_to_size, package, state, 32)
     assert result.nodes_after <= 32

@@ -69,12 +69,12 @@ def test_ex12_summary_table(benchmark, report):
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2])
-def test_ex12_random_compiled_pairs(benchmark, seed, report):
+def test_ex12_random_compiled_pairs(benchmark, seed, report, bench_seed):
     """The strategy advantage beyond the QFT: random circuits compiled via
     the primitive-gate pass, verified against their originals."""
     from repro.qc.transforms import decompose_to_primitives
 
-    circuit = library.random_circuit(4, 25, seed=seed)
+    circuit = library.random_circuit(4, 25, seed=bench_seed + seed)
     compiled = decompose_to_primitives(circuit, barrier_per_gate=True)
 
     def run():

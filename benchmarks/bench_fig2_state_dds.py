@@ -16,7 +16,7 @@ from repro.vis import dd_to_text
 INV_SQRT2 = 1.0 / math.sqrt(2.0)
 
 
-def test_fig2a_bell_state_dd(benchmark, report):
+def test_fig2a_bell_state_dd(benchmark, report, bench_seed):
     def build():
         package = DDPackage()
         return package, package.from_state_vector(
@@ -29,7 +29,7 @@ def test_fig2a_bell_state_dd(benchmark, report):
     p0, p1 = sampling.qubit_probabilities(package, state, 0)
     assert (p0, p1) == (0.5, 0.5)  # paper Ex. 2
     counts = sampling.sample_counts(package, state, 1000,
-                                    np.random.default_rng(0))
+                                    np.random.default_rng(bench_seed))
     report(
         "fig2a_bell_dd",
         [

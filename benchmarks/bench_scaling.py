@@ -2,8 +2,10 @@
 
 The paper motivates DDs by "the inherent tensor product structure of many
 quantum states and redundancies in their description" (compact in many
-cases) while acknowledging the exponential worst case.  This module
-quantifies both sides:
+cases) while acknowledging the exponential worst case.  The sweep itself
+is declared in ``benchmarks/campaigns/scaling.json`` and executed once
+through the campaign runner (:mod:`repro.campaign`); the tests here only
+assert the paper's claims over the aggregated artifact:
 
 * node counts of GHZ / W / product / QFT / random states versus the 2^n
   dense representation;
@@ -14,29 +16,21 @@ quantifies both sides:
 import numpy as np
 import pytest
 
-from repro.dd import DDPackage
 from repro.qc import library
-from repro.qc.dd_builder import circuit_to_dd
 from repro.simulation import DDSimulator, StatevectorSimulator
 
-
-def _final_nodes(circuit) -> int:
-    simulator = DDSimulator(circuit, seed=0)
-    simulator.run_all()
-    return simulator.node_count()
+import _bench_common
 
 
-def test_state_compactness_table(benchmark, report):
-    def build():
-        rows = []
-        for n in (4, 8, 12, 16):
-            ghz = _final_nodes(library.ghz_state(n))
-            w = _final_nodes(library.w_state(n))
-            product = n  # |+>^n: one node per level
-            rows.append((n, 2**n, ghz, w, product))
-        return rows
+@pytest.fixture(scope="module")
+def scaling_artifact(bench_seed):
+    return _bench_common.run_campaign_spec(
+        "scaling.json", seed_offset=bench_seed
+    )
 
-    rows = benchmark(build)
+
+def test_state_compactness_table(report, scaling_artifact):
+    rows = _compactness_rows(scaling_artifact)
     for n, dense, ghz, w, product in rows:
         assert ghz == 2 * n - 1
         assert w <= n * (n + 1) // 2  # W-state DDs stay polynomial
@@ -51,24 +45,36 @@ def test_state_compactness_table(benchmark, report):
     )
 
 
-def test_worst_case_table(benchmark, report):
+def _compactness_rows(artifact):
+    ghz = _bench_common.artifact_cells(artifact, label="ghz")
+    w = _bench_common.artifact_cells(artifact, label="w")
+    return [
+        (
+            n,
+            2**n,
+            ghz[n]["metrics"]["final_nodes"],
+            w[n]["metrics"]["final_nodes"],
+            n,  # |+>^n: one node per level
+        )
+        for n in (4, 8, 12, 16)
+    ]
+
+
+def test_worst_case_table(report, scaling_artifact):
     """The exponential worst case: QFT matrices and random dense states."""
+    qft = _bench_common.artifact_cells(scaling_artifact, label="qft-matrix")
+    dense = _bench_common.artifact_cells(scaling_artifact, label="dense_random")
 
-    def build():
-        rows = []
-        for n in (2, 3, 4, 5):
-            package = DDPackage()
-            qft_nodes = package.node_count(
-                circuit_to_dd(package, library.qft(n))
-            )
-            rng = np.random.default_rng(n)
-            vector = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
-            vector /= np.linalg.norm(vector)
-            random_nodes = package.node_count(package.from_state_vector(vector))
-            rows.append((n, qft_nodes, (4**n - 1) // 3, random_nodes, 2**n - 1))
-        return rows
-
-    rows = benchmark(build)
+    rows = [
+        (
+            n,
+            qft[n]["metrics"]["final_nodes"],
+            (4**n - 1) // 3,
+            dense[n]["metrics"]["final_nodes"],
+            2**n - 1,
+        )
+        for n in (2, 3, 4, 5)
+    ]
     for n, qft_nodes, qft_bound, random_nodes, vec_bound in rows:
         assert qft_nodes == qft_bound
         assert random_nodes == vec_bound
@@ -108,33 +114,29 @@ def test_dense_ghz_runtime(benchmark, num_qubits):
     assert abs(np.linalg.norm(simulator.state) - 1.0) < 1e-9
 
 
-def test_crossover_report(benchmark, report, bench_seed):
+def test_crossover_report(report, scaling_artifact):
     """Who wins where: DD vs dense runtime for GHZ (structured) and random
-    (unstructured) circuits."""
-    import time
+    (unstructured) circuits, read off the campaign's timing columns."""
+    series = {
+        label: _bench_common.artifact_cells(scaling_artifact, label=label)
+        for label in ("ghz", "ghz-dense", "random-dd", "random-dense")
+    }
 
-    benchmark.pedantic(lambda: _final_nodes(library.ghz_state(12)),
-                       rounds=1, iterations=1)
-    lines = ["circuit        n    DD [ms]   dense [ms]   winner"]
-    for factory, label, sizes in (
-        (library.ghz_state, "ghz", (6, 8, 10)),
-        (lambda n: library.random_circuit(n, 4 * n, seed=bench_seed + 1),
-         "random", (6, 8, 10)),
+    rows = []
+    for dd_label, dense_label, name in (
+        ("ghz", "ghz-dense", "ghz"),
+        ("random-dd", "random-dense", "random"),
     ):
-        for n in sizes:
-            circuit = factory(n)
-            start = time.perf_counter()
-            simulator = DDSimulator(circuit, seed=0)
-            simulator.run_all()
-            dd_ms = (time.perf_counter() - start) * 1e3
-            start = time.perf_counter()
-            dense = StatevectorSimulator(circuit, seed=0)
-            dense.run()
-            dense_ms = (time.perf_counter() - start) * 1e3
-            winner = "DD" if dd_ms < dense_ms else "dense"
-            lines.append(
-                f"{label:10s}  {n:3d}  {dd_ms:9.2f}  {dense_ms:11.2f}   {winner}"
-            )
+        for n in (6, 8, 10):
+            dd_ms = series[dd_label][n]["timing"]["wall_seconds"] * 1e3
+            dense_ms = series[dense_label][n]["timing"]["wall_seconds"] * 1e3
+            rows.append((name, n, dd_ms, dense_ms))
+    lines = ["circuit        n    DD [ms]   dense [ms]   winner"]
+    for name, n, dd_ms, dense_ms in rows:
+        winner = "DD" if dd_ms < dense_ms else "dense"
+        lines.append(
+            f"{name:10s}  {n:3d}  {dd_ms:9.2f}  {dense_ms:11.2f}   {winner}"
+        )
     lines += [
         "",
         "Expected shape: DDs win on structured circuits as n grows (the",

@@ -27,7 +27,7 @@ def _state_of(circuit, package):
     return simulator.state, simulator.statevector()
 
 
-def test_synthesis_gate_count_table(benchmark, report):
+def test_synthesis_gate_count_table(benchmark, report, bench_seed):
     def build():
         rows = []
         package = DDPackage()
@@ -44,7 +44,7 @@ def test_synthesis_gate_count_table(benchmark, report):
             circuit = prepare_state(uniform)
             assert _fidelity(circuit, uniform) > 1 - 1e-9
             rows.append(("uniform", n, circuit.num_gates))
-            rng = np.random.default_rng(n)
+            rng = np.random.default_rng(bench_seed + n)
             dense = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
             dense /= np.linalg.norm(dense)
             circuit = prepare_state(dense)
@@ -83,8 +83,8 @@ def test_synthesis_ghz_runtime(benchmark, n):
     assert circuit.num_gates == n
 
 
-def test_synthesis_random_state_runtime(benchmark):
-    rng = np.random.default_rng(0)
+def test_synthesis_random_state_runtime(benchmark, bench_seed):
+    rng = np.random.default_rng(bench_seed)
     dense = rng.normal(size=64) + 1j * rng.normal(size=64)
     dense /= np.linalg.norm(dense)
 

@@ -1,88 +1,83 @@
 """Variable-order ablation — canonicity is "with respect to a given
 variable order" (paper Sec. III-C).
 
-Builds a state of nearest-neighbour entangled pairs under two wire
-orders: *interleaved* (partners adjacent, DD linear in n) and *blocked*
-(partners n/2 apart, DD exponential in n).  The same physical state, a
-2^(n/2) size gap — the classic BDD ordering phenomenon carried over to
-quantum decision diagrams.
+The sweep — Bell pairs between partner qubits under an *interleaved*
+wire order (partners adjacent, DD linear in n) and a *blocked* order
+(partners n/2 apart, DD exponential in n) — is declared in
+``benchmarks/campaigns/variable_order.json``; the same physical state, a
+2^(n/2) size gap.  Only the wire-reordering recovery test builds a
+circuit in-process, because it transforms the circuit before running it.
 """
 
 import pytest
 
-from repro.dd import DDPackage
-from repro.qc import QuantumCircuit
+from repro.campaign import build_family
 from repro.qc.transforms import permute_qubits
 from repro.simulation import DDSimulator
 
-
-def _pair_circuit(num_qubits: int, interleaved: bool) -> QuantumCircuit:
-    """Bell pairs between partner qubits.
-
-    interleaved: partners (2i+1, 2i) are adjacent.
-    blocked:     partners (i + n/2, i) are far apart.
-    """
-    circuit = QuantumCircuit(num_qubits)
-    half = num_qubits // 2
-    for index in range(half):
-        if interleaved:
-            top, bottom = 2 * index + 1, 2 * index
-        else:
-            top, bottom = index + half, index
-        circuit.h(top)
-        circuit.cx(top, bottom)
-    return circuit
+import _bench_common
 
 
-def _nodes(circuit: QuantumCircuit) -> int:
-    simulator = DDSimulator(circuit)
-    simulator.run_all()
-    return simulator.node_count()
+@pytest.fixture(scope="module")
+def order_artifact(bench_seed):
+    return _bench_common.run_campaign_spec(
+        "variable_order.json", seed_offset=bench_seed
+    )
 
 
-@pytest.mark.parametrize("num_qubits", [4, 8, 12])
-def test_interleaved_order_is_linear(benchmark, num_qubits):
-    nodes = benchmark(_nodes, _pair_circuit(num_qubits, interleaved=True))
-    assert nodes == 3 * num_qubits // 2  # 1 + 2 per pair below the top
+def test_interleaved_order_is_linear(order_artifact):
+    cells = _bench_common.artifact_cells(order_artifact, label="interleaved")
+    for num_qubits in (4, 8, 12, 16):
+        nodes = cells[num_qubits]["metrics"]["final_nodes"]
+        assert nodes == 3 * num_qubits // 2  # 1 + 2 per pair below the top
 
 
-@pytest.mark.parametrize("num_qubits", [4, 8, 12])
-def test_blocked_order_is_exponential(benchmark, num_qubits):
-    nodes = benchmark(_nodes, _pair_circuit(num_qubits, interleaved=False))
-    half = num_qubits // 2
-    assert nodes >= (1 << half)  # exponential blow-up
+def test_blocked_order_is_exponential(order_artifact):
+    cells = _bench_common.artifact_cells(order_artifact, label="blocked")
+    for num_qubits in (4, 8, 12, 16):
+        nodes = cells[num_qubits]["metrics"]["final_nodes"]
+        assert nodes >= (1 << (num_qubits // 2))  # exponential blow-up
 
 
-def test_variable_order_table(benchmark, report):
-    def build():
-        rows = []
-        for num_qubits in (4, 8, 12, 16):
-            good = _nodes(_pair_circuit(num_qubits, interleaved=True))
-            bad = _nodes(_pair_circuit(num_qubits, interleaved=False))
-            rows.append((num_qubits, good, bad))
-        return rows
-
-    rows = benchmark(build)
-    for num_qubits, good, bad in rows:
-        assert good < bad
+def test_variable_order_table(order_artifact, report):
+    good = _bench_common.artifact_cells(order_artifact, label="interleaved")
+    bad = _bench_common.artifact_cells(order_artifact, label="blocked")
+    rows = [
+        (
+            n,
+            good[n]["metrics"]["final_nodes"],
+            bad[n]["metrics"]["final_nodes"],
+        )
+        for n in (4, 8, 12, 16)
+    ]
+    for num_qubits, good_nodes, bad_nodes in rows:
+        assert good_nodes < bad_nodes
     report(
         "variable_order",
         ["same state, two wire orders (Bell pairs between partners):",
          "  n   interleaved nodes   blocked nodes   ratio"]
         + [
-            f"{n:3d}  {good:17d}  {bad:14d}  {bad / good:6.1f}x"
-            for n, good, bad in rows
+            f"{n:3d}  {g:17d}  {b:14d}  {b / g:6.1f}x"
+            for n, g, b in rows
         ]
         + ["", "Sec. III-C: decision diagrams are canonic (and compact)",
            "only relative to a variable order; a bad order costs 2^(n/2)."],
     )
 
 
-def test_reordering_recovers_compactness(benchmark, report):
+def _nodes(circuit) -> int:
+    simulator = DDSimulator(circuit)
+    simulator.run_all()
+    return simulator.node_count()
+
+
+def test_reordering_recovers_compactness(benchmark, report, order_artifact):
     """Permuting the wires of the blocked circuit back to interleaved
     partners restores the linear-size diagram."""
     num_qubits = 12
-    blocked = _pair_circuit(num_qubits, interleaved=False)
+    _, blocked = build_family(
+        "bellpairs", num_qubits, params={"interleaved": False}
+    )
     half = num_qubits // 2
     # Map blocked partner (i, i+half) onto adjacent lines (2i, 2i+1).
     mapping = [0] * num_qubits
@@ -94,7 +89,8 @@ def test_reordering_recovers_compactness(benchmark, report):
         return _nodes(permute_qubits(blocked, mapping))
 
     reordered_nodes = benchmark(run)
-    blocked_nodes = _nodes(blocked)
+    blocked_cells = _bench_common.artifact_cells(order_artifact, label="blocked")
+    blocked_nodes = blocked_cells[num_qubits]["metrics"]["final_nodes"]
     assert reordered_nodes < blocked_nodes
     assert reordered_nodes == 3 * num_qubits // 2
     report(

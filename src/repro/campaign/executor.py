@@ -1,0 +1,274 @@
+"""Campaign execution — parallel cells, crash isolation, resumable journal.
+
+The executor owns three responsibilities:
+
+* **Parallelism.**  Cells run through the service's
+  :class:`~repro.service.workers.WorkerPool`: each worker process owns the
+  cell for its duration, the pool's request watchdog enforces the spec's
+  per-cell timeout (an overrunning worker is *killed* and replaced), and a
+  worker crash fails only its own cell.  ``workers = 0`` runs cells inline
+  in this process — no subprocess machinery, same job function.
+
+* **Durability.**  Progress journals to ``manifest.jsonl`` in the output
+  directory: a header line naming the campaign and its spec digest, then
+  one fsync'd JSON line per finished cell.  A killed campaign loses at
+  most the cells that were in flight; re-running the same spec against the
+  same directory skips every journaled ``ok`` cell and re-attempts only
+  failed/missing ones.  A *changed* spec (different digest) is refused —
+  half of campaign A plus half of campaign B is not a campaign.
+
+* **Isolation of failure classes.**  Each cell lands in exactly one
+  status: ``ok``, ``timeout`` (watchdog killed it), ``crashed`` (worker
+  died), or ``failed`` (the cell raised).  A failing cell never aborts
+  the sweep; the aggregate records what happened where.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.jobs import (
+    CAMPAIGN_JOB_KIND,
+    campaign_cell_job,
+    install_campaign_jobs,
+)
+from repro.campaign.planner import Cell, expand_plan
+from repro.campaign.spec import CampaignSpec
+from repro.errors import (
+    CampaignError,
+    JobTimeoutError,
+    ServiceUnavailableError,
+)
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+
+__all__ = ["Manifest", "run_campaign", "MANIFEST_NAME", "SPEC_COPY_NAME"]
+
+MANIFEST_NAME = "manifest.jsonl"
+SPEC_COPY_NAME = "spec.json"
+
+#: Statuses that count as completed (skipped on resume).
+_DONE_STATUSES = ("ok",)
+
+
+class Manifest:
+    """The append-only cell journal backing resume.
+
+    Records are one JSON object per line.  Appends are flushed and
+    fsync'd under a lock so a SIGKILL can lose at most a partially
+    written trailing line — which :meth:`load` tolerates and discards.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def write_header(self, spec: CampaignSpec, planned: int) -> None:
+        header = {
+            "kind": "header",
+            "campaign": spec.name,
+            "spec_digest": spec.digest,
+            "planned_cells": planned,
+        }
+        with self._lock, open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock, open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> Tuple[Optional[Dict[str, Any]], Dict[str, Dict[str, Any]]]:
+        """Read ``(header, {cell_id: record})``; corrupt lines are skipped.
+
+        Later records win for a repeated cell ID, so a cell re-attempted
+        after a failure is represented by its latest outcome.
+        """
+        header: Optional[Dict[str, Any]] = None
+        records: Dict[str, Dict[str, Any]] = {}
+        if not self.exists():
+            return header, records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A SIGKILL mid-append leaves one torn trailing line;
+                    # that cell simply re-runs.
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                if entry.get("kind") == "header":
+                    header = entry
+                elif entry.get("cell_id"):
+                    records[entry["cell_id"]] = entry
+        return header, records
+
+
+def _classify_failure(error: BaseException) -> str:
+    if isinstance(error, JobTimeoutError):
+        return "timeout"
+    if isinstance(error, ServiceUnavailableError):
+        return "crashed"
+    return "failed"
+
+
+def _campaign_metrics(registry: MetricsRegistry):
+    return {
+        "seconds": registry.histogram("campaign_cell_seconds", DEFAULT_TIME_BUCKETS),
+        "status": {
+            status: registry.counter("campaign_cells_total", {"status": status})
+            for status in ("ok", "failed", "timeout", "crashed", "skipped")
+        },
+    }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: str,
+    workers: Optional[int] = None,
+    seed_offset: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    fresh: bool = False,
+) -> Dict[str, Any]:
+    """Run (or resume) ``spec`` into ``out_dir`` and return the aggregate.
+
+    ``workers`` overrides the spec's worker count; ``fresh`` discards any
+    existing manifest instead of resuming.  The returned artifact is also
+    written to ``out_dir`` alongside the markdown report and timeline SVG
+    (see :mod:`repro.campaign.report`).
+    """
+    from repro.campaign.report import aggregate, write_outputs
+
+    say = progress or (lambda message: None)
+    registry = registry if registry is not None else MetricsRegistry()
+    metrics = _campaign_metrics(registry)
+    remaining_gauge = registry.gauge("campaign_cells_remaining")
+
+    if seed_offset:
+        # Fold the offset into the spec itself: the digest, the journaled
+        # spec copy, and the cell IDs then all agree, and `campaign
+        # resume` (which replans from the copy) continues the right sweep.
+        from dataclasses import replace
+
+        spec = replace(
+            spec, seeds=tuple(seed + seed_offset for seed in spec.seeds)
+        )
+    cells = expand_plan(spec)
+    os.makedirs(out_dir, exist_ok=True)
+    manifest = Manifest(os.path.join(out_dir, MANIFEST_NAME))
+
+    completed: Dict[str, Dict[str, Any]] = {}
+    if manifest.exists() and not fresh:
+        header, records = manifest.load()
+        if header is not None and header.get("spec_digest") != spec.digest:
+            raise CampaignError(
+                f"{manifest.path} journals a different campaign "
+                f"(spec digest {header.get('spec_digest', '?')[:12]}… vs "
+                f"{spec.digest[:12]}…); pass --fresh to discard it"
+            )
+        completed = {
+            cell_id: record
+            for cell_id, record in records.items()
+            if record.get("status") in _DONE_STATUSES
+        }
+        if completed:
+            say(f"resuming: {len(completed)}/{len(cells)} cells already done")
+    if not manifest.exists() or fresh:
+        manifest.write_header(spec, planned=len(cells))
+
+    # Persist the expanded spec next to the journal so `campaign resume`
+    # and `campaign report` can operate on the directory alone.
+    spec_copy = os.path.join(out_dir, SPEC_COPY_NAME)
+    with open(spec_copy, "w", encoding="utf-8") as handle:
+        json.dump(spec.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    pending = [cell for cell in cells if cell.cell_id not in completed]
+    for cell in cells:
+        if cell.cell_id in completed:
+            metrics["status"]["skipped"].inc()
+    remaining_gauge.set(len(pending))
+
+    worker_count = spec.workers if workers is None else max(0, int(workers))
+    install_campaign_jobs()  # parent side: inline pools and forked children
+    from repro.service.workers import WorkerPool
+
+    results: Dict[str, Dict[str, Any]] = dict(completed)
+    results_lock = threading.Lock()
+
+    def execute(pool: "WorkerPool", cell: Cell) -> None:
+        payload = json.dumps(cell.payload(), sort_keys=True)
+        started = perf_counter()
+        try:
+            outcome = pool.submit(CAMPAIGN_JOB_KIND, campaign_cell_job, payload)
+            record = {
+                "cell_id": cell.cell_id,
+                "status": "ok",
+                "metrics": outcome.get("metrics", {}),
+                "timing": outcome.get("timing", {}),
+                "counts": outcome.get("counts"),
+                "error": None,
+            }
+        except Exception as error:  # noqa: BLE001 — a cell must never abort the sweep
+            status = _classify_failure(error)
+            record = {
+                "cell_id": cell.cell_id,
+                "status": status,
+                "metrics": {},
+                "timing": {"wall_seconds": perf_counter() - started},
+                "counts": None,
+                "error": f"{type(error).__name__}: {error}",
+            }
+        metrics["status"][record["status"]].inc()
+        metrics["seconds"].observe(perf_counter() - started)
+        manifest.append(record)
+        with results_lock:
+            results[cell.cell_id] = record
+            remaining_gauge.set(len(cells) - len(results))
+        say(
+            f"[{len(results)}/{len(cells)}] {cell.cell_id}: {record['status']}"
+        )
+
+    pool = WorkerPool(
+        workers=worker_count,
+        job_timeout=spec.cell_timeout,
+        request_deadline=spec.cell_timeout,
+        registry=registry,
+    )
+    try:
+        if worker_count <= 1 or len(pending) <= 1:
+            for cell in pending:
+                execute(pool, cell)
+        else:
+            # One submitting thread per worker: `pool.submit` blocks on a
+            # worker checkout, so this saturates the pool without
+            # outrunning it.
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=worker_count) as threads:
+                futures = [
+                    threads.submit(execute, pool, cell) for cell in pending
+                ]
+                for future in futures:
+                    future.result()
+    finally:
+        pool.close()
+
+    artifact = aggregate(spec, results, planned=cells)
+    write_outputs(out_dir, artifact)
+    return artifact

@@ -1,0 +1,182 @@
+"""Regression gating — diff a campaign artifact against a stored baseline.
+
+Gates join the two artifacts on cell ID and compare each gated metric.
+The allowed drift per gate is ``max(tolerance_abs, |baseline| *
+tolerance_pct / 100)``, optionally one-sided (``direction: "increase"``
+fails only growth — the right shape for node counts and runtimes).
+
+Coverage is part of the contract:
+
+* a gated cell present in the baseline but **missing/not-ok in the new
+  artifact** fails (silently dropping a workload is a regression);
+* a new cell absent from the baseline is *reported* but does not fail
+  (growing a campaign must not require regenerating history first);
+* a gated metric absent from one side fails the gate for that cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.campaign.spec import GateSpec
+
+__all__ = ["GateFinding", "DiffReport", "diff_artifacts", "gates_from_artifact"]
+
+
+@dataclass(frozen=True)
+class GateFinding:
+    """One per-cell, per-metric comparison outcome."""
+
+    cell_id: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    allowed: float
+    delta: Optional[float]
+    ok: bool
+    reason: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "cell_id": self.cell_id,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "allowed": self.allowed,
+            "delta": self.delta,
+            "ok": self.ok,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class DiffReport:
+    """The full gating verdict for a new artifact versus a baseline."""
+
+    ok: bool
+    regressions: List[GateFinding] = field(default_factory=list)
+    passed: int = 0
+    new_cells: List[str] = field(default_factory=list)
+    missing_cells: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "passed": self.passed,
+            "regressions": [finding.as_dict() for finding in self.regressions],
+            "new_cells": list(self.new_cells),
+            "missing_cells": list(self.missing_cells),
+        }
+
+    def render(self) -> str:
+        """A human-readable diff summary (one line per regression)."""
+        lines = [
+            f"gate check: {'PASS' if self.ok else 'FAIL'} "
+            f"({self.passed} comparisons ok, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.new_cells)} new cell(s), "
+            f"{len(self.missing_cells)} missing cell(s))"
+        ]
+        for finding in self.regressions:
+            lines.append(
+                f"  REGRESSION {finding.cell_id} {finding.metric}: "
+                f"{finding.reason}"
+            )
+        for cell_id in self.missing_cells:
+            lines.append(f"  MISSING   {cell_id}: in baseline but not ok here")
+        for cell_id in self.new_cells:
+            lines.append(f"  new       {cell_id}: not in baseline (not gated)")
+        return "\n".join(lines)
+
+
+def _metric_value(entry: Dict[str, Any], metric: str) -> Optional[float]:
+    """Look a metric up in a cell entry: metrics first, then timing."""
+    for section in ("metrics", "timing"):
+        values = entry.get(section) or {}
+        if metric in values and values[metric] is not None:
+            return float(values[metric])
+    return None
+
+
+def gates_from_artifact(artifact: Dict[str, Any]) -> List[GateSpec]:
+    """The gates embedded in an artifact's spec copy."""
+    raw = (artifact.get("spec") or {}).get("gates") or []
+    return [
+        GateSpec.from_dict(entry, f"artifact.spec.gates[{index}]")
+        for index, entry in enumerate(raw)
+    ]
+
+
+def diff_artifacts(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    gates: Optional[Sequence[GateSpec]] = None,
+) -> DiffReport:
+    """Gate ``current`` against ``baseline``; see the module docstring."""
+    if gates is None:
+        gates = gates_from_artifact(current)
+    current_cells: Dict[str, Dict[str, Any]] = current.get("cells", {})
+    baseline_cells: Dict[str, Dict[str, Any]] = baseline.get("cells", {})
+
+    report = DiffReport(ok=True)
+    report.new_cells = sorted(set(current_cells) - set(baseline_cells))
+
+    for cell_id in sorted(baseline_cells):
+        base_entry = baseline_cells[cell_id]
+        if base_entry.get("status") != "ok":
+            continue  # a cell that never worked cannot regress
+        cur_entry = current_cells.get(cell_id)
+        if cur_entry is None or cur_entry.get("status") != "ok":
+            report.missing_cells.append(cell_id)
+            report.ok = False
+            continue
+        for gate in gates:
+            base_value = _metric_value(base_entry, gate.metric)
+            cur_value = _metric_value(cur_entry, gate.metric)
+            if base_value is None and cur_value is None:
+                continue  # metric not produced by this cell (e.g. dense mode)
+            if base_value is None or cur_value is None:
+                side = "baseline" if base_value is None else "current"
+                report.regressions.append(
+                    GateFinding(
+                        cell_id=cell_id,
+                        metric=gate.metric,
+                        baseline=base_value,
+                        current=cur_value,
+                        allowed=0.0,
+                        delta=None,
+                        ok=False,
+                        reason=f"metric missing from the {side} artifact",
+                    )
+                )
+                report.ok = False
+                continue
+            delta = cur_value - base_value
+            allowed = gate.allowance(base_value)
+            violated = abs(delta) > allowed
+            if gate.direction == "increase":
+                violated = delta > allowed
+            elif gate.direction == "decrease":
+                violated = -delta > allowed
+            if violated:
+                report.regressions.append(
+                    GateFinding(
+                        cell_id=cell_id,
+                        metric=gate.metric,
+                        baseline=base_value,
+                        current=cur_value,
+                        allowed=allowed,
+                        delta=delta,
+                        ok=False,
+                        reason=(
+                            f"{base_value:g} -> {cur_value:g} "
+                            f"(drift {delta:+g}, allowed ±{allowed:g}"
+                            f"{'' if gate.direction == 'both' else ', ' + gate.direction + ' only'})"
+                        ),
+                    )
+                )
+                report.ok = False
+            else:
+                report.passed += 1
+    return report

@@ -1,0 +1,312 @@
+"""Campaign cell execution — the job function workers run per cell.
+
+A cell builds its *own* :class:`~repro.dd.package.DDPackage` from the
+cell's package options (storage backend, apply kernels, tolerance,
+normalization scheme, sanitizer cadence, memory budget), constructs the
+circuit for its family/size/seed, runs it in the requested mode, and
+returns a plain dict of metrics.  The worker pool's long-lived service
+package is deliberately not reused: a campaign's whole point is comparing
+package configurations, so every cell starts from a cold, isolated table.
+
+Results split **metrics** (deterministic for a given seed and code
+version: node counts, operation counts, table sizes — what regression
+gates compare) from **timing** (wall-clock — reported, chartable, but
+only gated when a spec explicitly opts a timing metric in).
+
+The job function is module-level, takes one JSON string, and returns a
+JSON-able dict so it satisfies the worker-pool pipe protocol
+(:mod:`repro.service.workers`).
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import CampaignError
+
+__all__ = [
+    "CAMPAIGN_JOB_KIND",
+    "build_family",
+    "campaign_cell_job",
+    "install_campaign_jobs",
+    "known_families",
+    "register_family",
+    "run_cell",
+]
+
+#: Worker-pool dispatch name for campaign cells.
+CAMPAIGN_JOB_KIND = "campaign-cell"
+
+#: family name -> builder(size, seed, params) -> ("circuit", QuantumCircuit)
+#: or ("vector", ndarray).  Populated lazily; extensible via
+#: :func:`register_family`.
+_FAMILIES: Dict[str, Callable[..., Tuple[str, Any]]] = {}
+
+
+def _build_qft(size, seed, params):
+    from repro.qc import library
+
+    return "circuit", library.qft(size, include_swaps=params.get("include_swaps", True))
+
+
+def _build_qft_compiled(size, seed, params):
+    from repro.qc import library
+
+    return "circuit", library.qft_compiled(
+        size, include_swaps=params.get("include_swaps", True)
+    )
+
+
+def _build_grover(size, seed, params):
+    from repro.qc import library
+
+    marked = params.get("marked", (1 << size) - 1)
+    return "circuit", library.grover(size, marked, params.get("iterations"))
+
+
+def _build_ghz(size, seed, params):
+    from repro.qc import library
+
+    return "circuit", library.ghz_state(size)
+
+
+def _build_w(size, seed, params):
+    from repro.qc import library
+
+    return "circuit", library.w_state(size)
+
+
+def _build_random(size, seed, params):
+    from repro.qc import library
+
+    depth = params.get("depth")
+    if depth is None:
+        depth = int(params.get("depth_factor", 4)) * size
+    return "circuit", library.random_circuit(
+        size,
+        depth,
+        seed=seed,
+        two_qubit_probability=params.get("two_qubit_probability", 0.3),
+    )
+
+
+def _build_bellpairs(size, seed, params):
+    """Bell pairs between partner qubits — the variable-order workload.
+
+    ``interleaved`` partners (2i+1, 2i) sit adjacent (DD linear in n);
+    otherwise partners (i + n/2, i) sit n/2 apart (DD exponential in n).
+    """
+    from repro.qc import QuantumCircuit
+
+    if size % 2:
+        raise CampaignError("bellpairs needs an even number of qubits")
+    interleaved = bool(params.get("interleaved", True))
+    circuit = QuantumCircuit(size)
+    half = size // 2
+    for index in range(half):
+        if interleaved:
+            top, bottom = 2 * index + 1, 2 * index
+        else:
+            top, bottom = index + half, index
+        circuit.h(top)
+        circuit.cx(top, bottom)
+    return "circuit", circuit
+
+
+def _build_dense_random(size, seed, params):
+    """A Haar-ish dense random state vector — the exponential worst case."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    vector = rng.normal(size=1 << size) + 1j * rng.normal(size=1 << size)
+    vector /= np.linalg.norm(vector)
+    return "vector", vector
+
+
+def _build_qasm(size, seed, params):
+    """A paper-example circuit loaded from an OpenQASM file (``params.path``)."""
+    from repro.qc.qasm.parser import parse_qasm
+
+    path = params.get("path")
+    if not path:
+        raise CampaignError("the qasm family needs params.path")
+    with open(path, "r", encoding="utf-8") as handle:
+        return "circuit", parse_qasm(handle.read())
+
+
+def _ensure_families() -> Dict[str, Callable[..., Tuple[str, Any]]]:
+    if not _FAMILIES:
+        _FAMILIES.update(
+            {
+                "qft": _build_qft,
+                "qft_compiled": _build_qft_compiled,
+                "grover": _build_grover,
+                "ghz": _build_ghz,
+                "w": _build_w,
+                "random": _build_random,
+                "bellpairs": _build_bellpairs,
+                "dense_random": _build_dense_random,
+                "qasm": _build_qasm,
+            }
+        )
+    return _FAMILIES
+
+
+def known_families() -> Tuple[str, ...]:
+    """Names accepted in a spec's ``family`` field."""
+    return tuple(_ensure_families())
+
+
+def register_family(name: str, builder: Callable[..., Tuple[str, Any]]) -> None:
+    """Extension point: add a custom circuit family for local campaigns."""
+    _ensure_families()[name] = builder
+
+
+def build_family(
+    family: str, size: int, seed: int = 0, params: Dict[str, Any] = None
+) -> Tuple[str, Any]:
+    """Build one family instance directly: ``("circuit"|"vector", value)``.
+
+    The same builders cells use, exposed for benchmarks and tests that
+    want the circuit object itself (e.g. to transform it before running).
+    """
+    builders = _ensure_families()
+    if family not in builders:
+        raise CampaignError(f"unknown circuit family {family!r}")
+    return builders[family](size, seed, params or {})
+
+
+def _make_package(options: Dict[str, Any]):
+    from repro.dd.governance import MemoryBudget
+    from repro.dd.normalization import NormalizationScheme
+    from repro.dd.package import DDPackage
+    from repro.obs.metrics import MetricsRegistry
+
+    kwargs: Dict[str, Any] = {
+        # A dark registry keeps the cell hot path free of instrumentation;
+        # campaign-level metrics live in the executor's registry.
+        "registry": MetricsRegistry(enabled=False),
+        "use_apply_kernels": bool(options.get("use_apply_kernels", True)),
+    }
+    if options.get("storage"):
+        kwargs["storage"] = options["storage"]
+    if options.get("tolerance") is not None:
+        kwargs["tolerance"] = float(options["tolerance"])
+    if options.get("vector_scheme"):
+        kwargs["vector_scheme"] = NormalizationScheme(options["vector_scheme"])
+    if options.get("sanitize_every"):
+        kwargs["sanitize_every"] = int(options["sanitize_every"])
+    if options.get("budget_nodes") or options.get("budget_bytes"):
+        kwargs["budget"] = MemoryBudget(
+            max_nodes=options.get("budget_nodes") or None,
+            max_bytes=options.get("budget_bytes") or None,
+        )
+    return DDPackage(**kwargs)
+
+
+def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one planned cell and return its result record."""
+    family = payload.get("family")
+    builders = _ensure_families()
+    if family not in builders:
+        raise CampaignError(f"unknown circuit family {family!r}")
+    size = int(payload["size"])
+    seed = int(payload.get("seed", 0))
+    params = payload.get("params") or {}
+    mode = payload.get("mode", "simulate")
+    shots = int(payload.get("shots") or 0)
+    kind, built = builders[family](size, seed, params)
+
+    package = _make_package(payload.get("package") or {})
+    start = perf_counter()
+    metrics: Dict[str, Any]
+    counts = None
+    if kind == "vector":
+        root = package.from_state_vector(built)
+        metrics = {
+            "num_qubits": size,
+            "operations": 0,
+            "final_nodes": package.node_count(root),
+            "peak_nodes": package.node_count(root),
+        }
+        if shots:
+            counts = _sample(package, root, shots, seed)
+    elif mode == "functionality":
+        from repro.qc.dd_builder import circuit_to_dd
+
+        root = circuit_to_dd(package, built)
+        metrics = {
+            "num_qubits": built.num_qubits,
+            "operations": len(built),
+            "final_nodes": package.node_count(root),
+            "peak_nodes": package.node_count(root),
+        }
+    elif mode == "dense":
+        from repro.simulation.statevector import StatevectorSimulator
+
+        simulator = StatevectorSimulator(built, seed=seed)
+        simulator.run()
+        metrics = {
+            "num_qubits": built.num_qubits,
+            "operations": len(built),
+            "final_nodes": None,
+            "peak_nodes": None,
+        }
+    else:  # simulate
+        from repro.simulation.simulator import DDSimulator
+
+        simulator = DDSimulator(built, package=package, seed=seed)
+        try:
+            simulator.run_all()
+            metrics = {
+                "num_qubits": built.num_qubits,
+                "operations": len(built),
+                "final_nodes": simulator.node_count(),
+                "peak_nodes": simulator.peak_node_count,
+                "classical_bits": list(simulator.classical_bits),
+            }
+            if shots:
+                counts = _sample(package, simulator.state, shots, seed)
+        finally:
+            simulator.close()
+    wall_seconds = perf_counter() - start
+
+    if mode != "dense":
+        governance = package.governor.stats()
+        metrics["complex_entries"] = int(governance["complex_entries"])
+        metrics["table_bytes"] = int(governance["table_bytes"])
+        metrics["sanitize_runs"] = package.sanitize_runs
+        metrics["sanitize_violations"] = package.sanitize_violations
+    return {
+        "cell_id": payload.get("cell_id"),
+        "metrics": metrics,
+        "timing": {"wall_seconds": wall_seconds},
+        "counts": counts,
+    }
+
+
+def _sample(package, root, shots: int, seed: int):
+    import numpy as np
+
+    from repro.dd import sampling
+
+    rng = np.random.default_rng(seed)
+    return sampling.sample_counts(package, root, shots, rng)
+
+
+def campaign_cell_job(payload_json: str) -> Dict[str, Any]:
+    """Pipe-protocol wrapper: one JSON-string argument in, a dict out."""
+    return run_cell(json.loads(payload_json))
+
+
+def install_campaign_jobs() -> None:
+    """Register the cell job with the worker-pool dispatch table.
+
+    Called by the executor before it spawns (or inlines) a pool, and by
+    the worker bootstrap so spawn-started children can serve cells too.
+    """
+    from repro.service import workers
+
+    workers.register_job(CAMPAIGN_JOB_KIND, campaign_cell_job)

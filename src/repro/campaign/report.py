@@ -1,0 +1,256 @@
+"""Campaign aggregation — one artifact, one markdown report, one timeline.
+
+The aggregate artifact (``qdd-campaign-artifact-v1``) is the campaign's
+single versioned output: every cell's status and metrics, keyed by the
+planner's deterministic cell IDs, plus per-series summaries.  It is what
+regression gating (:mod:`repro.campaign.gating`) joins against a stored
+baseline, and what replaces the historical scatter of per-benchmark JSON
+files under ``benchmarks/results/``.
+
+Determinism contract: everything outside ``timing`` blocks (and the
+``counts`` histograms, which depend only on the seed) is reproducible for
+a given spec, seed set, and code version.  :func:`deterministic_view`
+strips the timing so callers can compare artifacts for exact equality.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.campaign.planner import Cell
+from repro.campaign.spec import CampaignSpec
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_NAME",
+    "REPORT_NAME",
+    "TIMELINE_NAME",
+    "aggregate",
+    "deterministic_view",
+    "load_artifact",
+    "markdown_report",
+    "timeline_svg_for",
+    "write_outputs",
+]
+
+ARTIFACT_FORMAT = "qdd-campaign-artifact-v1"
+ARTIFACT_NAME = "artifact.json"
+REPORT_NAME = "report.md"
+TIMELINE_NAME = "timeline.svg"
+
+
+def aggregate(
+    spec: CampaignSpec,
+    records: Dict[str, Dict[str, Any]],
+    planned: Sequence[Cell],
+) -> Dict[str, Any]:
+    """Fold per-cell records into the campaign artifact."""
+    cells: Dict[str, Dict[str, Any]] = {}
+    statuses: Dict[str, int] = {}
+    wall_total = 0.0
+    for cell in planned:
+        record = records.get(cell.cell_id)
+        if record is None:
+            entry = {
+                "status": "missing",
+                "metrics": {},
+                "timing": {},
+                "counts": None,
+                "error": "cell was never executed",
+            }
+        else:
+            entry = {
+                "status": record.get("status", "failed"),
+                "metrics": record.get("metrics", {}),
+                "timing": record.get("timing", {}),
+                "counts": record.get("counts"),
+                "error": record.get("error"),
+            }
+        entry["coordinates"] = {
+            "family": cell.family,
+            "label": cell.label,
+            "size": cell.size,
+            "package": cell.package.label,
+            "seed": cell.seed,
+            "rep": cell.rep,
+            "mode": cell.mode,
+        }
+        statuses[entry["status"]] = statuses.get(entry["status"], 0) + 1
+        wall_total += float(entry["timing"].get("wall_seconds") or 0.0)
+        cells[cell.cell_id] = entry
+
+    return {
+        "format": ARTIFACT_FORMAT,
+        "campaign": spec.name,
+        "description": spec.description,
+        "spec_digest": spec.digest,
+        "spec": spec.as_dict(),
+        "cells": {cell_id: cells[cell_id] for cell_id in sorted(cells)},
+        "series": _series(cells),
+        "summary": {
+            "cells_total": len(planned),
+            "statuses": dict(sorted(statuses.items())),
+            "ok": statuses.get("ok", 0),
+            "wall_seconds_total": wall_total,
+        },
+    }
+
+
+def _series(cells: Dict[str, Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-(label, size, package) summaries across seeds and repetitions."""
+    groups: Dict[tuple, List[Dict[str, Any]]] = {}
+    for entry in cells.values():
+        coords = entry["coordinates"]
+        key = (coords["label"], coords["size"], coords["package"])
+        groups.setdefault(key, []).append(entry)
+    series = []
+    for (label, size, package), members in sorted(groups.items()):
+        ok = [m for m in members if m["status"] == "ok"]
+        nodes = [
+            m["metrics"].get("final_nodes")
+            for m in ok
+            if m["metrics"].get("final_nodes") is not None
+        ]
+        peaks = [
+            m["metrics"].get("peak_nodes")
+            for m in ok
+            if m["metrics"].get("peak_nodes") is not None
+        ]
+        walls = [
+            m["timing"].get("wall_seconds")
+            for m in ok
+            if m["timing"].get("wall_seconds") is not None
+        ]
+        series.append(
+            {
+                "label": label,
+                "size": size,
+                "package": package,
+                "cells": len(members),
+                "ok": len(ok),
+                "final_nodes_mean": _mean(nodes),
+                "peak_nodes_mean": _mean(peaks),
+                "wall_seconds_mean": _mean(walls),
+            }
+        )
+    return series
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    values = [float(v) for v in values if v is not None]
+    return sum(values) / len(values) if values else None
+
+
+def deterministic_view(artifact: Dict[str, Any]) -> Dict[str, Any]:
+    """The artifact with every wall-clock field removed.
+
+    Two runs of the same spec at the same code version must produce
+    identical deterministic views — the property the resume test and the
+    default regression gates rely on.
+    """
+    view = copy.deepcopy(artifact)
+    for entry in view.get("cells", {}).values():
+        entry.pop("timing", None)
+    for row in view.get("series", []):
+        row.pop("wall_seconds_mean", None)
+    view.get("summary", {}).pop("wall_seconds_total", None)
+    return view
+
+
+def markdown_report(artifact: Dict[str, Any]) -> str:
+    """Render the artifact as a human-readable markdown report."""
+    summary = artifact["summary"]
+    lines = [
+        f"# Campaign report: {artifact['campaign']}",
+        "",
+        artifact.get("description") or "",
+        "",
+        f"- spec digest: `{artifact['spec_digest'][:16]}…`",
+        f"- cells: {summary['cells_total']} total, {summary['ok']} ok "
+        f"({', '.join(f'{k}: {v}' for k, v in summary['statuses'].items())})",
+        f"- wall time: {summary['wall_seconds_total']:.2f}s (sum over cells)",
+        "",
+        "## Series (mean over seeds × repetitions)",
+        "",
+        "| family | n | package | ok/cells | final nodes | peak nodes | wall [ms] |",
+        "|---|---:|---|---:|---:|---:|---:|",
+    ]
+    for row in artifact["series"]:
+        wall = row["wall_seconds_mean"]
+        lines.append(
+            f"| {row['label']} | {row['size']} | {row['package']} "
+            f"| {row['ok']}/{row['cells']} "
+            f"| {_fmt(row['final_nodes_mean'], '{:.1f}')} "
+            f"| {_fmt(row['peak_nodes_mean'], '{:.1f}')} "
+            f"| {_fmt(wall * 1e3 if wall is not None else None, '{:.2f}')} |"
+        )
+    failures = [
+        (cell_id, entry)
+        for cell_id, entry in artifact["cells"].items()
+        if entry["status"] != "ok"
+    ]
+    if failures:
+        lines += ["", "## Failures", ""]
+        for cell_id, entry in failures:
+            lines.append(f"- `{cell_id}`: {entry['status']} — {entry['error']}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(value: Optional[float], pattern: str) -> str:
+    return pattern.format(value) if value is not None else "—"
+
+
+def timeline_svg_for(artifact: Dict[str, Any]) -> str:
+    """Per-cell wall-time bars + final-node-count trajectory as SVG."""
+    from repro.vis.timeline import timeline_svg
+
+    steps = []
+    for cell_id, entry in artifact["cells"].items():
+        wall = float(entry["timing"].get("wall_seconds") or 0.0)
+        nodes = entry["metrics"].get("final_nodes") or 0
+        steps.append((cell_id, wall, int(nodes)))
+    if not steps:
+        steps = [("(no cells)", 0.0, 0)]
+    return timeline_svg(steps, title=f"Campaign {artifact['campaign']}")
+
+
+def write_outputs(out_dir: str, artifact: Dict[str, Any]) -> Dict[str, str]:
+    """Write artifact.json, report.md, and timeline.svg into ``out_dir``."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {
+        "artifact": os.path.join(out_dir, ARTIFACT_NAME),
+        "report": os.path.join(out_dir, REPORT_NAME),
+        "timeline": os.path.join(out_dir, TIMELINE_NAME),
+    }
+    with open(paths["artifact"], "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(paths["report"], "w", encoding="utf-8") as handle:
+        handle.write(markdown_report(artifact))
+    with open(paths["timeline"], "w", encoding="utf-8") as handle:
+        handle.write(timeline_svg_for(artifact))
+    return paths
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load a campaign artifact, accepting a run directory or a file."""
+    from repro.errors import CampaignError
+
+    if os.path.isdir(path):
+        path = os.path.join(path, ARTIFACT_NAME)
+    if not os.path.exists(path):
+        raise CampaignError(f"campaign artifact not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            artifact = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise CampaignError(f"{path}: invalid artifact JSON: {error}")
+    if not isinstance(artifact, dict) or artifact.get("format") != ARTIFACT_FORMAT:
+        raise CampaignError(
+            f"{path}: not a campaign artifact (expected format {ARTIFACT_FORMAT!r})"
+        )
+    return artifact

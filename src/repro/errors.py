@@ -112,3 +112,15 @@ class ServiceUnavailableError(ServiceError):
 
 class TablePressureError(ServiceUnavailableError):
     """The DD tables are at their memory budget; the request was shed."""
+
+
+class CampaignError(ReproError):
+    """A campaign could not be planned, executed, or aggregated."""
+
+
+class CampaignSpecError(CampaignError):
+    """A campaign spec file is malformed or semantically invalid."""
+
+
+class CampaignGateError(CampaignError):
+    """A gated metric drifted beyond its tolerance versus the baseline."""

@@ -17,6 +17,7 @@ from repro.obs.export import (
     registry_snapshot,
     run_report,
     snapshot_delta,
+    snapshot_value,
     to_json,
     to_prometheus,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "run_report",
     "set_enabled",
     "snapshot_delta",
+    "snapshot_value",
     "to_json",
     "to_prometheus",
     "traced",

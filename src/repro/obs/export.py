@@ -54,6 +54,26 @@ def to_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
     return json.dumps(registry_snapshot(registry), indent=indent, sort_keys=True)
 
 
+def snapshot_value(
+    snapshot: Dict[str, object],
+    name: str,
+    labels: Optional[Dict[str, str]] = None,
+) -> Optional[float]:
+    """Look one counter/gauge value up in a :func:`registry_snapshot` dict.
+
+    Consumers of persisted snapshots (campaign artifacts, benchmark JSON
+    payloads) join on ``(name, labels)`` with this instead of re-implementing
+    the label-matching walk.  Returns ``None`` for histograms and misses.
+    """
+    wanted = labels or {}
+    for entry in snapshot.get("metrics", []):
+        if entry.get("name") != name or entry.get("type") == "histogram":
+            continue
+        if dict(entry.get("labels") or {}) == wanted:
+            return entry.get("value")
+    return None
+
+
 def _metric_key(entry: Dict[str, object]) -> tuple:
     labels = entry.get("labels") or {}
     return (entry["name"], tuple(sorted(labels.items())))

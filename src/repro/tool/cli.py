@@ -202,6 +202,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seconds between SSE keep-alive comments")
     serve.add_argument("--metrics-interval", type=float, default=2.0,
                        help="seconds between /stream/metrics delta frames")
+
+    from repro.campaign.cli import add_campaign_parser
+
+    add_campaign_parser(commands)
     return parser
 
 
@@ -524,6 +528,12 @@ def _cmd_serve(args) -> int:
     return serve(config)
 
 
+def _cmd_campaign(args) -> int:
+    from repro.campaign.cli import cmd_campaign
+
+    return cmd_campaign(args)
+
+
 def _cmd_repl(args) -> int:
     from repro.tool.repl import InteractiveTool, run_repl
 
@@ -560,6 +570,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bloch": _cmd_bloch,
         "repl": _cmd_repl,
         "serve": _cmd_serve,
+        "campaign": _cmd_campaign,
     }
     try:
         return handlers[args.command](args)
