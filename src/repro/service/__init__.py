@@ -14,8 +14,14 @@ the self-contained ``/dashboard`` page (see ``docs/dashboard.md``).
 Layers (all stdlib, no new dependencies):
 
 * :mod:`repro.service.app` — transport-free request routing and handlers;
-* :mod:`repro.service.server` — ``http.server`` front end with graceful
-  SIGTERM drain (``qdd-tool serve``);
+* :mod:`repro.service.eventloop` — the non-blocking ``selectors``-based
+  reactor front end (default): incremental HTTP parsing, keep-alive,
+  backpressure-aware streaming writes;
+* :mod:`repro.service.server` — front-end selection (event loop or the
+  legacy threaded ``http.server``) with graceful SIGTERM drain
+  (``qdd-tool serve``);
+* :mod:`repro.service.loadgen` — the multi-process saturation load
+  generator behind ``scripts/service_loadgen.py``;
 * :mod:`repro.service.sessions` — TTL/LRU session store with backpressure;
 * :mod:`repro.service.cache` — the LRU result cache;
 * :mod:`repro.service.workers` — the process pool and its job functions.
@@ -31,6 +37,7 @@ from repro.service.app import (
     StreamingResponse,
 )
 from repro.service.cache import ResultCache
+from repro.service.eventloop import SelectorFrontEnd
 from repro.service.server import DDToolServer, serve
 from repro.service.sessions import SessionHandle, SessionStore
 from repro.service.workers import WorkerPool, simulate_job, verify_job
@@ -40,6 +47,7 @@ __all__ = [
     "Request",
     "Response",
     "ResultCache",
+    "SelectorFrontEnd",
     "ServiceApp",
     "ServiceConfig",
     "SessionHandle",

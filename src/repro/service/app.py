@@ -17,6 +17,7 @@ GET    ``/sessions/{id}/svg``          current DD as SVG (image/svg+xml)
 GET    ``/sessions/{id}/text``         current DD as terminal art (text/plain)
 GET    ``/sessions/{id}/counts``       sampled shot histogram
 POST   ``/simulate``                   one-shot batch simulation (cached)
+POST   ``/simulate/batch``             array of jobs, NDJSON streamed as done
 POST   ``/verify``                     one-shot equivalence check (cached)
 GET    ``/sessions/{id}/stream``       live step frames (text/event-stream)
 GET    ``/stream/metrics``             metric deltas + state (text/event-stream)
@@ -39,6 +40,7 @@ Error responses are structured and reuse the :mod:`repro.errors` hierarchy:
 from __future__ import annotations
 
 import json
+import queue
 import threading
 import time
 from dataclasses import dataclass, field
@@ -96,6 +98,13 @@ class ServiceConfig:
 
     host: str = "127.0.0.1"
     port: int = 8137
+    #: HTTP transport: the non-blocking ``selectors`` reactor
+    #: (``"eventloop"``, default) or one thread per connection
+    #: (``"threaded"``, the legacy front end).
+    frontend: str = "eventloop"
+    #: Handler threads behind the event loop (0 = sized from ``workers``).
+    #: Irrelevant for the threaded front end.
+    handler_threads: int = 0
     workers: int = 2
     max_sessions: int = 64
     session_ttl: float = 600.0
@@ -124,6 +133,8 @@ class ServiceConfig:
     heartbeat_interval: float = 10.0
     #: Seconds between metric-delta emissions on ``/stream/metrics``.
     metrics_interval: float = 2.0
+    #: Largest accepted ``/simulate/batch`` job array.
+    batch_max_jobs: int = 256
 
 
 @dataclass
@@ -361,6 +372,13 @@ class ServiceApp:
     def _route(
         self, method: str, path: str
     ) -> Tuple[Callable[[Request, Optional[str]], Response], str, Optional[str]]:
+        if method == "HEAD":
+            # HEAD answers with GET's headers and no body (the transports
+            # suppress the body); load balancers probe /healthz this way.
+            try:
+                return self._route("GET", path)
+            except NotFoundError:
+                raise NotFoundError(f"no route for HEAD {path}")
         parts = [part for part in path.split("/") if part]
         flat = {
             ("GET", "healthz"): (self._get_healthz, "/healthz"),
@@ -379,6 +397,9 @@ class ServiceApp:
         if len(parts) == 2 and parts[0] == "stream" and parts[1] == "metrics":
             if method == "GET":
                 return self._get_metrics_stream, "/stream/metrics", None
+        if len(parts) == 2 and parts[0] == "simulate" and parts[1] == "batch":
+            if method == "POST":
+                return self._post_simulate_batch, "/simulate/batch", None
         if len(parts) == 2 and parts[0] == "sessions":
             if method == "GET":
                 return self._get_session, "/sessions/{id}", parts[1]
@@ -502,14 +523,24 @@ class ServiceApp:
         except ValueError:
             raise BadRequestError("Last-Event-ID must be an integer")
 
-    def _open_stream(self, endpoint: str, subscription: Subscription) -> Callable[[], None]:
-        """Count a stream in (503 at the cap) and return its releaser."""
+    def _count_stream(
+        self, endpoint: str, cleanup: Optional[Callable[[], None]] = None
+    ) -> Callable[[], None]:
+        """Count a streaming response in (503 at the cap); return a releaser.
+
+        ``cleanup`` runs on rejection *and* on release — it is how SSE
+        subscriptions get closed.  NDJSON batch streams count against the
+        same ``max_streams`` cap as SSE: every open stream is a long-lived
+        connection the drain path has to wait for.
+        """
         if self._shutting_down.is_set():
-            subscription.close()
+            if cleanup is not None:
+                cleanup()
             raise ServiceUnavailableError("the service is shutting down")
         with self._streams_lock:
             if self._streams >= self.config.max_streams:
-                subscription.close()
+                if cleanup is not None:
+                    cleanup()
                 raise ServiceUnavailableError(
                     f"too many open streams (limit {self.config.max_streams}); "
                     "retry later",
@@ -526,12 +557,17 @@ class ServiceApp:
             if released.is_set():
                 return
             released.set()
-            subscription.close()
+            if cleanup is not None:
+                cleanup()
             with self._streams_lock:
                 self._streams -= 1
                 self._m_streams.set(self._streams)
 
         return release
+
+    def _open_stream(self, endpoint: str, subscription: Subscription) -> Callable[[], None]:
+        """Count an SSE stream in, closing its subscription on release."""
+        return self._count_stream(endpoint, cleanup=subscription.close)
 
     @staticmethod
     def _sse_headers() -> Dict[str, str]:
@@ -841,8 +877,8 @@ class ServiceApp:
     # ------------------------------------------------------------------
     # one-shot batch endpoints (worker pool + result cache)
     # ------------------------------------------------------------------
-    def _post_simulate(self, request: Request, _sid: Optional[str]) -> Response:
-        payload = self._json_body(request)
+    def _simulate_once(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate and run one simulate job (cache → shard), as a dict."""
         qasm = self._require(payload, "qasm")
         shots = self._int_field(payload.get("shots"), "shots", 0)
         if shots < 0:
@@ -862,13 +898,104 @@ class ServiceApp:
         key = ("simulate", digest, shots, seed, matrix_path)
         hit, cached = self.cache.get(key)
         if hit:
-            return Response.json(dict(cached, cached=True))
+            return dict(cached, cached=True)
+        # The digest is the shard key: every job for this circuit lands on
+        # the same worker shard, whose compute/apply tables stay warm.
         result = self.pool.submit(
-            "simulate", simulate_job, qasm, shots, seed, matrix_path
+            "simulate", simulate_job, qasm, shots, seed, matrix_path,
+            shard_key=digest,
         )
         result["digest"] = digest
         self.cache.put(key, result)
-        return Response.json(dict(result, cached=False))
+        return dict(result, cached=False)
+
+    def _post_simulate(self, request: Request, _sid: Optional[str]) -> Response:
+        return Response.json(self._simulate_once(self._json_body(request)))
+
+    def _post_simulate_batch(
+        self, request: Request, _sid: Optional[str]
+    ) -> StreamingResponse:
+        """Accept an array of simulate jobs; stream NDJSON as shards finish.
+
+        Each line is ``{"index": i, "ok": true, ...result}`` or
+        ``{"index": i, "ok": false, "error": {...}}`` — completion order,
+        with ``index`` tying a line back to its job.  Per-job semantics
+        match ``/simulate`` exactly: result cache, shard routing by
+        circuit digest, rate limiting, pressure shedding and watchdog
+        deadlines (shed/timed-out jobs become per-job errors, not a
+        failed batch).
+        """
+        payload = self._json_body(request)
+        jobs = payload.get("jobs")
+        if not isinstance(jobs, list) or not jobs:
+            raise BadRequestError(
+                "field 'jobs' must be a non-empty array of job objects"
+            )
+        if len(jobs) > self.config.batch_max_jobs:
+            raise RequestTooLargeError(
+                f"batch of {len(jobs)} jobs exceeds the "
+                f"{self.config.batch_max_jobs}-job limit"
+            )
+        for job in jobs:
+            if not isinstance(job, dict):
+                raise BadRequestError("every batch job must be a JSON object")
+        release = self._count_stream("/simulate/batch")
+        return StreamingResponse(
+            200, "application/x-ndjson",
+            self._batch_chunks(list(jobs), release),
+            headers={"Cache-Control": "no-cache"},
+            on_close=release,
+        )
+
+    def _run_batch_job(self, index: int, job: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            # Batch jobs pass the same token bucket as individual requests
+            # (the batch POST itself consumed one token for its envelope).
+            if self._limiter is not None and not self._limiter.admit():
+                raise RateLimitedError("request rate limit exceeded")
+            return {"index": index, "ok": True, **self._simulate_once(job)}
+        except ReproError as error:
+            body = json.loads(self._error_response(error).body)
+            return {"index": index, "ok": False, **body}
+        except Exception as error:  # noqa: BLE001 - per-job last resort
+            return {"index": index, "ok": False, "error": {
+                "type": type(error).__name__, "message": str(error),
+                "status": 500,
+            }}
+
+    def _batch_chunks(
+        self, jobs: list, release: Callable[[], None]
+    ) -> Iterator[bytes]:
+        results: "queue.SimpleQueue" = queue.SimpleQueue()
+        pending: "queue.SimpleQueue" = queue.SimpleQueue()
+        for item in enumerate(jobs):
+            pending.put(item)
+
+        def runner() -> None:
+            while True:
+                try:
+                    index, job = pending.get_nowait()
+                except queue.Empty:
+                    return
+                results.put(self._run_batch_job(index, job))
+
+        # One runner per shard keeps every shard busy without queueing more
+        # blocked threads than the pool can serve concurrently.
+        fanout = min(len(jobs), max(1, self.pool.workers))
+        try:
+            threads = [
+                threading.Thread(
+                    target=runner, name=f"qdd-batch-{i}", daemon=True
+                )
+                for i in range(fanout)
+            ]
+            for thread in threads:
+                thread.start()
+            for _ in range(len(jobs)):
+                line = results.get()
+                yield (json.dumps(line, separators=(",", ":")) + "\n").encode()
+        finally:
+            release()
 
     def _post_verify(self, request: Request, _sid: Optional[str]) -> Response:
         payload = self._json_body(request)
@@ -877,16 +1004,16 @@ class ServiceApp:
         strategy = payload.get("strategy", "proportional")
         if not isinstance(strategy, str):
             raise BadRequestError("field 'strategy' must be a string")
-        key = (
-            "verify",
-            parse_qasm(left).digest(),
-            parse_qasm(right).digest(),
-            strategy,
-        )
+        left_digest = parse_qasm(left).digest()
+        right_digest = parse_qasm(right).digest()
+        key = ("verify", left_digest, right_digest, strategy)
         hit, cached = self.cache.get(key)
         if hit:
             return Response.json(dict(cached, cached=True))
-        result = self.pool.submit("verify", verify_job, left, right, strategy)
+        result = self.pool.submit(
+            "verify", verify_job, left, right, strategy,
+            shard_key=f"{left_digest}:{right_digest}",
+        )
         self.cache.put(key, result)
         return Response.json(dict(result, cached=False))
 

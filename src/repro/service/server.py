@@ -1,29 +1,48 @@
-"""stdlib HTTP front end for :class:`~repro.service.app.ServiceApp`.
+"""HTTP front ends for :class:`~repro.service.app.ServiceApp`.
 
-``http.server.ThreadingHTTPServer`` gives us one thread per connection;
-per-session locks (not a global lock) serialize access to the non-thread-
-safe decision-diagram packages, and the one-shot batch endpoints fan out to
-the worker processes, so independent clients genuinely run in parallel.
+Two interchangeable transports sit in front of the transport-free app:
 
-Shutdown is graceful: ``SIGTERM``/``SIGINT`` stop the accept loop, wait for
-in-flight requests to drain (bounded by ``config.drain_timeout``) and then
-reap the worker pool.  :class:`DDToolServer` is also directly embeddable —
-``start()``/``stop()`` is what the tests and the benchmark use.
+* ``"eventloop"`` (default) — the non-blocking ``selectors``-based
+  reactor in :mod:`repro.service.eventloop`: one thread multiplexes every
+  connection, handlers run on a bounded pool, and streaming bodies are
+  written with backpressure.  This is the shape that holds thousands of
+  concurrent clients.
+* ``"threaded"`` — the original ``http.server.ThreadingHTTPServer``
+  adapter (one thread per connection), kept as the conservative fallback
+  and as the baseline the benchmarks compare against.
+
+Both speak identical HTTP: same structured JSON errors (including 400s
+for malformed ``Content-Length`` headers and duplicated query
+parameters), ``HEAD`` support for load-balancer probes, keep-alive, and
+chunked streaming responses.
+
+Shutdown is graceful: ``SIGTERM``/``SIGINT`` stop the accept loop, wait
+for in-flight requests and open streams to drain (bounded by
+``config.drain_timeout``) and then reap the worker pool.
+:class:`DDToolServer` is also directly embeddable — ``start()``/``stop()``
+is what the tests and the benchmarks use.
 """
 
 from __future__ import annotations
 
-import json
 import signal
 import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
-from urllib.parse import parse_qsl, urlsplit
+from urllib.parse import urlsplit
 
 from repro.obs.metrics import MetricsRegistry
 from repro.service.app import Request, ServiceApp, ServiceConfig, StreamingResponse
+from repro.service.eventloop import (
+    ProtocolError,
+    SelectorFrontEnd,
+    display_host,
+    error_body,
+    parse_content_length,
+    parse_query_strict,
+)
 
 __all__ = ["DDToolServer", "serve"]
 
@@ -42,29 +61,59 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         app: ServiceApp = self.server.app  # type: ignore[attr-defined]
         split = urlsplit(self.path)
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = parse_content_length(self.headers.get("Content-Length"))
+        except ProtocolError as error:
+            # The body (if any) was never framed, so the connection cannot
+            # be reused — answer structurally and close.
+            self._respond(
+                error.status, "application/json",
+                error_body(error.error_type, error.message, error.status),
+                close=True,
+            )
+            return
         if length > app.config.max_body_bytes:
             # Refuse to buffer an oversized body; close the connection so
             # the unread remainder cannot poison the next request.
-            payload = json.dumps({"error": {
-                "type": "RequestTooLargeError",
-                "message": f"request body of {length} bytes exceeds the "
-                           f"{app.config.max_body_bytes}-byte limit",
-                "status": 413,
-            }}).encode()
-            self._respond(413, "application/json", payload, close=True)
+            self._respond(
+                413, "application/json",
+                error_body(
+                    "RequestTooLargeError",
+                    f"request body of {length} bytes exceeds the "
+                    f"{app.config.max_body_bytes}-byte limit",
+                    413,
+                ),
+                close=True,
+            )
             return
         body = self.rfile.read(length) if length else b""
+        try:
+            query = parse_query_strict(split.query)
+        except ProtocolError as error:
+            # The body was fully read, so keep-alive is safe here.
+            self._respond(
+                error.status, "application/json",
+                error_body(error.error_type, error.message, error.status),
+            )
+            return
         request = Request(
             method=method,
             path=split.path,
-            query=dict(parse_qsl(split.query)),
+            query=query,
             body=body,
             client=self.client_address[0] if self.client_address else "",
             headers={name.lower(): value for name, value in self.headers.items()},
         )
         response = app.handle(request)
+        head_only = method == "HEAD"
         if isinstance(response, StreamingResponse):
+            if head_only:
+                response.close()
+                self._respond(
+                    response.status, response.content_type, b"",
+                    close=True, headers=response.headers,
+                )
+                return
             self._respond_stream(response)
             return
         self._respond(
@@ -72,6 +121,7 @@ class _Handler(BaseHTTPRequestHandler):
             response.content_type,
             response.body,
             headers=response.headers,
+            head_only=head_only,
         )
 
     def _respond(
@@ -81,9 +131,11 @@ class _Handler(BaseHTTPRequestHandler):
         body: bytes,
         close: bool = False,
         headers: Optional[dict] = None,
+        head_only: bool = False,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        # HEAD advertises the entity length it *would* send for GET.
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -91,7 +143,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
             self.close_connection = True
         self.end_headers()
-        self.wfile.write(body)
+        if not head_only:
+            self.wfile.write(body)
 
     def _respond_stream(self, response: StreamingResponse) -> None:
         """Write a :class:`StreamingResponse` with chunked transfer encoding.
@@ -130,6 +183,11 @@ class _Handler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:  # noqa: N802
         self._dispatch("DELETE")
 
+    def do_HEAD(self) -> None:  # noqa: N802
+        # Load balancers probe with HEAD; answering 501 HTML (the
+        # http.server default) makes every probe fail.
+        self._dispatch("HEAD")
+
     def log_message(self, fmt: str, *args) -> None:
         if getattr(self.server, "verbose", False):  # pragma: no cover
             sys.stderr.write(
@@ -138,8 +196,49 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
 
+class _ThreadedFrontEnd:
+    """The legacy one-thread-per-connection transport."""
+
+    def __init__(self, app: ServiceApp, host: str, port: int, verbose: bool):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        # Handler threads are daemons: graceful drain is handled explicitly
+        # in DDToolServer.stop(), so an idle keep-alive connection cannot
+        # block exit.
+        self._httpd.daemon_threads = True
+        self._httpd.app = app  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self.server_address: Tuple[str, int] = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="qdd-service", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        """Stop the accept loop; per-connection threads keep draining."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def close(self) -> None:
+        self._httpd.server_close()
+
+
 class DDToolServer:
-    """An embeddable service instance bound to one host/port."""
+    """An embeddable service instance bound to one host/port.
+
+    ``config.frontend`` selects the transport: the non-blocking
+    ``"eventloop"`` reactor (default) or the legacy ``"threaded"``
+    one-thread-per-connection server.
+    """
 
     def __init__(
         self,
@@ -149,39 +248,45 @@ class DDToolServer:
     ):
         self.config = config if config is not None else ServiceConfig()
         self.app = ServiceApp(self.config, registry=registry)
-        self._httpd = ThreadingHTTPServer(
-            (self.config.host, self.config.port), _Handler
-        )
-        # Handler threads are daemons: graceful drain is handled explicitly
-        # in stop(), so an idle keep-alive connection cannot block exit.
-        self._httpd.daemon_threads = True
-        self._httpd.app = self.app  # type: ignore[attr-defined]
-        self._httpd.verbose = verbose  # type: ignore[attr-defined]
-        self._thread: Optional[threading.Thread] = None
+        if self.config.frontend == "threaded":
+            self._frontend = _ThreadedFrontEnd(
+                self.app, self.config.host, self.config.port, verbose
+            )
+        elif self.config.frontend == "eventloop":
+            self._frontend = SelectorFrontEnd(
+                self.app,
+                self.config.host,
+                self.config.port,
+                handler_threads=self.config.handler_threads,
+                verbose=verbose,
+            )
+        else:
+            raise ValueError(
+                f"unknown frontend {self.config.frontend!r} "
+                "(expected 'eventloop' or 'threaded')"
+            )
 
     @property
     def address(self) -> Tuple[str, int]:
         """The actually bound ``(host, port)`` (port 0 resolves here)."""
-        return self._httpd.server_address[:2]
+        return self._frontend.server_address[:2]
 
     @property
     def url(self) -> str:
+        """A URL clients can actually dial (wildcard hosts → loopback)."""
         host, port = self.address
-        return f"http://{host}:{port}"
+        return f"http://{display_host(host)}:{port}"
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def serve_forever(self) -> None:
         """Block serving requests until :meth:`stop` (or shutdown) is called."""
-        self._httpd.serve_forever(poll_interval=0.1)
+        self._frontend.serve_forever()
 
     def start(self) -> "DDToolServer":
-        """Serve on a background thread (for embedding and tests)."""
-        self._thread = threading.Thread(
-            target=self.serve_forever, name="qdd-service", daemon=True
-        )
-        self._thread.start()
+        """Serve on background threads (for embedding and tests)."""
+        self._frontend.start()
         return self
 
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -210,14 +315,11 @@ class DDToolServer:
 
     def stop(self, drain: bool = True) -> None:
         """Stop accepting, optionally drain in-flight work, reap the pool."""
-        self._httpd.shutdown()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        self._frontend.shutdown()
         if drain:
             self.drain_streams()
             self.drain()
-        self._httpd.server_close()
+        self._frontend.close()
         self.app.close()
 
     def __enter__(self) -> "DDToolServer":
@@ -241,26 +343,29 @@ def serve(
             return
         stop_requested.set()
         print(f"\nreceived signal {signum}: draining...", file=sys.stderr)
-        # shutdown() must not run on the thread inside serve_forever().
-        threading.Thread(target=server._httpd.shutdown, daemon=True).start()
 
     if install_signal_handlers:
         signal.signal(signal.SIGTERM, _request_stop)
         signal.signal(signal.SIGINT, _request_stop)
     host, port = server.address
     print(
-        f"qdd-service listening on http://{host}:{port} "
-        f"({server.config.workers} worker(s), "
+        f"qdd-service listening on {server.url} "
+        f"({server.config.frontend} front end, "
+        f"{server.config.workers} worker shard(s), "
         f"{server.config.max_sessions} session slots); "
-        "endpoints: /sessions /simulate /verify /metrics /healthz /dashboard",
+        "endpoints: /sessions /simulate /simulate/batch /verify /metrics "
+        "/healthz /dashboard",
         file=sys.stderr,
     )
+    server.start()
     try:
-        server.serve_forever()
+        while not stop_requested.is_set():
+            stop_requested.wait(timeout=0.2)
     except KeyboardInterrupt:  # pragma: no cover - no handler installed
         pass
+    server._frontend.shutdown()
     drained = server.drain_streams() and server.drain()
-    server._httpd.server_close()
+    server._frontend.close()
     server.app.close()
     print(
         "qdd-service stopped"

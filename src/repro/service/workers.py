@@ -1,9 +1,20 @@
-"""Watchdog-supervised worker processes for one-shot simulate/verify jobs.
+"""Watchdog-supervised worker shards for one-shot simulate/verify jobs.
 
 :class:`DDPackage` instances are not thread-safe, and a busy batch endpoint
 must not serialize all clients behind one package.  The pool therefore runs
 jobs in dedicated worker *processes*, each owning exactly one long-lived,
 memory-governed package that is reused across jobs.
+
+Workers are **shards with stable identities** on a consistent-hash ring:
+``submit(..., shard_key=digest)`` routes every job for the same circuit
+digest to the same worker, so repeated circuits hit that shard's warm
+unique/compute/apply tables instead of rebuilding them elsewhere.  Keyless
+jobs take any free shard (round-robin).  A killed worker is respawned *in
+place* under the same shard id — its warm tables are lost, but the ring
+(and therefore every other key's placement) is unchanged.  Placement is
+observable: ``service_shard_jobs_total{shard=...,affinity=...}`` counts
+jobs per shard, and :attr:`WorkerPool.shard_jobs` snapshots the counters
+for tests.
 
 Unlike a ``multiprocessing.Pool`` (whose ``get(timeout)`` abandons the
 result but leaves the worker churning on the stuck job forever), every
@@ -36,13 +47,14 @@ inline; pressure shedding still works).
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import multiprocessing
 import multiprocessing.connection
-import queue
 import threading
 import time
 from time import perf_counter
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import errors as _errors
 from repro.errors import (
@@ -301,8 +313,48 @@ class _Worker:
         self.process.join(timeout=5.0)
 
 
+class _Shard:
+    """One worker slot with a stable identity on the consistent-hash ring.
+
+    The lock serializes jobs onto the shard's single worker process; the
+    worker behind it may be killed and respawned, but the shard id (and
+    with it every key's ring placement) never changes.
+    """
+
+    __slots__ = ("index", "worker", "lock", "jobs_total", "keyed_jobs")
+
+    def __init__(self, index: int, worker: Optional[_Worker]):
+        self.index = index
+        self.worker = worker
+        self.lock = threading.Lock()
+        self.jobs_total = 0
+        self.keyed_jobs = 0
+
+
+#: Virtual points per shard on the consistent-hash ring.  More points
+#: smooth the key distribution across shards; 64 keeps the ring tiny.
+_RING_REPLICAS = 64
+
+
+def _hash_point(data: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def _build_ring(shard_count: int) -> List[Tuple[int, int]]:
+    """``[(point, shard_index), ...]`` sorted by point."""
+    ring = [
+        (_hash_point(f"shard-{shard}:{replica}"), shard)
+        for shard in range(shard_count)
+        for replica in range(_RING_REPLICAS)
+    ]
+    ring.sort()
+    return ring
+
+
 class WorkerPool:
-    """A fixed pool of watchdog-supervised workers (or an inline fallback).
+    """A fixed pool of watchdog-supervised worker shards (or inline).
 
     ``request_deadline`` is the per-request wall-clock limit enforced by
     the watchdog (0 falls back to ``job_timeout``).  ``budget_nodes`` /
@@ -358,9 +410,16 @@ class WorkerPool:
         self.last_report: Optional[Dict[str, Any]] = None
         self._reject_until = 0.0
         self._reject_lock = threading.Lock()
-        self._idle: "queue.Queue[_Worker]" = queue.Queue()
         self._closed = False
         self._context = None
+        self._rr = 0  # round-robin cursor for keyless jobs
+        self._rr_lock = threading.Lock()
+        # One pseudo-shard in inline mode keeps the affinity counters and
+        # the consistent-hash ring meaningful even without processes.
+        self._shards: List[_Shard] = [
+            _Shard(index, None) for index in range(max(1, self.workers))
+        ]
+        self._ring = _build_ring(len(self._shards))
         if not self.workers and (self.budget_nodes or self.budget_bytes):
             # Inline jobs share this process's package: install the budget
             # and rebuild so it actually takes effect.
@@ -373,10 +432,50 @@ class WorkerPool:
             self._context = multiprocessing.get_context(
                 "fork" if "fork" in methods else "spawn"
             )
-            spawned = [self._spawn() for _ in range(self.workers)]
-            for worker in spawned:
-                worker.wait_ready()
-                self._idle.put(worker)
+            for shard in self._shards:
+                shard.worker = self._spawn()
+            for shard in self._shards:
+                shard.worker.wait_ready()
+
+    # ------------------------------------------------------------------
+    # shard routing
+    # ------------------------------------------------------------------
+    def shard_for(self, shard_key: str) -> int:
+        """The shard index a key lands on (consistent hashing)."""
+        point = _hash_point(str(shard_key))
+        index = bisect.bisect_right(self._ring, (point, len(self._shards)))
+        return self._ring[index % len(self._ring)][1]
+
+    @property
+    def shard_jobs(self) -> List[Dict[str, int]]:
+        """Per-shard job counters, for tests and the benchmarks."""
+        return [
+            {"shard": shard.index, "jobs_total": shard.jobs_total,
+             "keyed_jobs": shard.keyed_jobs}
+            for shard in self._shards
+        ]
+
+    def _count_shard_job(self, shard: _Shard, keyed: bool) -> None:
+        shard.jobs_total += 1
+        if keyed:
+            shard.keyed_jobs += 1
+        self._registry.counter(
+            "service_shard_jobs_total",
+            {"shard": str(shard.index), "affinity": "keyed" if keyed else "any"},
+        ).inc()
+
+    def _acquire_any(self) -> _Shard:
+        """Lock a free shard, preferring round-robin order; block if none."""
+        with self._rr_lock:
+            start = self._rr
+            self._rr = (self._rr + 1) % len(self._shards)
+        for offset in range(len(self._shards)):
+            shard = self._shards[(start + offset) % len(self._shards)]
+            if shard.lock.acquire(blocking=False):
+                return shard
+        shard = self._shards[start]
+        shard.lock.acquire()
+        return shard
 
     # ------------------------------------------------------------------
     # supervision
@@ -384,20 +483,26 @@ class WorkerPool:
     def _spawn(self) -> _Worker:
         return _Worker(self._context, self.budget_nodes, self.budget_bytes)
 
-    def _respawn_after_kill(self, worker: _Worker, reason: str) -> None:
-        worker.kill()
+    def _respawn_shard(self, shard: _Shard, reason: str) -> None:
+        """Kill a shard's worker and respawn in place (same shard id)."""
+        if shard.worker is not None:
+            shard.worker.kill()
         self.watchdog_kills += 1
         self._m_kills.inc()
         self._publish("worker.kill", {
-            "reason": reason, "kills_total": self.watchdog_kills,
+            "reason": reason, "shard": shard.index,
+            "kills_total": self.watchdog_kills,
         })
+        if self._closed:
+            shard.worker = None
+            return
         replacement = self._spawn()
         try:
             replacement.wait_ready()
         except ServiceError:  # pragma: no cover - respawn failure
             replacement.kill()
             raise
-        self._idle.put(replacement)
+        shard.worker = replacement
 
     def _publish(self, kind: str, data: Dict[str, Any]) -> None:
         if self.event_bus is not None:
@@ -461,12 +566,22 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit(self, kind: str, fn: Callable[..., Dict[str, Any]], *args) -> Dict[str, Any]:
-        """Run ``fn(*args)`` on a worker and block for the result.
+    def submit(
+        self,
+        kind: str,
+        fn: Callable[..., Dict[str, Any]],
+        *args,
+        shard_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Run ``fn(*args)`` on a worker shard and block for the result.
 
-        Raises :class:`JobTimeoutError` if the request deadline elapses
-        (the runaway worker is killed and replaced), and
-        :class:`TablePressureError` while the pool is shedding load.
+        With ``shard_key`` the job is routed by consistent hashing, so
+        repeated submissions of the same key (e.g. a circuit digest) hit
+        the same shard's warm compute/apply tables; without it, any free
+        shard takes the job.  Raises :class:`JobTimeoutError` if the
+        request deadline elapses (the runaway worker is killed and
+        replaced in place) and :class:`TablePressureError` while the pool
+        is shedding load.
         """
         if self._closed:
             raise ServiceError("the worker pool is closed")
@@ -475,11 +590,23 @@ class WorkerPool:
         try:
             if not self.workers:
                 with self._inline_lock:
+                    self._count_shard_job(self._shards[0], shard_key is not None)
                     try:
                         return fn(*args)
                     finally:
                         self._absorb_report(_governance_report())
-            return self._submit_to_worker(kind, args)
+            if shard_key is not None:
+                shard = self._shards[self.shard_for(shard_key)]
+                shard.lock.acquire()
+                keyed = True
+            else:
+                shard = self._acquire_any()
+                keyed = False
+            try:
+                self._count_shard_job(shard, keyed)
+                return self._run_on_shard(shard, kind, args)
+            finally:
+                shard.lock.release()
         finally:
             counter, histogram = self._job_metrics(kind)
             counter.inc()
@@ -495,21 +622,20 @@ class WorkerPool:
             )
         return self._m_jobs[kind], self._m_seconds[kind]
 
-    def _submit_to_worker(self, kind: str, args: tuple) -> Dict[str, Any]:
-        # Checkout blocks until a worker frees up — same queueing semantics
-        # as a shared Pool, but each job owns its worker for its duration.
-        worker = self._idle.get()
+    def _run_on_shard(self, shard: _Shard, kind: str, args: tuple) -> Dict[str, Any]:
+        """Run one job on a locked shard, supervising with the watchdog."""
+        worker = shard.worker
         try:
             worker.conn.send((kind, args))
         except (BrokenPipeError, OSError):
-            self._respawn_after_kill(worker, "send failed")
+            self._respawn_shard(shard, "send failed")
             raise ServiceUnavailableError("worker was unavailable; please retry")
         deadline = time.monotonic() + self.request_deadline
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 self._m_timeouts.inc()
-                self._respawn_after_kill(worker, "deadline overrun")
+                self._respawn_shard(shard, "deadline overrun")
                 raise JobTimeoutError(
                     f"{kind} job exceeded the {self.request_deadline:.0f}s "
                     "request deadline (worker was killed and replaced)"
@@ -519,13 +645,12 @@ class WorkerPool:
                     continue
                 status, payload, report = worker.conn.recv()
             except (EOFError, OSError):
-                self._respawn_after_kill(worker, "worker died")
+                self._respawn_shard(shard, "worker died")
                 raise ServiceUnavailableError(
                     f"worker died while running a {kind} job; it has been "
                     "replaced — please retry"
                 )
             break
-        self._idle.put(worker)
         self._absorb_report(report)
         if status == "err":
             name, message = payload
@@ -536,21 +661,27 @@ class WorkerPool:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop accepting jobs and reap the workers."""
+        """Stop accepting jobs and reap the worker shards."""
         if self._closed:
             return
         self._closed = True
-        while True:
+        for shard in self._shards:
+            worker = shard.worker
+            if worker is None:
+                continue
+            # Best-effort polite stop; a shard still mid-job is killed.
+            acquired = shard.lock.acquire(timeout=2.0)
             try:
-                worker = self._idle.get_nowait()
-            except queue.Empty:
-                break
-            try:
-                worker.conn.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-            worker.process.join(timeout=2.0)
-            worker.kill()
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                worker.process.join(timeout=2.0)
+                worker.kill()
+                shard.worker = None
+            finally:
+                if acquired:
+                    shard.lock.release()
 
     def __enter__(self) -> "WorkerPool":
         return self

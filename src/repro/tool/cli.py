@@ -165,9 +165,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8137)
+    serve.add_argument("--frontend", choices=("eventloop", "threaded"),
+                       default="eventloop",
+                       help="HTTP transport: non-blocking selectors event "
+                            "loop (default) or one thread per connection")
+    serve.add_argument("--handler-threads", type=int, default=0,
+                       help="handler threads behind the event loop "
+                            "(0 = sized from --workers)")
     serve.add_argument("--workers", type=int, default=2,
-                       help="worker processes for /simulate and /verify "
-                            "(0 = run jobs inline)")
+                       help="worker shards for /simulate and /verify; jobs "
+                            "are routed to shards by consistent-hashing the "
+                            "circuit digest (0 = run jobs inline)")
+    serve.add_argument("--batch-max-jobs", type=int, default=256,
+                       help="largest accepted POST /simulate/batch array")
     serve.add_argument("--max-sessions", type=int, default=64,
                        help="live-session cap before LRU eviction / 503")
     serve.add_argument("--session-ttl", type=float, default=600.0,
@@ -509,6 +519,9 @@ def _cmd_serve(args) -> int:
     config = ServiceConfig(
         host=args.host,
         port=args.port,
+        frontend=args.frontend,
+        handler_threads=args.handler_threads,
+        batch_max_jobs=args.batch_max_jobs,
         workers=args.workers,
         max_sessions=args.max_sessions,
         session_ttl=args.session_ttl,
