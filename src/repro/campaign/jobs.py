@@ -199,10 +199,17 @@ def _make_package(options: Dict[str, Any]):
     if options.get("sanitize_every"):
         kwargs["sanitize_every"] = int(options["sanitize_every"])
     if options.get("budget_nodes") or options.get("budget_bytes"):
-        kwargs["budget"] = MemoryBudget(
-            max_nodes=options.get("budget_nodes") or None,
-            max_bytes=options.get("budget_bytes") or None,
-        )
+        budget_kwargs = {
+            "max_nodes": options.get("budget_nodes") or None,
+            "max_bytes": options.get("budget_bytes") or None,
+        }
+        if options.get("budget_check_interval"):
+            budget_kwargs["check_interval"] = int(options["budget_check_interval"])
+        kwargs["budget"] = MemoryBudget(**budget_kwargs)
+    if options.get("reorder"):
+        kwargs["reorder"] = options["reorder"]
+    if options.get("identity_skipping"):
+        kwargs["identity_skipping"] = True
     return DDPackage(**kwargs)
 
 
@@ -224,24 +231,52 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     metrics: Dict[str, Any]
     counts = None
     if kind == "vector":
-        root = package.from_state_vector(built)
+        root = package.incref(package.from_state_vector(built))
+        peak_nodes = package.node_count(root)
+        if package.reorder_mode == "manual":
+            package.reorder()
+            root = package._resolve(root)
         metrics = {
             "num_qubits": size,
             "operations": 0,
             "final_nodes": package.node_count(root),
-            "peak_nodes": package.node_count(root),
+            "peak_nodes": peak_nodes,
         }
         if shots:
             counts = _sample(package, root, shots, seed)
     elif mode == "functionality":
-        from repro.qc.dd_builder import circuit_to_dd
+        from repro.errors import CircuitError
+        from repro.qc.dd_builder import gate_to_dd
+        from repro.qc.operations import BarrierOp
 
-        root = circuit_to_dd(package, built)
+        if built.has_nonunitary_operations:
+            raise CircuitError(
+                "only purely unitary circuits have a functionality matrix; "
+                "remove measurements, resets and classical conditions"
+            )
+        # Gate-by-gate with incref discipline (new root registered before
+        # the old one is released): the governor sees live roots, so
+        # pressure-triggered reordering can fire mid-build, and the
+        # recorded peak is the true construction peak rather than the
+        # final count.
+        root = package.incref(package.identity(built.num_qubits))
+        peak_nodes = package.node_count(root)
+        for operation in built:
+            if isinstance(operation, BarrierOp):
+                continue
+            gate_dd = gate_to_dd(package, operation, built.num_qubits)
+            stepped = package.incref(package.multiply(gate_dd, root))
+            package.decref(root)
+            root = stepped
+            peak_nodes = max(peak_nodes, package.node_count(root))
+        if package.reorder_mode == "manual":
+            package.reorder()
+            root = package._resolve(root)
         metrics = {
             "num_qubits": built.num_qubits,
             "operations": len(built),
             "final_nodes": package.node_count(root),
-            "peak_nodes": package.node_count(root),
+            "peak_nodes": peak_nodes,
         }
     elif mode == "dense":
         from repro.simulation.statevector import StatevectorSimulator
@@ -260,6 +295,8 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         simulator = DDSimulator(built, package=package, seed=seed)
         try:
             simulator.run_all()
+            if package.reorder_mode == "manual":
+                package.reorder()
             metrics = {
                 "num_qubits": built.num_qubits,
                 "operations": len(built),
@@ -279,6 +316,9 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         metrics["table_bytes"] = int(governance["table_bytes"])
         metrics["sanitize_runs"] = package.sanitize_runs
         metrics["sanitize_violations"] = package.sanitize_violations
+        metrics["reorder_runs"] = package._reorder_runs
+        metrics["reorder_swaps"] = package._reorder_swaps
+        metrics["identity_skips"] = package.identity_skip_count
     return {
         "cell_id": payload.get("cell_id"),
         "metrics": metrics,

@@ -68,6 +68,7 @@ GATE_DIRECTIONS = ("both", "increase", "decrease")
 
 _STORAGE_BACKENDS = (None, "pooled", "object")
 _VECTOR_SCHEMES = (None, "l2", "max-magnitude")
+_REORDER_MODES = ("off", "manual", "pressure")
 
 
 def _require_keys(mapping: Dict[str, Any], allowed: Sequence[str], where: str) -> None:
@@ -104,6 +105,9 @@ class PackageSpec:
     sanitize_every: Optional[int] = None
     budget_nodes: int = 0
     budget_bytes: int = 0
+    budget_check_interval: Optional[int] = None
+    reorder: str = "off"
+    identity_skipping: bool = False
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any], where: str) -> "PackageSpec":
@@ -112,7 +116,8 @@ class PackageSpec:
         _require_keys(
             data,
             ("label", "storage", "use_apply_kernels", "tolerance",
-             "vector_scheme", "sanitize_every", "budget_nodes", "budget_bytes"),
+             "vector_scheme", "sanitize_every", "budget_nodes", "budget_bytes",
+             "budget_check_interval", "reorder", "identity_skipping"),
             where,
         )
         label = data.get("label")
@@ -145,6 +150,21 @@ class PackageSpec:
             value = data.get(key, 0)
             if isinstance(value, bool) or not isinstance(value, int) or value < 0:
                 raise CampaignSpecError(f"{where}: {key} must be a non-negative integer")
+        check_interval = data.get("budget_check_interval")
+        if check_interval is not None and (
+            isinstance(check_interval, bool)
+            or not isinstance(check_interval, int)
+            or check_interval < 1
+        ):
+            raise CampaignSpecError(
+                f"{where}: budget_check_interval must be a positive integer"
+            )
+        reorder = data.get("reorder", "off")
+        if reorder not in _REORDER_MODES:
+            raise CampaignSpecError(
+                f"{where}: reorder must be one of "
+                f"{'/'.join(repr(m) for m in _REORDER_MODES)}, got {reorder!r}"
+            )
         return cls(
             label=label,
             storage=storage,
@@ -154,6 +174,9 @@ class PackageSpec:
             sanitize_every=sanitize_every,
             budget_nodes=int(data.get("budget_nodes", 0)),
             budget_bytes=int(data.get("budget_bytes", 0)),
+            budget_check_interval=check_interval,
+            reorder=reorder,
+            identity_skipping=bool(data.get("identity_skipping", False)),
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -166,6 +189,9 @@ class PackageSpec:
             "sanitize_every": self.sanitize_every,
             "budget_nodes": self.budget_nodes,
             "budget_bytes": self.budget_bytes,
+            "budget_check_interval": self.budget_check_interval,
+            "reorder": self.reorder,
+            "identity_skipping": self.identity_skipping,
         }
 
 

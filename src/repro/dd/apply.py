@@ -123,6 +123,7 @@ class _ApplyKernel:
     __slots__ = (
         "package", "table", "mode", "u", "target", "controls",
         "low", "below", "below_low", "op_key", "proj_key", "kernel",
+        "skipping", "high", "lines", "below_lines", "below_map",
     )
 
     def __init__(
@@ -151,10 +152,20 @@ class _ApplyKernel:
                 raise DDError(f"control value must be 0 or 1, got {bit!r}")
         levels = [target, *self.controls]
         self.low = min(levels)
+        self.high = max(levels)
+        self.lines = tuple(sorted(levels, reverse=True))
         self.below = tuple(
             sorted((line, bit) for line, bit in self.controls.items() if line < target)
         )
         self.below_low = self.below[0][0] if self.below else target
+        self.below_map = dict(self.below)
+        self.below_lines = tuple(sorted(self.below_map, reverse=True))
+        # Matrix DDs in identity-skipping packages may skip gate lines; the
+        # level-tracking recursion (`_rec_s`) materializes skipped levels on
+        # demand.  Vector DDs stay dense, so mode "v" keeps the fast path.
+        self.skipping = mode != "v" and bool(
+            getattr(package, "identity_skipping", False)
+        )
         ctrl_key = tuple(sorted(self.controls.items()))
         self.op_key = ("apply", mode, self.u, target, ctrl_key)
         self.proj_key = ("proj", mode, self.below)
@@ -178,6 +189,11 @@ class _ApplyKernel:
         if root.is_zero:
             return ZERO_EDGE
         node = root.node
+        if self.skipping:
+            if not node.is_terminal and not isinstance(node, MatrixNode):
+                raise DDError("apply kernels need a matrix DD root")
+            entry = self.high if node.is_terminal else max(self.high, node.var)
+            return self._rec_s(node, entry).scaled(root.weight, self.table)
         expected = VectorNode if self.mode == "v" else MatrixNode
         if node.is_terminal or not isinstance(node, expected):
             kind = "vector" if self.mode == "v" else "matrix"
@@ -284,6 +300,119 @@ class _ApplyKernel:
             cache.insert(key, cached)
         return cached
 
+    # -- identity-skipping recursion (matrix modes) ----------------------
+    # Skipped levels stand for identities, so a gate line may fall *inside*
+    # a skipped range.  Memoizing by node alone would collide (two parents
+    # can reach the same node with different remaining gate lines), so the
+    # recursion tracks the next gate line and keys the cache on it.
+    @staticmethod
+    def _next_line(lines: Tuple[int, ...], level: int) -> Optional[int]:
+        for line in lines:
+            if line <= level:
+                return line
+        return None
+
+    def _pairs_at(self, node: Node, virtual: bool):
+        if not virtual:
+            return self._pairs(node)
+        # The node skips this level: virtually a diagonal (e, 0, 0, e),
+        # identical under row ("ml") and column ("mr") grouping.
+        unit = Edge(node, ComplexTable.ONE)
+        return ((unit, ZERO_EDGE), (ZERO_EDGE, unit))
+
+    def _rec_s_edge(self, edge: Edge, level: int) -> Edge:
+        if edge.is_zero:
+            return ZERO_EDGE
+        return self._rec_s(edge.node, level).scaled(edge.weight, self.table)
+
+    def _rec_s(self, node: Node, level: int) -> Edge:
+        line = self._next_line(self.lines, level)
+        if line is None:
+            return Edge(node, ComplexTable.ONE)
+        cache = self.package._apply_cache
+        key = (self.op_key, node, line)
+        cached = cache.lookup(key)
+        if cached is not None:
+            return cached
+        if not node.is_terminal and node.var > line:
+            pairs = self._pairs(node)
+            new_pairs = [
+                tuple(self._rec_s_edge(child, node.var - 1) for child in pair)
+                for pair in pairs
+            ]
+            cached = self._make(node.var, new_pairs)
+        else:
+            virtual = node.is_terminal or node.var < line
+            pairs = self._pairs_at(node, virtual)
+            if line == self.target:
+                new_pairs = [self._apply_target_s(pair) for pair in pairs]
+            else:
+                bit = self.controls[line]
+                new_pairs = []
+                for pair in pairs:
+                    updated = list(pair)
+                    updated[bit] = self._rec_s_edge(pair[bit], line - 1)
+                    new_pairs.append(tuple(updated))
+            cached = self._make(line, new_pairs)
+        cache.insert(key, cached)
+        return cached
+
+    def _apply_target_s(self, pair: Tuple[Edge, Edge]) -> Tuple[Edge, Edge]:
+        u00, u01, u10, u11 = self.u
+        c0, c1 = pair
+        table = self.table
+        if self.below:
+            add = self.package._add
+            d00 = self._canonical(u00 - 1.0)
+            d11 = self._canonical(u11 - 1.0)
+            p0 = self._proj_s_edge(c0, self.target - 1)
+            p1 = self._proj_s_edge(c1, self.target - 1)
+            new0 = add(c0, add(p0.scaled(d00, table), p1.scaled(u01, table)))
+            new1 = add(c1, add(p0.scaled(u10, table), p1.scaled(d11, table)))
+            return (new0, new1)
+        if u01 == ComplexTable.ZERO and u10 == ComplexTable.ZERO:
+            return (c0.scaled(u00, table), c1.scaled(u11, table))
+        if u00 == ComplexTable.ZERO and u11 == ComplexTable.ZERO:
+            return (c1.scaled(u01, table), c0.scaled(u10, table))
+        add = self.package._add
+        new0 = add(c0.scaled(u00, table), c1.scaled(u01, table))
+        new1 = add(c0.scaled(u10, table), c1.scaled(u11, table))
+        return (new0, new1)
+
+    def _proj_s_edge(self, edge: Edge, level: int) -> Edge:
+        if edge.is_zero:
+            return ZERO_EDGE
+        return self._proj_s(edge.node, level).scaled(edge.weight, self.table)
+
+    def _proj_s(self, node: Node, level: int) -> Edge:
+        line = self._next_line(self.below_lines, level)
+        if line is None:
+            return Edge(node, ComplexTable.ONE)
+        cache = self.package._apply_cache
+        key = (self.proj_key, node, line)
+        cached = cache.lookup(key)
+        if cached is not None:
+            return cached
+        if not node.is_terminal and node.var > line:
+            pairs = self._pairs(node)
+            new_pairs = [
+                tuple(self._proj_s_edge(child, node.var - 1) for child in pair)
+                for pair in pairs
+            ]
+            cached = self._make(node.var, new_pairs)
+        else:
+            virtual = node.is_terminal or node.var < line
+            pairs = self._pairs_at(node, virtual)
+            bit = self.below_map[line]
+            new_pairs = []
+            for pair in pairs:
+                updated = [ZERO_EDGE, ZERO_EDGE]
+                updated[bit] = self._proj_s_edge(pair[bit], line - 1)
+                new_pairs.append(tuple(updated))
+            cached = self._make(line, new_pairs)
+        cache.insert(key, cached)
+        return cached
+
     # -- mode-dependent successor layout ---------------------------------
     def _pairs(self, node: Node):
         """Successors grouped into 2-vectors along the gate's active index."""
@@ -357,6 +486,17 @@ def _control_map(
     return mapping
 
 
+def _map_lines(package, target: int, mapping: Dict[int, int]):
+    """Translate qubit lines into DD levels under the package's variable
+    order (the identity while no reorder has run)."""
+    if package._order_is_identity:
+        return target, mapping
+    return (
+        package.level_of(target),
+        {package.level_of(line): bit for line, bit in mapping.items()},
+    )
+
+
 def apply_single_qubit(package, state: Edge, matrix: np.ndarray, target: int) -> Edge:
     """Apply a single-qubit gate directly to a vector DD: ``U_t |state>``."""
     return apply_controlled(package, state, matrix, target)
@@ -372,9 +512,11 @@ def apply_controlled(
 ) -> Edge:
     """Apply a (multi-)controlled single-qubit gate directly to a vector DD."""
     package._maybe_gc()
-    kernel = _make_kernel(
-        package, "v", matrix, target, _control_map(controls, negative_controls)
+    state = package._resolve(state)
+    target, mapping = _map_lines(
+        package, target, _control_map(controls, negative_controls)
     )
+    kernel = _make_kernel(package, "v", matrix, target, mapping)
     if not package._obs_on:
         return kernel.run(state)
     start = perf_counter()
@@ -400,9 +542,14 @@ def apply_swap(
     if line_a == line_b:
         raise DDError("SWAP needs two distinct lines")
     package._maybe_gc()
+    state = package._resolve(state)
+    mapping = _control_map(controls, negative_controls)
+    if not package._order_is_identity:
+        line_a = package.level_of(line_a)
+        line_b = package.level_of(line_b)
+        mapping = {package.level_of(line): bit for line, bit in mapping.items()}
     start = perf_counter() if package._obs_on else None
     outer = _make_kernel(package, "v", _X_MATRIX, line_a, {line_b: 1})
-    mapping = _control_map(controls, negative_controls)
     mapping[line_a] = 1
     inner = _make_kernel(package, "v", _X_MATRIX, line_b, mapping)
     result = outer.run(inner.run(outer.run(state)))
@@ -454,8 +601,9 @@ def apply_operation(package, state: Edge, operation, num_qubits: int):
     if operation.gate in ("iswap", "iswapdg") and operation.num_controls == 0:
         start = perf_counter() if package._obs_on else None
         sign = 1 if operation.gate == "iswap" else -1
-        result = state
+        result = package._resolve(state)
         for gate_matrix, target, ctrls in _iswap_stages(targets, sign):
+            target, ctrls = _map_lines(package, target, ctrls)
             result = _make_kernel(package, "v", gate_matrix, target, ctrls).run(result)
         result = apply_swap(package, result, targets[0], targets[1])
         if start is not None:
@@ -475,17 +623,17 @@ def apply_operation_matrix(
     if side not in ("left", "right"):
         raise DDError(f"side must be 'left' or 'right', got {side!r}")
     package._maybe_gc()
+    operand = package._resolve(operand)
     mode = "ml" if side == "left" else "mr"
     matrix = operation.matrix_readonly()
     targets = operation.targets
     if matrix.shape == (2, 2):
-        kernel = _make_kernel(
+        target, mapping = _map_lines(
             package,
-            mode,
-            matrix,
             targets[0],
             _control_map(operation.controls, operation.negative_controls),
         )
+        kernel = _make_kernel(package, mode, matrix, target, mapping)
         if not package._obs_on:
             return kernel.run(operand)
         start = perf_counter()
@@ -508,6 +656,7 @@ def apply_operation_matrix(
         ordered = tuple(reversed(stages))
     result = operand
     for gate_matrix, target, ctrls in ordered:
+        target, ctrls = _map_lines(package, target, ctrls)
         result = _make_kernel(package, mode, gate_matrix, target, ctrls).run(result)
     if start is not None:
         _observe(package, "swap", start)

@@ -122,9 +122,26 @@ class DDPackage:
         and isomorphic diagrams.  ``None`` reads the ``REPRO_DD_STORAGE``
         environment variable (unset means pooled).  Diagrams must never
         be mixed across packages, and hence across backends.
+    reorder:
+        Dynamic variable-reordering mode.  ``"off"`` (the default) keeps
+        the level-to-qubit mapping fixed; ``"manual"`` enables explicit
+        :meth:`reorder` calls (sifting, :mod:`repro.dd.reorder`);
+        ``"pressure"`` additionally lets the resource governor sift the
+        variable order on SOFT memory pressure, before it starts shedding
+        compute-table entries.  ``None`` reads ``REPRO_DD_REORDER``.
+    identity_skipping:
+        Reduce matrix-DD nodes of the form ``(e, 0, 0, e)`` to ``e``
+        (arXiv:2406.11959): an edge from level ``l`` straight to a node
+        at level ``k < l - 1`` denotes identities on the skipped levels.
+        Shrinks operation DDs that act trivially on many qubits (the
+        common case during functionality construction and alternating
+        verification).  Only matrix DDs skip; vector DDs stay dense.
+        ``None`` reads ``REPRO_DD_IDENTITY_SKIPPING`` (``1``/``true``).
     """
 
     _OPERATION_NAMES = ("add", "multiply", "kron", "adjoint", "inner_product")
+
+    _REORDER_MODES = ("off", "manual", "pressure")
 
     def __init__(
         self,
@@ -137,6 +154,8 @@ class DDPackage:
         sanitize_every: Optional[int] = None,
         event_bus=None,
         storage: Optional[str] = None,
+        reorder: Optional[str] = None,
+        identity_skipping: Optional[bool] = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         #: Optional :class:`repro.obs.events.EventBus`: the governor
@@ -149,6 +168,33 @@ class DDPackage:
         if storage not in ("pooled", "object"):
             raise DDError(f"unknown DD storage backend {storage!r}")
         self.storage = storage
+        if reorder is None:
+            reorder = os.environ.get("REPRO_DD_REORDER", "").strip() or "off"
+        if reorder not in self._REORDER_MODES:
+            raise DDError(
+                f"unknown reorder mode {reorder!r} "
+                f"(expected one of: {', '.join(self._REORDER_MODES)})"
+            )
+        self.reorder_mode = reorder
+        if identity_skipping is None:
+            raw = os.environ.get("REPRO_DD_IDENTITY_SKIPPING", "").strip().lower()
+            identity_skipping = raw in ("1", "true", "yes", "on")
+        self.identity_skipping = bool(identity_skipping)
+        # Level-to-qubit order map: ``_order[level]`` is the qubit hosted at
+        # ``level``.  Grown lazily; the identity flag keeps the fast path of
+        # every walk free of permutation work while no reorder has run.
+        self._order: List[int] = []
+        self._order_is_identity = True
+        # Reorder root-translation map: old root node -> current Edge.  Edges
+        # handed out before a reorder stay resolvable through it (see
+        # :meth:`_resolve`); composition keeps every entry one hop deep.
+        self._remap: Dict[object, Edge] = {}
+        self._in_reorder = False
+        self._reorder_pending = False
+        self._reorder_cooldown = 0
+        self._identity_skips = 0
+        self._reorder_runs = 0
+        self._reorder_swaps = 0
         if storage == "pooled":
             self.complex_table = WeightPool(tolerance, registry=self.registry)
         else:
@@ -184,6 +230,7 @@ class DDPackage:
                     "inner": self._inner_cache,
                     "apply": self._apply_cache,
                 },
+                identity_skipping=self.identity_skipping,
             )
             self._vector_unique = PooledUniqueAdapter(
                 self._pooled, "vector", registry=self.registry
@@ -257,10 +304,67 @@ class DDPackage:
             registry.gauge(
                 "dd_compute_table_entries", {"table": table.name}
             ).set(len(table))
+        # Plain-int hot-path counters, synced into the registry at export
+        # time so the recursions pay nothing while metrics are idle.
+        registry.counter("dd_identity_skipped_total").set_value(
+            self.identity_skip_count
+        )
+        registry.counter("dd_reorder_total").set_value(self._reorder_runs)
+        registry.counter("dd_reorder_swaps_total").set_value(self._reorder_swaps)
 
     def _observe_op(self, name: str, start: float) -> None:
         self._op_counters[name].inc()
         self._op_timers[name].observe(perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # variable order
+    # ------------------------------------------------------------------
+    def _ensure_order(self, num_qubits: int) -> None:
+        """Grow the level-to-qubit map to cover ``num_qubits`` levels."""
+        while len(self._order) < num_qubits:
+            self._order.append(len(self._order))
+
+    def qubit_at(self, level: int) -> int:
+        """The qubit hosted at ``level`` under the current variable order."""
+        if self._order_is_identity or level >= len(self._order):
+            return level
+        return self._order[level]
+
+    def level_of(self, qubit: int) -> int:
+        """The level currently hosting ``qubit``."""
+        if self._order_is_identity:
+            return qubit
+        try:
+            return self._order.index(qubit)
+        except ValueError:
+            return qubit
+
+    @property
+    def qubit_order(self) -> List[int]:
+        """Copy of the level-to-qubit map (index = level, value = qubit)."""
+        return list(self._order) if self._order else []
+
+    def _refresh_order_identity(self) -> None:
+        self._order_is_identity = all(
+            qubit == level for level, qubit in enumerate(self._order)
+        )
+
+    def _resolve(self, edge: Edge) -> Edge:
+        """Translate an edge handed out before a reorder to its current root.
+
+        Reordering rebuilds diagrams under the new variable order; edges the
+        caller captured earlier keep pointing at the old structure.  Every
+        public entry point funnels operands through this map so stale edges
+        keep working.  A no-op (and near-free) while no reorder has run.
+        """
+        if not self._remap or edge.is_zero or edge.node.is_terminal:
+            return edge
+        res = self._remap.get(edge.node)
+        if res is None:
+            return edge
+        if res.is_zero:
+            return ZERO_EDGE
+        return Edge(res.node, self.complex_table.lookup(edge.weight * res.weight))
 
     # ------------------------------------------------------------------
     # node creation (normalizing constructors)
@@ -288,6 +392,11 @@ class DDPackage:
             raise DDError("matrix nodes require a non-negative level")
         if self._pooled is not None:
             return self._pooled.make_node_public(MATRIX, var, edges)
+        if self.identity_skipping:
+            e0, e1, e2, e3 = edges
+            if e1.is_zero and e2.is_zero and not e0.is_zero and e0 == e3:
+                self._identity_skips += 1
+                return e0
         factor, normalized = normalize(
             edges, self.complex_table, NormalizationScheme.MAX_MAGNITUDE
         )
@@ -310,7 +419,7 @@ class DDPackage:
         bit_tuple = _bits_from(bits, num_qubits)
         edge = ONE_EDGE
         for var in range(num_qubits):
-            bit = bit_tuple[num_qubits - 1 - var]
+            bit = bit_tuple[num_qubits - 1 - self.qubit_at(var)]
             children = [ZERO_EDGE, ZERO_EDGE]
             children[bit] = edge
             edge = self.make_vector_node(var, children)
@@ -327,7 +436,23 @@ class DDPackage:
         num_qubits = int(size).bit_length() - 1
         if size < 2 or (1 << num_qubits) != size:
             raise InvalidStateError(f"state vector length {size} is not a power of two >= 2")
+        array = self._permute_vector_axes(array, num_qubits)
         return self._vector_from_array(array, num_qubits - 1)
+
+    def _permute_vector_axes(self, array: np.ndarray, num_qubits: int) -> np.ndarray:
+        """Permute a dense state vector from qubit order into level order.
+
+        The recursive array decompositions assign array axis ``k`` (MSB
+        first) to level ``n-1-k``; under a non-identity variable order that
+        level hosts qubit ``order[n-1-k]``, so the axes must be shuffled.
+        """
+        if self._order_is_identity:
+            return array
+        axes = [
+            num_qubits - 1 - self.qubit_at(num_qubits - 1 - k)
+            for k in range(num_qubits)
+        ]
+        return array.reshape([2] * num_qubits).transpose(axes).reshape(-1)
 
     def _vector_from_array(self, array: np.ndarray, var: int) -> Edge:
         if var < 0:
@@ -364,6 +489,16 @@ class DDPackage:
         num_qubits = int(size).bit_length() - 1
         if size < 2 or (1 << num_qubits) != size:
             raise DDError(f"matrix dimension {size} is not a power of two >= 2")
+        if not self._order_is_identity:
+            axes = [
+                num_qubits - 1 - self.qubit_at(num_qubits - 1 - k)
+                for k in range(num_qubits)
+            ]
+            array = (
+                array.reshape([2] * (2 * num_qubits))
+                .transpose(axes + [num_qubits + a for a in axes])
+                .reshape(size, size)
+            )
         return self._matrix_from_array(array, num_qubits - 1)
 
     def _matrix_from_array(self, array: np.ndarray, var: int) -> Edge:
@@ -384,10 +519,10 @@ class DDPackage:
 
     def _chain(self, num_qubits: int, factors: Dict[int, np.ndarray]) -> Edge:
         """Matrix DD for a tensor-product chain with 2x2 ``factors`` at the
-        given levels and identities everywhere else."""
+        given qubit lines and identities everywhere else."""
         edge = ONE_EDGE
         for var in range(num_qubits):
-            matrix = factors.get(var, _ID2)
+            matrix = factors.get(self.qubit_at(var), _ID2)
             children: List[Edge] = []
             for i in (0, 1):
                 for j in (0, 1):
@@ -485,6 +620,8 @@ class DDPackage:
     def add(self, left: Edge, right: Edge) -> Edge:
         """Element-wise sum of two vector or two matrix DDs (paper Fig. 4)."""
         self._maybe_gc()
+        left = self._resolve(left)
+        right = self._resolve(right)
         if not self._obs_on:
             return self._add(left, right)
         start = perf_counter()
@@ -513,6 +650,15 @@ class DDPackage:
             if self.complex_table.is_zero(total):
                 return ZERO_EDGE
             return Edge(TERMINAL, self.complex_table.lookup(total))
+        if self.identity_skipping and (
+            left.node.is_terminal
+            or right.node.is_terminal
+            or left.node.var != right.node.var
+        ):
+            if isinstance(left.node, MatrixNode) or isinstance(
+                right.node, MatrixNode
+            ):
+                return self._add_skipping(left, right)
         if left.node.var != right.node.var:
             raise DimensionMismatchError(
                 f"cannot add DDs at levels {left.node.var} and {right.node.var}"
@@ -541,6 +687,53 @@ class DDPackage:
             self._add_cache.insert(key, cached)
         return cached.scaled(left.weight, self.complex_table)
 
+    @staticmethod
+    def _is_matrix_like(node: Node) -> bool:
+        return node.is_terminal or isinstance(node, MatrixNode)
+
+    def _matrix_children_at(self, node: Node, var: int, weight) -> Tuple[Edge, ...]:
+        """Children of ``weight * node`` viewed as a matrix node at ``var``.
+
+        With identity skipping, a terminal or a node below ``var`` stands for
+        ``I ⊗ ... ⊗ node`` — virtually a diagonal node ``(e, 0, 0, e)``.
+        """
+        if not node.is_terminal and node.var == var:
+            if weight == ComplexTable.ONE:
+                return tuple(node.edges)
+            return tuple(
+                edge.scaled(weight, self.complex_table) for edge in node.edges
+            )
+        unit = Edge(node, weight)
+        return (unit, ZERO_EDGE, ZERO_EDGE, unit)
+
+    def _add_skipping(self, left: Edge, right: Edge) -> Edge:
+        """Matrix addition where either side skips levels (or is terminal)."""
+        if not self._is_matrix_like(left.node) or not self._is_matrix_like(
+            right.node
+        ):
+            raise DDError("cannot add a vector DD and a matrix DD")
+        var = max(
+            left.node.var if not left.node.is_terminal else -1,
+            right.node.var if not right.node.is_terminal else -1,
+        )
+        if right.node.uid < left.node.uid:
+            left, right = right, left
+        ratio = self.complex_table.lookup(right.weight / left.weight)
+        key = (left.node, right.node, ratio)
+        cached = self._add_cache.lookup(key)
+        if cached is None:
+            lchildren = self._matrix_children_at(
+                left.node, var, ComplexTable.ONE
+            )
+            rchildren = self._matrix_children_at(right.node, var, ratio)
+            children = tuple(
+                self._add(lchildren[index], rchildren[index])
+                for index in range(4)
+            )
+            cached = self.make_matrix_node(var, children)
+            self._add_cache.insert(key, cached)
+        return cached.scaled(left.weight, self.complex_table)
+
     def multiply(self, operation: Edge, operand: Edge) -> Edge:
         """Matrix-vector or matrix-matrix product (paper Fig. 4).
 
@@ -548,6 +741,8 @@ class DDPackage:
         (simulation step) or a matrix DD (functionality construction).
         """
         self._maybe_gc()
+        operation = self._resolve(operation)
+        operand = self._resolve(operand)
         if not self._obs_on:
             return self._multiply(operation, operand)
         start = perf_counter()
@@ -559,8 +754,21 @@ class DDPackage:
         if operation.is_zero or operand.is_zero:
             return ZERO_EDGE
         if not isinstance(operation.node, MatrixNode):
+            if self.identity_skipping and operation.node.is_terminal:
+                # A fully skipped operation (w * identity) rescales the
+                # operand, whatever its kind.
+                return Edge(
+                    operand.node,
+                    self.complex_table.lookup(operation.weight * operand.weight),
+                )
             raise DDError("the first multiply operand must be a matrix DD")
-        if isinstance(operand.node, MatrixNode):
+        if isinstance(operand.node, MatrixNode) or (
+            self.identity_skipping and operand.node.is_terminal
+        ):
+            # With identity skipping a terminal operand is a collapsed
+            # identity matrix (vector DDs stay level-dense, so a terminal
+            # state can only be the 0-qubit scalar, where the mm rescale
+            # is the same answer).
             return self._multiply_mm(operation, operand)
         return self._multiply_mv(operation, operand)
 
@@ -578,6 +786,12 @@ class DDPackage:
         factor = self.complex_table.lookup(m_edge.weight * v_edge.weight)
         if m_edge.node.is_terminal and v_edge.node.is_terminal:
             return Edge(TERMINAL, factor)
+        if self.identity_skipping and not v_edge.node.is_terminal:
+            if m_edge.node.is_terminal:
+                # w * I applied to the (dense) state: rescale only.
+                return Edge(v_edge.node, factor)
+            if m_edge.node.var < v_edge.node.var:
+                return self._multiply_mv_skipping(m_edge, v_edge, factor)
         if m_edge.node.var != v_edge.node.var:
             raise DimensionMismatchError(
                 f"matrix level {m_edge.node.var} does not match vector level "
@@ -597,6 +811,26 @@ class DDPackage:
             self._mult_mv_cache.insert(key, cached)
         return cached.scaled(factor, self.complex_table)
 
+    def _multiply_mv_skipping(self, m_edge: Edge, v_edge: Edge, factor) -> Edge:
+        """Matrix-vector product where the matrix skips the vector's level."""
+        var = v_edge.node.var
+        key = (m_edge.node, v_edge.node)
+        cached = self._mult_mv_cache.lookup(key)
+        if cached is None:
+            mchildren = self._matrix_children_at(
+                m_edge.node, var, ComplexTable.ONE
+            )
+            children = []
+            for i in (0, 1):
+                partial = self._add(
+                    self._multiply_mv(mchildren[2 * i], v_edge.node.edges[0]),
+                    self._multiply_mv(mchildren[2 * i + 1], v_edge.node.edges[1]),
+                )
+                children.append(partial)
+            cached = self.make_vector_node(var, children)
+            self._mult_mv_cache.insert(key, cached)
+        return cached.scaled(factor, self.complex_table)
+
     def _multiply_mm(self, a_edge: Edge, b_edge: Edge) -> Edge:
         if a_edge.is_zero or b_edge.is_zero:
             return ZERO_EDGE
@@ -611,6 +845,14 @@ class DDPackage:
         factor = self.complex_table.lookup(a_edge.weight * b_edge.weight)
         if a_edge.node.is_terminal and b_edge.node.is_terminal:
             return Edge(TERMINAL, factor)
+        if self.identity_skipping:
+            # w * I absorbs into the other operand's weight.
+            if a_edge.node.is_terminal:
+                return Edge(b_edge.node, factor)
+            if b_edge.node.is_terminal:
+                return Edge(a_edge.node, factor)
+            if a_edge.node.var != b_edge.node.var:
+                return self._multiply_mm_skipping(a_edge, b_edge, factor)
         if a_edge.node.var != b_edge.node.var:
             raise DimensionMismatchError(
                 f"cannot multiply matrix DDs at levels {a_edge.node.var} and "
@@ -635,22 +877,54 @@ class DDPackage:
             self._mult_mm_cache.insert(key, cached)
         return cached.scaled(factor, self.complex_table)
 
-    def kron(self, top: Edge, bottom: Edge) -> Edge:
+    def _multiply_mm_skipping(self, a_edge: Edge, b_edge: Edge, factor) -> Edge:
+        """Matrix-matrix product across mismatched (skipped) levels."""
+        var = max(a_edge.node.var, b_edge.node.var)
+        key = (a_edge.node, b_edge.node)
+        cached = self._mult_mm_cache.lookup(key)
+        if cached is None:
+            achildren = self._matrix_children_at(
+                a_edge.node, var, ComplexTable.ONE
+            )
+            bchildren = self._matrix_children_at(
+                b_edge.node, var, ComplexTable.ONE
+            )
+            children = []
+            for i in (0, 1):
+                for j in (0, 1):
+                    entry = self._add(
+                        self._multiply_mm(achildren[2 * i], bchildren[j]),
+                        self._multiply_mm(achildren[2 * i + 1], bchildren[2 + j]),
+                    )
+                    children.append(entry)
+            cached = self.make_matrix_node(var, children)
+            self._mult_mm_cache.insert(key, cached)
+        return cached.scaled(factor, self.complex_table)
+
+    def kron(
+        self, top: Edge, bottom: Edge, bottom_qubits: Optional[int] = None
+    ) -> Edge:
         """Tensor product ``top ⊗ bottom`` by terminal replacement.
 
         The terminal of ``top`` is replaced by the root of ``bottom`` and the
         ``top`` levels are shifted above ``bottom``'s (paper Fig. 3).  Works
-        for two vector DDs or two matrix DDs.
+        for two vector DDs or two matrix DDs.  With identity skipping the
+        span of a matrix DD is no longer ``root.var + 1``; pass
+        ``bottom_qubits`` explicitly when ``bottom`` skips at its root.
         """
         self._maybe_gc()
+        top = self._resolve(top)
+        bottom = self._resolve(bottom)
         if not self._obs_on:
-            return self._kron(top, bottom)
+            return self._kron(top, bottom, bottom_qubits)
         start = perf_counter()
-        result = self._kron(top, bottom)
+        result = self._kron(top, bottom, bottom_qubits)
         self._observe_op("kron", start)
         return result
 
-    def _kron(self, top: Edge, bottom: Edge) -> Edge:
+    def _kron(
+        self, top: Edge, bottom: Edge, bottom_qubits: Optional[int] = None
+    ) -> Edge:
         if top.is_zero or bottom.is_zero:
             return ZERO_EDGE
         if (
@@ -659,31 +933,33 @@ class DDPackage:
             and type(top.node) is not type(bottom.node)
         ):
             raise DDError("cannot tensor a vector DD with a matrix DD")
+        shift = bottom.node.var + 1 if bottom_qubits is None else bottom_qubits
         engine = self._pooled
         if engine is not None:
             probe = bottom.node if top.node.is_terminal else top.node
             kind = MATRIX if isinstance(probe, MatrixNode) else VECTOR
             return engine.to_edge(
                 kind,
-                engine.kron(kind, engine.from_edge(top), engine.from_edge(bottom)),
+                engine.kron(
+                    kind, engine.from_edge(top), engine.from_edge(bottom), shift
+                ),
             )
         factor = self.complex_table.lookup(top.weight * bottom.weight)
-        result = self._kron_nodes(top.node, bottom.node)
+        result = self._kron_nodes(top.node, bottom.node, shift)
         return result.scaled(factor, self.complex_table)
 
-    def _kron_nodes(self, top: Node, bottom: Node) -> Edge:
+    def _kron_nodes(self, top: Node, bottom: Node, shift: int) -> Edge:
         if top.is_terminal:
             return Edge(bottom, ComplexTable.ONE)
-        key = (top, bottom)
+        key = (top, bottom, shift)
         cached = self._kron_cache.lookup(key)
         if cached is None:
-            shift = bottom.var + 1
             children = []
             for edge in top.edges:
                 if edge.is_zero:
                     children.append(ZERO_EDGE)
                 else:
-                    sub = self._kron_nodes(edge.node, bottom)
+                    sub = self._kron_nodes(edge.node, bottom, shift)
                     children.append(sub.scaled(edge.weight, self.complex_table))
             if isinstance(top, MatrixNode):
                 cached = self.make_matrix_node(top.var + shift, children)
@@ -749,6 +1025,7 @@ class DDPackage:
     def adjoint(self, operation: Edge) -> Edge:
         """Conjugate transpose of a matrix DD."""
         self._maybe_gc()
+        operation = self._resolve(operation)
         if not self._obs_on:
             return self._adjoint(operation)
         start = perf_counter()
@@ -799,6 +1076,7 @@ class DDPackage:
         The terminal is not counted, following the paper's convention
         (Ex. 6: the Bell-state DD "consists of 3 nodes").
         """
+        edge = self._resolve(edge)
         if self._pooled is not None and not edge.node.is_terminal:
             node = edge.node
             if getattr(node, "_engine", None) is self._pooled:
@@ -816,9 +1094,17 @@ class DDPackage:
 
     def amplitude(self, state: Edge, basis: BitString, num_qubits: Optional[int] = None) -> complex:
         """Amplitude of ``|basis>`` in ``state`` (product of path weights)."""
+        state = self._resolve(state)
         if num_qubits is None:
             num_qubits = self.num_qubits(state)
         bits = _bits_from(basis, num_qubits)
+        if not self._order_is_identity:
+            # Walk step k descends level n-1-k, which hosts qubit
+            # order[n-1-k]; pick that qubit's bit from the big-endian input.
+            bits = tuple(
+                bits[num_qubits - 1 - self.qubit_at(num_qubits - 1 - k)]
+                for k in range(num_qubits)
+            )
         value = complex(1.0, 0.0)
         edge = state
         for bit in bits:
@@ -837,24 +1123,46 @@ class DDPackage:
         column: BitString,
         num_qubits: Optional[int] = None,
     ) -> complex:
-        """Entry ``U[row, column]`` of a matrix DD."""
+        """Entry ``U[row, column]`` of a matrix DD.
+
+        Skip-aware: a node below the expected level (identity skipping)
+        contributes identity entries for the skipped levels.  Pass
+        ``num_qubits`` explicitly for DDs that skip at the root.
+        """
+        operation = self._resolve(operation)
         if num_qubits is None:
             num_qubits = self.num_qubits(operation)
         row_bits = _bits_from(row, num_qubits)
         col_bits = _bits_from(column, num_qubits)
+        if not self._order_is_identity:
+            permuted = tuple(
+                num_qubits - 1 - self.qubit_at(num_qubits - 1 - k)
+                for k in range(num_qubits)
+            )
+            row_bits = tuple(row_bits[p] for p in permuted)
+            col_bits = tuple(col_bits[p] for p in permuted)
         value = complex(1.0, 0.0)
         edge = operation
-        for i, j in zip(row_bits, col_bits):
+        for k in range(num_qubits):
             if edge.is_zero:
                 return ComplexTable.ZERO
+            level = num_qubits - 1 - k
+            i, j = row_bits[k], col_bits[k]
+            node = edge.node
+            if node.is_terminal or node.var < level:
+                # Skipped level: identity — diagonal survives, rest is zero.
+                if i != j:
+                    return ComplexTable.ZERO
+                continue
             value *= edge.weight
-            edge = edge.node.edges[2 * i + j]
+            edge = node.edges[2 * i + j]
         if edge.is_zero:
             return ComplexTable.ZERO
         return self.complex_table.lookup(value * edge.weight)
 
     def to_vector(self, state: Edge, num_qubits: Optional[int] = None) -> np.ndarray:
         """Dense state vector represented by ``state`` (for small systems)."""
+        state = self._resolve(state)
         if num_qubits is None:
             num_qubits = self.num_qubits(state)
         out = np.zeros(1 << num_qubits, dtype=complex)
@@ -870,33 +1178,55 @@ class DDPackage:
         if edge.node.is_terminal:
             out[offset] = weight
             return
-        stride = 1 << edge.node.var
+        # Level ``var`` hosts qubit ``order[var]``: its bit's significance.
+        stride = 1 << self.qubit_at(edge.node.var)
         self._fill_vector(edge.node.edges[0], offset, weight, out)
         self._fill_vector(edge.node.edges[1], offset + stride, weight, out)
 
     def to_matrix(self, operation: Edge, num_qubits: Optional[int] = None) -> np.ndarray:
-        """Dense matrix represented by ``operation`` (for small systems)."""
+        """Dense matrix represented by ``operation`` (for small systems).
+
+        Skip-aware: pass ``num_qubits`` explicitly for identity-skipping
+        DDs whose root sits below the intended top level.
+        """
+        operation = self._resolve(operation)
         if num_qubits is None:
             num_qubits = self.num_qubits(operation)
         size = 1 << num_qubits
         out = np.zeros((size, size), dtype=complex)
-        self._fill_matrix(operation, 0, 0, complex(1.0, 0.0), out)
+        self._fill_matrix(operation, num_qubits - 1, 0, 0, complex(1.0, 0.0), out)
         return out
 
     def _fill_matrix(
-        self, edge: Edge, row: int, column: int, weight: complex, out: np.ndarray
+        self,
+        edge: Edge,
+        level: int,
+        row: int,
+        column: int,
+        weight: complex,
+        out: np.ndarray,
     ) -> None:
         if edge.is_zero:
             return
-        weight = weight * edge.weight
-        if edge.node.is_terminal:
-            out[row, column] = weight
+        node = edge.node
+        if level < 0:
+            out[row, column] = weight * edge.weight
             return
-        stride = 1 << edge.node.var
+        stride = 1 << self.qubit_at(level)
+        if node.is_terminal or node.var < level:
+            # Skipped level: identity — recurse diagonally with the same
+            # edge, deferring its weight until the node is reached.
+            self._fill_matrix(edge, level - 1, row, column, weight, out)
+            self._fill_matrix(
+                edge, level - 1, row + stride, column + stride, weight, out
+            )
+            return
+        weight = weight * edge.weight
         for i in (0, 1):
             for j in (0, 1):
                 self._fill_matrix(
-                    edge.node.edges[2 * i + j],
+                    node.edges[2 * i + j],
+                    level - 1,
                     row + i * stride,
                     column + j * stride,
                     weight,
@@ -906,6 +1236,8 @@ class DDPackage:
     def inner_product(self, left: Edge, right: Edge) -> complex:
         """The inner product ``<left|right>`` of two vector DDs."""
         self._maybe_gc()
+        left = self._resolve(left)
+        right = self._resolve(right)
         if not self._obs_on:
             return self._inner_product(left, right)
         start = perf_counter()
@@ -965,6 +1297,128 @@ class DDPackage:
         return abs(self.inner_product(left, right)) ** 2
 
     # ------------------------------------------------------------------
+    # dynamic variable reordering
+    # ------------------------------------------------------------------
+    def reorder(self, strategy: str = "sifting", max_growth: float = 2.0) -> Dict:
+        """Re-optimize the variable order of all live (incref'd) roots.
+
+        Runs the sifting optimizer of :mod:`repro.dd.reorder`: each variable
+        is moved through every level via adjacent swaps and settled where
+        the total diagram is smallest.  Edges handed out before the call
+        remain valid — every public entry point translates them through the
+        package's remap (:meth:`_resolve`).  Returns a summary dict with
+        ``nodes_before``/``nodes_after``/``swaps``/``order``.
+
+        Only enabled with ``reorder="manual"`` or ``"pressure"``.
+        """
+        if self.reorder_mode == "off":
+            raise DDError(
+                "dynamic reordering is disabled; construct the package with "
+                "reorder='manual' or reorder='pressure'"
+            )
+        return self._reorder_now(strategy, max_growth)
+
+    def _reorder_now(self, strategy: str = "sifting", max_growth: float = 2.0) -> Dict:
+        from repro.dd.reorder import sift
+
+        if strategy != "sifting":
+            raise DDError(f"unknown reorder strategy {strategy!r}")
+        if self._in_reorder:
+            raise DDError("reorder() is not reentrant")
+        self._in_reorder = True
+        try:
+            summary = sift(self, max_growth=max_growth)
+        finally:
+            self._in_reorder = False
+        self._reorder_runs += 1
+        # Memoized results remain structurally sound across a reorder, but
+        # gate DDs cached per (gate, qubits) are built for the old order.
+        self.clear_caches()
+        cache = getattr(self, "_gate_dd_cache", None)
+        if cache is not None:
+            cache.clear()
+        return summary
+
+    def _pressure_reorder(self) -> None:
+        """Governor hook: request a sift on SOFT pressure
+        (``reorder="pressure"``).
+
+        The sift itself is *deferred* to the next :meth:`incref`: pressure
+        is detected at operation entry, where callers may still hold
+        unrooted intermediate edges (a staged kernel result, a freshly
+        built gate DD) that the root remap cannot see — reordering under
+        their feet would silently re-interpret their levels.  An incref is
+        the natural safe point: the caller is committing a result, so
+        every edge that must survive is registered with the governor.
+        """
+        if self.reorder_mode != "pressure" or self._in_reorder:
+            return
+        if self._reorder_cooldown > 0:
+            self._reorder_cooldown -= 1
+            return
+        self._reorder_pending = True
+
+    def _run_pending_reorder(self) -> None:
+        """Run a pressure-requested sift (called from :meth:`incref`).
+
+        A sift that saves less than 1% of nodes triggers a cooldown to
+        keep repeated SOFT collections from thrashing on a local minimum.
+        """
+        self._reorder_pending = False
+        if self.reorder_mode != "pressure" or self._in_reorder:
+            return
+        summary = self._reorder_now()
+        before = summary.get("nodes_before", 0)
+        after = summary.get("nodes_after", 0)
+        if before <= 0 or (before - after) < 0.01 * before:
+            self._reorder_cooldown = 8
+
+    def _retire_stale_roots(self, nodes) -> None:
+        """Withdraw pre-reorder root nodes from the unique tables.
+
+        Called by the reorder rebuild *before* any swap conses new nodes.
+        The old roots become the remap's domain; evicting them first
+        guarantees neither the rebuild itself nor any later operation can
+        hash-cons onto a stale node — without this, a rebuilt diagram that
+        coincides with another old root (e.g. reordering a state whose
+        SWAP-ed twin is also rooted) would alias two meanings onto one
+        node object and :meth:`_resolve` would translate fresh edges.
+        """
+        if self._pooled is not None:
+            for node in nodes:
+                self._pooled.retire_node(node)
+            return
+        matrix = [node for node in nodes if isinstance(node, MatrixNode)]
+        vector = [node for node in nodes if not isinstance(node, MatrixNode)]
+        if vector:
+            self._vector_unique.evict(vector)
+        if matrix:
+            self._matrix_unique.evict(matrix)
+
+    def _apply_reorder_remap(self, mapping: Dict[object, Edge]) -> None:
+        """Fold a swap's old-node -> new-edge map into the package remap.
+
+        Existing entries are re-targeted through the new mapping (so the
+        remap stays one hop deep), then genuinely new entries are added and
+        the governor's root registry is rebuilt.
+        """
+        if not mapping:
+            return
+        table = self.complex_table
+        for old_node, edge in list(self._remap.items()):
+            res = mapping.get(edge.node)
+            if res is not None:
+                self._remap[old_node] = (
+                    ZERO_EDGE
+                    if res.is_zero
+                    else Edge(res.node, table.lookup(edge.weight * res.weight))
+                )
+        for old_node, edge in mapping.items():
+            if old_node not in self._remap:
+                self._remap[old_node] = edge
+        self.governor.remap_roots(self._resolve)
+
+    # ------------------------------------------------------------------
     # resource governance
     # ------------------------------------------------------------------
     def incref(self, edge: Edge) -> Edge:
@@ -974,9 +1428,13 @@ class DDPackage:
         verification engines, service sessions — call this so a complex-
         table sweep never purges the root's weight representative.  Node
         liveness itself is still governed by ordinary Python references.
-        Returns ``edge`` for call-through convenience.
+        Returns the (resolved) ``edge`` for call-through convenience.
         """
+        edge = self._resolve(edge)
         self.governor.incref(edge)
+        if self._reorder_pending:
+            self._run_pending_reorder()
+            edge = self._resolve(edge)
         return edge
 
     def decref(self, edge: Edge) -> None:
@@ -985,7 +1443,7 @@ class DDPackage:
         Unbalanced calls are tolerated: a decref of an unregistered edge is
         a no-op, and a forgotten decref self-cleans once the node dies.
         """
-        self.governor.decref(edge)
+        self.governor.decref(self._resolve(edge))
 
     def gc(self, force: bool = False) -> GcStats:
         """Run one garbage collection at the current pressure tier.
@@ -1116,4 +1574,22 @@ class DDPackage:
             "runs": self.sanitize_runs,
             "violations": self.sanitize_violations,
         }
+        result["reorder"] = {
+            "mode": self.reorder_mode,
+            "identity_skipping": self.identity_skipping,
+            "runs": self._reorder_runs,
+            "swaps": self._reorder_swaps,
+            "identity_skips": self.identity_skip_count,
+            "order": (
+                "identity" if self._order_is_identity else self.qubit_order
+            ),
+        }
         return result
+
+    @property
+    def identity_skip_count(self) -> int:
+        """Total matrix-node reductions performed by identity skipping."""
+        skips = self._identity_skips
+        if self._pooled is not None:
+            skips += self._pooled.identity_skips
+        return skips

@@ -438,6 +438,36 @@ class PooledUniqueTable:
         self._count = len(live)
         self._reinsert(live)
 
+    def remove_index(self, node_index: int) -> bool:
+        """Remove one node from the consing table (reorder retirement).
+
+        Linear probing has no tombstones, so deletion re-inserts the rest
+        of the probe cluster to keep every survivor reachable through its
+        own chain.  Returns whether the index was present.
+        """
+        pool = self.pool
+        base = node_index * pool.arity
+        end = base + pool.arity
+        slot, found = self.find_slot(
+            pool.var[node_index],
+            tuple(pool.succ[base:end]),
+            tuple(pool.wsucc[base:end]),
+        )
+        if found != node_index:
+            return False
+        slots = self._slots
+        mask = self._mask
+        slots[slot] = -1
+        probe = (slot + 1) & mask
+        cluster = []
+        while slots[probe] >= 0:
+            cluster.append(slots[probe])
+            slots[probe] = -1
+            probe = (probe + 1) & mask
+        self._count -= 1
+        self._reinsert(cluster)
+        return True
+
     def contains_index(self, node_index: int) -> bool:
         """Whether ``node_index`` is reachable through its own probe chain
         (probe-chain integrity check used by the sanitizer)."""

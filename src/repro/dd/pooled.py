@@ -259,9 +259,15 @@ class PooledEngine:
         weights: WeightPool,
         vector_scheme: NormalizationScheme,
         caches: Dict[str, object],
+        identity_skipping: bool = False,
     ):
         self.weights = weights
         self.vector_scheme = vector_scheme
+        # Identity skipping (arXiv:2406.11959): matrix nodes of the shape
+        # (e, 0, 0, e) are never consed — the constructor returns ``e``, and
+        # the arithmetic virtualizes skipped levels back on demand.
+        self.identity_skipping = bool(identity_skipping)
+        self.identity_skips = 0
         self.vpool = NodePool(2)
         self.mpool = NodePool(4)
         self._vunique = PooledUniqueTable(self.vpool)
@@ -278,6 +284,11 @@ class PooledEngine:
             weakref.WeakValueDictionary(),
             weakref.WeakValueDictionary(),
         )
+        # Indices retired by a variable reorder: still allocated (stale
+        # edges resolve through the package remap, which pins their views)
+        # but withdrawn from the consing tables so future constructions
+        # mint fresh indices — see ``retire_node``.
+        self._retired: Tuple[set, set] = (set(), set())
         # Interned gate operations: op-key tuple -> small integer, so apply
         # cache keys are two-int tuples instead of nested tuples.
         self._gate_ids: Dict[tuple, int] = {}
@@ -528,6 +539,17 @@ class PooledEngine:
         integer pool index, which normalization carries through untouched),
         so factor extraction and canonicalization are bit-identical.
         """
+        if kind == MATRIX and self.identity_skipping:
+            e0, e1, e2, e3 = value_edges
+            if (
+                e1.weight == ComplexTable.ZERO
+                and e2.weight == ComplexTable.ZERO
+                and e0.weight != ComplexTable.ZERO
+                and e0 == e3
+            ):
+                self.identity_skips += 1
+                n0 = e0.node if isinstance(e0.node, int) else TERMINAL_INDEX
+                return (n0, self.weights.lookup_index(e0.weight))
         scheme = (
             self.vector_scheme if kind == VECTOR else NormalizationScheme.MAX_MAGNITUDE
         )
@@ -562,6 +584,11 @@ class PooledEngine:
         without materializing throwaway edge tuples.
         """
         weights = self.weights
+        if kind == MATRIX and self.identity_skipping:
+            (n0, w0), (n1, w1), (n2, w2), (n3, w3) = edges
+            if w1 == 0 and w2 == 0 and w0 != 0 and n0 == n3 and w0 == w3:
+                self.identity_skips += 1
+                return (n0, w0)
         if kind == VECTOR and self.vector_scheme is NormalizationScheme.L2:
             (n0, w0), (n1, w1) = edges
             if w0 == 0 and w1 == 0:
@@ -728,6 +755,8 @@ class PooledEngine:
         lvar = pool.var[ln] if ln >= 0 else -1
         rvar = pool.var[rn] if rn >= 0 else -1
         if lvar != rvar:
+            if kind == MATRIX and self.identity_skipping:
+                return self._add_skipping((ln, lw), (rn, rw))
             raise DimensionMismatchError(
                 f"cannot add DDs at levels {lvar} and {rvar}"
             )
@@ -758,6 +787,50 @@ class PooledEngine:
             cache.insert(key, cached)
         return self.scale(cached, lw)
 
+    def _mchildren_at(self, index: int, var: int, widx: int):
+        """Successors of ``widx * node`` viewed as a matrix node at ``var``.
+
+        With identity skipping, the terminal or a node below ``var`` stands
+        for ``I ⊗ ... ⊗ node`` — virtually a diagonal node ``(e, 0, 0, e)``.
+        """
+        if index >= 0 and self.mpool.var[index] == var:
+            base = index * 4
+            succ, wsucc = self.mpool.succ, self.mpool.wsucc
+            return tuple(
+                self.scale((succ[base + k], wsucc[base + k]), widx)
+                for k in range(4)
+            )
+        unit = (index, widx)
+        return (unit, ZERO_E, ZERO_E, unit)
+
+    def _add_skipping(
+        self, left: Tuple[int, int], right: Tuple[int, int]
+    ) -> Tuple[int, int]:
+        """Matrix addition across mismatched (skipped) levels."""
+        ln, lw = left
+        rn, rw = right
+        pool = self.mpool
+        order = pool.order
+        if (order[rn] if rn >= 0 else 0) < (order[ln] if ln >= 0 else 0):
+            ln, lw, rn, rw = rn, rw, ln, lw
+        var = max(
+            pool.var[ln] if ln >= 0 else -1,
+            pool.var[rn] if rn >= 0 else -1,
+        )
+        ratio = self._div_index(rw, lw)
+        key = (MATRIX, ln, rn, ratio)
+        cache = self._add_cache
+        cached = cache.lookup(key)
+        if cached is None:
+            lchildren = self._mchildren_at(ln, var, 1)
+            rchildren = self._mchildren_at(rn, var, ratio)
+            children = [
+                self.add(MATRIX, lchildren[k], rchildren[k]) for k in range(4)
+            ]
+            cached = self.make_node(MATRIX, var, children)
+            cache.insert(key, cached)
+        return self.scale(cached, lw)
+
     def multiply_mv(
         self, m_edge: Tuple[int, int], v_edge: Tuple[int, int]
     ) -> Tuple[int, int]:
@@ -768,6 +841,12 @@ class PooledEngine:
         factor = self._mul_index(mw, vw)
         if mn < 0 and vn < 0:
             return (TERMINAL_INDEX, factor)
+        if self.identity_skipping and vn >= 0:
+            if mn < 0:
+                # w * I applied to the (dense) state: rescale only.
+                return (vn, factor)
+            if self.mpool.var[mn] < self.vpool.var[vn]:
+                return self.scale(self._multiply_mv_skipping(mn, vn), factor)
         mvar = self.mpool.var[mn] if mn >= 0 else -1
         vvar = self.vpool.var[vn] if vn >= 0 else -1
         if mvar != vvar:
@@ -800,6 +879,55 @@ class PooledEngine:
             cache.insert(key, cached)
         return self.scale(cached, factor)
 
+    def _multiply_mv_skipping(self, mn: int, vn: int) -> Tuple[int, int]:
+        """Matrix-vector product where the matrix skips the vector's level."""
+        vvar = self.vpool.var[vn]
+        key = (mn, vn)
+        cache = self._mult_mv_cache
+        cached = cache.lookup(key)
+        if cached is None:
+            mchildren = self._mchildren_at(mn, vvar, 1)
+            vsucc, vwsucc = self.vpool.succ, self.vpool.wsucc
+            vbase = vn * 2
+            v0 = (vsucc[vbase], vwsucc[vbase])
+            v1 = (vsucc[vbase + 1], vwsucc[vbase + 1])
+            children = [
+                self.add(
+                    VECTOR,
+                    self.multiply_mv(mchildren[2 * i], v0),
+                    self.multiply_mv(mchildren[2 * i + 1], v1),
+                )
+                for i in (0, 1)
+            ]
+            cached = self.make_node(VECTOR, vvar, children)
+            cache.insert(key, cached)
+        return cached
+
+    def _multiply_mm_skipping(self, an: int, bn: int) -> Tuple[int, int]:
+        """Matrix-matrix product across mismatched (skipped) levels."""
+        var = max(self.mpool.var[an], self.mpool.var[bn])
+        key = (an, bn)
+        cache = self._mult_mm_cache
+        cached = cache.lookup(key)
+        if cached is None:
+            achildren = self._mchildren_at(an, var, 1)
+            bchildren = self._mchildren_at(bn, var, 1)
+            children = []
+            for i in (0, 1):
+                for j in (0, 1):
+                    children.append(
+                        self.add(
+                            MATRIX,
+                            self.multiply_mm(achildren[2 * i], bchildren[j]),
+                            self.multiply_mm(
+                                achildren[2 * i + 1], bchildren[2 + j]
+                            ),
+                        )
+                    )
+            cached = self.make_node(MATRIX, var, children)
+            cache.insert(key, cached)
+        return cached
+
     def multiply_mm(
         self, a_edge: Tuple[int, int], b_edge: Tuple[int, int]
     ) -> Tuple[int, int]:
@@ -810,6 +938,14 @@ class PooledEngine:
         factor = self._mul_index(aw, bw)
         if an < 0 and bn < 0:
             return (TERMINAL_INDEX, factor)
+        if self.identity_skipping:
+            # w * I absorbs into the other operand's weight.
+            if an < 0:
+                return (bn, factor)
+            if bn < 0:
+                return (an, factor)
+            if self.mpool.var[an] != self.mpool.var[bn]:
+                return self.scale(self._multiply_mm_skipping(an, bn), factor)
         avar = self.mpool.var[an] if an >= 0 else -1
         bvar = self.mpool.var[bn] if bn >= 0 else -1
         if avar != bvar:
@@ -844,29 +980,34 @@ class PooledEngine:
         return self.scale(cached, factor)
 
     def kron(
-        self, kind: int, top: Tuple[int, int], bottom: Tuple[int, int]
+        self,
+        kind: int,
+        top: Tuple[int, int],
+        bottom: Tuple[int, int],
+        shift: int,
     ) -> Tuple[int, int]:
         if top[1] == 0 or bottom[1] == 0:
             return ZERO_E
         factor = self._mul_index(top[1], bottom[1])
-        result = self.kron_nodes(kind, top[0], bottom[0])
+        result = self.kron_nodes(kind, top[0], bottom[0], shift)
         return self.scale(result, factor)
 
-    def kron_nodes(self, kind: int, top: int, bottom: int) -> Tuple[int, int]:
+    def kron_nodes(
+        self, kind: int, top: int, bottom: int, shift: int
+    ) -> Tuple[int, int]:
         if top < 0:
             return (bottom, 1)
-        key = (kind, top, bottom)
+        key = (kind, top, bottom, shift)
         cache = self._kron_cache
         cached = cache.lookup(key)
         if cached is None:
             pool = self.vpool if kind == VECTOR else self.mpool
-            shift = (pool.var[bottom] if bottom >= 0 else -1) + 1
             children = []
             for succ, wsucc in pool.edges_of(top):
                 if wsucc == 0:
                     children.append(ZERO_E)
                 else:
-                    sub = self.kron_nodes(kind, succ, bottom)
+                    sub = self.kron_nodes(kind, succ, bottom, shift)
                     children.append(self.scale(sub, wsucc))
             cached = self.make_node(kind, pool.var[top] + shift, children)
             cache.insert(key, cached)
@@ -958,6 +1099,25 @@ class PooledEngine:
             self._gate_ids[op_key] = gate_id
         return gate_id
 
+    def retire_node(self, node) -> None:
+        """Withdraw a stale (pre-reorder) root node from its consing table.
+
+        The package remap translates edges that still point at the node;
+        retiring it guarantees no *future* construction can cons onto the
+        same index, so remapping is idempotent (a current edge's node is
+        never in the remap's domain).  The slot stays allocated while any
+        view of it is Python-reachable and is excluded from unique-table
+        rebuilds until it dies.
+        """
+        kind = node._KIND
+        index = node._index
+        unique = self._vunique if kind == VECTOR else self._munique
+        if unique.remove_index(index):
+            self._retired[kind].add(index)
+
+    def is_retired(self, kind: int, index: int) -> bool:
+        return index in self._retired[kind]
+
     def sweep(self, roots: Sequence[Tuple[Node, complex]]) -> Tuple[int, int]:
         """Mark-and-sweep the pools; returns ``(nodes_freed, weights_freed)``.
 
@@ -1001,8 +1161,10 @@ class PooledEngine:
                 else:
                     pool.free(index)
                     nodes_freed += 1
+            retired = self._retired[kind]
+            retired.intersection_update(live)
             unique = self._vunique if kind == VECTOR else self._munique
-            unique.rebuild(sorted(live))
+            unique.rebuild(sorted(live - retired))
         exact = self.weights._exact
         for _node, weight in roots:
             widx = exact.get(weight)
@@ -1037,6 +1199,7 @@ class PooledEngine:
             "weight_free": len(self.weights._free),
             "unique_capacity": self._vunique.capacity + self._munique.capacity,
             "gate_ids": len(self._gate_ids),
+            "identity_skips": self.identity_skips,
             "array_bytes": self.table_bytes(),
         }
 
@@ -1083,6 +1246,7 @@ class PooledApplyKernel:
         "engine", "weights", "pool", "cache", "mode", "kind",
         "u", "u_val", "target", "controls", "low", "below", "below_map",
         "below_low", "op_id", "proj_id", "kernel", "cacheable",
+        "skipping", "high", "lines", "below_lines",
     )
 
     def __init__(
@@ -1131,11 +1295,20 @@ class PooledApplyKernel:
                 raise DDError(f"control value must be 0 or 1, got {bit!r}")
         levels = [target, *self.controls]
         self.low = min(levels)
+        self.high = max(levels)
+        self.lines = tuple(sorted(levels, reverse=True))
         self.below = tuple(
             sorted((line, bit) for line, bit in self.controls.items() if line < target)
         )
         self.below_map = dict(self.below)
         self.below_low = self.below[0][0] if self.below else target
+        self.below_lines = tuple(sorted(self.below_map, reverse=True))
+        # Identity-skipping matrix DDs may skip gate lines; `_rec_s` mirrors
+        # the object kernel's level-tracking recursion (vector DDs stay
+        # dense, so mode "v" keeps the fast path).
+        self.skipping = mode != "v" and bool(
+            getattr(package, "identity_skipping", False)
+        )
         ctrl_key = tuple(sorted(self.controls.items()))
         self.op_id = engine.gate_id(("apply", mode, self.u_val, target, ctrl_key))
         self.proj_id = engine.gate_id(("proj", mode, self.below))
@@ -1165,6 +1338,16 @@ class PooledApplyKernel:
         if root.is_zero:
             return ZERO_EDGE
         node = root.node
+        engine = self.engine
+        if self.skipping:
+            if not node.is_terminal and not isinstance(node, MatrixNode):
+                raise DDError("apply kernels need a matrix DD root")
+            index = engine.node_index(node)
+            entry = self.high if index < 0 else max(self.high, self.pool.var[index])
+            widx = self.weights.lookup_index(root.weight)
+            return engine.to_edge(
+                self.kind, engine.scale(self._rec_s(index, entry), widx)
+            )
         expected = VectorNode if self.mode == "v" else MatrixNode
         if node.is_terminal or not isinstance(node, expected):
             kind = "vector" if self.mode == "v" else "matrix"
@@ -1274,6 +1457,122 @@ class PooledApplyKernel:
                     new_pairs.append(tuple(updated))
             cached = self._make(var, new_pairs)
             cache.insert(key, cached)
+        return cached
+
+    # -- identity-skipping recursion (matrix modes) ----------------------
+    # Mirror of `_ApplyKernel._rec_s`: skipped levels stand for identities,
+    # so the recursion tracks the next gate line and keys the cache on it
+    # (node-only keys would collide when gate lines fall in skipped ranges).
+    @staticmethod
+    def _next_line(lines: Tuple[int, ...], level: int):
+        for line in lines:
+            if line <= level:
+                return line
+        return None
+
+    def _pairs_at(self, index: int, virtual: bool):
+        if not virtual:
+            return self._pairs(index)
+        # The node skips this level: virtually a diagonal (e, 0, 0, e),
+        # identical under row ("ml") and column ("mr") grouping.
+        unit = (index, 1)
+        return ((unit, ZERO_E), (ZERO_E, unit))
+
+    def _rec_s_edge(self, edge: Tuple[int, int], level: int) -> Tuple[int, int]:
+        if edge[1] == 0:
+            return ZERO_E
+        return self.engine.scale(self._rec_s(edge[0], level), edge[1])
+
+    def _rec_s(self, index: int, level: int) -> Tuple[int, int]:
+        line = self._next_line(self.lines, level)
+        if line is None:
+            return (index, 1)
+        key = (self.op_id, index, line)
+        cache = self.cache
+        cached = cache.lookup(key)
+        if cached is not None:
+            return cached
+        var = self.pool.var[index] if index >= 0 else -1
+        if index >= 0 and var > line:
+            pairs = self._pairs(index)
+            new_pairs = [
+                tuple(self._rec_s_edge(child, var - 1) for child in pair)
+                for pair in pairs
+            ]
+            cached = self._make(var, new_pairs)
+        else:
+            virtual = index < 0 or var < line
+            pairs = self._pairs_at(index, virtual)
+            if line == self.target:
+                new_pairs = [self._apply_target_s(pair) for pair in pairs]
+            else:
+                bit = self.controls[line]
+                new_pairs = []
+                for pair in pairs:
+                    updated = list(pair)
+                    updated[bit] = self._rec_s_edge(pair[bit], line - 1)
+                    new_pairs.append(tuple(updated))
+            cached = self._make(line, new_pairs)
+        cache.insert(key, cached)
+        return cached
+
+    def _apply_target_s(self, pair):
+        u00, u01, u10, u11 = self.u
+        c0, c1 = pair
+        engine = self.engine
+        scale = engine.scale
+        kind = self.kind
+        if self.below:
+            add = engine.add
+            d00 = self._canonical_index(self.u_val[0] - 1.0)
+            d11 = self._canonical_index(self.u_val[3] - 1.0)
+            p0 = self._proj_s_edge(c0, self.target - 1)
+            p1 = self._proj_s_edge(c1, self.target - 1)
+            new0 = add(kind, c0, add(kind, scale(p0, d00), scale(p1, u01)))
+            new1 = add(kind, c1, add(kind, scale(p0, u10), scale(p1, d11)))
+            return (new0, new1)
+        if self.u_val[1] == ComplexTable.ZERO and self.u_val[2] == ComplexTable.ZERO:
+            return (scale(c0, u00), scale(c1, u11))
+        if self.u_val[0] == ComplexTable.ZERO and self.u_val[3] == ComplexTable.ZERO:
+            return (scale(c1, u01), scale(c0, u10))
+        add = engine.add
+        new0 = add(kind, scale(c0, u00), scale(c1, u01))
+        new1 = add(kind, scale(c0, u10), scale(c1, u11))
+        return (new0, new1)
+
+    def _proj_s_edge(self, edge: Tuple[int, int], level: int) -> Tuple[int, int]:
+        if edge[1] == 0:
+            return ZERO_E
+        return self.engine.scale(self._proj_s(edge[0], level), edge[1])
+
+    def _proj_s(self, index: int, level: int) -> Tuple[int, int]:
+        line = self._next_line(self.below_lines, level)
+        if line is None:
+            return (index, 1)
+        key = (self.proj_id, index, line)
+        cache = self.cache
+        cached = cache.lookup(key)
+        if cached is not None:
+            return cached
+        var = self.pool.var[index] if index >= 0 else -1
+        if index >= 0 and var > line:
+            pairs = self._pairs(index)
+            new_pairs = [
+                tuple(self._proj_s_edge(child, var - 1) for child in pair)
+                for pair in pairs
+            ]
+            cached = self._make(var, new_pairs)
+        else:
+            virtual = index < 0 or var < line
+            pairs = self._pairs_at(index, virtual)
+            bit = self.below_map[line]
+            new_pairs = []
+            for pair in pairs:
+                updated = [ZERO_E, ZERO_E]
+                updated[bit] = self._proj_s_edge(pair[bit], line - 1)
+                new_pairs.append(tuple(updated))
+            cached = self._make(line, new_pairs)
+        cache.insert(key, cached)
         return cached
 
     # -- mode-dependent successor layout ---------------------------------

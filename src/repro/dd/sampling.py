@@ -55,7 +55,10 @@ def _subtree_norms(edge: Edge, cache: Dict[Node, float]) -> float:
 
 def branch_probabilities(package: DDPackage, state: Edge) -> Tuple[float, float]:
     """Probabilities of the root qubit being |0> / |1> in ``state``."""
-    return qubit_probabilities(package, state, state.node.var)
+    state = package._resolve(state)
+    return qubit_probabilities(
+        package, state, package.qubit_at(state.node.var)
+    )
 
 
 def qubit_probabilities(
@@ -66,11 +69,14 @@ def qubit_probabilities(
     Works for any normalization scheme by accumulating path probabilities
     down to the qubit's level, then using (cached) subtree norms.
     """
+    state = package._resolve(state)
     if state.is_zero:
         raise InvalidStateError("cannot measure the zero vector")
     num_qubits = package.num_qubits(state)
     if not 0 <= qubit < num_qubits:
         raise DDError(f"qubit {qubit} out of range for {num_qubits} qubits")
+    # Under dynamic reordering the qubit's nodes sit at its *level*.
+    level = package.level_of(qubit)
     cache: Dict[Node, float] = {}
     total = _subtree_norms(state, cache)
     if total <= 0.0:
@@ -90,7 +96,7 @@ def qubit_probabilities(
             return 0.0
         node_mass = mass_cache.get(edge.node)
         if node_mass is None:
-            if edge.node.var == qubit:
+            if edge.node.var == level:
                 node_mass = _subtree_norms(edge.node.edges[outcome], cache)
             else:
                 node_mass = sum(
@@ -113,13 +119,17 @@ def sample(
 
     Returns the big-endian bit string ``q_{n-1} ... q_0`` (paper footnote 1).
     """
+    state = package._resolve(state)
     if state.is_zero:
         raise InvalidStateError("cannot sample from the zero vector")
     if rng is None:
         rng = np.random.default_rng()
     local = package.vector_scheme is NormalizationScheme.L2
     cache: Dict[Node, float] = {}
-    bits = []
+    num_qubits = 0 if state.node.is_terminal else state.node.var + 1
+    # Bit at level l belongs to qubit_at(l); place it at its big-endian
+    # string position so reordering never changes the reported outcomes.
+    bits = [0] * num_qubits
     edge = state
     while not edge.node.is_terminal:
         zero_child, one_child = edge.node.edges
@@ -130,7 +140,7 @@ def sample(
             mass1 = _subtree_norms(one_child, cache)
             p0 = mass0 / (mass0 + mass1)
         outcome = 0 if rng.random() < p0 else 1
-        bits.append(outcome)
+        bits[num_qubits - 1 - package.qubit_at(edge.node.var)] = outcome
         edge = edge.node.edges[outcome]
     return "".join(str(bit) for bit in bits)
 

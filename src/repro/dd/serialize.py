@@ -35,8 +35,19 @@ from repro.errors import DDError
 _FORMAT_VERSION = 1
 
 
-def dd_to_dict(package: DDPackage, root: Edge) -> dict:
-    """Serialize a (non-zero) DD rooted at ``root`` to plain data."""
+def dd_to_dict(package: DDPackage, root: Edge, num_qubits: int = None) -> dict:
+    """Serialize a (non-zero) DD rooted at ``root`` to plain data.
+
+    ``num_qubits`` pins the document's qubit span explicitly; without it
+    the span is inferred from the root level — which *undercounts* for
+    identity-skipping matrix DDs whose top levels are skipped (and for
+    the all-identity diagram, whose root is the terminal), so callers
+    holding the true width should always pass it.  The document records
+    the package's level-to-qubit order and skipping flag so a loader can
+    refuse an incompatible package instead of silently permuting
+    amplitudes.
+    """
+    root = package._resolve(root)
     if root.is_zero:
         raise DDError("cannot serialize the zero decision diagram")
     ids: Dict[Node, int] = {}
@@ -64,11 +75,29 @@ def dd_to_dict(package: DDPackage, root: Edge) -> dict:
         nodes.append({"id": identifier, "var": node.var, "edges": edges})
         return identifier
 
-    root_id = visit(root.node)
+    if root.node.is_terminal:
+        # Identity skipping can collapse a whole matrix DD (e.g. the
+        # identity itself) to a weighted terminal edge.
+        if not package.identity_skipping:
+            raise DDError("cannot serialize a bare terminal diagram")
+        root_id = None
+        kind = "matrix"
+    else:
+        root_id = visit(root.node)
+        kind = "matrix" if isinstance(root.node, MatrixNode) else "vector"
+    if num_qubits is None:
+        num_qubits = root.node.var + 1
+    elif num_qubits < root.node.var + 1:
+        raise DDError(
+            f"num_qubits={num_qubits} is smaller than the root level span "
+            f"({root.node.var + 1})"
+        )
     return {
         "format": _FORMAT_VERSION,
-        "kind": "matrix" if isinstance(root.node, MatrixNode) else "vector",
-        "num_qubits": root.node.var + 1,
+        "kind": kind,
+        "num_qubits": num_qubits,
+        "order": [package.qubit_at(level) for level in range(num_qubits)],
+        "identity_skipping": bool(package.identity_skipping),
         "root": {"node": root_id, "weight": [root.weight.real, root.weight.imag]},
         "nodes": nodes,
     }
@@ -85,6 +114,32 @@ def dd_from_dict(package: DDPackage, data: dict) -> Edge:
     kind = data.get("kind")
     if kind not in ("vector", "matrix"):
         raise DDError(f"unknown DD kind {kind!r}")
+    if bool(data.get("identity_skipping", False)) and not package.identity_skipping:
+        raise DDError(
+            "document was serialized with identity skipping; loading into "
+            "a dense package would plant level-skipping edges "
+            "(use DDPackage(identity_skipping=True))"
+        )
+    doc_order = data.get("order")
+    if doc_order is not None:
+        doc_order = [int(q) for q in doc_order]
+        package_order = [package.qubit_at(level) for level in range(len(doc_order))]
+        if doc_order != package_order:
+            pristine = (
+                package._order_is_identity
+                and not package.governor.stats()["live_roots"]
+            )
+            if not pristine:
+                raise DDError(
+                    f"document qubit order {doc_order} does not match the "
+                    f"package's current order {package_order}; reorder the "
+                    "package (or load into a fresh one) first"
+                )
+            # A fresh package holds nothing whose readout the order could
+            # change, so it adopts the document's order wholesale.
+            package._ensure_order(len(doc_order))
+            package._order[: len(doc_order)] = doc_order
+            package._refresh_order_identity()
     make_node = (
         package.make_matrix_node if kind == "matrix" else package.make_vector_node
     )
@@ -96,7 +151,10 @@ def dd_from_dict(package: DDPackage, data: dict) -> Edge:
         rebuilt[int(entry["id"])] = make_node(int(entry["var"]), edges)
     root_data = data["root"]
     weight = complex(*root_data["weight"])
-    base = rebuilt.get(int(root_data["node"]))
+    if root_data["node"] is None:
+        base = Edge(TERMINAL, package.complex_table.ONE)
+    else:
+        base = rebuilt.get(int(root_data["node"]))
     if base is None:
         raise DDError(f"root references unknown node {root_data['node']!r}")
     return base.scaled(package.complex_table.lookup(weight), package.complex_table)

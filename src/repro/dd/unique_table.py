@@ -86,6 +86,28 @@ class UniqueTable:
         self._table[key] = node
         return node
 
+    def evict(self, nodes) -> int:
+        """Drop the canonical entries for ``nodes`` (reorder retirement).
+
+        After a variable reorder the old root nodes keep their pre-reorder
+        structure but are semantically stale: the package's remap translates
+        edges that still point at them.  Evicting them from the table makes
+        the remap's domain unreachable for *future* constructions — a fresh
+        node with the same signature conses a distinct object, so
+        ``DDPackage._resolve`` can never mistake a current edge for a stale
+        one.  The evicted nodes stay alive through ordinary references.
+        """
+        victims = {id(node) for node in nodes}
+        removed = 0
+        for key, node in list(self._table.items()):
+            if id(node) in victims:
+                try:
+                    del self._table[key]
+                except KeyError:  # pragma: no cover - weakref race
+                    continue
+                removed += 1
+        return removed
+
     def __len__(self) -> int:
         return len(self._table)
 

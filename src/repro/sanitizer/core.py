@@ -48,6 +48,18 @@ Invariant families
     has its exact representative in the complex table (a sweep that
     purged it would let a later lookup mint a *different* representative).
 
+``order-map``
+    Dynamic-reordering integrity: the package's level-to-qubit map is a
+    valid permutation of ``0..n-1`` (a corrupted map silently permutes
+    every amplitude/sample/serialization query).
+
+``skip-level-*``
+    Identity-skipping consistency (both backends): in a dense package no
+    matrix edge may skip a level (``skip-level-dense``), and in a
+    skipping package no explicit identity node ``(e, 0, 0, e)`` may
+    survive construction (``skip-level-unreduced``) — the reduction rule
+    must have fired.
+
 ``pool-*``
     Pooled-storage index integrity (``storage="pooled"`` only): every live
     node's successor indices point at live pool slots (never into the
@@ -180,6 +192,7 @@ class DDSanitizer:
         self._check_complex_table(report)
         self._check_roots(report)
         self._check_pools(report)
+        self._check_order_map(report)
         report.duration_seconds = perf_counter() - start
         return report
 
@@ -224,6 +237,8 @@ class DDSanitizer:
                 by_signature[signature] = node
             self._check_node_edges(node, location, report)
             self._check_normalization(node, scheme, location, report)
+            if kind == "matrix":
+                self._check_level_skips(node, location, report)
 
     def _check_node_edges(
         self, node: Node, location: str, report: SanitizeReport
@@ -326,6 +341,51 @@ class DDSanitizer:
                     f"successor magnitude {peak!r} exceeds 1",
                     location,
                 ))
+
+    def _check_level_skips(
+        self, node: Node, location: str, report: SanitizeReport
+    ) -> None:
+        """Matrix-DD level-skip consistency (dense vs identity skipping)."""
+        if not getattr(self.package, "identity_skipping", False):
+            for index, edge in enumerate(node.edges):
+                if edge.weight == ComplexTable.ZERO:
+                    continue
+                child_var = -1 if edge.node.is_terminal else edge.node.var
+                if child_var != node.var - 1:
+                    report.violations.append(Violation(
+                        "skip-level-dense",
+                        f"successor at level q{child_var} skips level "
+                        f"q{node.var - 1} in a dense (non-skipping) package",
+                        f"{location} edge {index}",
+                    ))
+            return
+        e0, e1, e2, e3 = node.edges
+        if (
+            e1.weight == ComplexTable.ZERO
+            and e2.weight == ComplexTable.ZERO
+            and e0.weight != ComplexTable.ZERO
+            and e0 == e3
+        ):
+            report.violations.append(Violation(
+                "skip-level-unreduced",
+                "matrix node is an identity over its level (e1=e2=0, "
+                "e0=e3) and should have been removed by the skipping "
+                "reduction rule",
+                location,
+            ))
+
+    # ------------------------------------------------------------------
+    # dynamic variable order
+    # ------------------------------------------------------------------
+    def _check_order_map(self, report: SanitizeReport) -> None:
+        order = list(getattr(self.package, "_order", ()))
+        if sorted(order) != list(range(len(order))):
+            report.violations.append(Violation(
+                "order-map",
+                f"level-to-qubit map {order} is not a permutation of "
+                f"0..{len(order) - 1}",
+                "package order map",
+            ))
 
     # ------------------------------------------------------------------
     # complex table: representative uniqueness within tolerance
@@ -469,7 +529,13 @@ class DDSanitizer:
                         ))
                     continue
                 location = f"{kind} pool node @{index} (q{pool.var[index]})"
-                for offset, (succ, wsucc) in enumerate(pool.edges_of(index)):
+                pool_edges = list(pool.edges_of(index))
+                if kind == "matrix":
+                    self._check_pool_level_skips(
+                        pool, index, pool_edges, TERMINAL_INDEX,
+                        location, report,
+                    )
+                for offset, (succ, wsucc) in enumerate(pool_edges):
                     where = f"{location} edge {offset}"
                     if succ != TERMINAL_INDEX and not pool.is_live(succ):
                         report.violations.append(Violation(
@@ -485,6 +551,11 @@ class DDSanitizer:
                             "out-of-range weight-pool entry",
                             where,
                         ))
+                kind_bit = 0 if kind == "vector" else 1
+                if engine.is_retired(kind_bit, index):
+                    # Retired by a reorder: intentionally withdrawn from
+                    # the consing table while stale edges keep it alive.
+                    continue
                 if not unique.contains_index(index):
                     report.violations.append(Violation(
                         "pool-probe-chain",
@@ -492,6 +563,37 @@ class DDSanitizer:
                         "unique-table probe chain",
                         location,
                     ))
+
+    def _check_pool_level_skips(
+        self, pool, index, edges, terminal_index, location, report
+    ) -> None:
+        """Pooled mirror of :meth:`_check_level_skips` (weight index 0 is
+        the canonical zero)."""
+        var = pool.var[index]
+        if not getattr(self.package, "identity_skipping", False):
+            for offset, (succ, wsucc) in enumerate(edges):
+                if wsucc == 0:
+                    continue
+                if succ != terminal_index and not pool.is_live(succ):
+                    continue  # already reported as pool-dangling-successor
+                child_var = -1 if succ == terminal_index else pool.var[succ]
+                if child_var != var - 1:
+                    report.violations.append(Violation(
+                        "skip-level-dense",
+                        f"successor at level q{child_var} skips level "
+                        f"q{var - 1} in a dense (non-skipping) package",
+                        f"{location} edge {offset}",
+                    ))
+            return
+        (n0, w0), (n1, w1), (n2, w2), (n3, w3) = edges
+        if w1 == 0 and w2 == 0 and w0 != 0 and (n0, w0) == (n3, w3):
+            report.violations.append(Violation(
+                "skip-level-unreduced",
+                "matrix node is an identity over its level (e1=e2=0, "
+                "e0=e3) and should have been removed by the skipping "
+                "reduction rule",
+                location,
+            ))
 
 
 def sanitize_package(

@@ -27,6 +27,11 @@ fault                          detected by
                                into the free-list; pooled storage only)
 ``pooled-stale-weight``        ``pool-stale-weight`` (weight slot freed
                                under a live edge; pooled storage only)
+``corrupt-order-map``          ``order-map`` (level-to-qubit permutation
+                               with a duplicated entry)
+``skip-across-level``          ``skip-level-dense`` (identity-skip edge
+                               planted across a non-identity level of a
+                               dense package)
 =============================  ===========================================
 
 The module also provides worker-pool *fault jobs* (crash, hang, corrupt)
@@ -68,6 +73,8 @@ FAULT_CLASSES: Dict[str, str] = {
     "duplicate-complex-rep": "duplicate_complex_rep",
     "pooled-dangling-successor": "pooled_dangling_successor",
     "pooled-stale-weight": "pooled_stale_weight",
+    "corrupt-order-map": "corrupt_order_map",
+    "skip-across-level": "skip_across_level",
 }
 
 #: Fault-class name -> sanitizer check id that must fire.
@@ -81,6 +88,8 @@ EXPECTED_CHECKS: Dict[str, str] = {
     "duplicate-complex-rep": "complex-duplicate",
     "pooled-dangling-successor": "pool-dangling-successor",
     "pooled-stale-weight": "pool-stale-weight",
+    "corrupt-order-map": "order-map",
+    "skip-across-level": "skip-level-dense",
 }
 
 
@@ -338,6 +347,56 @@ class FaultInjector:
             "weight_index": target,
             "value": repr(value),
         }
+
+    # ------------------------------------------------------------------
+    # reordering / identity-skipping fault classes
+    # ------------------------------------------------------------------
+    def corrupt_order_map(self) -> Dict[str, Any]:
+        """Duplicate one entry of the level-to-qubit permutation.
+
+        Models a reorder interrupted halfway through its swap bookkeeping:
+        two levels claim the same qubit, so every amplitude, sample and
+        serialization query silently reads the wrong axis.
+        """
+        package = self.package
+        package._ensure_order(2)
+        order = package._order
+        level = self.rng.randrange(len(order) - 1)
+        old = order[level]
+        order[level] = order[level + 1]
+        package._order_is_identity = False
+        return {"fault": "corrupt-order-map", "level": level, "old": old}
+
+    def skip_across_level(self) -> Dict[str, Any]:
+        """Plant an identity-skip edge across a level of a *dense* package.
+
+        Models reading a skipping-package serialization into a dense
+        package (or a constructor that dropped a level): the edge jumps
+        straight past ``q(var-1)`` with no identity semantics to justify
+        it, so dense traversals misalign every level below.
+        """
+        from repro.dd.node import TERMINAL, MatrixNode
+
+        if getattr(self.package, "identity_skipping", False):
+            raise DDError(
+                "skip-across-level targets dense (non-skipping) packages"
+            )
+        candidates = []
+        for _table, _key, node in self._live_entries():
+            if isinstance(node, MatrixNode) and node.var > 0:
+                for index, edge in enumerate(node.edges):
+                    if edge.weight != ComplexTable.ZERO:
+                        candidates.append((node, index))
+        if not candidates:
+            raise DDError(
+                "fault injection needs a live matrix node above level 0"
+            )
+        node, index = self.rng.choice(candidates)
+        edges = list(node.edges)
+        edges[index] = Edge(TERMINAL, edges[index].weight)
+        node.edges = tuple(edges)
+        self._pinned.append(node)
+        return {"fault": "skip-across-level", "node": node.uid, "edge": index}
 
     # ------------------------------------------------------------------
     # dispatch

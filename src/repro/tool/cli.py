@@ -390,6 +390,7 @@ def _cmd_stats(args) -> int:
     governance = all_stats.pop("governance", None)
     sanitizer = all_stats.pop("sanitizer", None)
     storage = all_stats.pop("storage", None)
+    reorder = all_stats.pop("reorder", None)
     if storage:
         print(f"storage backend: {storage.get('backend', '?')}")
     print(f"{'table':16s} {'entries':>9s} {'hits':>10s} {'misses':>10s} "
@@ -408,6 +409,11 @@ def _cmd_stats(args) -> int:
         print()
         print("sanitizer:")
         for key, value in sanitizer.items():
+            print(f"  {key:24s} {value}")
+    if reorder:
+        print()
+        print("reorder:")
+        for key, value in reorder.items():
             print(f"  {key:24s} {value}")
     print()
     print(obs.run_report(registry, title=circuit.name))

@@ -246,6 +246,7 @@ class InteractiveTool:
         governance = all_stats.pop("governance", None)
         sanitizer = all_stats.pop("sanitizer", None)
         storage = all_stats.pop("storage", None)
+        reorder = all_stats.pop("reorder", None)
         lines = []
         if storage:
             lines.append(f"{'storage':16s} backend={storage.get('backend', '?')}")
@@ -264,6 +265,11 @@ class InteractiveTool:
                 f"{key}={value}" for key, value in sanitizer.items()
             )
             lines.append(f"{'sanitizer':16s} {rendered}")
+        if reorder:
+            rendered = " ".join(
+                f"{key}={value}" for key, value in reorder.items()
+            )
+            lines.append(f"{'reorder':16s} {rendered}")
         return "\n".join(lines)
 
     def _quit(self, arguments: List[str]) -> str:

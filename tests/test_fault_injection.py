@@ -52,9 +52,13 @@ def _seeded_package(storage: str = None) -> DDPackage:
     # non-seed candidate.
     skew = package.from_state_vector([0.6, 0.8j, 0.0, 0.0])
     package.incref(skew)
+    # A live matrix DD above level 0, so matrix-structure faults
+    # (skip-across-level) always have a candidate.
+    gate = package.single_qubit_gate(2, [[0, 1], [1, 0]], 1)
+    package.incref(gate)
     # GC roots hold weak references; pin the edges so the nodes stay live
     # for the duration of the test.
-    package._test_pin = (state, scaled, skew)
+    package._test_pin = (state, scaled, skew, gate)
     return package
 
 
@@ -120,6 +124,26 @@ class TestFaultDetection:
         inject_fault(package, "pooled-stale-weight", seed=0)
         report = package.sanitize()
         assert "pool-stale-weight" in report.checks_failed, report.summary()
+
+    def test_corrupt_order_map_detected(self):
+        package = _seeded_package()
+        inject_fault(package, "corrupt-order-map", seed=0)
+        report = package.sanitize()
+        assert "order-map" in report.checks_failed, report.summary()
+
+    def test_skip_across_level_detected(self):
+        package = _seeded_package()
+        inject_fault(package, "skip-across-level", seed=0)
+        report = package.sanitize()
+        assert "skip-level-dense" in report.checks_failed, report.summary()
+
+    def test_skip_across_level_refused_on_skipping_package(self):
+        package = DDPackage(identity_skipping=True)
+        gate = package.single_qubit_gate(2, [[0, 1], [1, 0]], 1)
+        package.incref(gate)
+        package._test_pin = gate
+        with pytest.raises(DDError, match="dense"):
+            inject_fault(package, "skip-across-level", seed=0)
 
     @pytest.mark.parametrize("fault", sorted(_POOLED_ONLY))
     def test_pooled_faults_refused_on_object_storage(self, fault):
